@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark: sketch construction throughput — one data
+//! pass with k-min maintenance — across row counts and sketch sizes.
+//! Supports the space/accuracy axis of paper Figure 4 and the indexing
+//! cost of Section 5.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use correlation_sketches::{SketchBuilder, SketchConfig};
+use sketch_table::ColumnPair;
+
+fn make_pair(rows: usize) -> ColumnPair {
+    ColumnPair::new(
+        "bench",
+        "k",
+        "v",
+        (0..rows).map(|i| format!("key-{i}")).collect(),
+        (0..rows).map(|i| (i as f64 * 0.7).sin() * 100.0).collect(),
+    )
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_construction");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for rows in [10_000usize, 100_000] {
+        let pair = make_pair(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        for size in [256usize, 1024] {
+            let builder = SketchBuilder::new(SketchConfig::with_size(size));
+            group.bench_with_input(
+                BenchmarkId::new(format!("rows_{rows}"), size),
+                &size,
+                |b, _| b.iter(|| black_box(builder.build(black_box(&pair)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_threshold_construction(c: &mut Criterion) {
+    let pair = make_pair(50_000);
+    let mut group = c.benchmark_group("sketch_construction_strategies");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(50_000));
+    let fixed = SketchBuilder::new(SketchConfig::with_size(512));
+    group.bench_function("fixed_512", |b| {
+        b.iter(|| black_box(fixed.build(black_box(&pair))))
+    });
+    let thr = SketchBuilder::new(SketchConfig::with_threshold(512.0 / 50_000.0));
+    group.bench_function("threshold_matched", |b| {
+        b.iter(|| black_box(thr.build(black_box(&pair))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_threshold_construction);
+criterion_main!(benches);

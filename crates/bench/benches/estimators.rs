@@ -1,0 +1,82 @@
+//! Criterion micro-benchmark: per-estimator cost on join samples of the
+//! sizes produced by realistic sketches (the cost axis of Figure 4's
+//! estimator comparison, and the rationale for the paper's adaptive PM1
+//! stopping rule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sketch_stats::CorrelationEstimator;
+
+fn sample(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin() * 5.0).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v * 0.8 + ((i as f64) * 0.7).cos())
+        .collect();
+    (x, y)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlation_estimators");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 256, 1024] {
+        let (x, y) = sample(n);
+        for est in CorrelationEstimator::ALL {
+            if matches!(est, CorrelationEstimator::Pm1Bootstrap { .. } | CorrelationEstimator::Qn)
+                && n > 256
+            {
+                // Quadratic/resampling estimators get slow; keep the suite
+                // fast while still covering the sketch-realistic sizes.
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(est.name(), n),
+                &n,
+                |b, _| b.iter(|| black_box(est.estimate(black_box(&x), black_box(&y)).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    use sketch_hashing::{murmur3_x64_128, murmur3_x86_32, unit_hash_u64};
+    let keys: Vec<String> = (0..1000).map(|i| format!("key-{i}")).collect();
+    let mut group = c.benchmark_group("hashing");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("murmur3_x86_32_1k_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys {
+                acc ^= murmur3_x86_32(black_box(k.as_bytes()), 0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("murmur3_x64_128_1k_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc ^= murmur3_x64_128(black_box(k.as_bytes()), 0).0;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fibonacci_unit_hash_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..1000u64 {
+                acc += unit_hash_u64(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_hashing);
+criterion_main!(benches);

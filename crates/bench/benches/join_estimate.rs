@@ -1,0 +1,93 @@
+//! Criterion micro-benchmark behind **Table 2**: sketch join + correlation
+//! estimation vs. full-data join + correlation, at several table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use correlation_sketches::{join_sketches, SketchBuilder, SketchConfig};
+use sketch_stats::{pearson, spearman, CorrelationEstimator};
+use sketch_table::{exact_join, Aggregation, ColumnPair};
+
+fn make_pair(table: &str, rows: usize, offset: usize) -> ColumnPair {
+    ColumnPair::new(
+        table,
+        "k",
+        "v",
+        (offset..offset + rows).map(|i| format!("key-{i}")).collect(),
+        (0..rows).map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64 * 0.01).collect(),
+    )
+}
+
+fn bench_full_vs_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_join_correlation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for rows in [10_000usize, 100_000] {
+        let a = make_pair("a", rows, 0);
+        let b = make_pair("b", rows, rows / 4); // 75% overlap
+
+        group.bench_with_input(BenchmarkId::new("full_join", rows), &rows, |bch, _| {
+            bch.iter(|| black_box(exact_join(black_box(&a), black_box(&b), Aggregation::Mean)))
+        });
+        let joined = exact_join(&a, &b, Aggregation::Mean);
+        group.bench_with_input(BenchmarkId::new("full_pearson", rows), &rows, |bch, _| {
+            bch.iter(|| black_box(pearson(&joined.x, &joined.y).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("full_spearman", rows), &rows, |bch, _| {
+            bch.iter(|| black_box(spearman(&joined.x, &joined.y).unwrap()))
+        });
+
+        let builder = SketchBuilder::new(SketchConfig::with_size(1024));
+        let (sa, sb) = (builder.build(&a), builder.build(&b));
+        group.bench_with_input(BenchmarkId::new("sketch_join", rows), &rows, |bch, _| {
+            bch.iter(|| black_box(join_sketches(black_box(&sa), black_box(&sb)).unwrap()))
+        });
+        let sample = join_sketches(&sa, &sb).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sketch_pearson", rows),
+            &rows,
+            |bch, _| {
+                bch.iter(|| black_box(sample.estimate(CorrelationEstimator::Pearson).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sketch_spearman", rows),
+            &rows,
+            |bch, _| {
+                bch.iter(|| black_box(sample.estimate(CorrelationEstimator::Spearman).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ci_cost(c: &mut Criterion) {
+    // The cost argument of Section 4.2: Hoeffding CI is constant-time,
+    // bootstrap is hundreds of resamples.
+    let a = make_pair("a", 20_000, 0);
+    let b = make_pair("b", 20_000, 0);
+    let builder = SketchBuilder::new(SketchConfig::with_size(1024));
+    let sample = join_sketches(&builder.build(&a), &builder.build(&b)).unwrap();
+
+    let mut group = c.benchmark_group("ci_methods");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("hoeffding", |bch| {
+        bch.iter(|| black_box(sample.hoeffding_ci(0.05).unwrap()))
+    });
+    group.bench_function("hfd", |bch| {
+        bch.iter(|| black_box(sample.hfd_ci(0.05).unwrap()))
+    });
+    group.bench_function("fisher_z", |bch| {
+        bch.iter(|| black_box(sketch_stats::fisher_z_interval(0.5, sample.len(), 0.05)))
+    });
+    group.sample_size(10);
+    group.bench_function("pm1_bootstrap", |bch| {
+        bch.iter(|| black_box(sample.pm1_ci(7).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_vs_sketch, bench_ci_cost);
+criterion_main!(benches);

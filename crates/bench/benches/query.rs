@@ -1,0 +1,75 @@
+//! Criterion micro-benchmark behind the **Section 5.5** query-latency
+//! study: end-to-end top-k join-correlation queries against the inverted
+//! index at increasing corpus sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
+use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
+use sketch_index::{engine, QueryOptions, SketchIndex};
+
+fn build_index(tables: usize, seed: u64) -> (SketchIndex, Vec<CorrelationSketch>) {
+    let corpus_tables = generate_open_data(&OpenDataConfig {
+        tables,
+        min_rows: 50,
+        max_rows: 1_000,
+        ..OpenDataConfig::nyc(seed)
+    });
+    let split = split_corpus(&corpus_tables, 0.2, seed);
+    let builder = SketchBuilder::new(SketchConfig::with_size(1024));
+    let mut idx = SketchIndex::new();
+    for p in &split.corpus {
+        idx.insert(builder.build(p)).expect("uniform hasher");
+    }
+    let queries = split
+        .queries
+        .iter()
+        .take(16)
+        .map(|p| builder.build(p))
+        .collect();
+    (idx, queries)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_latency");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for tables in [50usize, 200] {
+        let (idx, queries) = build_index(tables, 0xbe_ec);
+        let opts = QueryOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("top10_of_top100", tables),
+            &tables,
+            |b, _| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    let q = &queries[qi % queries.len()];
+                    qi += 1;
+                    black_box(engine::top_k_join_correlation(&idx, q, &opts))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_retrieval_only(c: &mut Criterion) {
+    let (idx, queries) = build_index(200, 0xbe_ed);
+    let mut group = c.benchmark_group("overlap_retrieval");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("top100", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            black_box(idx.overlap_candidates(q, 100))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_retrieval_only);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Minimal `--key value` CLI parsing for the experiment binaries (keeps
+//! the dependency set to the approved list — no clap).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments. `--flag value` pairs only; a trailing
+    /// flag without a value is treated as `"true"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arguments that do not start with `--` (fail fast with a
+    /// readable message rather than silently ignoring typos).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// See [`Args::from_env`].
+    pub fn parse_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument '{arg}' (expected --key value)"))
+                .to_string();
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            values.insert(key, value);
+        }
+        Self { values }
+    }
+
+    /// String value of a flag.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parse a flag as `T`, falling back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the flag is present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{key} {v}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// Is a boolean flag set?
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = parse("--tables 300 --seed 7 --verbose");
+        assert_eq!(a.get_or("tables", 0usize), 300);
+        assert_eq!(a.get_or("seed", 0u64), 7);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_or("missing", 42i32), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn rejects_positional_arguments() {
+        let _ = parse("positional");
+    }
+
+    #[test]
+    #[should_panic(expected = "--tables")]
+    fn rejects_unparsable_values() {
+        let a = parse("--tables lots");
+        let _ = a.get_or("tables", 0usize);
+    }
+}

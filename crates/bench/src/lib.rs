@@ -1,0 +1,14 @@
+//! Shared plumbing for the experiment binaries (one per paper
+//! table/figure — see `src/bin/` and EXPERIMENTS.md at the workspace
+//! root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod corpus;
+pub mod timing;
+
+pub use args::Args;
+pub use corpus::{corpus_pairs, CorpusChoice};
+pub use timing::{percentile, time_ms, LatencySummary};

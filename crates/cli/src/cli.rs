@@ -1,0 +1,137 @@
+//! Flag parsing and the CLI error type.
+
+use std::collections::HashMap;
+
+/// Anything that can go wrong in a CLI invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the string is a usage message.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Input data was malformed or columns were missing.
+    Data(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "{msg}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct CliArgs {
+    values: HashMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parse flags; every flag must have a value.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for positional arguments or dangling flags.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            let key = arg.strip_prefix("--").ok_or_else(|| {
+                CliError::Usage(format!("unexpected argument '{arg}' (expected --flag value)"))
+            })?;
+            let value = iter.next().ok_or_else(|| {
+                CliError::Usage(format!("flag --{key} is missing a value"))
+            })?;
+            values.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { values })
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when absent.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string flag.
+    #[must_use]
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Optional typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when present but unparsable.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--{key} {v}: {e}"))),
+            None => Ok(default),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = CliArgs::parse(&argv("--dir data --sketch-size 128")).unwrap();
+        assert_eq!(a.required("dir").unwrap(), "data");
+        assert_eq!(a.parse_or("sketch-size", 0usize).unwrap(), 128);
+        assert_eq!(a.parse_or("missing", 42usize).unwrap(), 42);
+        assert!(a.optional("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(matches!(
+            CliArgs::parse(&argv("positional")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            CliArgs::parse(&argv("--flag")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_required_flag_is_usage_error() {
+        let a = CliArgs::parse(&argv("--x 1")).unwrap();
+        assert!(matches!(a.required("dir"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_typed_value_is_usage_error() {
+        let a = CliArgs::parse(&argv("--k lots")).unwrap();
+        assert!(matches!(a.parse_or("k", 1usize), Err(CliError::Usage(_))));
+    }
+}

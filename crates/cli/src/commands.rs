@@ -1,0 +1,399 @@
+//! The four subcommands. Each returns its rendered report as a `String`
+//! so the binary stays a thin printing shell and the integration tests
+//! can assert on outputs directly.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use correlation_sketches::{
+    join_sketches, CorrelationSketch, SketchBuilder, SketchConfig,
+};
+use sketch_stats::CorrelationEstimator;
+use sketch_table::{Aggregation, Table};
+
+use crate::cli::{CliArgs, CliError};
+
+fn load_table(path: &str) -> Result<Table, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string();
+    Table::from_csv(name, &text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+fn sketch_config(args: &CliArgs, default_size: usize) -> Result<SketchConfig, CliError> {
+    let size = args.parse_or("sketch-size", default_size)?;
+    let aggregation: Aggregation = args
+        .optional("aggregation")
+        .unwrap_or("mean")
+        .parse()
+        .map_err(CliError::Usage)?;
+    let seed = args.parse_or("seed", 0u64)?;
+    Ok(SketchConfig::with_size(size)
+        .aggregation(aggregation)
+        .hasher(sketch_hashing::TupleHasher::new_64(seed)))
+}
+
+/// `corrsketch index` — sketch every `⟨categorical, numeric⟩` column pair
+/// of every `.csv` file in a directory into a newline-delimited JSON file.
+pub mod index {
+    use super::*;
+
+    /// Run the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags, unreadable files, or empty corpora.
+    pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        let dir = args.required("dir")?;
+        let out = args.required("out")?;
+        let config = sketch_config(args, 256)?;
+        let builder = SketchBuilder::new(config);
+
+        let mut csvs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+            .collect();
+        csvs.sort();
+        if csvs.is_empty() {
+            return Err(CliError::Data(format!("no .csv files in {dir}")));
+        }
+
+        let mut lines = String::new();
+        let mut tables = 0usize;
+        let mut pairs = 0usize;
+        for path in &csvs {
+            let table = load_table(path.to_str().expect("utf-8 path"))?;
+            tables += 1;
+            for pair in table.column_pairs() {
+                let sketch = builder.build(&pair);
+                lines.push_str(
+                    &sketch
+                        .to_json()
+                        .map_err(|e| CliError::Data(e.to_string()))?,
+                );
+                lines.push('\n');
+                pairs += 1;
+            }
+        }
+        std::fs::write(out, lines)?;
+        Ok(format!(
+            "indexed {pairs} column pairs from {tables} tables into {out} \
+             (sketch size {}, aggregation {})",
+            match config.strategy {
+                correlation_sketches::SelectionStrategy::FixedSize(n) => n,
+                correlation_sketches::SelectionStrategy::Threshold(_) => 0,
+            },
+            config.aggregation
+        ))
+    }
+}
+
+/// `corrsketch append` — sketch another directory of CSVs and append to
+/// an existing index file, reusing its hasher/aggregation configuration
+/// so old and new sketches remain joinable.
+pub mod append {
+    use super::*;
+
+    /// Run the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags, an empty/unreadable index, or
+    /// unreadable CSVs.
+    pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        let dir = args.required("dir")?;
+        let index_path = args.required("index")?;
+        let existing = load_sketches(index_path)?;
+        let Some(first) = existing.first() else {
+            return Err(CliError::Data(format!(
+                "{index_path} contains no sketches; use `corrsketch index` first"
+            )));
+        };
+        let config = SketchConfig {
+            strategy: first.strategy(),
+            hasher: first.hasher(),
+            aggregation: first.aggregation(),
+        };
+        let builder = SketchBuilder::new(config);
+
+        let mut csvs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+            .collect();
+        csvs.sort();
+        if csvs.is_empty() {
+            return Err(CliError::Data(format!("no .csv files in {dir}")));
+        }
+
+        let mut lines = String::new();
+        let mut pairs = 0usize;
+        for path in &csvs {
+            let table = load_table(path.to_str().expect("utf-8 path"))?;
+            for pair in table.column_pairs() {
+                lines.push_str(
+                    &builder
+                        .build(&pair)
+                        .to_json()
+                        .map_err(|e| CliError::Data(e.to_string()))?,
+                );
+                lines.push('\n');
+                pairs += 1;
+            }
+        }
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(index_path)?;
+        file.write_all(lines.as_bytes())?;
+        Ok(format!(
+            "appended {pairs} column pairs from {} tables to {index_path} \
+             ({} sketches total)",
+            csvs.len(),
+            existing.len() + pairs
+        ))
+    }
+}
+
+/// Load a newline-delimited JSON sketch file.
+fn load_sketches(path: &str) -> Result<Vec<CorrelationSketch>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            CorrelationSketch::from_json(line).map_err(|e| CliError::Data(format!("{path}: {e}")))
+        })
+        .collect()
+}
+
+/// `corrsketch query` — top-k join-correlation query against an index.
+pub mod query {
+    use super::*;
+    use sketch_index::SketchIndex;
+    use sketch_ranking::{features_from_sample, score_candidates, ScoringFunction};
+
+    fn parse_scorer(s: &str) -> Result<ScoringFunction, CliError> {
+        ScoringFunction::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown scorer '{s}' (expected one of rp, rp*sez, rb*cib, rp*cih, jc_est)"
+                ))
+            })
+    }
+
+    /// Run the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags, a hasher-incompatible index, or
+    /// missing query columns.
+    pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        let index_path = args.required("index")?;
+        let table_path = args.required("table")?;
+        let key = args.required("key")?;
+        let value = args.required("value")?;
+        let k = args.parse_or("k", 10usize)?;
+        let candidates = args.parse_or("candidates", 100usize)?;
+        let estimator: CorrelationEstimator = args
+            .optional("estimator")
+            .unwrap_or("pearson")
+            .parse()
+            .map_err(CliError::Usage)?;
+        // Default to the Fisher-z penalized scorer: the paper's rp*cih
+        // normalizes CI lengths *within the candidate list*, which is
+        // meaningful for the ~100-candidate lists of the evaluation but
+        // degenerate for tiny result sets (the longest-CI candidate is
+        // always zeroed). rp*sez penalizes by sample size alone and
+        // behaves well at any list size.
+        let scorer = parse_scorer(args.optional("scorer").unwrap_or("rp*sez"))?;
+
+        let sketches = load_sketches(index_path)?;
+        let Some(first) = sketches.first() else {
+            return Err(CliError::Data(format!("{index_path} contains no sketches")));
+        };
+        // Reuse the index's full configuration so the query sketch is
+        // joinable and comparably sized.
+        let config = SketchConfig {
+            strategy: first.strategy(),
+            hasher: first.hasher(),
+            aggregation: first.aggregation(),
+        };
+        let mut index = SketchIndex::new();
+        for s in sketches {
+            index
+                .insert(s)
+                .map_err(|e| CliError::Data(e.to_string()))?;
+        }
+
+        let table = load_table(table_path)?;
+        let pair = table.column_pair(key, value).ok_or_else(|| {
+            CliError::Data(format!(
+                "{table_path}: need categorical '{key}' and numeric '{value}' columns \
+                 (categorical: {:?}, numeric: {:?})",
+                table.categorical_names(),
+                table.numeric_names()
+            ))
+        })?;
+        let q_sketch = SketchBuilder::new(config).build(&pair);
+
+        // Retrieve, featurize, score as a list (ci_h normalization is
+        // list-level), then rank.
+        let cands = sketch_index::engine::retrieve_candidates(&index, &q_sketch, candidates);
+        let features: Vec<_> = cands
+            .iter()
+            .map(|c| features_from_sample(&q_sketch, c.sketch, &c.sample, None, 0x5eed))
+            .collect();
+        let scores = score_candidates(&features, scorer);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query {}/{}/{} against {} sketches (scorer {}, estimator {})",
+            pair.table,
+            key,
+            value,
+            index.len(),
+            scorer.name(),
+            estimator.name()
+        );
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>6} {:>9} {:>8}",
+            "column", "overlap", "n", "estimate", "score"
+        );
+        for &i in order.iter().take(k) {
+            let cand = &cands[i];
+            let est = cand
+                .sample
+                .estimate(estimator)
+                .map_or_else(|_| "-".to_string(), |r| format!("{r:+.3}"));
+            let _ = writeln!(
+                out,
+                "{:<40} {:>8} {:>6} {:>9} {:>8.3}",
+                features[i].id,
+                cand.overlap,
+                cand.sample.len(),
+                est,
+                scores[i]
+            );
+        }
+        if order.is_empty() {
+            let _ = writeln!(out, "(no joinable columns found)");
+        }
+        Ok(out)
+    }
+}
+
+/// `corrsketch estimate` — one-off estimate between two CSV columns,
+/// showing every estimator plus the confidence intervals.
+pub mod estimate {
+    use super::*;
+
+    /// Run the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags/columns or degenerate samples.
+    pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        let config = sketch_config(args, 1024)?;
+        let builder = SketchBuilder::new(config);
+
+        let mut pairs = Vec::new();
+        for side in ["left", "right"] {
+            let path = args.required(side)?;
+            let key = args.required(&format!("{side}-key"))?;
+            let value = args.required(&format!("{side}-value"))?;
+            let table = load_table(path)?;
+            let pair = table.column_pair(key, value).ok_or_else(|| {
+                CliError::Data(format!(
+                    "{path}: need categorical '{key}' and numeric '{value}' columns"
+                ))
+            })?;
+            pairs.push(pair);
+        }
+        let (left, right) = (&pairs[0], &pairs[1]);
+
+        let sample = join_sketches(&builder.build(left), &builder.build(right))
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} ({} rows)  ⨝  {} ({} rows): sketch join sample = {} rows",
+            left.id(),
+            left.len(),
+            right.id(),
+            right.len(),
+            sample.len()
+        );
+        if sample.len() < 3 {
+            let _ = writeln!(out, "join sample too small for estimation");
+            return Ok(out);
+        }
+        for est in CorrelationEstimator::EXTENDED {
+            let _ = writeln!(
+                out,
+                "  {:<10} {}",
+                est.name(),
+                sample
+                    .estimate(est)
+                    .map_or_else(|e| format!("({e})"), |r| format!("{r:+.4}"))
+            );
+        }
+        if let Ok(ci) = sample.hoeffding_ci(0.05) {
+            let _ = writeln!(
+                out,
+                "  hoeffding 95% CI: [{:+.3}, {:+.3}]",
+                ci.low, ci.high
+            );
+        }
+        let _ = writeln!(out, "  fisher-z SE: {:.4}", sample.fisher_se());
+        Ok(out)
+    }
+}
+
+/// `corrsketch inspect` — summary statistics of an index file.
+pub mod inspect {
+    use super::*;
+    use correlation_sketches::distinct_value_estimate;
+
+    /// Run the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on unreadable or malformed index files.
+    pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        let path = args.required("index")?;
+        let sketches = load_sketches(path)?;
+        let total_entries: usize = sketches.iter().map(CorrelationSketch::len).sum();
+        let bytes: usize = sketches.iter().map(CorrelationSketch::memory_bytes).sum();
+        let saturated = sketches.iter().filter(|s| s.is_saturated()).count();
+        let mut out = String::new();
+        let _ = writeln!(out, "index {path}:");
+        let _ = writeln!(out, "  sketches        : {}", sketches.len());
+        let _ = writeln!(out, "  tuples          : {total_entries}");
+        let _ = writeln!(out, "  memory (tuples) : {:.1} KiB", bytes as f64 / 1024.0);
+        let _ = writeln!(out, "  saturated       : {saturated}");
+        for s in sketches.iter().take(20) {
+            let _ = writeln!(
+                out,
+                "  {:<40} n={:<6} rows={:<8} distinct≈{:.0}",
+                s.id(),
+                s.len(),
+                s.rows_scanned(),
+                distinct_value_estimate(s)
+            );
+        }
+        if sketches.len() > 20 {
+            let _ = writeln!(out, "  … and {} more", sketches.len() - 20);
+        }
+        Ok(out)
+    }
+}

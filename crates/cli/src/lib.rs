@@ -1,0 +1,66 @@
+//! `corrsketch` — a command-line front end for the Correlation Sketches
+//! library: index a directory of CSV files once, then answer
+//! join-correlation queries against the index interactively.
+//!
+//! ```text
+//! corrsketch index    --dir data/ --out lake.sketches [--sketch-size 256]
+//! corrsketch query    --index lake.sketches --table q.csv --key day --value pickups
+//! corrsketch estimate --left a.csv --left-key k --left-value x \
+//!                     --right b.csv --right-key k --right-value y
+//! corrsketch inspect  --index lake.sketches
+//! ```
+//!
+//! The index file is newline-delimited JSON, one sketch per line (the
+//! format of [`correlation_sketches::persist`]), so it is diffable,
+//! streamable, and appendable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod commands;
+
+pub use cli::{CliArgs, CliError};
+pub use commands::{append, estimate, index, inspect, query};
+
+/// Entry point shared by `main` and the integration tests: dispatch a
+/// subcommand and return its rendered report.
+///
+/// # Errors
+///
+/// [`CliError`] on unknown subcommands, bad flags, I/O failures, or
+/// malformed inputs.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let args = CliArgs::parse(rest)?;
+    match command.as_str() {
+        "index" => index::run(&args),
+        "append" => append::run(&args),
+        "query" => query::run(&args),
+        "estimate" => estimate::run(&args),
+        "inspect" => inspect::run(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+corrsketch — join-correlation queries over CSV collections
+
+USAGE:
+  corrsketch index    --dir <csv-dir> --out <file>
+                      [--sketch-size 256] [--aggregation mean] [--seed 0]
+  corrsketch append   --dir <csv-dir> --index <file>   (reuses index config)
+  corrsketch query    --index <file> --table <csv> --key <col> --value <col>
+                      [--k 10] [--candidates 100] [--estimator pearson]
+                      [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est]
+  corrsketch estimate --left <csv> --left-key <col> --left-value <col>
+                      --right <csv> --right-key <col> --right-value <col>
+                      [--sketch-size 1024] [--aggregation mean]
+  corrsketch inspect  --index <file>
+  corrsketch help";

@@ -1,0 +1,12 @@
+//! Thin binary shell around [`sketch_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match sketch_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

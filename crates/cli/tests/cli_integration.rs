@@ -1,0 +1,242 @@
+//! End-to-end CLI tests: write CSV files to a temp dir, index them, query
+//! the index, and check the reports.
+
+use std::path::PathBuf;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_string()).collect()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "corrsketch-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_str().unwrap().to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_lake(dir: &TempDir) {
+    // Three tables over a shared day key; pickups ~ 2·demand,
+    // rain ~ −demand, noise independent.
+    let days: Vec<String> = (0..300).map(|i| format!("d{i:03}")).collect();
+    let demand: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.21).sin() * 10.0 + 20.0).collect();
+
+    let mut taxi = String::from("day,pickups\n");
+    let mut weather = String::from("day,rain\n");
+    let mut noise = String::from("day,reading\n");
+    for (i, d) in days.iter().enumerate() {
+        taxi.push_str(&format!("{d},{}\n", 2.0 * demand[i]));
+        weather.push_str(&format!("{d},{}\n", 30.0 - demand[i]));
+        noise.push_str(&format!("{d},{}\n", ((i * 7919) % 100) as f64));
+    }
+    std::fs::write(dir.path("taxi.csv"), taxi).unwrap();
+    std::fs::write(dir.path("weather.csv"), weather).unwrap();
+    std::fs::write(dir.path("noise.csv"), noise).unwrap();
+}
+
+#[test]
+fn index_query_roundtrip() {
+    let dir = TempDir::new("roundtrip");
+    write_lake(&dir);
+    let index_file = dir.path("lake.sketches");
+
+    let report = sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &index_file,
+        "--sketch-size",
+        "128",
+    ]))
+    .unwrap();
+    assert!(report.contains("indexed 3 column pairs from 3 tables"), "{report}");
+
+    let report = sketch_cli::run(&argv(&[
+        "query",
+        "--index",
+        &index_file,
+        "--table",
+        &dir.path("taxi.csv"),
+        "--key",
+        "day",
+        "--value",
+        "pickups",
+        "--k",
+        "3",
+    ]))
+    .unwrap();
+    // The query column finds itself (r = 1) and the anti-correlated
+    // weather column; the noise column must rank last.
+    let taxi_pos = report.find("taxi/day/pickups").expect("self match");
+    let weather_pos = report.find("weather/day/rain").expect("weather match");
+    let noise_pos = report.find("noise/day/reading").expect("noise present");
+    assert!(taxi_pos < weather_pos, "{report}");
+    assert!(weather_pos < noise_pos, "{report}");
+}
+
+#[test]
+fn estimate_between_two_files() {
+    let dir = TempDir::new("estimate");
+    write_lake(&dir);
+    let report = sketch_cli::run(&argv(&[
+        "estimate",
+        "--left",
+        &dir.path("taxi.csv"),
+        "--left-key",
+        "day",
+        "--left-value",
+        "pickups",
+        "--right",
+        &dir.path("weather.csv"),
+        "--right-key",
+        "day",
+        "--right-value",
+        "rain",
+    ]))
+    .unwrap();
+    assert!(report.contains("join sample = 300 rows"), "{report}");
+    // pickups = 2·demand, rain = 30 − demand: perfectly anti-correlated.
+    assert!(report.contains("pearson    -1.0000"), "{report}");
+    assert!(report.contains("hoeffding 95% CI"), "{report}");
+    assert!(report.contains("kendall"), "{report}");
+}
+
+#[test]
+fn inspect_reports_index_stats() {
+    let dir = TempDir::new("inspect");
+    write_lake(&dir);
+    let index_file = dir.path("lake.sketches");
+    sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &index_file,
+    ]))
+    .unwrap();
+    let report = sketch_cli::run(&argv(&["inspect", "--index", &index_file])).unwrap();
+    assert!(report.contains("sketches        : 3"), "{report}");
+    assert!(report.contains("taxi/day/pickups"), "{report}");
+}
+
+#[test]
+fn append_extends_an_index_compatibly() {
+    let dir = TempDir::new("append");
+    write_lake(&dir);
+    let index_file = dir.path("lake.sketches");
+    sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &index_file,
+        "--seed",
+        "7",
+    ]))
+    .unwrap();
+
+    // Second batch in a sub-directory with an extra correlated table.
+    let sub = dir.path("more");
+    std::fs::create_dir_all(&sub).unwrap();
+    let days: Vec<String> = (0..300).map(|i| format!("d{i:03}")).collect();
+    let mut extra = String::from("day,events\n");
+    for (i, d) in days.iter().enumerate() {
+        extra.push_str(&format!("{d},{}\n", ((i as f64) * 0.21).sin() * 10.0 + 20.0));
+    }
+    std::fs::write(format!("{sub}/events.csv"), extra).unwrap();
+
+    let report = sketch_cli::run(&argv(&["append", "--dir", &sub, "--index", &index_file]))
+        .unwrap();
+    assert!(report.contains("appended 1 column pairs"), "{report}");
+    assert!(report.contains("4 sketches total"), "{report}");
+
+    // The appended sketch must be joinable with the originals: querying
+    // taxi must now surface the new events column with a real estimate.
+    let report = sketch_cli::run(&argv(&[
+        "query",
+        "--index",
+        &index_file,
+        "--table",
+        &dir.path("taxi.csv"),
+        "--key",
+        "day",
+        "--value",
+        "pickups",
+        "--k",
+        "4",
+    ]))
+    .unwrap();
+    assert!(report.contains("events/day/events"), "{report}");
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(sketch_cli::run(&argv(&["frobnicate"])).is_err());
+    assert!(sketch_cli::run(&[]).is_err());
+    let help = sketch_cli::run(&argv(&["help"])).unwrap();
+    assert!(help.contains("USAGE"));
+
+    // Missing flags.
+    let err = sketch_cli::run(&argv(&["index", "--dir", "/nonexistent"]))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("--out"), "{err}");
+
+    // Nonexistent directory.
+    let err = sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        "/nonexistent-dir-xyz",
+        "--out",
+        "/tmp/x",
+    ]))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("I/O"), "{err}");
+}
+
+#[test]
+fn query_rejects_wrong_columns() {
+    let dir = TempDir::new("wrongcols");
+    write_lake(&dir);
+    let index_file = dir.path("lake.sketches");
+    sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &index_file,
+    ]))
+    .unwrap();
+    let err = sketch_cli::run(&argv(&[
+        "query",
+        "--index",
+        &index_file,
+        "--table",
+        &dir.path("taxi.csv"),
+        "--key",
+        "pickups", // numeric, not categorical
+        "--value",
+        "day",
+    ]))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("categorical"), "{err}");
+}

@@ -1,0 +1,48 @@
+//! Error type for sketch operations.
+
+/// Why a sketch operation could not be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// The two sketches were built with different hasher configurations
+    /// and are therefore not joinable (their key identifiers disagree).
+    HasherMismatch,
+    /// The sketch join produced fewer rows than the operation requires.
+    JoinTooSmall {
+        /// Rows available in the join sample.
+        got: usize,
+        /// Rows required.
+        needed: usize,
+    },
+    /// Deserialization failed.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::HasherMismatch => {
+                write!(f, "sketches use different hasher configurations")
+            }
+            Self::JoinTooSmall { got, needed } => {
+                write!(f, "sketch join has {got} rows, operation needs {needed}")
+            }
+            Self::Corrupt(msg) => write!(f, "corrupt sketch data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SketchError::HasherMismatch.to_string().contains("hasher"));
+        let e = SketchError::JoinTooSmall { got: 1, needed: 3 };
+        assert!(e.to_string().contains("1"));
+        assert!(e.to_string().contains("3"));
+        assert!(SketchError::Corrupt("bad".into()).to_string().contains("bad"));
+    }
+}

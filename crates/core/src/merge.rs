@@ -1,0 +1,283 @@
+//! Merging sketches built over *partitions of the same column pair*
+//! (KMV's `⊕` combinator, paper Section 2.1, extended to carry values).
+//!
+//! Large tables are often ingested in shards; each shard can be sketched
+//! independently and the shard sketches combined. The KMV side is exact:
+//! if a key is among the `n` smallest unit hashes of the union, it is
+//! among the `n` smallest of every partition it appears in, so every
+//! retained key's value state is available from each contributing shard.
+//!
+//! The *value* side requires the aggregation to be **decomposable**:
+//! `f(A ∪ B) = f(f(A), f(B))` — true for `Sum`, `Min`, `Max`, `Count`;
+//! false for `Mean`, `First`, `Last` (they would need per-key counts or
+//! stream positions, which the sketch does not store). Merging with a
+//! non-decomposable aggregation is rejected at runtime.
+
+use sketch_table::Aggregation;
+
+use crate::builder::SelectionStrategy;
+use crate::error::SketchError;
+use crate::sketch::{CorrelationSketch, SketchEntry};
+
+/// Can partition sketches with this aggregation be merged exactly?
+#[must_use]
+pub fn is_decomposable(agg: Aggregation) -> bool {
+    matches!(
+        agg,
+        Aggregation::Sum | Aggregation::Min | Aggregation::Max | Aggregation::Count
+    )
+}
+
+fn combine_values(agg: Aggregation, a: f64, b: f64) -> f64 {
+    match agg {
+        Aggregation::Sum | Aggregation::Count => a + b,
+        Aggregation::Min => a.min(b),
+        Aggregation::Max => a.max(b),
+        // Checked by the caller.
+        Aggregation::Mean | Aggregation::First | Aggregation::Last => {
+            unreachable!("non-decomposable aggregation")
+        }
+    }
+}
+
+/// Merge two sketches built over disjoint partitions of the same column
+/// pair into the sketch of the concatenated data.
+///
+/// Requirements: identical hasher, aggregation and strategy; the
+/// aggregation must be [decomposable](is_decomposable). The result is
+/// *exactly* the sketch that a single pass over the concatenated
+/// partitions would produce (tested below).
+///
+/// ```
+/// use correlation_sketches::{merge_partition_sketches, SketchBuilder, SketchConfig};
+/// use sketch_table::{Aggregation, ColumnPair};
+///
+/// let cfg = SketchConfig::with_size(64).aggregation(Aggregation::Sum);
+/// let builder = SketchBuilder::new(cfg);
+/// let keys = |r: std::ops::Range<usize>| -> Vec<String> {
+///     r.map(|i| format!("key-{i}")).collect()
+/// };
+/// let a = ColumnPair::new("t", "k", "v", keys(0..500), vec![1.0; 500]);
+/// let b = ColumnPair::new("t", "k", "v", keys(250..750), vec![1.0; 500]);
+///
+/// let merged = merge_partition_sketches(&builder.build(&a), &builder.build(&b)).unwrap();
+///
+/// // Identical to sketching the concatenated shards in one pass.
+/// let concat = ColumnPair::new(
+///     "t", "k", "v",
+///     [keys(0..500), keys(250..750)].concat(),
+///     vec![1.0; 1000],
+/// );
+/// assert_eq!(merged.entries(), builder.build(&concat).entries());
+/// ```
+///
+/// # Errors
+///
+/// * [`SketchError::HasherMismatch`] for differing hasher configurations,
+///   strategies, or aggregations.
+/// * [`SketchError::Corrupt`] for non-decomposable aggregations (the
+///   merge would be silently wrong; we refuse instead).
+pub fn merge_partition_sketches(
+    a: &CorrelationSketch,
+    b: &CorrelationSketch,
+) -> Result<CorrelationSketch, SketchError> {
+    if a.hasher() != b.hasher()
+        || a.strategy() != b.strategy()
+        || a.aggregation() != b.aggregation()
+    {
+        return Err(SketchError::HasherMismatch);
+    }
+    let agg = a.aggregation();
+    if !is_decomposable(agg) {
+        return Err(SketchError::Corrupt(format!(
+            "aggregation '{agg}' is not decomposable; partition merge would be incorrect \
+             (store shard counts or use sum/min/max/count)"
+        )));
+    }
+
+    // Merge-walk the two sorted entry lists, combining values on common
+    // keys; both lists are ordered by (unit hash, key).
+    let (ea, eb) = (a.entries(), b.entries());
+    let mut merged: Vec<SketchEntry> = Vec::with_capacity(ea.len() + eb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ea.len() && j < eb.len() {
+        let ua = a.unit_hash(&ea[i]);
+        let ub = b.unit_hash(&eb[j]);
+        match ua.total_cmp(&ub).then(ea[i].key.cmp(&eb[j].key)) {
+            std::cmp::Ordering::Equal => {
+                merged.push(SketchEntry {
+                    key: ea[i].key,
+                    value: combine_values(agg, ea[i].value, eb[j].value),
+                });
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                merged.push(ea[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(eb[j]);
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&ea[i..]);
+    merged.extend_from_slice(&eb[j..]);
+
+    // Enforce the selection rule on the union.
+    let mut saturated = a.is_saturated() || b.is_saturated();
+    if let SelectionStrategy::FixedSize(n) = a.strategy() {
+        if merged.len() > n {
+            merged.truncate(n);
+            saturated = true;
+        }
+    }
+
+    let bounds = match (a.value_bounds(), b.value_bounds()) {
+        (Some(ba), Some(bb)) => Some(sketch_stats::ValueBounds::union(ba, bb)),
+        (one, two) => one.or(two),
+    };
+
+    Ok(CorrelationSketch {
+        id: a.id().to_string(),
+        hasher: a.hasher(),
+        aggregation: agg,
+        strategy: a.strategy(),
+        entries: merged,
+        bounds,
+        rows_scanned: a.rows_scanned() + b.rows_scanned(),
+        saturated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    fn shard(range: std::ops::Range<usize>, reps: usize) -> ColumnPair {
+        // Repeated keys inside each shard and keys shared across shards.
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..reps {
+            for i in range.clone() {
+                keys.push(format!("key-{i}"));
+                vals.push((i * (r + 1)) as f64);
+            }
+        }
+        ColumnPair::new("t", "k", "v", keys, vals)
+    }
+
+    fn concat(a: &ColumnPair, b: &ColumnPair) -> ColumnPair {
+        let mut keys = a.keys.clone();
+        keys.extend(b.keys.iter().cloned());
+        let mut vals = a.values.clone();
+        vals.extend(b.values.iter().cloned());
+        ColumnPair::new("t", "k", "v", keys, vals)
+    }
+
+    #[test]
+    fn merge_equals_single_pass_for_every_decomposable_aggregation() {
+        let pa = shard(0..800, 2);
+        let pb = shard(400..1200, 3); // overlapping key ranges
+        let whole = concat(&pa, &pb);
+        for agg in [
+            Aggregation::Sum,
+            Aggregation::Min,
+            Aggregation::Max,
+            Aggregation::Count,
+        ] {
+            let cfg = SketchConfig::with_size(64).aggregation(agg);
+            let builder = SketchBuilder::new(cfg);
+            let merged =
+                merge_partition_sketches(&builder.build(&pa), &builder.build(&pb)).unwrap();
+            let direct = builder.build(&whole);
+            assert_eq!(merged.entries(), direct.entries(), "agg={agg}");
+            assert_eq!(merged.rows_scanned(), direct.rows_scanned());
+            assert_eq!(merged.value_bounds(), direct.value_bounds());
+            assert_eq!(merged.is_saturated(), direct.is_saturated());
+        }
+    }
+
+    #[test]
+    fn merge_with_disjoint_keys() {
+        let pa = shard(0..100, 1);
+        let pb = shard(100..200, 1);
+        let cfg = SketchConfig::with_size(512).aggregation(Aggregation::Sum);
+        let builder = SketchBuilder::new(cfg);
+        let merged = merge_partition_sketches(&builder.build(&pa), &builder.build(&pb)).unwrap();
+        assert_eq!(merged.len(), 200);
+        assert!(!merged.is_saturated());
+    }
+
+    #[test]
+    fn mean_merge_is_rejected() {
+        let p = shard(0..50, 1);
+        let builder =
+            SketchBuilder::new(SketchConfig::with_size(16).aggregation(Aggregation::Mean));
+        let s = builder.build(&p);
+        assert!(matches!(
+            merge_partition_sketches(&s, &s),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn config_mismatches_are_rejected() {
+        let p = shard(0..50, 1);
+        let a = SketchBuilder::new(SketchConfig::with_size(16).aggregation(Aggregation::Sum))
+            .build(&p);
+        let b = SketchBuilder::new(SketchConfig::with_size(32).aggregation(Aggregation::Sum))
+            .build(&p);
+        assert_eq!(
+            merge_partition_sketches(&a, &b),
+            Err(SketchError::HasherMismatch)
+        );
+        let c = SketchBuilder::new(
+            SketchConfig::with_size(16)
+                .aggregation(Aggregation::Sum)
+                .hasher(sketch_hashing::TupleHasher::new_64(9)),
+        )
+        .build(&p);
+        assert_eq!(
+            merge_partition_sketches(&a, &c),
+            Err(SketchError::HasherMismatch)
+        );
+    }
+
+    #[test]
+    fn threshold_sketches_merge_too() {
+        let pa = shard(0..2000, 1);
+        let pb = shard(1000..3000, 1);
+        let whole = concat(&pa, &pb);
+        let cfg = SketchConfig::with_threshold(0.05).aggregation(Aggregation::Max);
+        let builder = SketchBuilder::new(cfg);
+        let merged = merge_partition_sketches(&builder.build(&pa), &builder.build(&pb)).unwrap();
+        let direct = builder.build(&whole);
+        assert_eq!(merged.entries(), direct.entries());
+    }
+
+    #[test]
+    fn merged_sketch_still_joins() {
+        use crate::join::join_sketches;
+        let pa = shard(0..1000, 1);
+        let pb = shard(1000..2000, 1);
+        let cfg = SketchConfig::with_size(128).aggregation(Aggregation::Sum);
+        let builder = SketchBuilder::new(cfg);
+        let merged = merge_partition_sketches(&builder.build(&pa), &builder.build(&pb)).unwrap();
+        let other = builder.build(&shard(0..2000, 1));
+        let sample = join_sketches(&merged, &other).unwrap();
+        assert_eq!(sample.len(), 128);
+    }
+
+    #[test]
+    fn decomposability_predicate() {
+        assert!(is_decomposable(Aggregation::Sum));
+        assert!(is_decomposable(Aggregation::Count));
+        assert!(!is_decomposable(Aggregation::Mean));
+        assert!(!is_decomposable(Aggregation::First));
+        assert!(!is_decomposable(Aggregation::Last));
+    }
+}

@@ -1,0 +1,474 @@
+//! Multi-column sketches `L_⟨K, X, Z, …⟩` (paper Section 3.1, "Sketches
+//! for Multi-Column Tables").
+//!
+//! Instead of one sketch per `(key, numeric-column)` pair, a single sketch
+//! can carry *all* numeric columns of a table keyed by one categorical
+//! column: `⟨h(k), x_k, z_k, …⟩`. One multi-sketch join then estimates the
+//! correlation between any column of one table and any column of another.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use sketch_hashing::{KeyHash, KeyHasher, TupleHasher};
+use sketch_stats::{CorrelationEstimator, StatsError, ValueBounds};
+use sketch_table::{AggState, Aggregation, Table};
+
+use crate::error::SketchError;
+
+/// One multi-column sketch tuple: a hashed key with one aggregated value
+/// per tracked numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiEntry {
+    /// Hashed key identifier.
+    pub key: KeyHash,
+    /// Aggregated values, aligned with
+    /// [`MultiColumnSketch::column_names`].
+    pub values: Vec<f64>,
+}
+
+/// A sketch over `⟨K, X₁, …, X_m⟩`: the `n` minimum-hash keys with all
+/// their numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiColumnSketch {
+    id: String,
+    hasher: TupleHasher,
+    aggregation: Aggregation,
+    column_names: Vec<String>,
+    entries: Vec<MultiEntry>,
+    bounds: Vec<Option<ValueBounds>>,
+    saturated: bool,
+    rows_scanned: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapKey {
+    unit: f64,
+    key: KeyHash,
+}
+
+impl Eq for HeapKey {}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.unit
+            .total_cmp(&other.unit)
+            .then(self.key.cmp(&other.key))
+    }
+}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl MultiColumnSketch {
+    /// Build a multi-column sketch from a table: `key_column` supplies the
+    /// join keys, every numeric column of the table is tracked. Rows with
+    /// a null key are skipped; null numeric cells keep that column's
+    /// aggregate untouched for the row's key.
+    ///
+    /// Returns `None` when `key_column` is missing, not categorical, or
+    /// the table has no numeric columns.
+    #[must_use]
+    pub fn build(
+        table: &Table,
+        key_column: &str,
+        size: usize,
+        hasher: TupleHasher,
+        aggregation: Aggregation,
+    ) -> Option<Self> {
+        use sketch_table::ColumnData;
+
+        let key_col = table.column(key_column)?;
+        let ColumnData::Categorical(keys) = &key_col.data else {
+            return None;
+        };
+        let numeric_names: Vec<String> = table
+            .numeric_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        if numeric_names.is_empty() {
+            return None;
+        }
+        let numeric_cols: Vec<&Vec<Option<f64>>> = numeric_names
+            .iter()
+            .map(|n| match &table.column(n).expect("name from table").data {
+                ColumnData::Numeric(v) => v,
+                ColumnData::Categorical(_) => unreachable!("numeric_names returns numeric"),
+            })
+            .collect();
+        let m = numeric_names.len();
+
+        let mut members: HashMap<KeyHash, Vec<Option<AggState>>> = HashMap::new();
+        let mut heap: BinaryHeap<HeapKey> = BinaryHeap::with_capacity(size + 1);
+        let mut mins = vec![f64::INFINITY; m];
+        let mut maxs = vec![f64::NEG_INFINITY; m];
+        let mut rows_scanned = 0u64;
+        let mut saturated = false;
+
+        for (row, key) in keys.iter().enumerate() {
+            let Some(key) = key else { continue };
+            rows_scanned += 1;
+            for (c, col) in numeric_cols.iter().enumerate() {
+                if let Some(v) = col[row] {
+                    mins[c] = mins[c].min(v);
+                    maxs[c] = maxs[c].max(v);
+                }
+            }
+
+            let (kh, unit) = hasher.g(key.as_bytes());
+            let update = |states: &mut Vec<Option<AggState>>| {
+                for (c, col) in numeric_cols.iter().enumerate() {
+                    if let Some(v) = col[row] {
+                        match &mut states[c] {
+                            Some(s) => s.update(v),
+                            slot @ None => *slot = Some(aggregation.start(v)),
+                        }
+                    }
+                }
+            };
+            match members.entry(kh) {
+                Entry::Occupied(mut e) => update(e.get_mut()),
+                Entry::Vacant(e) => {
+                    let hk = HeapKey { unit, key: kh };
+                    if heap.len() < size {
+                        let states = e.insert(vec![None; m]);
+                        update(states);
+                        heap.push(hk);
+                    } else if size > 0 && hk < *heap.peek().expect("full heap") {
+                        let states = e.insert(vec![None; m]);
+                        update(states);
+                        heap.push(hk);
+                        let evicted = heap.pop().expect("non-empty heap");
+                        members.remove(&evicted.key);
+                        saturated = true;
+                    } else {
+                        saturated = true;
+                    }
+                }
+            }
+        }
+
+        let mut tagged: Vec<(HeapKey, Vec<f64>)> = members
+            .into_iter()
+            .map(|(kh, states)| {
+                let values = states
+                    .into_iter()
+                    .map(|s| s.map_or(f64::NAN, |st| st.value()))
+                    .collect();
+                (
+                    HeapKey {
+                        unit: hasher.unit_hash(kh),
+                        key: kh,
+                    },
+                    values,
+                )
+            })
+            .collect();
+        tagged.sort_by_key(|a| a.0);
+
+        Some(Self {
+            id: format!("{}/{}", table.name, key_column),
+            hasher,
+            aggregation,
+            column_names: numeric_names,
+            entries: tagged
+                .into_iter()
+                .map(|(hk, values)| MultiEntry { key: hk.key, values })
+                .collect(),
+            bounds: mins
+                .iter()
+                .zip(&maxs)
+                .map(|(&lo, &hi)| (lo <= hi).then(|| ValueBounds::new(lo, hi)))
+                .collect(),
+            saturated,
+            rows_scanned,
+        })
+    }
+
+    /// Sketch identifier (`table/key_column`).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Names of the tracked numeric columns.
+    #[must_use]
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Number of retained keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys were retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of a column by name.
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.column_names.iter().position(|n| n == name)
+    }
+
+    /// Full-column value bounds per tracked column.
+    #[must_use]
+    pub fn column_bounds(&self, idx: usize) -> Option<ValueBounds> {
+        self.bounds.get(idx).copied().flatten()
+    }
+
+    /// Whether any key was excluded.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Hasher configuration.
+    #[must_use]
+    pub fn hasher(&self) -> TupleHasher {
+        self.hasher
+    }
+
+    /// Stored entries, ascending by unit hash.
+    #[must_use]
+    pub fn entries(&self) -> &[MultiEntry] {
+        &self.entries
+    }
+}
+
+/// The join of two multi-column sketches: aligned rows of all numeric
+/// columns from both sides for every common key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiJoinSample {
+    /// Common hashed keys, ascending by unit hash.
+    pub key_hashes: Vec<KeyHash>,
+    /// Left-side column names.
+    pub a_columns: Vec<String>,
+    /// Right-side column names.
+    pub b_columns: Vec<String>,
+    /// Left values: `a_values[c][i]` = column `c`, joined row `i`
+    /// (NaN when the key never had a non-null value in that column).
+    pub a_values: Vec<Vec<f64>>,
+    /// Right values, same layout.
+    pub b_values: Vec<Vec<f64>>,
+}
+
+impl MultiJoinSample {
+    /// Number of joined rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.key_hashes.len()
+    }
+
+    /// True when no keys were shared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.key_hashes.is_empty()
+    }
+
+    /// Estimate the correlation between left column `a_idx` and right
+    /// column `b_idx`, skipping rows where either side is NaN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the estimator's [`StatsError`]s.
+    pub fn estimate(
+        &self,
+        a_idx: usize,
+        b_idx: usize,
+        estimator: CorrelationEstimator,
+    ) -> Result<f64, StatsError> {
+        let mut x = Vec::with_capacity(self.len());
+        let mut y = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let (xa, yb) = (self.a_values[a_idx][i], self.b_values[b_idx][i]);
+            if xa.is_finite() && yb.is_finite() {
+                x.push(xa);
+                y.push(yb);
+            }
+        }
+        estimator.estimate(&x, &y)
+    }
+}
+
+/// Join two multi-column sketches on their hashed keys.
+///
+/// # Errors
+///
+/// [`SketchError::HasherMismatch`] for incompatible hasher configurations.
+pub fn join_multi_sketches(
+    a: &MultiColumnSketch,
+    b: &MultiColumnSketch,
+) -> Result<MultiJoinSample, SketchError> {
+    if a.hasher != b.hasher {
+        return Err(SketchError::HasherMismatch);
+    }
+    let ma = a.column_names.len();
+    let mb = b.column_names.len();
+    let mut key_hashes = Vec::new();
+    let mut a_values: Vec<Vec<f64>> = vec![Vec::new(); ma];
+    let mut b_values: Vec<Vec<f64>> = vec![Vec::new(); mb];
+
+    let (ea, eb) = (a.entries(), b.entries());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ea.len() && j < eb.len() {
+        let ua = a.hasher.unit_hash(ea[i].key);
+        let ub = b.hasher.unit_hash(eb[j].key);
+        match ua.total_cmp(&ub).then(ea[i].key.cmp(&eb[j].key)) {
+            Ordering::Equal => {
+                key_hashes.push(ea[i].key);
+                for (c, v) in ea[i].values.iter().enumerate() {
+                    a_values[c].push(*v);
+                }
+                for (c, v) in eb[j].values.iter().enumerate() {
+                    b_values[c].push(*v);
+                }
+                i += 1;
+                j += 1;
+            }
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+        }
+    }
+
+    Ok(MultiJoinSample {
+        key_hashes,
+        a_columns: a.column_names.clone(),
+        b_columns: b.column_names.clone(),
+        a_values,
+        b_values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_table::{NamedColumn, Table};
+
+    fn table(name: &str, n: usize, shift: usize) -> Table {
+        Table::from_columns(
+            name,
+            vec![
+                NamedColumn::categorical_dense(
+                    "k",
+                    (shift..shift + n).map(|i| format!("key-{i}")).collect::<Vec<_>>(),
+                ),
+                NamedColumn::numeric_dense("a", (0..n).map(|i| i as f64).collect()),
+                NamedColumn::numeric_dense("b", (0..n).map(|i| -(i as f64)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_tracks_all_numeric_columns() {
+        let t = table("t", 500, 0);
+        let s = MultiColumnSketch::build(&t, "k", 64, TupleHasher::default(), Aggregation::Mean)
+            .unwrap();
+        assert_eq!(s.column_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(s.len(), 64);
+        assert!(s.is_saturated());
+        assert_eq!(s.column_index("b"), Some(1));
+        assert!(s.column_bounds(0).is_some());
+        assert_eq!(s.id(), "t/k");
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        let t = table("t", 10, 0);
+        assert!(MultiColumnSketch::build(
+            &t,
+            "a", // numeric, not categorical
+            8,
+            TupleHasher::default(),
+            Aggregation::Mean
+        )
+        .is_none());
+        assert!(MultiColumnSketch::build(
+            &t,
+            "missing",
+            8,
+            TupleHasher::default(),
+            Aggregation::Mean
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn join_estimates_cross_column_correlations() {
+        let ta = table("ta", 4_000, 0);
+        let tb = table("tb", 4_000, 1_000); // keys 1000..5000 overlap on 1000..4000
+        let h = TupleHasher::default();
+        let sa = MultiColumnSketch::build(&ta, "k", 256, h, Aggregation::Mean).unwrap();
+        let sb = MultiColumnSketch::build(&tb, "k", 256, h, Aggregation::Mean).unwrap();
+        let joined = join_multi_sketches(&sa, &sb).unwrap();
+        assert!(joined.len() > 20, "join size {}", joined.len());
+
+        // ta.a ~ i, tb.a ~ i − 1000 → perfectly positively correlated.
+        let r = joined
+            .estimate(0, 0, CorrelationEstimator::Pearson)
+            .unwrap();
+        assert!(r > 0.99, "r={r}");
+        // ta.a vs tb.b → perfectly negative.
+        let r = joined
+            .estimate(0, 1, CorrelationEstimator::Pearson)
+            .unwrap();
+        assert!(r < -0.99, "r={r}");
+    }
+
+    #[test]
+    fn multi_join_equals_pairwise_sketch_join_keys() {
+        use crate::builder::{SketchBuilder, SketchConfig};
+        let ta = table("ta", 2_000, 0);
+        let tb = table("tb", 2_000, 500);
+        let h = TupleHasher::default();
+        let sa = MultiColumnSketch::build(&ta, "k", 128, h, Aggregation::Mean).unwrap();
+        let sb = MultiColumnSketch::build(&tb, "k", 128, h, Aggregation::Mean).unwrap();
+        let multi = join_multi_sketches(&sa, &sb).unwrap();
+
+        let pa = ta.column_pair("k", "a").unwrap();
+        let pb = tb.column_pair("k", "a").unwrap();
+        let b = SketchBuilder::new(SketchConfig::with_size(128));
+        let single = crate::join::join_sketches(&b.build(&pa), &b.build(&pb)).unwrap();
+        assert_eq!(multi.key_hashes, single.key_hashes);
+        assert_eq!(multi.a_values[0], single.x);
+        assert_eq!(multi.b_values[0], single.y);
+    }
+
+    #[test]
+    fn hasher_mismatch_rejected() {
+        let t = table("t", 100, 0);
+        let a = MultiColumnSketch::build(&t, "k", 16, TupleHasher::new_64(1), Aggregation::Mean)
+            .unwrap();
+        let b = MultiColumnSketch::build(&t, "k", 16, TupleHasher::new_64(2), Aggregation::Mean)
+            .unwrap();
+        assert_eq!(
+            join_multi_sketches(&a, &b),
+            Err(SketchError::HasherMismatch)
+        );
+    }
+
+    #[test]
+    fn null_cells_become_nan_and_are_skipped_in_estimates() {
+        let t = Table::from_columns(
+            "t",
+            vec![
+                NamedColumn::categorical_dense("k", vec!["a", "b", "c"]),
+                NamedColumn::numeric("x", vec![Some(1.0), None, Some(3.0)]),
+                NamedColumn::numeric("y", vec![Some(2.0), Some(5.0), Some(6.0)]),
+            ],
+        );
+        let h = TupleHasher::default();
+        let s = MultiColumnSketch::build(&t, "k", 8, h, Aggregation::Mean).unwrap();
+        let joined = join_multi_sketches(&s, &s).unwrap();
+        assert_eq!(joined.len(), 3);
+        // x has a NaN for key "b": the x-x estimate uses 2 points only.
+        let r = joined.estimate(0, 0, CorrelationEstimator::Pearson).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sketch persistence (feature `serde`): sketches are precomputed offline
+//! and loaded into an index at query time (paper Section 1: synopses "can
+//! be pre-computed and indexed"), so they need a stable storage format.
+
+use serde::{Deserialize, Serialize};
+use sketch_hashing::TupleHasher;
+use sketch_stats::ValueBounds;
+use sketch_table::Aggregation;
+
+use crate::builder::SelectionStrategy;
+use crate::error::SketchError;
+use crate::sketch::{CorrelationSketch, SketchEntry};
+
+/// Serializable mirror of [`CorrelationSketch`]. Entries are stored sorted
+/// (their in-memory invariant); deserialization re-validates that.
+#[derive(Debug, Serialize, Deserialize)]
+struct SketchRecord {
+    id: String,
+    hasher: TupleHasher,
+    aggregation: Aggregation,
+    strategy: SelectionStrategy,
+    entries: Vec<SketchEntry>,
+    bounds: Option<ValueBounds>,
+    rows_scanned: u64,
+    saturated: bool,
+}
+
+impl CorrelationSketch {
+    /// Serialize to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] if serialization fails (cannot happen for
+    /// well-formed sketches; kept as a `Result` for API stability).
+    pub fn to_json(&self) -> Result<String, SketchError> {
+        let rec = SketchRecord {
+            id: self.id.clone(),
+            hasher: self.hasher,
+            aggregation: self.aggregation,
+            strategy: self.strategy,
+            entries: self.entries.clone(),
+            bounds: self.bounds,
+            rows_scanned: self.rows_scanned,
+            saturated: self.saturated,
+        };
+        serde_json::to_string(&rec).map_err(|e| SketchError::Corrupt(e.to_string()))
+    }
+
+    /// Deserialize from a JSON string produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] on malformed input or violated invariants
+    /// (unsorted or non-finite entries).
+    pub fn from_json(json: &str) -> Result<Self, SketchError> {
+        let rec: SketchRecord =
+            serde_json::from_str(json).map_err(|e| SketchError::Corrupt(e.to_string()))?;
+        let sketch = Self {
+            id: rec.id,
+            hasher: rec.hasher,
+            aggregation: rec.aggregation,
+            strategy: rec.strategy,
+            entries: rec.entries,
+            bounds: rec.bounds,
+            rows_scanned: rec.rows_scanned,
+            saturated: rec.saturated,
+        };
+        // Re-validate invariants: ascending (unit hash, key) order and
+        // finite values.
+        use sketch_hashing::KeyHasher as _;
+        for w in sketch.entries.windows(2) {
+            let ua = sketch.hasher.unit_hash(w[0].key);
+            let ub = sketch.hasher.unit_hash(w[1].key);
+            if ua.total_cmp(&ub).then(w[0].key.cmp(&w[1].key)) != std::cmp::Ordering::Less {
+                return Err(SketchError::Corrupt(
+                    "entries not sorted by (unit hash, key)".into(),
+                ));
+            }
+        }
+        if sketch.entries.iter().any(|e| !e.value.is_finite()) {
+            return Err(SketchError::Corrupt("non-finite entry value".into()));
+        }
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{SketchBuilder, SketchConfig};
+    use crate::error::SketchError;
+    use crate::join::join_sketches;
+    use crate::sketch::CorrelationSketch;
+    use sketch_table::ColumnPair;
+
+    fn pair(n: usize) -> ColumnPair {
+        ColumnPair::new(
+            "t",
+            "k",
+            "v",
+            (0..n).map(|i| format!("key-{i}")).collect(),
+            (0..n).map(|i| i as f64 * 1.5).collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = SketchBuilder::new(SketchConfig::with_size(64)).build(&pair(1000));
+        let json = s.to_json().unwrap();
+        let back = CorrelationSketch::from_json(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn roundtripped_sketches_still_join() {
+        let b = SketchBuilder::new(SketchConfig::with_size(64));
+        let a = b.build(&pair(2000));
+        let c = b.build(&pair(1500));
+        let a2 = CorrelationSketch::from_json(&a.to_json().unwrap()).unwrap();
+        let c2 = CorrelationSketch::from_json(&c.to_json().unwrap()).unwrap();
+        assert_eq!(
+            join_sketches(&a, &c).unwrap(),
+            join_sketches(&a2, &c2).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_corrupt() {
+        assert!(matches!(
+            CorrelationSketch::from_json("{not json"),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_order_is_rejected() {
+        let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&pair(100));
+        let json = s.to_json().unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let entries = v["entries"].as_array_mut().unwrap();
+        entries.reverse();
+        let tampered = serde_json::to_string(&v).unwrap();
+        assert!(matches!(
+            CorrelationSketch::from_json(&tampered),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_sketch_roundtrips() {
+        let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&pair(0));
+        let back = CorrelationSketch::from_json(&s.to_json().unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

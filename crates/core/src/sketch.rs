@@ -1,0 +1,232 @@
+//! The correlation sketch data structure `L_⟨K,X⟩` (paper Section 3.1).
+
+use sketch_hashing::{KeyHash, KeyHasher, TupleHasher};
+use sketch_stats::ValueBounds;
+use sketch_table::Aggregation;
+
+use crate::builder::SelectionStrategy;
+
+/// One sketch tuple `⟨h(k), x_k⟩`.
+///
+/// The unit-interval hash `h_u(h(k))` is *not* stored — exactly as the
+/// paper notes for Figure 2, it "does not need to be stored as it can be
+/// easily computed from h(k)".
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SketchEntry {
+    /// Hashed key identifier `h(k)`.
+    pub key: KeyHash,
+    /// Aggregated numeric value `x_k`.
+    pub value: f64,
+}
+
+/// A correlation sketch: the `n` tuples `⟨h(k), x_k⟩` whose keys have the
+/// smallest unit hashes `g(k) = h_u(h(k))`, plus the column metadata
+/// needed at estimation time (full-column value bounds for the Hoeffding
+/// CI, hasher configuration, aggregation).
+///
+/// Entries are kept sorted by ascending `(g(k), h(k))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationSketch {
+    pub(crate) id: String,
+    pub(crate) hasher: TupleHasher,
+    pub(crate) aggregation: Aggregation,
+    pub(crate) strategy: SelectionStrategy,
+    pub(crate) entries: Vec<SketchEntry>,
+    /// Full-column value range; `None` when the column was empty.
+    pub(crate) bounds: Option<ValueBounds>,
+    pub(crate) rows_scanned: u64,
+    /// True when at least one key was excluded (the sketch is a proper
+    /// subset of the column's distinct keys).
+    pub(crate) saturated: bool,
+}
+
+impl CorrelationSketch {
+    /// Identifier of the column pair this sketch summarizes
+    /// (`table/key/value`).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Number of tuples stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the sketch holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored tuples, ascending by unit hash.
+    #[must_use]
+    pub fn entries(&self) -> &[SketchEntry] {
+        &self.entries
+    }
+
+    /// Hasher configuration the sketch was built with.
+    #[must_use]
+    pub fn hasher(&self) -> TupleHasher {
+        self.hasher
+    }
+
+    /// Aggregation applied to repeated keys.
+    #[must_use]
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// Selection strategy the sketch was built with.
+    #[must_use]
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Full-column value bounds (`C_low`, `C_high` ingredients of the
+    /// Section 4.3 Hoeffding interval); `None` for an empty column.
+    #[must_use]
+    pub fn value_bounds(&self) -> Option<ValueBounds> {
+        self.bounds
+    }
+
+    /// Total rows consumed while building (including nulls dropped
+    /// upstream this is the count of key/value rows seen).
+    #[must_use]
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// Whether any key was excluded from the sketch. When `false` the
+    /// sketch contains *every* distinct key of the column and KMV
+    /// statistics are exact.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Unit hash `g(k)` of an entry under this sketch's hasher.
+    #[must_use]
+    pub fn unit_hash(&self, entry: &SketchEntry) -> f64 {
+        self.hasher.unit_hash(entry.key)
+    }
+
+    /// The k-th smallest unit hash `U(k)` — i.e. the largest unit hash
+    /// retained. `None` for an empty sketch.
+    #[must_use]
+    pub fn kth_unit_hash(&self) -> Option<f64> {
+        self.entries.last().map(|e| self.unit_hash(e))
+    }
+
+    /// Does the sketch contain this hashed key?
+    #[must_use]
+    pub fn contains_key(&self, key: KeyHash) -> bool {
+        // Entries are sorted by (unit hash, key); since unit hash is a
+        // deterministic function of the key we can binary-search on the
+        // composite order.
+        self.entries
+            .binary_search_by(|e| {
+                let eu = self.unit_hash(e);
+                let ku = self.hasher.unit_hash(key);
+                eu.total_cmp(&ku).then(e.key.cmp(&key))
+            })
+            .is_ok()
+    }
+
+    /// Look up the aggregated value stored for a hashed key.
+    #[must_use]
+    pub fn value_of(&self, key: KeyHash) -> Option<f64> {
+        self.entries
+            .binary_search_by(|e| {
+                let eu = self.unit_hash(e);
+                let ku = self.hasher.unit_hash(key);
+                eu.total_cmp(&ku).then(e.key.cmp(&key))
+            })
+            .ok()
+            .map(|i| self.entries[i].value)
+    }
+
+    /// Approximate heap memory footprint in bytes (entries only) — the
+    /// space-accuracy trade-off axis of Figure 4.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<SketchEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    fn pair(n: usize) -> ColumnPair {
+        ColumnPair::new(
+            "t",
+            "k",
+            "v",
+            (0..n).map(|i| format!("key-{i}")).collect(),
+            (0..n).map(|i| i as f64).collect(),
+        )
+    }
+
+    #[test]
+    fn entries_sorted_by_unit_hash() {
+        let s = SketchBuilder::new(SketchConfig::with_size(64)).build(&pair(1000));
+        assert_eq!(s.len(), 64);
+        let units: Vec<f64> = s.entries().iter().map(|e| s.unit_hash(e)).collect();
+        for w in units.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn kth_unit_hash_is_max_retained() {
+        let s = SketchBuilder::new(SketchConfig::with_size(32)).build(&pair(500));
+        let max = s
+            .entries()
+            .iter()
+            .map(|e| s.unit_hash(e))
+            .fold(0.0f64, f64::max);
+        assert_eq!(s.kth_unit_hash().unwrap(), max);
+    }
+
+    #[test]
+    fn contains_and_value_of() {
+        let s = SketchBuilder::new(SketchConfig::with_size(16)).build(&pair(100));
+        for e in s.entries() {
+            assert!(s.contains_key(e.key));
+            assert_eq!(s.value_of(e.key), Some(e.value));
+        }
+        assert!(!s.contains_key(sketch_hashing::KeyHash(0xdead_beef_dead_beef)));
+        assert_eq!(s.value_of(sketch_hashing::KeyHash(1)), None);
+    }
+
+    #[test]
+    fn unsaturated_sketch_keeps_everything() {
+        let s = SketchBuilder::new(SketchConfig::with_size(256)).build(&pair(100));
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_saturated());
+        assert_eq!(s.rows_scanned(), 100);
+    }
+
+    #[test]
+    fn empty_column_gives_empty_sketch() {
+        let s = SketchBuilder::new(SketchConfig::with_size(16)).build(&pair(0));
+        assert!(s.is_empty());
+        assert!(s.value_bounds().is_none());
+        assert!(s.kth_unit_hash().is_none());
+        assert_eq!(s.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn bounds_cover_full_column_not_just_sketch() {
+        // Even values excluded from the sketch must influence the bounds.
+        let s = SketchBuilder::new(SketchConfig::with_size(4)).build(&pair(1000));
+        let b = s.value_bounds().unwrap();
+        assert_eq!(b.c_low, 0.0);
+        assert_eq!(b.c_high, 999.0);
+        assert!(s.is_saturated());
+    }
+}

@@ -1,0 +1,214 @@
+//! Incremental (push-based) sketch construction.
+//!
+//! [`StreamingSketchBuilder`] is the stateful core behind
+//! [`crate::builder::SketchBuilder`]: rows are `push`ed one at a time and
+//! the sketch is extracted with [`StreamingSketchBuilder::finish`]. This
+//! is the shape a production ingestion pipeline needs — the paper's
+//! synopses "can be pre-computed" online as data arrives, one pass,
+//! `O(sketch size)` memory.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use sketch_hashing::{KeyHash, KeyHasher};
+use sketch_stats::ValueBounds;
+use sketch_table::AggState;
+
+use crate::builder::{HeapKey, SelectionStrategy, SketchConfig};
+use crate::sketch::{CorrelationSketch, SketchEntry};
+
+/// Incremental builder for one column pair's sketch.
+#[derive(Debug, Clone)]
+pub struct StreamingSketchBuilder {
+    id: String,
+    config: SketchConfig,
+    members: HashMap<KeyHash, AggState>,
+    /// Max-heap over `(unit hash, key)`; only used by the fixed-size
+    /// strategy (empty for threshold sketches).
+    heap: BinaryHeap<HeapKey>,
+    bounds_min: f64,
+    bounds_max: f64,
+    rows_scanned: u64,
+    saturated: bool,
+}
+
+impl StreamingSketchBuilder {
+    /// Start building a sketch identified by `id`.
+    #[must_use]
+    pub fn new(id: impl Into<String>, config: SketchConfig) -> Self {
+        let cap = match config.strategy {
+            SelectionStrategy::FixedSize(n) => n.min(1 << 16),
+            SelectionStrategy::Threshold(_) => 16,
+        };
+        Self {
+            id: id.into(),
+            config,
+            members: HashMap::with_capacity(cap),
+            heap: BinaryHeap::with_capacity(cap + 1),
+            bounds_min: f64::INFINITY,
+            bounds_max: f64::NEG_INFINITY,
+            rows_scanned: 0,
+            saturated: false,
+        }
+    }
+
+    /// Number of tuples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when nothing has been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Rows consumed so far.
+    #[must_use]
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned
+    }
+
+    /// Feed one `(key, value)` row.
+    pub fn push(&mut self, key: &str, value: f64) {
+        self.rows_scanned += 1;
+        self.bounds_min = self.bounds_min.min(value);
+        self.bounds_max = self.bounds_max.max(value);
+
+        let agg = self.config.aggregation;
+        let (kh, unit) = self.config.hasher.g(key.as_bytes());
+        match self.config.strategy {
+            SelectionStrategy::FixedSize(n) => match self.members.entry(kh) {
+                Entry::Occupied(mut e) => e.get_mut().update(value),
+                Entry::Vacant(e) => {
+                    let hk = HeapKey { unit, key: kh };
+                    if self.heap.len() < n {
+                        e.insert(agg.start(value));
+                        self.heap.push(hk);
+                    } else if n > 0 && hk < *self.heap.peek().expect("heap full, n > 0") {
+                        e.insert(agg.start(value));
+                        self.heap.push(hk);
+                        let evicted = self.heap.pop().expect("non-empty heap");
+                        self.members.remove(&evicted.key);
+                        self.saturated = true;
+                    } else {
+                        self.saturated = true;
+                    }
+                }
+            },
+            SelectionStrategy::Threshold(t) => {
+                if unit <= t {
+                    match self.members.entry(kh) {
+                        Entry::Occupied(mut e) => e.get_mut().update(value),
+                        Entry::Vacant(e) => {
+                            e.insert(agg.start(value));
+                        }
+                    }
+                } else {
+                    self.saturated = true;
+                }
+            }
+        }
+    }
+
+    /// Finalize into an immutable [`CorrelationSketch`].
+    #[must_use]
+    pub fn finish(self) -> CorrelationSketch {
+        let hasher = self.config.hasher;
+        let mut tagged: Vec<(HeapKey, f64)> = self
+            .members
+            .into_iter()
+            .map(|(kh, state)| {
+                (
+                    HeapKey {
+                        unit: hasher.unit_hash(kh),
+                        key: kh,
+                    },
+                    state.value(),
+                )
+            })
+            .collect();
+        tagged.sort_by_key(|e| e.0);
+        CorrelationSketch {
+            id: self.id,
+            hasher,
+            aggregation: self.config.aggregation,
+            strategy: self.config.strategy,
+            entries: tagged
+                .into_iter()
+                .map(|(hk, value)| SketchEntry { key: hk.key, value })
+                .collect(),
+            bounds: (self.rows_scanned > 0)
+                .then(|| ValueBounds::new(self.bounds_min, self.bounds_max)),
+            rows_scanned: self.rows_scanned,
+            saturated: self.saturated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SketchBuilder;
+    use sketch_table::ColumnPair;
+
+    fn pair(n: usize) -> ColumnPair {
+        ColumnPair::new(
+            "t",
+            "k",
+            "v",
+            (0..n).map(|i| format!("key-{}", i % 700)).collect(),
+            (0..n).map(|i| (i as f64 * 0.7).sin() * 50.0).collect(),
+        )
+    }
+
+    #[test]
+    fn push_by_push_equals_batch_build() {
+        let p = pair(3_000);
+        let cfg = SketchConfig::with_size(64);
+        let batch = SketchBuilder::new(cfg).build(&p);
+
+        let mut s = StreamingSketchBuilder::new(p.id(), cfg);
+        for (k, v) in p.rows() {
+            s.push(k, v);
+        }
+        assert_eq!(s.rows_scanned(), 3_000);
+        assert_eq!(s.finish(), batch);
+    }
+
+    #[test]
+    fn threshold_streaming_matches_batch() {
+        let p = pair(2_000);
+        let cfg = SketchConfig::with_threshold(0.05);
+        let batch = SketchBuilder::new(cfg).build(&p);
+        let mut s = StreamingSketchBuilder::new(p.id(), cfg);
+        for (k, v) in p.rows() {
+            s.push(k, v);
+        }
+        assert_eq!(s.finish(), batch);
+    }
+
+    #[test]
+    fn incremental_state_inspection() {
+        let cfg = SketchConfig::with_size(4);
+        let mut s = StreamingSketchBuilder::new("inc", cfg);
+        assert!(s.is_empty());
+        s.push("a", 1.0);
+        s.push("b", 2.0);
+        assert_eq!(s.len(), 2);
+        s.push("a", 3.0); // repeated key: aggregated, not re-added
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows_scanned(), 3);
+        let sketch = s.finish();
+        assert_eq!(sketch.len(), 2);
+    }
+
+    #[test]
+    fn empty_finish_is_empty_sketch() {
+        let s = StreamingSketchBuilder::new("e", SketchConfig::with_size(8));
+        let sketch = s.finish();
+        assert!(sketch.is_empty());
+        assert!(sketch.value_bounds().is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Dump a synthetic open-data corpus to a directory of CSV files — the
+//! companion to the `corrsketch` CLI, so the full pipeline can be
+//! exercised without any external data:
+//!
+//! ```text
+//! cargo run --release -p sketch-datagen --bin gen_corpus -- \
+//!     --style nyc --tables 50 --out /tmp/lake
+//! corrsketch index --dir /tmp/lake --out /tmp/lake.sketches
+//! corrsketch query --index /tmp/lake.sketches --table /tmp/lake/nyc_0.csv \
+//!     --key key --value v0
+//! ```
+
+use sketch_datagen::{generate_open_data, CorpusStyle, OpenDataConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gen_corpus --out <dir> [--style nyc|wbf] [--tables N] \
+         [--seed N] [--min-rows N] [--max-rows N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut style = CorpusStyle::Nyc;
+    let mut tables: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut min_rows: Option<usize> = None;
+    let mut max_rows: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--out" => out = Some(value),
+            "--style" => {
+                style = match value.as_str() {
+                    "nyc" => CorpusStyle::Nyc,
+                    "wbf" => CorpusStyle::Wbf,
+                    _ => usage(),
+                }
+            }
+            "--tables" => tables = value.parse().ok().or_else(|| usage()),
+            "--seed" => seed = value.parse().unwrap_or_else(|_| usage()),
+            "--min-rows" => min_rows = value.parse().ok().or_else(|| usage()),
+            "--max-rows" => max_rows = value.parse().ok().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+
+    let mut cfg = match style {
+        CorpusStyle::Nyc => OpenDataConfig::nyc(seed),
+        CorpusStyle::Wbf => OpenDataConfig::wbf(seed),
+    };
+    if let Some(t) = tables {
+        cfg.tables = t;
+    }
+    if let Some(m) = min_rows {
+        cfg.min_rows = m;
+    }
+    if let Some(m) = max_rows {
+        cfg.max_rows = m;
+    }
+
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let corpus = generate_open_data(&cfg);
+    let mut rows = 0usize;
+    for table in &corpus {
+        let path = std::path::Path::new(&out).join(format!("{}.csv", table.name));
+        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        rows += table.num_rows();
+    }
+    println!(
+        "wrote {} tables ({} rows total) to {out} (style {:?}, seed {seed})",
+        corpus.len(),
+        rows,
+        cfg.style
+    );
+}

@@ -1,0 +1,254 @@
+//! Seeded samplers built on `rand`'s uniform source: normal (Box–Muller),
+//! lognormal, Zipf over finite support, and key-string generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded sampler bundling the distributions the corpus generators use.
+#[derive(Debug)]
+pub struct Dist {
+    rng: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl Dist {
+    /// Create a sampler from a seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.random_range(0..n)
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // u1 ∈ (0, 1] so ln is finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Lognormal: `exp(μ + σ·Z)` — heavy-tailed, like monetary columns.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// A correlated standard-normal pair with Pearson correlation `rho`.
+    pub fn bivariate_normal(&mut self, rho: f64) -> (f64, f64) {
+        let z1 = self.normal();
+        let z2 = self.normal();
+        (z1, rho * z1 + (1.0 - rho * rho).max(0.0).sqrt() * z2)
+    }
+
+    /// Bernoulli draw.
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (k ≤ n), in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: only the first k positions are needed.
+        for i in 0..k {
+            let j = self.rng.random_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s`, via precomputed
+/// CDF and binary search. Models skewed key-occurrence frequencies (a few
+/// keys repeat very often — e.g. popular zip codes in incident data).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sample a rank in `0..n` (0-based).
+    pub fn sample(&self, d: &mut Dist) -> usize {
+        let u = d.uniform();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_sampler_is_deterministic() {
+        let mut a = Dist::seeded(42);
+        let mut b = Dist::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.normal(), b.normal());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_standard() {
+        let mut d = Dist::seeded(7);
+        let m: sketch_stats::Moments = (0..50_000).map(|_| d.normal()).collect();
+        assert!(m.mean().unwrap().abs() < 0.02);
+        assert!((m.population_variance().unwrap() - 1.0).abs() < 0.05);
+        assert!(m.excess_kurtosis().unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn bivariate_normal_hits_target_correlation() {
+        for &rho in &[-0.9, -0.3, 0.0, 0.5, 0.95] {
+            let mut d = Dist::seeded(11);
+            let (mut xs, mut ys) = (Vec::new(), Vec::new());
+            for _ in 0..20_000 {
+                let (x, y) = d.bivariate_normal(rho);
+                xs.push(x);
+                ys.push(y);
+            }
+            let r = sketch_stats::pearson(&xs, &ys).unwrap();
+            assert!((r - rho).abs() < 0.03, "target {rho}, got {r}");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut d = Dist::seeded(3);
+        let vals: Vec<f64> = (0..10_000).map(|_| d.lognormal(0.0, 1.0)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        let m: sketch_stats::Moments = vals.iter().copied().collect();
+        assert!(m.skewness().unwrap() > 2.0);
+    }
+
+    #[test]
+    fn uniform_range_and_index_bounds() {
+        let mut d = Dist::seeded(5);
+        for _ in 0..1000 {
+            let v = d.uniform_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            assert!(d.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut d = Dist::seeded(9);
+        let mut s = d.sample_indices(100, 30);
+        assert_eq!(s.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut d = Dist::seeded(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        d.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let z = Zipf::new(50, 1.2);
+        let mut d = Dist::seeded(2);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut d)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[30]);
+        // Rank 1 should dominate: p(1) ≈ 1/H ≈ 22% for s=1.2, n=50.
+        assert!(counts[0] > 15_000);
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut d = Dist::seeded(4);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut d)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5_000.0).abs() < 500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn coin_respects_probability() {
+        let mut d = Dist::seeded(6);
+        let heads = (0..10_000).filter(|_| d.coin(0.3)).count();
+        assert!((heads as f64 - 3_000.0).abs() < 200.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproducible synthetic corpora for the experimental evaluation
+//! (paper Section 5.1).
+//!
+//! Three data sources are modelled:
+//!
+//! * [`sbn`] — **Synthetic Bivariate Normal**, implemented exactly as the
+//!   paper describes: `t` table pairs, per-pair row count `n`, target
+//!   correlation `r ~ U(−1, 1)`, and the second table subsampled to
+//!   `n·c` rows with join probability `c ~ U(0, 1)`.
+//! * [`opendata`] — **WBF-like and NYC-like corpus simulators**. The
+//!   paper's snapshots of the World Bank Finances (64 tables) and NYC Open
+//!   Data (1,505 tables) portals are not redistributable, so we simulate
+//!   open-data collections with the properties the paper calls out:
+//!   heavy-tailed monetary values, missing data, repeated keys, shared key
+//!   domains across tables, and a minority of genuinely correlated column
+//!   pairs hidden among many uncorrelated ones (the "needle in a
+//!   haystack" regime of Section 4). Correlations are induced through
+//!   per-key latent factors shared across tables.
+//! * [`workload`] — query/corpus splits for the ranking experiments
+//!   (Sections 5.4–5.5).
+//!
+//! Everything is deterministic given the config seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod opendata;
+pub mod sbn;
+pub mod workload;
+
+pub use dist::Dist;
+pub use opendata::{generate_open_data, CorpusStyle, OpenDataConfig};
+pub use sbn::{generate_sbn, SbnConfig, SbnPair};
+pub use workload::{split_corpus, CorpusSplit};

@@ -1,0 +1,203 @@
+//! The Synthetic Bivariate Normal (SBN) corpus, generated exactly as in
+//! paper Section 5.1:
+//!
+//! > "created by creating `t` tables consisting of `n` tuples
+//! > `⟨k, x_k, y_k⟩`, where `k ∈ K` is a random unique string, and `x_k`
+//! > and `y_k` are real numbers drawn from a bivariate normal distribution
+//! > with mean 0 … We then created `t` pairs of tables `T_X = ⟨K_X, X⟩`
+//! > and `T_Y = ⟨K_Y, Y⟩`. Finally, we reduced the size of table `T_Y`
+//! > from `n` to `n′` by selecting a uniform random sample of size
+//! > `n′ = n·c`, where `c` is a random real number in the range `(0, 1)`
+//! > indicating the join probability … We set `t = 3000`, `n` random in
+//! > `(0, 500000)`, and `r_XY` uniform in `(−1, 1)`."
+
+use sketch_table::ColumnPair;
+
+use crate::dist::Dist;
+
+/// Configuration of the SBN corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct SbnConfig {
+    /// Number of table pairs `t` (paper: 3000).
+    pub pairs: usize,
+    /// Minimum rows per table pair (the paper's draw is `U(0, 500000)`;
+    /// we floor at a small minimum so every pair is usable).
+    pub min_rows: usize,
+    /// Maximum rows per table pair (paper: 500,000 — default here is
+    /// laptop-scaled; the bench binaries expose it as a flag).
+    pub max_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SbnConfig {
+    fn default() -> Self {
+        Self {
+            pairs: 3000,
+            min_rows: 10,
+            max_rows: 50_000,
+            seed: 0x5b4_0001,
+        }
+    }
+}
+
+/// One generated SBN table pair with its ground-truth population
+/// correlation target.
+#[derive(Debug, Clone)]
+pub struct SbnPair {
+    /// The full table `T_X = ⟨K_X, X⟩`.
+    pub tx: ColumnPair,
+    /// The subsampled table `T_Y = ⟨K_Y, Y⟩` (`|T_Y| = c·|T_X|`).
+    pub ty: ColumnPair,
+    /// The correlation parameter `r_XY` the bivariate normal was drawn
+    /// with (the *population* target, not the finite-sample value).
+    pub rho: f64,
+    /// The join probability `c` used for the subsample.
+    pub join_probability: f64,
+}
+
+/// Generate the SBN corpus.
+#[must_use]
+pub fn generate_sbn(cfg: &SbnConfig) -> Vec<SbnPair> {
+    let mut d = Dist::seeded(cfg.seed);
+    (0..cfg.pairs)
+        .map(|pair_idx| generate_pair(&mut d, cfg, pair_idx))
+        .collect()
+}
+
+fn generate_pair(d: &mut Dist, cfg: &SbnConfig, pair_idx: usize) -> SbnPair {
+    let n = cfg.min_rows
+        + (d.uniform() * (cfg.max_rows.saturating_sub(cfg.min_rows)) as f64) as usize;
+    let rho = d.uniform_range(-1.0, 1.0);
+    // c ∈ (0, 1): floor so at least 3 rows survive where possible.
+    let c = d.uniform().max(3.0 / n as f64).min(1.0);
+
+    let mut keys = Vec::with_capacity(n);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        // Random unique strings: a per-pair prefix plus the index mixed
+        // with a random suffix keeps keys unique and non-sequential.
+        keys.push(format!("sbn{pair_idx}-{i}-{:06x}", (d.uniform() * 16_777_216.0) as u32));
+        let (x, y) = d.bivariate_normal(rho);
+        xs.push(x);
+        ys.push(y);
+    }
+
+    let tx = ColumnPair::new(format!("sbn{pair_idx}_x"), "k", "x", keys.clone(), xs);
+
+    let n_sub = ((n as f64 * c) as usize).max(1).min(n);
+    let chosen = d.sample_indices(n, n_sub);
+    let ty = ColumnPair::new(
+        format!("sbn{pair_idx}_y"),
+        "k",
+        "y",
+        chosen.iter().map(|&i| keys[i].clone()).collect(),
+        chosen.iter().map(|&i| ys[i]).collect(),
+    );
+
+    SbnPair {
+        tx,
+        ty,
+        rho,
+        join_probability: c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_table::{exact_join, Aggregation};
+
+    fn small_cfg() -> SbnConfig {
+        SbnConfig {
+            pairs: 20,
+            min_rows: 50,
+            max_rows: 2_000,
+            seed: 123,
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate_sbn(&small_cfg());
+        let b = generate_sbn(&small_cfg());
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.tx, pb.tx);
+            assert_eq!(pa.ty, pb.ty);
+            assert_eq!(pa.rho, pb.rho);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique_within_a_table() {
+        for p in generate_sbn(&small_cfg()) {
+            assert_eq!(p.tx.distinct_keys(), p.tx.len());
+            assert_eq!(p.ty.distinct_keys(), p.ty.len());
+        }
+    }
+
+    #[test]
+    fn ty_is_a_subsample_of_tx_keys() {
+        for p in generate_sbn(&small_cfg()) {
+            assert!(p.ty.len() <= p.tx.len());
+            let keyset: std::collections::HashSet<&str> =
+                p.tx.keys.iter().map(String::as_str).collect();
+            assert!(p.ty.keys.iter().all(|k| keyset.contains(k.as_str())));
+            let expected = (p.tx.len() as f64 * p.join_probability) as usize;
+            assert!(p.ty.len().abs_diff(expected.max(1)) <= 1);
+        }
+    }
+
+    #[test]
+    fn joined_correlation_tracks_rho() {
+        // For reasonably large pairs, the exact after-join Pearson
+        // correlation must be close to the generation parameter.
+        let cfg = SbnConfig {
+            pairs: 10,
+            min_rows: 5_000,
+            max_rows: 10_000,
+            seed: 77,
+        };
+        for p in generate_sbn(&cfg) {
+            let j = exact_join(&p.tx, &p.ty, Aggregation::Mean);
+            if j.len() < 500 {
+                continue;
+            }
+            let r = sketch_stats::pearson(&j.x, &j.y).unwrap();
+            assert!(
+                (r - p.rho).abs() < 0.1,
+                "target rho={} joined r={} (join size {})",
+                p.rho,
+                r,
+                j.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rho_spans_the_range() {
+        let cfg = SbnConfig {
+            pairs: 200,
+            min_rows: 10,
+            max_rows: 20,
+            seed: 5,
+        };
+        let corpus = generate_sbn(&cfg);
+        let min = corpus.iter().map(|p| p.rho).fold(f64::INFINITY, f64::min);
+        let max = corpus
+            .iter()
+            .map(|p| p.rho)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < -0.8, "min rho {min}");
+        assert!(max > 0.8, "max rho {max}");
+    }
+
+    #[test]
+    fn row_counts_respect_bounds() {
+        for p in generate_sbn(&small_cfg()) {
+            assert!(p.tx.len() >= 50 && p.tx.len() <= 2_000);
+        }
+    }
+}

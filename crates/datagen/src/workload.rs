@@ -1,0 +1,98 @@
+//! Query workloads: splitting a corpus of column pairs into disjoint
+//! query and corpus sets (paper Section 5.5: "extracted all column pairs
+//! … and randomly split them into two distinct sets, which we denote as
+//! query set and corpus set").
+
+use sketch_table::{ColumnPair, Table};
+
+use crate::dist::Dist;
+
+/// A query/corpus split of column pairs.
+#[derive(Debug, Clone)]
+pub struct CorpusSplit {
+    /// Pairs used as queries.
+    pub queries: Vec<ColumnPair>,
+    /// Pairs that populate the index.
+    pub corpus: Vec<ColumnPair>,
+}
+
+/// Extract all column pairs from `tables` and split them randomly into a
+/// query set (`query_fraction` of the pairs) and a corpus set.
+///
+/// # Panics
+///
+/// Panics if `query_fraction` is outside `(0, 1)`.
+#[must_use]
+pub fn split_corpus(tables: &[Table], query_fraction: f64, seed: u64) -> CorpusSplit {
+    assert!(
+        query_fraction > 0.0 && query_fraction < 1.0,
+        "query_fraction must be in (0, 1)"
+    );
+    let mut pairs: Vec<ColumnPair> = tables.iter().flat_map(Table::column_pairs).collect();
+    let mut d = Dist::seeded(seed);
+    d.shuffle(&mut pairs);
+    let n_query = ((pairs.len() as f64) * query_fraction).round() as usize;
+    let n_query = n_query.clamp(1, pairs.len().saturating_sub(1).max(1));
+    let corpus = pairs.split_off(n_query.min(pairs.len()));
+    CorpusSplit {
+        queries: pairs,
+        corpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opendata::{generate_open_data, OpenDataConfig};
+
+    fn tables() -> Vec<Table> {
+        generate_open_data(&OpenDataConfig {
+            tables: 20,
+            min_rows: 30,
+            max_rows: 100,
+            ..OpenDataConfig::nyc(1)
+        })
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let ts = tables();
+        let total: usize = ts.iter().map(|t| t.column_pairs().len()).sum();
+        let split = split_corpus(&ts, 0.3, 42);
+        assert_eq!(split.queries.len() + split.corpus.len(), total);
+        let qids: std::collections::HashSet<String> =
+            split.queries.iter().map(ColumnPair::id).collect();
+        assert!(split.corpus.iter().all(|p| !qids.contains(&p.id())));
+    }
+
+    #[test]
+    fn split_respects_fraction() {
+        let ts = tables();
+        let split = split_corpus(&ts, 0.25, 42);
+        let total = split.queries.len() + split.corpus.len();
+        let got = split.queries.len() as f64 / total as f64;
+        assert!((got - 0.25).abs() < 0.05, "fraction {got}");
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let ts = tables();
+        let a = split_corpus(&ts, 0.3, 1);
+        let b = split_corpus(&ts, 0.3, 1);
+        assert_eq!(
+            a.queries.iter().map(ColumnPair::id).collect::<Vec<_>>(),
+            b.queries.iter().map(ColumnPair::id).collect::<Vec<_>>()
+        );
+        let c = split_corpus(&ts, 0.3, 2);
+        assert_ne!(
+            a.queries.iter().map(ColumnPair::id).collect::<Vec<_>>(),
+            c.queries.iter().map(ColumnPair::id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "query_fraction")]
+    fn bad_fraction_panics() {
+        let _ = split_corpus(&tables(), 1.5, 1);
+    }
+}

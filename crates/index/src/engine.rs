@@ -1,0 +1,352 @@
+//! The query pipeline for approximate top-k join-correlation queries
+//! (paper Definition 3, evaluated in Section 5.5):
+//!
+//! 1. retrieve the top-N candidates by key overlap from the inverted
+//!    index;
+//! 2. join each candidate's sketch with the query sketch (Theorem 1
+//!    sample);
+//! 3. estimate the after-join correlation;
+//! 4. re-rank with a scoring function (pluggable — the paper's `s1..s4`
+//!    scorers live in the `sketch-ranking` crate).
+
+use correlation_sketches::{join_sketches, CorrelationSketch, JoinSample};
+use sketch_stats::CorrelationEstimator;
+
+use crate::inverted::{DocId, SketchIndex};
+
+/// Options for a top-k join-correlation query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Candidates retrieved by key overlap before re-ranking (paper
+    /// Section 5.5 uses the top-100).
+    pub overlap_candidates: usize,
+    /// Number of results returned after re-ranking.
+    pub k: usize,
+    /// Correlation estimator applied to the join samples.
+    pub estimator: CorrelationEstimator,
+    /// Minimum join-sample size for a candidate to receive an estimate
+    /// (below this the estimate is `None` and the candidate ranks last).
+    pub min_sample: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            overlap_candidates: 100,
+            k: 10,
+            estimator: CorrelationEstimator::Pearson,
+            min_sample: 3,
+        }
+    }
+}
+
+/// A retrieved candidate: the joined sample plus retrieval metadata,
+/// handed to scoring functions.
+#[derive(Debug)]
+pub struct Candidate<'a> {
+    /// Document id in the index.
+    pub doc: DocId,
+    /// The candidate's sketch.
+    pub sketch: &'a CorrelationSketch,
+    /// Number of overlapping sketch keys found during retrieval.
+    pub overlap: usize,
+    /// The reconstructed join sample (query ⨝ candidate).
+    pub sample: JoinSample,
+}
+
+/// One ranked query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Document id in the index.
+    pub doc: DocId,
+    /// Sketch identifier (`table/key/value`).
+    pub id: String,
+    /// Sketch-key overlap with the query.
+    pub overlap: usize,
+    /// Join-sample size used for the estimate.
+    pub sample_size: usize,
+    /// Correlation estimate, if the sample was large enough and
+    /// non-degenerate.
+    pub estimate: Option<f64>,
+    /// Final ranking score.
+    pub score: f64,
+}
+
+/// Retrieve the overlap candidates for `query` and materialize their join
+/// samples. This is steps 1–2 of the pipeline; use
+/// [`top_k_join_correlation`] for the full query.
+#[must_use]
+pub fn retrieve_candidates<'a>(
+    index: &'a SketchIndex,
+    query: &CorrelationSketch,
+    overlap_candidates: usize,
+) -> Vec<Candidate<'a>> {
+    index
+        .overlap_candidates(query, overlap_candidates)
+        .into_iter()
+        .filter_map(|(doc, overlap)| {
+            let sketch = index.get(doc)?;
+            // Hashers are uniform across an index; join cannot fail.
+            let sample = join_sketches(query, sketch).ok()?;
+            Some(Candidate {
+                doc,
+                sketch,
+                overlap,
+                sample,
+            })
+        })
+        .collect()
+}
+
+/// Execute a top-k join-correlation query with a custom scorer.
+///
+/// `scorer` maps a candidate and its (optional) correlation estimate to a
+/// ranking score; higher is better. Candidates are returned sorted by
+/// score (descending, ties broken by overlap then doc id), truncated to
+/// `opts.k`.
+#[must_use]
+pub fn top_k_with_scorer(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+    scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
+) -> Vec<QueryResult> {
+    let mut results: Vec<QueryResult> = retrieve_candidates(index, query, opts.overlap_candidates)
+        .into_iter()
+        .map(|cand| {
+            let estimate = if cand.sample.len() >= opts.min_sample {
+                cand.sample.estimate(opts.estimator).ok()
+            } else {
+                None
+            };
+            let score = scorer(&cand, estimate);
+            QueryResult {
+                doc: cand.doc,
+                id: cand.sketch.id().to_string(),
+                overlap: cand.overlap,
+                sample_size: cand.sample.len(),
+                estimate,
+                score,
+            }
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(b.overlap.cmp(&a.overlap))
+            .then(a.doc.cmp(&b.doc))
+    });
+    results.truncate(opts.k);
+    results
+}
+
+/// Execute a top-k join-correlation query ranked by the absolute
+/// correlation estimate (the paper's `s1` scoring; negative correlations
+/// count as much as positive ones). Candidates without an estimate score
+/// zero.
+#[must_use]
+pub fn top_k_join_correlation(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+) -> Vec<QueryResult> {
+    top_k_with_scorer(index, query, opts, |_cand, est| {
+        est.map_or(0.0, f64::abs)
+    })
+}
+
+/// A query result together with the full uncertainty report of
+/// [`correlation_sketches::JoinSample::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportedResult {
+    /// The ranked result.
+    pub result: QueryResult,
+    /// Estimate + Hoeffding CI + HFD length + Fisher SE; `None` when the
+    /// join sample was too small or degenerate.
+    pub report: Option<correlation_sketches::EstimateReport>,
+}
+
+/// As [`top_k_join_correlation`], but each answer carries the Section 4
+/// uncertainty report (Hoeffding interval, HFD length, Fisher SE) so a
+/// caller can display confidence alongside the estimate.
+#[must_use]
+pub fn top_k_with_reports(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+    alpha: f64,
+) -> Vec<ReportedResult> {
+    let results = top_k_join_correlation(index, query, opts);
+    results
+        .into_iter()
+        .map(|result| {
+            let report = index
+                .get(result.doc)
+                .and_then(|sketch| join_sketches(query, sketch).ok())
+                .filter(|s| s.len() >= opts.min_sample)
+                .and_then(|s| s.report(opts.estimator, alpha).ok());
+            ReportedResult { result, report }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correlation_sketches::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    /// Corpus with one strongly correlated, one anti-correlated, one
+    /// noisy, and one non-joinable column.
+    fn fixture() -> (SketchIndex, CorrelationSketch) {
+        let b = SketchBuilder::new(SketchConfig::with_size(256));
+        let n = 3_000usize;
+        let keys: Vec<String> = (0..n).map(|i| format!("key-{i}")).collect();
+        let signal: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.05).sin() * 10.0).collect();
+
+        let query = b.build(&ColumnPair::new(
+            "query",
+            "k",
+            "v",
+            keys.clone(),
+            signal.clone(),
+        ));
+
+        let mut idx = SketchIndex::new();
+        idx.insert(b.build(&ColumnPair::new(
+            "positive",
+            "k",
+            "v",
+            keys.clone(),
+            signal.iter().map(|v| 3.0 * v + 1.0).collect(),
+        )))
+        .unwrap();
+        idx.insert(b.build(&ColumnPair::new(
+            "negative",
+            "k",
+            "v",
+            keys.clone(),
+            signal.iter().map(|v| -2.0 * v).collect(),
+        )))
+        .unwrap();
+        idx.insert(b.build(&ColumnPair::new(
+            "noise",
+            "k",
+            "v",
+            keys.clone(),
+            (0..n).map(|i| ((i * 2_654_435_761) % 1_000) as f64).collect(),
+        )))
+        .unwrap();
+        idx.insert(b.build(&ColumnPair::new(
+            "disjoint",
+            "k",
+            "v",
+            (0..n).map(|i| format!("other-{i}")).collect(),
+            signal.clone(),
+        )))
+        .unwrap();
+        (idx, query)
+    }
+
+    #[test]
+    fn correlated_columns_rank_above_noise() {
+        let (idx, q) = fixture();
+        let results = top_k_join_correlation(&idx, &q, &QueryOptions::default());
+        assert_eq!(results.len(), 3, "disjoint table must not be retrieved");
+        let names: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(names[2], "noise/k/v", "noise must rank last: {names:?}");
+        assert!(results[0].estimate.unwrap().abs() > 0.95);
+        assert!(results[1].estimate.unwrap().abs() > 0.95);
+        assert!(results[2].estimate.unwrap().abs() < 0.3);
+    }
+
+    #[test]
+    fn negative_correlation_ranks_high() {
+        let (idx, q) = fixture();
+        let results = top_k_join_correlation(&idx, &q, &QueryOptions::default());
+        let neg = results.iter().find(|r| r.id == "negative/k/v").unwrap();
+        assert!(neg.estimate.unwrap() < -0.95);
+        assert!(neg.score > 0.9, "abs() scoring must rank it high");
+    }
+
+    #[test]
+    fn k_truncation_and_candidate_limit() {
+        let (idx, q) = fixture();
+        let opts = QueryOptions {
+            k: 1,
+            ..Default::default()
+        };
+        assert_eq!(top_k_join_correlation(&idx, &q, &opts).len(), 1);
+
+        let opts = QueryOptions {
+            overlap_candidates: 2,
+            ..Default::default()
+        };
+        assert_eq!(top_k_join_correlation(&idx, &q, &opts).len(), 2);
+    }
+
+    #[test]
+    fn min_sample_gate_suppresses_estimates() {
+        let (idx, q) = fixture();
+        let opts = QueryOptions {
+            min_sample: 10_000, // nothing can reach this
+            ..Default::default()
+        };
+        for r in top_k_join_correlation(&idx, &q, &opts) {
+            assert!(r.estimate.is_none());
+            assert_eq!(r.score, 0.0);
+        }
+    }
+
+    #[test]
+    fn custom_scorer_changes_order() {
+        let (idx, q) = fixture();
+        // Score by overlap only: ranking degenerates to retrieval order.
+        let results = top_k_with_scorer(
+            &idx,
+            &q,
+            &QueryOptions::default(),
+            |cand, _| cand.overlap as f64,
+        );
+        assert!(results[0].overlap >= results[1].overlap);
+    }
+
+    #[test]
+    fn retrieve_candidates_exposes_samples() {
+        let (idx, q) = fixture();
+        let cands = retrieve_candidates(&idx, &q, 100);
+        assert_eq!(cands.len(), 3);
+        for c in &cands {
+            assert_eq!(c.sample.len(), c.overlap);
+            assert!(!c.sample.is_empty());
+        }
+    }
+
+    #[test]
+    fn reports_accompany_results() {
+        let (idx, q) = fixture();
+        let reported = top_k_with_reports(&idx, &q, &QueryOptions::default(), 0.05);
+        assert_eq!(reported.len(), 3);
+        for r in &reported {
+            let rep = r.report.as_ref().expect("large samples have reports");
+            assert_eq!(rep.sample_size, r.result.sample_size);
+            assert_eq!(Some(rep.estimate), r.result.estimate);
+            assert!(rep.hoeffding.contains(rep.estimate));
+            assert!(rep.fisher_se > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_index_gives_empty_results() {
+        let b = SketchBuilder::new(SketchConfig::with_size(16));
+        let q = b.build(&ColumnPair::new(
+            "q",
+            "k",
+            "v",
+            vec!["a".into()],
+            vec![1.0],
+        ));
+        let idx = SketchIndex::new();
+        assert!(top_k_join_correlation(&idx, &q, &QueryOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! The inverted index over sketch key hashes.
+
+use std::collections::HashMap;
+
+use correlation_sketches::{CorrelationSketch, SketchError};
+use sketch_hashing::{KeyHash, TupleHasher};
+
+/// Identifier of an indexed sketch (dense, assigned at insertion).
+pub type DocId = u32;
+
+/// In-memory inverted index: `h(k) → [sketches containing k]`.
+///
+/// Insertion is `O(sketch size)`; retrieval of overlap candidates is
+/// `O(Σ posting-list lengths)` over the query sketch's keys — the same
+/// set-overlap-search shape as the Lucene index the paper used.
+///
+/// ```
+/// use correlation_sketches::{SketchBuilder, SketchConfig};
+/// use sketch_index::SketchIndex;
+/// use sketch_table::ColumnPair;
+///
+/// let builder = SketchBuilder::new(SketchConfig::with_size(64));
+/// let pair = |t: &str| ColumnPair::new(
+///     t, "k", "v",
+///     (0..100).map(|i| format!("key-{i}")).collect(),
+///     (0..100).map(f64::from).collect(),
+/// );
+/// let mut index = SketchIndex::new();
+/// index.insert(builder.build(&pair("a"))).unwrap();
+/// index.insert(builder.build(&pair("b"))).unwrap();
+///
+/// let query = builder.build(&pair("q"));
+/// let hits = index.overlap_candidates(&query, 10);
+/// assert_eq!(hits.len(), 2); // both corpus sketches share all keys
+/// ```
+#[derive(Debug, Default)]
+pub struct SketchIndex {
+    hasher: Option<TupleHasher>,
+    sketches: Vec<CorrelationSketch>,
+    postings: HashMap<KeyHash, Vec<DocId>>,
+    /// Tombstoned documents: kept in `sketches` (doc ids stay stable) but
+    /// excluded from retrieval. Posting lists are cleaned lazily.
+    deleted: std::collections::HashSet<DocId>,
+}
+
+impl SketchIndex {
+    /// Empty index; the hasher configuration is pinned by the first
+    /// inserted sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-deleted) sketches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sketches.len() - self.deleted.len()
+    }
+
+    /// True when no live sketches remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct hashed keys with posting lists.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Look up a live indexed sketch (`None` for unknown or deleted ids).
+    #[must_use]
+    pub fn get(&self, doc: DocId) -> Option<&CorrelationSketch> {
+        if self.deleted.contains(&doc) {
+            return None;
+        }
+        self.sketches.get(doc as usize)
+    }
+
+    /// Tombstone a document: it disappears from retrieval immediately
+    /// (posting lists are cleaned lazily on traversal). Returns `false`
+    /// for unknown or already-deleted ids.
+    pub fn remove(&mut self, doc: DocId) -> bool {
+        if (doc as usize) < self.sketches.len() && !self.deleted.contains(&doc) {
+            self.deleted.insert(doc);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All stored sketches in insertion order, *including* tombstoned
+    /// ones (doc ids are positions in this slice; use [`Self::get`] for
+    /// liveness-aware lookup).
+    #[must_use]
+    pub fn sketches(&self) -> &[CorrelationSketch] {
+        &self.sketches
+    }
+
+    /// Insert a sketch, returning its document id.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::HasherMismatch`] when the sketch was built with a
+    /// different hasher configuration than the index's existing content.
+    pub fn insert(&mut self, sketch: CorrelationSketch) -> Result<DocId, SketchError> {
+        match self.hasher {
+            Some(h) if h != sketch.hasher() => return Err(SketchError::HasherMismatch),
+            None => self.hasher = Some(sketch.hasher()),
+            _ => {}
+        }
+        let doc = DocId::try_from(self.sketches.len()).expect("fewer than 2^32 sketches");
+        for e in sketch.entries() {
+            self.postings.entry(e.key).or_default().push(doc);
+        }
+        self.sketches.push(sketch);
+        Ok(doc)
+    }
+
+    /// Retrieve the `top_n` indexed sketches with the largest key overlap
+    /// with `query`, as `(doc, overlap)` pairs sorted by descending
+    /// overlap (ties by ascending doc id for determinism). Documents with
+    /// zero overlap are never returned.
+    #[must_use]
+    pub fn overlap_candidates(
+        &self,
+        query: &CorrelationSketch,
+        top_n: usize,
+    ) -> Vec<(DocId, usize)> {
+        if top_n == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<DocId, usize> = HashMap::new();
+        for e in query.entries() {
+            if let Some(list) = self.postings.get(&e.key) {
+                for &doc in list {
+                    if !self.deleted.contains(&doc) {
+                        *counts.entry(doc).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<(DocId, usize)> = counts.into_iter().collect();
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(top_n);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correlation_sketches::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    fn pair(table: &str, range: std::ops::Range<usize>) -> ColumnPair {
+        ColumnPair::new(
+            table,
+            "k",
+            "v",
+            range.clone().map(|i| format!("key-{i}")).collect(),
+            range.map(|i| i as f64).collect(),
+        )
+    }
+
+    fn builder() -> SketchBuilder {
+        SketchBuilder::new(SketchConfig::with_size(128))
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = SketchIndex::new();
+        let s = builder().build(&pair("a", 0..100));
+        let doc = idx.insert(s.clone()).unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(doc).unwrap().id(), "a/k/v");
+        assert!(idx.get(99).is_none());
+        assert!(idx.distinct_keys() > 0);
+    }
+
+    #[test]
+    fn overlap_candidates_ranked_by_true_overlap() {
+        let mut idx = SketchIndex::new();
+        let b = builder();
+        // Three corpus sketches with decreasing overlap with 0..100.
+        idx.insert(b.build(&pair("full", 0..100))).unwrap();
+        idx.insert(b.build(&pair("half", 50..150))).unwrap();
+        idx.insert(b.build(&pair("none", 1000..1100))).unwrap();
+
+        let q = b.build(&pair("q", 0..100));
+        let hits = idx.overlap_candidates(&q, 10);
+        assert_eq!(hits.len(), 2, "zero-overlap docs must be excluded");
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let mut idx = SketchIndex::new();
+        let b = builder();
+        for t in 0..20 {
+            idx.insert(b.build(&pair(&format!("t{t}"), 0..50))).unwrap();
+        }
+        let q = b.build(&pair("q", 0..50));
+        assert_eq!(idx.overlap_candidates(&q, 5).len(), 5);
+        assert_eq!(idx.overlap_candidates(&q, 0).len(), 0);
+    }
+
+    #[test]
+    fn hasher_mismatch_rejected() {
+        use sketch_hashing::TupleHasher;
+        let mut idx = SketchIndex::new();
+        idx.insert(builder().build(&pair("a", 0..10))).unwrap();
+        let other = SketchBuilder::new(
+            SketchConfig::with_size(128).hasher(TupleHasher::new_64(9)),
+        )
+        .build(&pair("b", 0..10));
+        assert_eq!(idx.insert(other), Err(SketchError::HasherMismatch));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = SketchIndex::new();
+        let q = builder().build(&pair("q", 0..10));
+        assert!(idx.overlap_candidates(&q, 10).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn removed_documents_disappear_from_retrieval() {
+        let mut idx = SketchIndex::new();
+        let b = builder();
+        let d0 = idx.insert(b.build(&pair("a", 0..100))).unwrap();
+        let d1 = idx.insert(b.build(&pair("b", 0..100))).unwrap();
+        assert_eq!(idx.len(), 2);
+
+        assert!(idx.remove(d0));
+        assert!(!idx.remove(d0), "double delete is a no-op");
+        assert!(!idx.remove(99), "unknown id rejected");
+        assert_eq!(idx.len(), 1);
+        assert!(idx.get(d0).is_none());
+        assert!(idx.get(d1).is_some());
+
+        let q = b.build(&pair("q", 0..100));
+        let hits = idx.overlap_candidates(&q, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, d1);
+
+        // Doc ids remain stable across deletions.
+        let d2 = idx.insert(b.build(&pair("c", 0..100))).unwrap();
+        assert_eq!(d2, 2);
+        assert_eq!(idx.get(d2).unwrap().id(), "c/k/v");
+    }
+
+    #[test]
+    fn removing_everything_empties_the_index() {
+        let mut idx = SketchIndex::new();
+        let b = builder();
+        let d = idx.insert(b.build(&pair("a", 0..10))).unwrap();
+        idx.remove(d);
+        assert!(idx.is_empty());
+        let q = b.build(&pair("q", 0..10));
+        assert!(idx.overlap_candidates(&q, 10).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let mut idx = SketchIndex::new();
+        let b = builder();
+        idx.insert(b.build(&pair("t1", 0..60))).unwrap();
+        idx.insert(b.build(&pair("t2", 0..60))).unwrap();
+        let q = b.build(&pair("q", 0..60));
+        let hits = idx.overlap_candidates(&q, 10);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+        assert_eq!(hits[0].1, hits[1].1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Indexing and query evaluation for top-k join-correlation queries
+//! (paper Definition 3 and Sections 4, 5.5).
+//!
+//! The paper notes that a sketch "includes a set of pairs ⟨h(k), x_k⟩.
+//! Since h(k) is a discrete value, we can leverage existing data
+//! structures for efficient querying such as inverted indexes available in
+//! off-the-shelf systems (e.g., PostgreSQL, Apache Lucene)". This crate is
+//! our from-scratch stand-in for that machinery:
+//!
+//! * [`SketchIndex`] — an in-memory inverted index mapping hashed keys to
+//!   the sketches containing them, with top-N retrieval by key overlap;
+//! * [`engine`] — the query pipeline of Section 5.5: retrieve the top-N
+//!   candidates by overlap, join each candidate sketch with the query
+//!   sketch, estimate correlations, and re-rank with a pluggable scoring
+//!   function (the concrete `s1..s4` scorers live in `sketch-ranking`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod inverted;
+
+pub use engine::{Candidate, QueryOptions, QueryResult, ReportedResult};
+pub use inverted::{DocId, SketchIndex};

@@ -1,0 +1,384 @@
+//! The ranking evaluation harness (paper Section 5.4, Table 1, Figure 5).
+//!
+//! For every query column pair: retrieve all joinable corpus pairs,
+//! compute the ground-truth after-join correlation (the relevance grade),
+//! rank the candidates with every scoring function, and measure MAP and
+//! nDCG against the ground truth.
+
+use std::collections::HashMap;
+
+use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
+use sketch_stats::{average_precision, mean, ndcg_at_k, pearson};
+use sketch_table::{exact_join, Aggregation, ColumnPair};
+
+use crate::scoring::{extract_features, score_candidates, CandidateFeatures, ScoringFunction};
+
+/// Configuration of a ranking experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RankingConfig {
+    /// Maximum sketch size (paper Section 5.2 uses 256 for accuracy plots;
+    /// Section 5.5 uses 1024 for the query-latency study).
+    pub sketch_size: usize,
+    /// Minimum ground-truth join size for a corpus pair to count as
+    /// joinable with the query.
+    pub min_overlap: usize,
+    /// MAP relevance thresholds (Table 1 uses 0.75 and 0.50).
+    pub map_thresholds: (f64, f64),
+    /// nDCG cutoffs (Table 1 uses 5 and 10).
+    pub ndcg_ks: (usize, usize),
+    /// Aggregation for repeated keys.
+    pub aggregation: Aggregation,
+    /// Seed for the PM1 bootstrap and the random baseline.
+    pub seed: u64,
+}
+
+impl Default for RankingConfig {
+    fn default() -> Self {
+        Self {
+            sketch_size: 256,
+            min_overlap: 3,
+            map_thresholds: (0.75, 0.50),
+            ndcg_ks: (5, 10),
+            aggregation: Aggregation::Mean,
+            seed: 0x7a_11,
+        }
+    }
+}
+
+/// Metrics of one scorer on one query's ranked list. `None` when the
+/// metric is undefined for the query (e.g. no relevant candidate for
+/// MAP, all-zero gains for nDCG) — such queries are excluded from that
+/// metric's average, trec-style.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryMetrics {
+    /// MAP at the high relevance threshold (`r > 0.75`).
+    pub map_high: Option<f64>,
+    /// MAP at the mid relevance threshold (`r > 0.50`).
+    pub map_mid: Option<f64>,
+    /// nDCG at the first cutoff (5).
+    pub ndcg_a: Option<f64>,
+    /// nDCG at the second cutoff (10).
+    pub ndcg_b: Option<f64>,
+}
+
+/// Outcome of one query: the candidate set size and per-scorer metrics.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Query column pair identifier.
+    pub query_id: String,
+    /// Number of joinable candidates ranked.
+    pub candidates: usize,
+    /// Metrics per scoring function (in [`ScoringFunction::ALL`] order).
+    pub metrics: Vec<(ScoringFunction, QueryMetrics)>,
+}
+
+/// Aggregated report over all queries.
+#[derive(Debug, Clone)]
+pub struct RankingReport {
+    /// Per-query outcomes (Figure 5 histograms are built from these).
+    pub per_query: Vec<QueryOutcome>,
+}
+
+/// Aggregate (mean) metrics for one scorer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScorerSummary {
+    /// The scorer.
+    pub scorer: ScoringFunction,
+    /// Mean MAP (`r > 0.75`) over queries where defined.
+    pub map_high: f64,
+    /// Mean MAP (`r > 0.50`).
+    pub map_mid: f64,
+    /// Mean nDCG@5.
+    pub ndcg_a: f64,
+    /// Mean nDCG@10.
+    pub ndcg_b: f64,
+}
+
+impl RankingReport {
+    /// Mean metrics per scorer (the numbers of Table 1).
+    #[must_use]
+    pub fn summaries(&self) -> Vec<ScorerSummary> {
+        ScoringFunction::ALL
+            .iter()
+            .map(|&scorer| {
+                let collect = |f: fn(&QueryMetrics) -> Option<f64>| -> f64 {
+                    let vals: Vec<f64> = self
+                        .per_query
+                        .iter()
+                        .filter_map(|q| {
+                            q.metrics
+                                .iter()
+                                .find(|(s, _)| s.name() == scorer.name())
+                                .and_then(|(_, m)| f(m))
+                        })
+                        .collect();
+                    mean(&vals)
+                };
+                ScorerSummary {
+                    scorer,
+                    map_high: collect(|m| m.map_high),
+                    map_mid: collect(|m| m.map_mid),
+                    ndcg_a: collect(|m| m.ndcg_a),
+                    ndcg_b: collect(|m| m.ndcg_b),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-query scores of one scorer/metric, for the Figure 5
+    /// histograms.
+    #[must_use]
+    pub fn per_query_scores(
+        &self,
+        scorer: ScoringFunction,
+        metric: fn(&QueryMetrics) -> Option<f64>,
+    ) -> Vec<f64> {
+        self.per_query
+            .iter()
+            .filter_map(|q| {
+                q.metrics
+                    .iter()
+                    .find(|(s, _)| s.name() == scorer.name())
+                    .and_then(|(_, m)| metric(m))
+            })
+            .collect()
+    }
+}
+
+/// Ground truth for one candidate: the absolute after-join correlation.
+fn ground_truth_grade(q: &ColumnPair, c: &ColumnPair, cfg: &RankingConfig) -> Option<f64> {
+    let joined = exact_join(q, c, cfg.aggregation);
+    if joined.len() < cfg.min_overlap {
+        return None;
+    }
+    Some(pearson(&joined.x, &joined.y).map_or(0.0, f64::abs))
+}
+
+fn metrics_for_ranking(
+    order: &[usize],
+    grades: &[f64],
+    cfg: &RankingConfig,
+) -> QueryMetrics {
+    let ranked_grades: Vec<f64> = order.iter().map(|&i| grades[i]).collect();
+    let (thr_high, thr_mid) = cfg.map_thresholds;
+    let rel_high: Vec<bool> = ranked_grades.iter().map(|&g| g > thr_high).collect();
+    let rel_mid: Vec<bool> = ranked_grades.iter().map(|&g| g > thr_mid).collect();
+    let (k_a, k_b) = cfg.ndcg_ks;
+    QueryMetrics {
+        map_high: average_precision(&rel_high),
+        map_mid: average_precision(&rel_mid),
+        ndcg_a: ndcg_at_k(&ranked_grades, k_a),
+        ndcg_b: ndcg_at_k(&ranked_grades, k_b),
+    }
+}
+
+/// Run the full ranking experiment: every query against every corpus
+/// pair.
+///
+/// Cost scales as `O(|queries| · |corpus|)` ground-truth joins — the
+/// experiment binaries control corpus sizes (the paper itself does this
+/// offline over the NYC collection).
+#[must_use]
+pub fn run_ranking_experiment(
+    queries: &[ColumnPair],
+    corpus: &[ColumnPair],
+    cfg: &RankingConfig,
+) -> RankingReport {
+    let builder = SketchBuilder::new(
+        SketchConfig::with_size(cfg.sketch_size).aggregation(cfg.aggregation),
+    );
+    let corpus_sketches: Vec<CorrelationSketch> =
+        corpus.iter().map(|p| builder.build(p)).collect();
+
+    let mut per_query = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let q_sketch = builder.build(q);
+
+        let mut grades: Vec<f64> = Vec::new();
+        let mut features: Vec<CandidateFeatures> = Vec::new();
+        for (c, c_sketch) in corpus.iter().zip(&corpus_sketches) {
+            if c.table == q.table {
+                continue; // never rank a table against itself
+            }
+            let Some(grade) = ground_truth_grade(q, c, cfg) else {
+                continue;
+            };
+            grades.push(grade);
+            features.push(extract_features(
+                &q_sketch,
+                c_sketch,
+                Some((q, c)),
+                cfg.seed,
+            ));
+        }
+        if features.is_empty() {
+            continue;
+        }
+
+        let mut metrics = Vec::new();
+        for scorer in ScoringFunction::ALL {
+            // The random baseline must differ per query but stay
+            // reproducible.
+            let scorer = match scorer {
+                ScoringFunction::Random { .. } => ScoringFunction::Random {
+                    seed: cfg.seed ^ (qi as u64).wrapping_mul(0x9e37_79b9),
+                },
+                other => other,
+            };
+            let scores = score_candidates(&features, scorer);
+            let mut order: Vec<usize> = (0..features.len()).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            metrics.push((scorer, metrics_for_ranking(&order, &grades, cfg)));
+        }
+
+        per_query.push(QueryOutcome {
+            query_id: q.id(),
+            candidates: features.len(),
+            metrics,
+        });
+    }
+
+    RankingReport { per_query }
+}
+
+/// Convenience: map scorer name → summary, for report printing.
+#[must_use]
+pub fn summaries_by_name(report: &RankingReport) -> HashMap<&'static str, ScorerSummary> {
+    report
+        .summaries()
+        .into_iter()
+        .map(|s| (s.scorer.name(), s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a small corpus where ground truth is unambiguous: the query
+    /// has one strongly-correlated candidate with *low* key containment
+    /// and several uncorrelated candidates with *full* containment. A
+    /// correlation-aware scorer must beat `jc`.
+    fn fixture() -> (Vec<ColumnPair>, Vec<ColumnPair>) {
+        let n = 1_200usize;
+        let keys: Vec<String> = (0..n).map(|i| format!("k{i}")).collect();
+        let signal: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() * 5.0).collect();
+
+        let query = ColumnPair::new("q", "k", "v", keys.clone(), signal.clone());
+
+        // Correlated candidate: only 40% of the keys (low jc).
+        let sub: Vec<usize> = (0..n).filter(|i| i % 5 < 2).collect();
+        let corr = ColumnPair::new(
+            "corr",
+            "k",
+            "v",
+            sub.iter().map(|&i| keys[i].clone()).collect(),
+            sub.iter().map(|&i| signal[i] * 2.0 + 1.0).collect(),
+        );
+
+        // Uncorrelated candidates with full key overlap (high jc).
+        let mut corpus = vec![corr];
+        for t in 0..4 {
+            corpus.push(ColumnPair::new(
+                format!("noise{t}"),
+                "k",
+                "v",
+                keys.clone(),
+                (0..n)
+                    .map(|i| (((i * (31 + t)) % 997) as f64) - 500.0)
+                    .collect(),
+            ));
+        }
+        (vec![query], corpus)
+    }
+
+    #[test]
+    fn correlation_scorers_beat_jc_on_the_fixture() {
+        let (queries, corpus) = fixture();
+        let report = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
+        assert_eq!(report.per_query.len(), 1);
+        let by_name = summaries_by_name(&report);
+        let rp = by_name["rp"];
+        let jc = by_name["jc"];
+        assert!(
+            rp.map_high > jc.map_high,
+            "rp {:?} must beat jc {:?}",
+            rp.map_high,
+            jc.map_high
+        );
+        assert_eq!(rp.map_high, 1.0, "single relevant doc must rank first");
+        assert!(jc.map_high < 0.5, "jc ranks the noise first");
+    }
+
+    #[test]
+    fn all_scorers_produce_metrics() {
+        let (queries, corpus) = fixture();
+        let report = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
+        let q = &report.per_query[0];
+        assert_eq!(q.metrics.len(), ScoringFunction::ALL.len());
+        assert_eq!(q.candidates, 5);
+        for (s, m) in &q.metrics {
+            assert!(m.map_high.is_some(), "{s}: map_high missing");
+            assert!(m.ndcg_a.is_some(), "{s}: ndcg missing");
+        }
+    }
+
+    #[test]
+    fn risk_aware_scorers_also_rank_the_needle_first() {
+        let (queries, corpus) = fixture();
+        let report = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
+        let by_name = summaries_by_name(&report);
+        for name in ["rp*cih", "rb*cib", "rp*sez"] {
+            assert!(
+                by_name[name].map_high > 0.9,
+                "{name}: {:?}",
+                by_name[name]
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let (queries, corpus) = fixture();
+        let a = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
+        let b = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
+        for (qa, qb) in a.per_query.iter().zip(&b.per_query) {
+            assert_eq!(qa.candidates, qb.candidates);
+            for ((sa, ma), (sb, mb)) in qa.metrics.iter().zip(&qb.metrics) {
+                assert_eq!(sa.name(), sb.name());
+                assert_eq!(ma, mb);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_without_joinable_candidates_are_skipped() {
+        let q = ColumnPair::new(
+            "lonely",
+            "k",
+            "v",
+            vec!["x1".into(), "x2".into(), "x3".into()],
+            vec![1.0, 2.0, 3.0],
+        );
+        let c = ColumnPair::new(
+            "corpus",
+            "k",
+            "v",
+            vec!["y1".into(), "y2".into(), "y3".into()],
+            vec![1.0, 2.0, 3.0],
+        );
+        let report =
+            run_ranking_experiment(&[q], &[c], &RankingConfig::default());
+        assert!(report.per_query.is_empty());
+    }
+
+    #[test]
+    fn per_query_scores_feed_histograms() {
+        let (queries, corpus) = fixture();
+        let report = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
+        let scores = report.per_query_scores(ScoringFunction::Rp, |m| m.map_high);
+        assert_eq!(scores.len(), 1);
+        let hist = sketch_stats::metrics::histogram(&scores, 10, 0.0, 1.0);
+        assert_eq!(hist.iter().sum::<usize>(), 1);
+    }
+}

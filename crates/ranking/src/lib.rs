@@ -1,0 +1,30 @@
+//! Risk-aware ranking for join-correlation queries (paper Section 4) and
+//! the ranking evaluation harness (Section 5.4).
+//!
+//! In a large corpus there are many more uncorrelated columns than
+//! correlated ones, so raw correlation estimates produce false positives
+//! "simply by chance". The paper's fix is the scoring framework
+//! `score = |r̂| · (1 − risk)` (Eq. 5), with risk measured by Fisher's z
+//! standard error, a bootstrap confidence interval, or the new Hoeffding
+//! interval. This crate implements:
+//!
+//! * [`scoring`] — candidate feature extraction and the scoring functions
+//!   `s1 = r_p`, `s2 = r_p·se_z`, `s3 = r_b·ci_b`, `s4 = r_p·ci_h`, plus
+//!   the `jc` (exact Jaccard containment), `ĵc` (sketch-estimated
+//!   containment) and `random` baselines;
+//! * [`evaluation`] — the experiment harness that replays Section 5.4:
+//!   for every query column, rank all joinable corpus columns with every
+//!   scorer and measure MAP (r > 0.75, r > 0.5) and nDCG@{5, 10} against
+//!   the ground-truth after-join correlations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluation;
+pub mod scoring;
+
+pub use evaluation::{run_ranking_experiment, QueryOutcome, RankingConfig, RankingReport};
+pub use scoring::{
+    extract_features, features_from_sample, rank_candidates, score_candidates,
+    CandidateFeatures, ScoringFunction,
+};

@@ -1,0 +1,379 @@
+//! Scoring functions (paper Section 4.4).
+//!
+//! Each candidate gets `score = |r̂| · penalization` where the
+//! penalization factor is one of:
+//!
+//! ```text
+//! se_z = 1 − 1/√(max(4, n) − 3)                      (Fisher's z SE)
+//! ci_b = 1 − (ρ_PM1_high − ρ_PM1_low)/2              (bootstrap CI)
+//! ci_h = 1 − (ci_len − ci_min)/(ci_max − ci_min)     (Hoeffding/HFD CI,
+//!                                                     normalized per list)
+//! ```
+//!
+//! `s1` applies no penalization; `jc`, `ĵc` and `random` are the
+//! joinability baselines of Section 5.4.
+
+use correlation_sketches::{
+    containment_estimate, join_sketches, CorrelationSketch, JoinSample,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sketch_stats::{fisher_z_se, CorrelationEstimator};
+use sketch_table::{jaccard_containment, ColumnPair};
+
+/// Everything a scoring function may consume about one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateFeatures {
+    /// Candidate identifier.
+    pub id: String,
+    /// Join-sample size `n` (rows in `L_{Q⨝C}`).
+    pub sample_size: usize,
+    /// Pearson estimate `r_p` on the join sample.
+    pub rp: Option<f64>,
+    /// PM1 bootstrap estimate `r_b`.
+    pub rb: Option<f64>,
+    /// Length of the HFD (Hoeffding small-sample) interval.
+    pub hfd_ci_length: Option<f64>,
+    /// Length of the PM1 bootstrap interval.
+    pub pm1_ci_length: Option<f64>,
+    /// Exact Jaccard containment of the query keys in the candidate
+    /// (requires full data; only available in evaluation harnesses).
+    pub jc_exact: Option<f64>,
+    /// Sketch-estimated Jaccard containment `ĵc`.
+    pub jc_estimate: f64,
+}
+
+/// Extract scoring features from a query/candidate sketch pair.
+///
+/// `full_pairs` optionally provides the raw column pairs to compute the
+/// exact `jc` baseline (evaluation only — a real system never joins the
+/// full data at query time).
+#[must_use]
+pub fn extract_features(
+    query_sketch: &CorrelationSketch,
+    cand_sketch: &CorrelationSketch,
+    full_pairs: Option<(&ColumnPair, &ColumnPair)>,
+    pm1_seed: u64,
+) -> CandidateFeatures {
+    let sample = join_sketches(query_sketch, cand_sketch)
+        .unwrap_or_else(|_| JoinSample {
+            key_hashes: Vec::new(),
+            x: Vec::new(),
+            y: Vec::new(),
+            bounds: None,
+        });
+    features_from_sample(query_sketch, cand_sketch, &sample, full_pairs, pm1_seed)
+}
+
+/// As [`extract_features`] but reusing an already-materialized join
+/// sample (avoids re-joining when the caller has one).
+#[must_use]
+pub fn features_from_sample(
+    query_sketch: &CorrelationSketch,
+    cand_sketch: &CorrelationSketch,
+    sample: &JoinSample,
+    full_pairs: Option<(&ColumnPair, &ColumnPair)>,
+    pm1_seed: u64,
+) -> CandidateFeatures {
+    let rp = sample.estimate(CorrelationEstimator::Pearson).ok();
+    let rb = sample
+        .estimate(CorrelationEstimator::Pm1Bootstrap { seed: pm1_seed })
+        .ok();
+    let hfd_ci_length = sample.hfd_ci(0.05).ok().map(|ci| ci.length());
+    let pm1_ci_length = sample.pm1_ci(pm1_seed).ok().map(|ci| ci.length());
+    let jc_estimate = containment_estimate(query_sketch, cand_sketch).unwrap_or(0.0);
+    let jc_exact = full_pairs.map(|(q, c)| jaccard_containment(q, c));
+
+    CandidateFeatures {
+        id: cand_sketch.id().to_string(),
+        sample_size: sample.len(),
+        rp,
+        rb,
+        hfd_ci_length,
+        pm1_ci_length,
+        jc_exact,
+        jc_estimate,
+    }
+}
+
+/// The scoring functions evaluated in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoringFunction {
+    /// `s1 = |r_p|` — no risk penalization.
+    Rp,
+    /// `s2 = |r_p| · se_z` — Fisher's z penalization.
+    RpSez,
+    /// `s3 = |r_b| · ci_b` — PM1 bootstrap estimate and CI penalization.
+    RbCib,
+    /// `s4 = |r_p| · ci_h` — Hoeffding/HFD CI penalization (the paper's
+    /// best constant-time scorer).
+    RpCih,
+    /// Baseline: exact Jaccard containment (joinability ranking).
+    Jc,
+    /// Baseline: sketch-estimated Jaccard containment `ĵc`.
+    JcEstimate,
+    /// Baseline: uniform random scores (seeded per ranked list).
+    Random {
+        /// Seed for the per-list score stream.
+        seed: u64,
+    },
+}
+
+impl ScoringFunction {
+    /// All scorers in the order of Table 1's rows.
+    pub const ALL: [Self; 7] = [
+        Self::RpCih,
+        Self::RbCib,
+        Self::Rp,
+        Self::RpSez,
+        Self::Jc,
+        Self::JcEstimate,
+        Self::Random { seed: 0xabcd },
+    ];
+
+    /// Label matching the paper's notation.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Rp => "rp",
+            Self::RpSez => "rp*sez",
+            Self::RbCib => "rb*cib",
+            Self::RpCih => "rp*cih",
+            Self::Jc => "jc",
+            Self::JcEstimate => "jc_est",
+            Self::Random { .. } => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for ScoringFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Score a full candidate list. List-level scoring is required because
+/// the `ci_h` factor normalizes by the minimum/maximum CI length *within
+/// the ranked list*.
+///
+/// Returns one score per candidate, aligned with `features`. Candidates
+/// whose required statistic is unavailable (degenerate sample) score 0.
+#[must_use]
+pub fn score_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> Vec<f64> {
+    match f {
+        ScoringFunction::Rp => features
+            .iter()
+            .map(|c| c.rp.map_or(0.0, f64::abs))
+            .collect(),
+        ScoringFunction::RpSez => features
+            .iter()
+            .map(|c| {
+                c.rp.map_or(0.0, |r| {
+                    r.abs() * (1.0 - fisher_z_se(c.sample_size))
+                })
+            })
+            .collect(),
+        ScoringFunction::RbCib => features
+            .iter()
+            .map(|c| match (c.rb, c.pm1_ci_length) {
+                (Some(r), Some(len)) => r.abs() * (1.0 - len / 2.0).max(0.0),
+                _ => 0.0,
+            })
+            .collect(),
+        ScoringFunction::RpCih => {
+            let lengths: Vec<f64> = features.iter().filter_map(|c| c.hfd_ci_length).collect();
+            let (min_len, max_len) = lengths.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &l| (lo.min(l), hi.max(l)),
+            );
+            features
+                .iter()
+                .map(|c| match (c.rp, c.hfd_ci_length) {
+                    (Some(r), Some(len)) => {
+                        let cih = if max_len > min_len {
+                            1.0 - (len - min_len) / (max_len - min_len)
+                        } else {
+                            1.0
+                        };
+                        r.abs() * cih
+                    }
+                    _ => 0.0,
+                })
+                .collect()
+        }
+        ScoringFunction::Jc => features
+            .iter()
+            .map(|c| c.jc_exact.unwrap_or(0.0))
+            .collect(),
+        ScoringFunction::JcEstimate => features.iter().map(|c| c.jc_estimate).collect(),
+        ScoringFunction::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            features.iter().map(|_| rng.random::<f64>()).collect()
+        }
+    }
+}
+
+/// Indices of `features` in descending score order under scorer `f`
+/// (stable: ties keep input order).
+#[must_use]
+pub fn rank_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> Vec<usize> {
+    let scores = score_candidates(features, f);
+    let mut idx: Vec<usize> = (0..features.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(
+        id: &str,
+        n: usize,
+        rp: Option<f64>,
+        hfd_len: Option<f64>,
+        jc: f64,
+    ) -> CandidateFeatures {
+        CandidateFeatures {
+            id: id.into(),
+            sample_size: n,
+            rp,
+            rb: rp,
+            hfd_ci_length: hfd_len,
+            pm1_ci_length: hfd_len,
+            jc_exact: Some(jc),
+            jc_estimate: jc,
+        }
+    }
+
+    #[test]
+    fn s1_is_absolute_estimate() {
+        let fs = vec![
+            feat("a", 100, Some(-0.9), Some(0.2), 0.1),
+            feat("b", 100, Some(0.5), Some(0.2), 0.9),
+        ];
+        let s = score_candidates(&fs, ScoringFunction::Rp);
+        assert_eq!(s, vec![0.9, 0.5]);
+    }
+
+    #[test]
+    fn s2_penalizes_small_samples() {
+        let fs = vec![
+            feat("big", 403, Some(0.8), None, 0.0),  // se_z = 0.05
+            feat("tiny", 4, Some(0.8), None, 0.0),   // se_z = 1.0 → score 0
+        ];
+        let s = score_candidates(&fs, ScoringFunction::RpSez);
+        assert!(s[0] > 0.75, "{s:?}");
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn s4_normalizes_ci_lengths_within_the_list() {
+        let fs = vec![
+            feat("sharp", 500, Some(0.7), Some(0.1), 0.0),
+            feat("fuzzy", 10, Some(0.9), Some(1.9), 0.0),
+        ];
+        let s = score_candidates(&fs, ScoringFunction::RpCih);
+        // sharp: cih = 1 → 0.7; fuzzy: cih = 0 → 0.
+        assert!((s[0] - 0.7).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+        // With a single candidate the factor degrades to 1.
+        let s = score_candidates(&fs[..1], ScoringFunction::RpCih);
+        assert!((s[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s3_uses_bootstrap_interval() {
+        let fs = vec![
+            feat("confident", 200, Some(0.6), Some(0.2), 0.0),
+            feat("uncertain", 200, Some(0.6), Some(1.8), 0.0),
+        ];
+        let s = score_candidates(&fs, ScoringFunction::RbCib);
+        assert!(s[0] > s[1]);
+        assert!((s[0] - 0.6 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baselines_ignore_correlation() {
+        let fs = vec![
+            feat("high_jc", 10, Some(0.01), Some(0.5), 0.95),
+            feat("high_corr", 10, Some(0.99), Some(0.5), 0.05),
+        ];
+        let jc = score_candidates(&fs, ScoringFunction::Jc);
+        assert!(jc[0] > jc[1]);
+        let jce = score_candidates(&fs, ScoringFunction::JcEstimate);
+        assert!(jce[0] > jce[1]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let fs = vec![feat("a", 10, None, None, 0.0); 5];
+        let a = score_candidates(&fs, ScoringFunction::Random { seed: 1 });
+        let b = score_candidates(&fs, ScoringFunction::Random { seed: 1 });
+        let c = score_candidates(&fs, ScoringFunction::Random { seed: 2 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn missing_estimates_score_zero() {
+        let fs = vec![feat("dead", 1, None, None, 0.3)];
+        for f in [
+            ScoringFunction::Rp,
+            ScoringFunction::RpSez,
+            ScoringFunction::RbCib,
+            ScoringFunction::RpCih,
+        ] {
+            assert_eq!(score_candidates(&fs, f), vec![0.0], "{f}");
+        }
+    }
+
+    #[test]
+    fn rank_candidates_orders_by_score() {
+        let fs = vec![
+            feat("low", 100, Some(0.2), Some(0.3), 0.0),
+            feat("high", 100, Some(0.9), Some(0.3), 0.0),
+            feat("mid", 100, Some(0.5), Some(0.3), 0.0),
+        ];
+        assert_eq!(rank_candidates(&fs, ScoringFunction::Rp), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn names_match_paper_notation() {
+        let names: Vec<&str> = ScoringFunction::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec!["rp*cih", "rb*cib", "rp", "rp*sez", "jc", "jc_est", "random"]
+        );
+    }
+
+    #[test]
+    fn extract_features_end_to_end() {
+        use correlation_sketches::{SketchBuilder, SketchConfig};
+        let b = SketchBuilder::new(SketchConfig::with_size(128));
+        let keys: Vec<String> = (0..2_000).map(|i| format!("k{i}")).collect();
+        let q = ColumnPair::new(
+            "q",
+            "k",
+            "v",
+            keys.clone(),
+            (0..2_000).map(|i| i as f64).collect(),
+        );
+        let c = ColumnPair::new(
+            "c",
+            "k",
+            "v",
+            keys,
+            (0..2_000).map(|i| 2.0 * i as f64).collect(),
+        );
+        let (sq, sc) = (b.build(&q), b.build(&c));
+        let f = extract_features(&sq, &sc, Some((&q, &c)), 7);
+        assert!(f.sample_size > 50);
+        assert!(f.rp.unwrap() > 0.99);
+        assert!(f.rb.unwrap() > 0.95);
+        assert!(f.hfd_ci_length.unwrap() > 0.0);
+        assert_eq!(f.jc_exact, Some(1.0));
+        assert!(f.jc_estimate > 0.9);
+        assert_eq!(f.id, "c/k/v");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for scoring functions and ranking metrics.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sketch_ranking::{rank_candidates, score_candidates, CandidateFeatures, ScoringFunction};
+
+fn arb_feature(i: usize) -> impl Strategy<Value = CandidateFeatures> {
+    (
+        1usize..2000,
+        proptest::option::of(-1.0f64..1.0),
+        proptest::option::of(0.0f64..10.0),
+        0.0f64..1.0,
+    )
+        .prop_map(move |(n, rp, ci_len, jc)| CandidateFeatures {
+            id: format!("cand{i}"),
+            sample_size: n,
+            rp,
+            rb: rp.map(|r| (r + 0.01).clamp(-1.0, 1.0)),
+            hfd_ci_length: ci_len,
+            pm1_ci_length: ci_len.map(|l| l.min(2.0)),
+            jc_exact: Some(jc),
+            jc_estimate: (jc + 0.05).min(1.0),
+        })
+}
+
+fn arb_features() -> impl Strategy<Value = Vec<CandidateFeatures>> {
+    vec(any::<u8>(), 1..20).prop_flat_map(|tags| {
+        tags.into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_feature(i))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Scores are finite, non-negative, aligned with the input, and
+    /// deterministic.
+    #[test]
+    fn scores_are_sane(features in arb_features()) {
+        for scorer in ScoringFunction::ALL {
+            let scores = score_candidates(&features, scorer);
+            prop_assert_eq!(scores.len(), features.len());
+            for &s in &scores {
+                prop_assert!(s.is_finite(), "{scorer}: {s}");
+                prop_assert!(s >= 0.0, "{scorer}: {s}");
+            }
+            prop_assert_eq!(scores.clone(), score_candidates(&features, scorer));
+        }
+    }
+
+    /// Candidates lacking the needed statistic never outrank candidates
+    /// that have it with a positive estimate (they score exactly zero).
+    #[test]
+    fn missing_statistics_score_zero(features in arb_features()) {
+        for scorer in [
+            ScoringFunction::Rp,
+            ScoringFunction::RpSez,
+            ScoringFunction::RbCib,
+            ScoringFunction::RpCih,
+        ] {
+            let scores = score_candidates(&features, scorer);
+            for (f, &s) in features.iter().zip(&scores) {
+                if f.rp.is_none() {
+                    prop_assert_eq!(s, 0.0, "scorer {}", scorer);
+                }
+            }
+        }
+    }
+
+    /// rank_candidates returns a permutation ordered by score.
+    #[test]
+    fn rank_is_an_ordered_permutation(features in arb_features()) {
+        for scorer in ScoringFunction::ALL {
+            let scores = score_candidates(&features, scorer);
+            let order = rank_candidates(&features, scorer);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..features.len()).collect::<Vec<_>>());
+            for w in order.windows(2) {
+                prop_assert!(scores[w[0]] >= scores[w[1]], "{scorer}");
+            }
+        }
+    }
+
+    /// The se_z penalization is monotone in sample size: same estimate,
+    /// more samples, never a lower score.
+    #[test]
+    fn sez_monotone_in_sample_size(r in -1.0f64..1.0, n1 in 1usize..500, extra in 1usize..500) {
+        let feat = |n: usize| CandidateFeatures {
+            id: "c".into(),
+            sample_size: n,
+            rp: Some(r),
+            rb: Some(r),
+            hfd_ci_length: Some(1.0),
+            pm1_ci_length: Some(1.0),
+            jc_exact: None,
+            jc_estimate: 0.0,
+        };
+        let fs = vec![feat(n1), feat(n1 + extra)];
+        let scores = score_candidates(&fs, ScoringFunction::RpSez);
+        prop_assert!(scores[1] >= scores[0] - 1e-12);
+    }
+
+    /// ci_h normalization maps the per-list min/max CI lengths to factors
+    /// 1 and 0 respectively.
+    #[test]
+    fn cih_normalization_endpoints(lens in vec(0.01f64..5.0, 2..10)) {
+        let fs: Vec<CandidateFeatures> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| CandidateFeatures {
+                id: format!("c{i}"),
+                sample_size: 100,
+                rp: Some(0.5),
+                rb: Some(0.5),
+                hfd_ci_length: Some(l),
+                pm1_ci_length: Some(l.min(2.0)),
+                jc_exact: None,
+                jc_estimate: 0.0,
+            })
+            .collect();
+        let scores = score_candidates(&fs, ScoringFunction::RpCih);
+        let min_i = lens
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let max_i = lens
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        prop_assume!(lens[min_i] < lens[max_i]);
+        prop_assert!((scores[min_i] - 0.5).abs() < 1e-9, "shortest CI gets full score");
+        prop_assert!(scores[max_i].abs() < 1e-9, "longest CI gets zero");
+    }
+}

@@ -1,0 +1,291 @@
+//! `PM1` bootstrap correlation estimator and the modified percentile
+//! bootstrap confidence interval (paper Section 5.3, estimator 5, and the
+//! `ci_b` risk factor of Section 4.4; Wilcox 1996).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::ci::ConfidenceInterval;
+use crate::error::{validate_pairs, StatsError};
+use crate::normal::normal_cdf;
+use crate::pearson::pearson;
+
+/// Tuning knobs for the PM1 bootstrap.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    /// Resamples drawn before the adaptive stopping rule may trigger.
+    pub min_resamples: usize,
+    /// Hard cap on resamples.
+    pub max_resamples: usize,
+    /// The paper's stopping rule: stop once the probability of the next
+    /// resample changing the running mean by more than this threshold…
+    pub mean_change_threshold: f64,
+    /// …falls below this probability (paper: 0.05% = 5e-4).
+    pub stop_probability: f64,
+    /// RNG seed (the estimator is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            min_resamples: 100,
+            max_resamples: 10_000,
+            mean_change_threshold: 0.01,
+            stop_probability: 5e-4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Outcome of a PM1 bootstrap run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapResult {
+    /// Mean of the resampled Pearson correlations — the PM1 point estimate.
+    pub estimate: f64,
+    /// Number of successful resamples actually drawn.
+    pub resamples: usize,
+    /// Sample standard deviation of the resampled correlations.
+    pub std_dev: f64,
+}
+
+/// Draw one bootstrap resample (with replacement) of the paired sample and
+/// compute its Pearson correlation; `None` when the resample is degenerate
+/// (e.g. it picked a single index n times).
+fn resample_pearson(x: &[f64], y: &[f64], rng: &mut StdRng, bx: &mut [f64], by: &mut [f64]) -> Option<f64> {
+    let n = x.len();
+    for i in 0..n {
+        let j = rng.random_range(0..n);
+        bx[i] = x[j];
+        by[i] = y[j];
+    }
+    pearson(bx, by).ok()
+}
+
+/// PM1 bootstrap estimate of Pearson's correlation.
+///
+/// Repeatedly resamples the paired data with replacement, recomputes the
+/// Pearson sample correlation, and returns the running mean. Instead of a
+/// fixed resample budget, it implements the paper's adaptive rule: stop as
+/// soon as the (normal-approximation) probability that one more resample
+/// moves the mean by more than `mean_change_threshold` drops below
+/// `stop_probability`.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`pearson`]; additionally returns
+/// [`StatsError::ZeroVariance`] if every resample is degenerate.
+pub fn pm1_bootstrap(
+    x: &[f64],
+    y: &[f64],
+    cfg: &BootstrapConfig,
+) -> Result<BootstrapResult, StatsError> {
+    validate_pairs(x, y, 2)?;
+    // Fail fast if the full sample is degenerate.
+    pearson(x, y)?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut bx = vec![0.0; x.len()];
+    let mut by = vec![0.0; y.len()];
+
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut count = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = cfg.max_resamples.saturating_mul(2);
+
+    while count < cfg.max_resamples && attempts < max_attempts {
+        attempts += 1;
+        let Some(r) = resample_pearson(x, y, &mut rng, &mut bx, &mut by) else {
+            continue;
+        };
+        count += 1;
+        sum += r;
+        sum_sq += r * r;
+
+        if count >= cfg.min_resamples {
+            let mean = sum / count as f64;
+            let var = (sum_sq / count as f64 - mean * mean).max(0.0);
+            let sd = var.sqrt();
+            if sd == 0.0 {
+                break;
+            }
+            // The next resample r* changes the mean by (r* − mean)/(count+1).
+            // P(|change| > θ) = P(|r* − mean| > θ(count+1))
+            //                 ≈ 2(1 − Φ(θ(count+1)/sd)).
+            let z = cfg.mean_change_threshold * (count as f64 + 1.0) / sd;
+            let p_change = 2.0 * (1.0 - normal_cdf(z));
+            if p_change < cfg.stop_probability {
+                break;
+            }
+        }
+    }
+
+    if count == 0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mean = sum / count as f64;
+    let var = (sum_sq / count as f64 - mean * mean).max(0.0);
+    Ok(BootstrapResult {
+        estimate: mean.clamp(-1.0, 1.0),
+        resamples: count,
+        std_dev: var.sqrt(),
+    })
+}
+
+/// Number of bootstrap replicates used by the modified percentile interval.
+const PM1_CI_REPLICATES: usize = 599;
+
+/// Wilcox's sample-size-dependent order-statistic indices (1-based) for the
+/// 95% modified percentile bootstrap interval over 599 replicates.
+fn pm1_ci_indices(n: usize) -> (usize, usize) {
+    match n {
+        0..=39 => (7, 593),
+        40..=79 => (8, 592),
+        80..=179 => (11, 589),
+        180..=249 => (14, 586),
+        _ => (16, 584),
+    }
+}
+
+/// Modified percentile bootstrap (PM1) 95% confidence interval for
+/// Pearson's correlation (Wilcox 1996) — the basis of the paper's `ci_b`
+/// risk-penalization factor.
+///
+/// Draws 599 resamples and returns the order statistics at
+/// sample-size-adjusted positions; the adjustment corrects the percentile
+/// method's poor small-sample coverage for `r`.
+///
+/// # Errors
+///
+/// Same failure modes as [`pm1_bootstrap`].
+pub fn pm1_ci(x: &[f64], y: &[f64], seed: u64) -> Result<ConfidenceInterval, StatsError> {
+    validate_pairs(x, y, 2)?;
+    pearson(x, y)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bx = vec![0.0; x.len()];
+    let mut by = vec![0.0; y.len()];
+    let mut rs = Vec::with_capacity(PM1_CI_REPLICATES);
+    let mut attempts = 0usize;
+    while rs.len() < PM1_CI_REPLICATES && attempts < PM1_CI_REPLICATES * 4 {
+        attempts += 1;
+        if let Some(r) = resample_pearson(x, y, &mut rng, &mut bx, &mut by) {
+            rs.push(r);
+        }
+    }
+    if rs.len() < PM1_CI_REPLICATES / 2 {
+        return Err(StatsError::ZeroVariance);
+    }
+    rs.sort_by(f64::total_cmp);
+    let (a, c) = pm1_ci_indices(x.len());
+    // Scale indices if we collected fewer than the nominal replicate count.
+    let scale = rs.len() as f64 / PM1_CI_REPLICATES as f64;
+    let lo_idx = (((a as f64) * scale).round() as usize).clamp(1, rs.len()) - 1;
+    let hi_idx = (((c as f64) * scale).round() as usize).clamp(1, rs.len()) - 1;
+    Ok(ConfidenceInterval::new(rs[lo_idx], rs[hi_idx]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| 2.0 * v + 10.0 * ((v * 0.7).sin()))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn pm1_estimate_close_to_pearson_on_clean_data() {
+        let (x, y) = linear_data(200);
+        let r = pearson(&x, &y).unwrap();
+        let b = pm1_bootstrap(&x, &y, &BootstrapConfig::default()).unwrap();
+        assert!((b.estimate - r).abs() < 0.02, "r={r} pm1={}", b.estimate);
+        assert!(b.resamples >= 100);
+    }
+
+    #[test]
+    fn pm1_is_deterministic_given_seed() {
+        let (x, y) = linear_data(50);
+        let cfg = BootstrapConfig::default();
+        let a = pm1_bootstrap(&x, &y, &cfg).unwrap();
+        let b = pm1_bootstrap(&x, &y, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_slightly_different_estimates() {
+        let (x, y) = linear_data(30);
+        let a = pm1_bootstrap(&x, &y, &BootstrapConfig { seed: 1, ..Default::default() }).unwrap();
+        let b = pm1_bootstrap(&x, &y, &BootstrapConfig { seed: 2, ..Default::default() }).unwrap();
+        assert_ne!(a.estimate, b.estimate);
+        assert!((a.estimate - b.estimate).abs() < 0.1);
+    }
+
+    #[test]
+    fn adaptive_stopping_uses_fewer_resamples_for_stable_data() {
+        // Near-perfect correlation → tiny resample variance → early stop.
+        let x: Vec<f64> = (0..500).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 3.0).collect();
+        let b = pm1_bootstrap(&x, &y, &BootstrapConfig::default()).unwrap();
+        assert!(
+            b.resamples < 1_000,
+            "expected early stop, used {}",
+            b.resamples
+        );
+    }
+
+    #[test]
+    fn estimate_is_clamped() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let b = pm1_bootstrap(&x, &y, &BootstrapConfig::default()).unwrap();
+        assert!((-1.0..=1.0).contains(&b.estimate));
+    }
+
+    #[test]
+    fn degenerate_input_is_an_error() {
+        assert!(matches!(
+            pm1_bootstrap(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &BootstrapConfig::default()),
+            Err(StatsError::ZeroVariance)
+        ));
+    }
+
+    #[test]
+    fn pm1_ci_contains_point_estimate_on_clean_data() {
+        let (x, y) = linear_data(100);
+        let r = pearson(&x, &y).unwrap();
+        let ci = pm1_ci(&x, &y, 42).unwrap();
+        assert!(ci.low <= r && r <= ci.high, "r={r} ci={ci:?}");
+        assert!(ci.length() < 0.3);
+    }
+
+    #[test]
+    fn pm1_ci_wider_for_smaller_samples() {
+        let (x_big, y_big) = linear_data(400);
+        let ci_big = pm1_ci(&x_big, &y_big, 7).unwrap();
+        let (x_small, y_small) = linear_data(12);
+        let ci_small = pm1_ci(&x_small, &y_small, 7).unwrap();
+        assert!(
+            ci_small.length() > ci_big.length(),
+            "small={:?} big={:?}",
+            ci_small,
+            ci_big
+        );
+    }
+
+    #[test]
+    fn ci_index_table_is_monotone() {
+        let mut prev = pm1_ci_indices(2);
+        for n in [40, 80, 180, 250, 1000] {
+            let cur = pm1_ci_indices(n);
+            assert!(cur.0 >= prev.0);
+            assert!(cur.1 <= prev.1);
+            prev = cur;
+        }
+    }
+}

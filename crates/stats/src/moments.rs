@@ -1,0 +1,304 @@
+//! Streaming moments and summary statistics.
+//!
+//! [`Moments`] is a single-pass (Welford-style) accumulator for mean,
+//! variance, skewness and excess kurtosis. The paper's analysis repeatedly
+//! refers to fourth-order moments (kurtosis) as the driver of Pearson
+//! estimator error on non-normal data (Section 2.2), so we expose them for
+//! diagnostics, and the sketch builder uses the min/max tracked here for the
+//! Hoeffding bounds (`C_low`/`C_high`, Section 4.3).
+
+/// Single-pass accumulator for the first four central moments plus range.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulate one observation (Welford/Pébay update).
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        let m3 = self.m3 + other.m3 + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of accumulated observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance (divides by `n`); `None` if empty.
+    #[must_use]
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample variance (divides by `n − 1`); `None` if `n < 2`.
+    #[must_use]
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n as f64 - 1.0))
+    }
+
+    /// Sample standard deviation; `None` if `n < 2`.
+    #[must_use]
+    pub fn sample_std(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Skewness `g1 = m3 / m2^{3/2}` (population form); `None` if `n < 2`
+    /// or the variance is zero.
+    #[must_use]
+    pub fn skewness(&self) -> Option<f64> {
+        if self.n < 2 || self.m2 <= 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some(n.sqrt() * self.m3 / self.m2.powf(1.5))
+    }
+
+    /// Excess kurtosis `g2 = n·m4/m2² − 3`; `None` if `n < 2` or the
+    /// variance is zero.
+    #[must_use]
+    pub fn excess_kurtosis(&self) -> Option<f64> {
+        if self.n < 2 || self.m2 <= 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some(n * self.m4 / (self.m2 * self.m2) - 3.0)
+    }
+
+    /// Smallest observation; `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Freeze into a [`SummaryStats`] snapshot.
+    #[must_use]
+    pub fn summary(&self) -> Option<SummaryStats> {
+        Some(SummaryStats {
+            count: self.n,
+            mean: self.mean()?,
+            variance: self.population_variance()?,
+            min: self.min()?,
+            max: self.max()?,
+            skewness: self.skewness(),
+            excess_kurtosis: self.excess_kurtosis(),
+        })
+    }
+}
+
+impl Extend<f64> for Moments {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut m = Self::new();
+        m.extend(iter);
+        m
+    }
+}
+
+/// Immutable snapshot of column statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Skewness, if defined.
+    pub skewness: Option<f64>,
+    /// Excess kurtosis, if defined.
+    pub excess_kurtosis: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn empty_moments_return_none() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert!(m.mean().is_none());
+        assert!(m.population_variance().is_none());
+        assert!(m.min().is_none());
+        assert!(m.max().is_none());
+        assert!(m.summary().is_none());
+    }
+
+    #[test]
+    fn mean_variance_match_naive_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let m: Moments = data.iter().copied().collect();
+        assert_eq!(m.count(), 8);
+        assert!(close(m.mean().unwrap(), 5.0, 1e-12));
+        assert!(close(m.population_variance().unwrap(), 4.0, 1e-12));
+        assert!(close(m.sample_variance().unwrap(), 32.0 / 7.0, 1e-12));
+        assert_eq!(m.min().unwrap(), 2.0);
+        assert_eq!(m.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn skewness_zero_for_symmetric_data() {
+        let m: Moments = [-3.0, -1.0, 0.0, 1.0, 3.0].iter().copied().collect();
+        assert!(close(m.skewness().unwrap(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn kurtosis_of_two_point_mass_is_minus_two() {
+        // {−1, +1} repeated: excess kurtosis = −2 exactly.
+        let m: Moments = [-1.0, 1.0, -1.0, 1.0, -1.0, 1.0].iter().copied().collect();
+        assert!(close(m.excess_kurtosis().unwrap(), -2.0, 1e-12));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + i as f64).collect();
+        let whole: Moments = data.iter().copied().collect();
+        let mut left: Moments = data[..37].iter().copied().collect();
+        let right: Moments = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!(close(left.mean().unwrap(), whole.mean().unwrap(), 1e-9));
+        assert!(close(
+            left.population_variance().unwrap(),
+            whole.population_variance().unwrap(),
+            1e-9
+        ));
+        assert!(close(left.skewness().unwrap(), whole.skewness().unwrap(), 1e-9));
+        assert!(close(
+            left.excess_kurtosis().unwrap(),
+            whole.excess_kurtosis().unwrap(),
+            1e-9
+        ));
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: Moments = [1.0, 2.0, 3.0].iter().copied().collect();
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance_and_no_skew() {
+        let m: Moments = std::iter::repeat_n(5.0, 10).collect();
+        assert!(close(m.population_variance().unwrap(), 0.0, 1e-12));
+        assert!(m.skewness().is_none());
+        assert!(m.excess_kurtosis().is_none());
+    }
+
+    #[test]
+    fn summary_snapshot_matches_accessors() {
+        let m: Moments = [1.0, 2.0, 3.0, 4.0].iter().copied().collect();
+        let s = m.summary().unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, m.mean().unwrap());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+}

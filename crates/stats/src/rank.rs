@@ -1,0 +1,93 @@
+//! Rank transform with average-tie handling, shared by Spearman's rank
+//! correlation and the RIN transformation.
+
+/// Assign 1-based ranks to `data`, giving tied values the average of the
+/// ranks they span ("fractional ranking", the convention used by
+/// Spearman's ρ).
+///
+/// Example: `[10, 20, 20, 30]` → `[1.0, 2.5, 2.5, 4.0]`.
+///
+/// NaNs are not meaningful to rank; callers must filter them first (the
+/// sketch join layer never produces NaN pairs). If NaNs are present they
+/// sort last and receive the largest ranks, deterministically.
+#[must_use]
+pub fn average_ranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Total order: NaN sorts last; total_cmp gives a deterministic order.
+    order.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the run of ties [i, j).
+        let mut j = i + 1;
+        while j < n && data[order[j]].total_cmp(&data[order[i]]) == std::cmp::Ordering::Equal {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties_is_a_permutation_of_1_to_n() {
+        let r = average_ranks(&[30.0, 10.0, 20.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn all_equal_values_share_middle_rank() {
+        let r = average_ranks(&[7.0; 5]);
+        assert_eq!(r, vec![3.0; 5]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(average_ranks(&[]).is_empty());
+        assert_eq!(average_ranks(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Σ ranks = n(n+1)/2 regardless of ties.
+        let data = [5.0, 1.0, 5.0, 2.0, 2.0, 2.0, 9.0];
+        let s: f64 = average_ranks(&data).iter().sum();
+        let n = data.len() as f64;
+        assert!((s - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_monotone_in_values() {
+        let data = [3.0, -1.0, 4.0, 1.0, 5.0, 9.0, -2.0];
+        let r = average_ranks(&data);
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                if data[i] < data[j] {
+                    assert!(r[i] < r[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_values_rank_correctly() {
+        let r = average_ranks(&[-5.0, 0.0, -10.0]);
+        assert_eq!(r, vec![2.0, 3.0, 1.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Spearman's rank correlation coefficient (paper Section 5.3, estimator 2).
+
+use crate::error::StatsError;
+use crate::pearson::pearson;
+use crate::rank::average_ranks;
+
+/// Spearman's rank correlation: Pearson's correlation of the
+/// (average-tie) rank transforms of `x` and `y`.
+///
+/// Captures monotone (not only linear) relationships; this is the paper's
+/// definition — "the numeric column values are transformed using r(x) and
+/// then the Pearson's correlation over the transformed values is computed".
+///
+/// ```
+/// // A monotone but nonlinear relationship: Spearman sees a perfect link.
+/// let x: Vec<f64> = (1..=10).map(f64::from).collect();
+/// let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+/// assert!((sketch_stats::spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+///
+/// Same failure modes as [`pearson`]; in particular a variable whose values
+/// are all tied has zero rank variance and yields
+/// [`StatsError::ZeroVariance`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_nonlinear_relationship() {
+        // y = x³ is monotone: Spearman = 1 even though Pearson < 1.
+        let x: Vec<f64> = (1..=20).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn perfect_antitone_relationship() {
+        let x: Vec<f64> = (1..=10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| (-v).exp()).collect();
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_tie_free_formula_agreement() {
+        // Without ties, Spearman = 1 − 6Σd²/(n(n²−1)).
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [3.0, 1.0, 4.0, 2.0, 5.0];
+        let rx = average_ranks(&x);
+        let ry = average_ranks(&y);
+        let d2: f64 = rx.iter().zip(&ry).map(|(a, b)| (a - b).powi(2)).sum();
+        let n = x.len() as f64;
+        let classic = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+        assert!((spearman(&x, &y).unwrap() - classic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_under_monotone_transform() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0];
+        let y = [2.0, 4.0, 9.0, 1.0, 7.0, 3.0];
+        let rho = spearman(&x, &y).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        let y2: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+        assert!((spearman(&x2, &y2).unwrap() - rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho > 0.9 && rho <= 1.0);
+    }
+
+    #[test]
+    fn constant_column_is_error() {
+        assert_eq!(
+            spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn robust_to_a_single_outlier_unlike_pearson() {
+        let mut x: Vec<f64> = (1..=30).map(f64::from).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+        // Corrupt one pair with a huge outlier in opposite direction.
+        x.push(1000.0);
+        y.push(-1000.0);
+        let rho = spearman(&x, &y).unwrap();
+        let r = pearson(&x, &y).unwrap();
+        assert!(rho > 0.8, "spearman should stay high, got {rho}");
+        assert!(r < rho, "pearson should be dragged down more: {r} vs {rho}");
+    }
+}

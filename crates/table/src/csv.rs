@@ -1,0 +1,225 @@
+//! Minimal RFC-4180 CSV parsing with type inference.
+//!
+//! The paper stored its corpus snapshots "in plain CSV text files" and used
+//! the Tablesaw library "to automatically parse and detect the basic data
+//! types for each column" (Section 5.1). This module is our stand-in:
+//! quoted fields, embedded commas/newlines/escaped quotes, and a simple
+//! numeric-majority type-inference rule.
+
+/// CSV parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A record has a different number of fields than the header.
+    RaggedRow {
+        /// 1-based record number.
+        row: usize,
+        /// Fields found in the record.
+        got: usize,
+        /// Fields expected (header width).
+        expected: usize,
+    },
+    /// Input contained no records at all.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            Self::RaggedRow { row, got, expected } => {
+                write!(f, "row {row} has {got} fields, expected {expected}")
+            }
+            Self::Empty => write!(f, "empty CSV input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text into records of string fields (RFC 4180: `"`-quoted
+/// fields may contain commas, newlines, and doubled quotes).
+///
+/// # Errors
+///
+/// [`CsvError::UnterminatedQuote`] if a quote is left open, and
+/// [`CsvError::Empty`] for input with no records.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut line = 1usize;
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_start_line = line;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Swallow \r of \r\n; a bare \r also terminates the record.
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    // Final record without trailing newline.
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any_char || records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Tokens treated as missing values during type inference.
+pub(crate) fn is_missing(s: &str) -> bool {
+    let t = s.trim();
+    t.is_empty()
+        || t.eq_ignore_ascii_case("na")
+        || t.eq_ignore_ascii_case("n/a")
+        || t.eq_ignore_ascii_case("null")
+        || t.eq_ignore_ascii_case("nan")
+        || t == "-"
+}
+
+/// Try to parse a CSV field as a finite number (allows thousands
+/// separators and a leading `$`, which the World Bank monetary columns
+/// use).
+pub(crate) fn parse_number(s: &str) -> Option<f64> {
+    let t = s.trim().trim_start_matches('$');
+    let cleaned: String = if t.contains(',') {
+        t.replace(',', "")
+    } else {
+        t.to_string()
+    };
+    cleaned.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows() {
+        let rows = parse_csv("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["a", "b"]);
+        assert_eq!(rows[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let rows = parse_csv("name,notes\n\"Smith, J.\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(rows[1][0], "Smith, J.");
+        assert_eq!(rows[1][1], "line1\nline2");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let rows = parse_csv("a\n\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rows[1][0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let rows = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let rows = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let rows = parse_csv("a,,c\n,,\n").unwrap();
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+        assert_eq!(rows[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert_eq!(
+            parse_csv("a\n\"oops\n"),
+            Err(CsvError::UnterminatedQuote { line: 2 })
+        );
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(parse_csv(""), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn missing_tokens() {
+        for t in ["", "  ", "NA", "n/a", "NULL", "NaN", "-"] {
+            assert!(is_missing(t), "{t:?}");
+        }
+        assert!(!is_missing("0"));
+        assert!(!is_missing("none at all"));
+    }
+
+    #[test]
+    fn number_parsing() {
+        assert_eq!(parse_number("42"), Some(42.0));
+        assert_eq!(parse_number(" -3.5 "), Some(-3.5));
+        assert_eq!(parse_number("$1,234,567.89"), Some(1_234_567.89));
+        assert_eq!(parse_number("1e6"), Some(1e6));
+        assert_eq!(parse_number("abc"), None);
+        assert_eq!(parse_number("inf"), None);
+    }
+}

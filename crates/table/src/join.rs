@@ -1,0 +1,269 @@
+//! Exact joins with aggregation — the ground truth the paper compares
+//! sketch estimates against (`T_{X⨝Y}` of Figure 1) — plus the exact
+//! set-overlap measures used by the joinability baselines.
+
+use std::collections::HashMap;
+
+use crate::aggregate::{AggState, Aggregation};
+use crate::pair::ColumnPair;
+
+/// Result of an exact aggregate-join of two column pairs on their keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedPairs {
+    /// Keys present on both sides (distinct, in first-seen order of the
+    /// left input).
+    pub keys: Vec<String>,
+    /// Aggregated left values, aligned with `keys`.
+    pub x: Vec<f64>,
+    /// Aggregated right values, aligned with `keys`.
+    pub y: Vec<f64>,
+}
+
+impl JoinedPairs {
+    /// Number of joined rows (distinct common keys).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the join is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Group a column pair by key with the given aggregation, preserving
+/// first-seen key order.
+fn group_by_key(pair: &ColumnPair, agg: Aggregation) -> (Vec<&str>, HashMap<&str, AggState>) {
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: HashMap<&str, AggState> = HashMap::with_capacity(pair.len());
+    for (k, v) in pair.rows() {
+        match groups.entry(k) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().update(v),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(agg.start(v));
+                order.push(k);
+            }
+        }
+    }
+    (order, groups)
+}
+
+/// Exactly join two column pairs on their keys, aggregating repeated keys
+/// on each side with `agg` first (the semantics of paper Figure 1).
+///
+/// The resulting paired vectors are what `r_{X⨝Y}` — the ground-truth
+/// correlation — is computed from.
+#[must_use]
+pub fn exact_join(a: &ColumnPair, b: &ColumnPair, agg: Aggregation) -> JoinedPairs {
+    let (order_a, groups_a) = group_by_key(a, agg);
+    let (_, groups_b) = group_by_key(b, agg);
+
+    let mut keys = Vec::new();
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for k in order_a {
+        if let (Some(sa), Some(sb)) = (groups_a.get(k), groups_b.get(k)) {
+            keys.push(k.to_string());
+            x.push(sa.value());
+            y.push(sb.value());
+        }
+    }
+    JoinedPairs { keys, x, y }
+}
+
+/// Distinct keys of a pair as a sorted, deduplicated vector.
+fn distinct_keys(pair: &ColumnPair) -> Vec<&str> {
+    let mut ks: Vec<&str> = pair.keys.iter().map(String::as_str).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+/// Number of distinct keys common to both pairs (`|K_X ∩ K_Y|`).
+#[must_use]
+pub fn key_overlap(a: &ColumnPair, b: &ColumnPair) -> usize {
+    let ka = distinct_keys(a);
+    let kb = distinct_keys(b);
+    let (small, large) = if ka.len() <= kb.len() { (&ka, &kb) } else { (&kb, &ka) };
+    small
+        .iter()
+        .filter(|k| large.binary_search(k).is_ok())
+        .count()
+}
+
+/// Exact Jaccard similarity `|K_X ∩ K_Y| / |K_X ∪ K_Y|` of the key sets.
+#[must_use]
+pub fn jaccard_similarity(a: &ColumnPair, b: &ColumnPair) -> f64 {
+    let inter = key_overlap(a, b);
+    let union = a.distinct_keys() + b.distinct_keys() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Exact Jaccard containment `|K_X ∩ K_Y| / |K_X|` of `a`'s keys in `b` —
+/// the `jc` ranking baseline of paper Section 5.4 (the score joinability
+/// systems such as JOSIE optimize).
+#[must_use]
+pub fn jaccard_containment(a: &ColumnPair, b: &ColumnPair) -> f64 {
+    let da = a.distinct_keys();
+    if da == 0 {
+        0.0
+    } else {
+        key_overlap(a, b) as f64 / da as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(table: &str, rows: &[(&str, f64)]) -> ColumnPair {
+        ColumnPair::new(
+            table,
+            "k",
+            "v",
+            rows.iter().map(|(k, _)| (*k).to_string()).collect(),
+            rows.iter().map(|(_, v)| *v).collect(),
+        )
+    }
+
+    /// The exact tables of paper Figure 1.
+    fn figure_one() -> (ColumnPair, ColumnPair) {
+        let tx = pair(
+            "TX",
+            &[
+                ("2021-01", 6.0),
+                ("2021-02", 4.0),
+                ("2021-03", 2.0),
+                ("2021-04", 3.0),
+                ("2021-05", 0.5),
+                ("2021-06", 4.0),
+                ("2021-07", 2.0),
+            ],
+        );
+        let ty = pair(
+            "TY",
+            &[
+                ("2021-01", 5.5),
+                ("2021-01", 4.5),
+                ("2021-02", 3.9),
+                ("2021-02", 2.0),
+                ("2021-03", 4.0),
+                ("2021-03", 1.0),
+                ("2021-04", 4.0),
+            ],
+        );
+        (tx, ty)
+    }
+
+    #[test]
+    fn figure_one_join_with_mean_aggregation() {
+        let (tx, ty) = figure_one();
+        let j = exact_join(&tx, &ty, Aggregation::Mean);
+        assert_eq!(j.len(), 4);
+        let lookup: std::collections::HashMap<&str, (f64, f64)> = j
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), (j.x[i], j.y[i])))
+            .collect();
+        assert_eq!(lookup["2021-01"], (6.0, 5.0));
+        assert_eq!(lookup["2021-02"], (4.0, 2.95));
+        assert_eq!(lookup["2021-03"], (2.0, 2.5));
+        assert_eq!(lookup["2021-04"], (3.0, 4.0));
+    }
+
+    #[test]
+    fn join_preserves_left_first_seen_order() {
+        let (tx, ty) = figure_one();
+        let j = exact_join(&tx, &ty, Aggregation::Mean);
+        assert_eq!(j.keys, vec!["2021-01", "2021-02", "2021-03", "2021-04"]);
+    }
+
+    #[test]
+    fn join_is_symmetric_in_key_set() {
+        let (tx, ty) = figure_one();
+        let ab = exact_join(&tx, &ty, Aggregation::Mean);
+        let ba = exact_join(&ty, &tx, Aggregation::Mean);
+        let mut ka = ab.keys.clone();
+        let mut kb = ba.keys.clone();
+        ka.sort();
+        kb.sort();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn disjoint_keys_join_empty() {
+        let a = pair("A", &[("x", 1.0)]);
+        let b = pair("B", &[("y", 2.0)]);
+        let j = exact_join(&a, &b, Aggregation::Mean);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn aggregation_choice_changes_joined_values() {
+        let (tx, ty) = figure_one();
+        let jm = exact_join(&tx, &ty, Aggregation::Max);
+        let lookup: std::collections::HashMap<&str, f64> = jm
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), jm.y[i]))
+            .collect();
+        assert_eq!(lookup["2021-01"], 5.5);
+        assert_eq!(lookup["2021-02"], 3.9);
+    }
+
+    #[test]
+    fn overlap_and_jaccard() {
+        let (tx, ty) = figure_one();
+        assert_eq!(key_overlap(&tx, &ty), 4);
+        // |K_X| = 7, |K_Y| = 4, union = 7.
+        assert!((jaccard_similarity(&tx, &ty) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((jaccard_containment(&tx, &ty) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((jaccard_containment(&ty, &tx) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_sets_is_zero() {
+        let a = pair("A", &[("x", 1.0)]);
+        let b = pair("B", &[("y", 2.0)]);
+        assert_eq!(jaccard_similarity(&a, &b), 0.0);
+        assert_eq!(jaccard_containment(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_of_identical_key_sets_is_one() {
+        let a = pair("A", &[("x", 1.0), ("y", 5.0)]);
+        let b = pair("B", &[("y", 2.0), ("x", 0.0)]);
+        assert_eq!(jaccard_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_pair_edge_cases() {
+        let e = pair("E", &[]);
+        let a = pair("A", &[("x", 1.0)]);
+        assert_eq!(key_overlap(&e, &a), 0);
+        assert_eq!(jaccard_similarity(&e, &a), 0.0);
+        assert_eq!(jaccard_containment(&e, &a), 0.0);
+        assert!(exact_join(&e, &a, Aggregation::Mean).is_empty());
+    }
+
+    #[test]
+    fn ground_truth_correlation_via_join() {
+        // Perfectly correlated after the join even with repeated keys.
+        let a = pair("A", &[("k1", 1.0), ("k2", 2.0), ("k3", 3.0)]);
+        let b = pair(
+            "B",
+            &[("k1", 10.0), ("k1", 10.0), ("k2", 20.0), ("k3", 30.0)],
+        );
+        let j = exact_join(&a, &b, Aggregation::Mean);
+        let r = sketch_stats::pearson(&j.x, &j.y).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Table substrate for the Correlation Sketches reproduction.
+//!
+//! The paper's data model (Section 3) is a pair of columns per table: a
+//! categorical *join key* column `K` and a numerical column `X`. This crate
+//! provides:
+//!
+//! * [`Table`] / [`ColumnData`] — a small column-oriented table model with
+//!   nullable categorical and numeric columns;
+//! * CSV parsing with automatic type inference ([`Table::from_csv`]),
+//!   standing in for the Tablesaw library the paper used;
+//! * extraction of all `⟨K, X⟩` **column pairs** from a table
+//!   ([`Table::column_pairs`]), the unit of indexing in the paper's
+//!   evaluation;
+//! * **exact joins with aggregation** ([`join::exact_join`]) — the ground
+//!   truth that sketch estimates are compared against, including the
+//!   repeated-key aggregation semantics of Figure 1 (mean/sum/min/max/
+//!   first/last/count);
+//! * exact set-overlap measures (Jaccard similarity/containment) used by
+//!   the `jc` ranking baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod column;
+pub mod csv;
+pub mod join;
+pub mod pair;
+pub mod table;
+
+pub use aggregate::{AggState, Aggregation};
+pub use column::{ColumnData, NamedColumn};
+pub use csv::{parse_csv, CsvError};
+pub use join::{exact_join, jaccard_containment, jaccard_similarity, key_overlap, JoinedPairs};
+pub use pair::ColumnPair;
+pub use table::Table;

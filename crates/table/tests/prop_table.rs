@@ -1,0 +1,135 @@
+//! Property-based tests for the table substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sketch_table::{
+    exact_join, jaccard_containment, jaccard_similarity, key_overlap, parse_csv, Aggregation,
+    ColumnPair,
+};
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    // Cells exercising quoting: commas, quotes, newlines, unicode.
+    prop_oneof![
+        "[a-z0-9 ]{0,12}",
+        Just("a,b".to_string()),
+        Just("say \"hi\"".to_string()),
+        Just("line1\nline2".to_string()),
+        Just("naïve–data".to_string()),
+    ]
+}
+
+fn quote(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+fn pair_from(keys: &[u8], values: &[f64], table: &str) -> ColumnPair {
+    let n = keys.len().min(values.len());
+    ColumnPair::new(
+        table,
+        "k",
+        "v",
+        keys[..n].iter().map(|k| format!("key-{k}")).collect(),
+        values[..n].to_vec(),
+    )
+}
+
+proptest! {
+    /// CSV writer→parser round-trip: any grid of cells survives quoting.
+    #[test]
+    fn csv_roundtrip(grid in vec(vec(arb_cell(), 1..6), 1..20)) {
+        let width = grid[0].len();
+        let text: String = grid
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .take(width)
+                    .chain(std::iter::repeat_n(&String::new(), width.saturating_sub(row.len())))
+                    .map(|c| quote(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let parsed = parse_csv(&text).unwrap();
+        prop_assert_eq!(parsed.len(), grid.len());
+        for (prow, grow) in parsed.iter().zip(&grid) {
+            for (pcell, gcell) in prow.iter().zip(grow.iter().take(width)) {
+                prop_assert_eq!(pcell, gcell);
+            }
+        }
+    }
+
+    /// Join size equals the exact distinct-key intersection.
+    #[test]
+    fn join_size_equals_key_overlap(
+        ka in vec(any::<u8>(), 0..200),
+        kb in vec(any::<u8>(), 0..200),
+        va in vec(-1e3f64..1e3, 0..200),
+        vb in vec(-1e3f64..1e3, 0..200),
+    ) {
+        let a = pair_from(&ka, &va, "a");
+        let b = pair_from(&kb, &vb, "b");
+        let joined = exact_join(&a, &b, Aggregation::Mean);
+        prop_assert_eq!(joined.len(), key_overlap(&a, &b));
+    }
+
+    /// Jaccard measures are bounded, symmetric (similarity), and
+    /// consistent with each other.
+    #[test]
+    fn jaccard_properties(
+        ka in vec(any::<u8>(), 1..150),
+        kb in vec(any::<u8>(), 1..150),
+        va in vec(-1e3f64..1e3, 1..150),
+        vb in vec(-1e3f64..1e3, 1..150),
+    ) {
+        let a = pair_from(&ka, &va, "a");
+        let b = pair_from(&kb, &vb, "b");
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let sim = jaccard_similarity(&a, &b);
+        let jc_ab = jaccard_containment(&a, &b);
+        let jc_ba = jaccard_containment(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&sim));
+        prop_assert!((0.0..=1.0).contains(&jc_ab));
+        prop_assert!((sim - jaccard_similarity(&b, &a)).abs() < 1e-12);
+        // similarity ≤ each containment.
+        prop_assert!(sim <= jc_ab + 1e-12);
+        prop_assert!(sim <= jc_ba + 1e-12);
+        // |A∩B| consistency: jc_ab·|A| == jc_ba·|B|.
+        let lhs = jc_ab * a.distinct_keys() as f64;
+        let rhs = jc_ba * b.distinct_keys() as f64;
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// Joining a pair with itself is the identity on aggregated values.
+    #[test]
+    fn self_join_is_identity(
+        keys in vec(any::<u8>(), 1..150),
+        values in vec(-1e3f64..1e3, 1..150),
+    ) {
+        let a = pair_from(&keys, &values, "a");
+        prop_assume!(!a.is_empty());
+        let joined = exact_join(&a, &a, Aggregation::Mean);
+        prop_assert_eq!(joined.len(), a.distinct_keys());
+        for (x, y) in joined.x.iter().zip(&joined.y) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Aggregation bounds: min ≤ mean ≤ max per key group.
+    #[test]
+    fn aggregation_ordering(values in vec(-1e3f64..1e3, 1..60)) {
+        let lo = Aggregation::Min.aggregate_slice(&values).unwrap();
+        let mid = Aggregation::Mean.aggregate_slice(&values).unwrap();
+        let hi = Aggregation::Max.aggregate_slice(&values).unwrap();
+        prop_assert!(lo <= mid + 1e-9 && mid <= hi + 1e-9);
+        prop_assert_eq!(
+            Aggregation::Count.aggregate_slice(&values).unwrap(),
+            values.len() as f64
+        );
+    }
+}

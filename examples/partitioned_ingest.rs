@@ -1,0 +1,107 @@
+//! Production-shaped ingestion: data arrives in shards, each shard is
+//! sketched incrementally (push API), shard sketches are merged, and the
+//! corpus is sketched in parallel — all while staying bit-identical to a
+//! single-pass build.
+//!
+//! ```text
+//! cargo run --release --example partitioned_ingest
+//! ```
+
+use join_correlation::sketches::{
+    build_sketches_parallel, join_sketches, merge_partition_sketches, SketchBuilder,
+    SketchConfig, StreamingSketchBuilder,
+};
+use join_correlation::stats::CorrelationEstimator;
+use join_correlation::table::{Aggregation, ColumnPair};
+
+fn main() {
+    // A "sensor" table too large to sketch in one place: four shards of
+    // (station, reading-count) rows. Count is decomposable, so shard
+    // sketches merge exactly.
+    let config = SketchConfig::with_size(256).aggregation(Aggregation::Count);
+    let shard_rows = |s: usize| -> Vec<(String, f64)> {
+        (0..50_000)
+            .map(|i| {
+                let station = (i * 7 + s * 13) % 9_000;
+                (format!("station-{station}"), 1.0)
+            })
+            .collect()
+    };
+
+    // 1. Incremental (push-based) sketching per shard — the shape of a
+    //    streaming ingestion pipeline.
+    let mut shard_sketches = Vec::new();
+    for s in 0..4 {
+        let mut builder = StreamingSketchBuilder::new("sensors/station/events", config);
+        for (k, v) in shard_rows(s) {
+            builder.push(&k, v);
+        }
+        println!(
+            "shard {s}: {} rows pushed, {} tuples retained",
+            builder.rows_scanned(),
+            builder.len()
+        );
+        shard_sketches.push(builder.finish());
+    }
+
+    // 2. Merge the shard sketches (exact for decomposable aggregations).
+    let merged = shard_sketches
+        .into_iter()
+        .reduce(|a, b| merge_partition_sketches(&a, &b).expect("same config, decomposable"))
+        .expect("at least one shard");
+
+    // Cross-check against a single pass over the concatenated shards.
+    let mut all_keys = Vec::new();
+    let mut all_vals = Vec::new();
+    for s in 0..4 {
+        for (k, v) in shard_rows(s) {
+            all_keys.push(k);
+            all_vals.push(v);
+        }
+    }
+    let whole = ColumnPair::new("sensors", "station", "events", all_keys, all_vals);
+    let single_pass = SketchBuilder::new(config).build(&whole);
+    assert_eq!(merged.entries(), single_pass.entries());
+    println!(
+        "\nmerged sketch == single-pass sketch over {} rows ({} tuples)",
+        merged.rows_scanned(),
+        merged.len()
+    );
+
+    // 3. Parallel corpus sketching for the rest of the lake.
+    let corpus: Vec<ColumnPair> = (0..64)
+        .map(|t| {
+            ColumnPair::new(
+                format!("table{t}"),
+                "station",
+                "metric",
+                (0..8_000).map(|i| format!("station-{}", (i + t * 31) % 9_000)).collect(),
+                (0..8_000).map(|i| ((i + t) as f64 * 0.11).sin() * 5.0).collect(),
+            )
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let serial = build_sketches_parallel(&corpus, SketchConfig::with_size(256), 1);
+    let t_serial = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let parallel = build_sketches_parallel(&corpus, SketchConfig::with_size(256), 8);
+    let t_parallel = t0.elapsed();
+    assert_eq!(serial, parallel);
+    println!(
+        "parallel corpus sketching: {} pairs in {:.0} ms (serial {:.0} ms, identical output)",
+        corpus.len(),
+        t_parallel.as_secs_f64() * 1e3,
+        t_serial.as_secs_f64() * 1e3,
+    );
+
+    // 4. The merged sketch is a first-class citizen: join it against a
+    //    corpus sketch and estimate.
+    let sample = join_sketches(&merged, &parallel[0]).expect("same hasher");
+    println!(
+        "\nmerged-shard sketch ⨝ corpus sketch: {} shared stations, r^ = {}",
+        sample.len(),
+        sample
+            .estimate(CorrelationEstimator::Pearson)
+            .map_or_else(|e| format!("({e})"), |r| format!("{r:+.3}"))
+    );
+}

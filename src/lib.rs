@@ -1,0 +1,19 @@
+//! Umbrella crate for the Correlation Sketches reproduction.
+//!
+//! Re-exports the workspace crates under short names so examples and
+//! integration tests can `use join_correlation::...` uniformly. See the
+//! individual crates for the actual implementations:
+//!
+//! * [`correlation_sketches`] — the sketch itself (the paper's core
+//!   contribution).
+//! * [`sketch_hashing`], [`sketch_stats`], [`sketch_table`] — substrates.
+//! * [`sketch_index`], [`sketch_ranking`] — query engine and scoring.
+//! * [`sketch_datagen`] — reproducible synthetic corpora.
+
+pub use correlation_sketches as sketches;
+pub use sketch_datagen as datagen;
+pub use sketch_hashing as hashing;
+pub use sketch_index as index;
+pub use sketch_ranking as ranking;
+pub use sketch_stats as stats;
+pub use sketch_table as table;

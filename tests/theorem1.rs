@@ -1,0 +1,156 @@
+//! Statistical validation of Theorem 1: the sketch join reconstructs a
+//! *uniform random* sample of the joined table, and estimates computed on
+//! it converge to the truth.
+
+use join_correlation::hashing::TupleHasher;
+use join_correlation::sketches::{join_sketches, SketchBuilder, SketchConfig};
+use join_correlation::stats::{pearson, CorrelationEstimator};
+use join_correlation::table::{exact_join, Aggregation, ColumnPair};
+
+fn make_tables(n: usize, rho_shape: impl Fn(usize) -> f64) -> (ColumnPair, ColumnPair) {
+    let keys: Vec<String> = (0..n).map(|i| format!("key-{i}")).collect();
+    let tx = ColumnPair::new(
+        "tx",
+        "k",
+        "x",
+        keys.clone(),
+        (0..n).map(|i| (i as f64 * 0.11).sin() * 4.0).collect(),
+    );
+    let ty = ColumnPair::new(
+        "ty",
+        "k",
+        "y",
+        keys,
+        (0..n).map(rho_shape).collect(),
+    );
+    (tx, ty)
+}
+
+/// Inclusion frequency across independent hash seeds must be uniform
+/// over the joined keys — the heart of Theorem 1.
+#[test]
+fn join_sample_inclusion_is_uniform_across_seeds() {
+    let n = 2_000usize;
+    let sketch_size = 200usize;
+    let trials = 60usize;
+    let (tx, ty) = make_tables(n, |i| i as f64);
+
+    let mut inclusion = vec![0u32; n];
+    for seed in 0..trials as u64 {
+        let builder = SketchBuilder::new(
+            SketchConfig::with_size(sketch_size).hasher(TupleHasher::new_64(seed)),
+        );
+        let sample = join_sketches(&builder.build(&tx), &builder.build(&ty)).unwrap();
+        assert_eq!(sample.len(), sketch_size, "full-overlap join keeps n rows");
+        // Map sampled values back to row indices via the x value (values
+        // are not unique, so use y = i which is).
+        for &y in &sample.y {
+            inclusion[y as usize] += 1;
+        }
+    }
+
+    // Expected inclusion per key: trials * sketch_size / n = 6.
+    let expected = trials as f64 * sketch_size as f64 / n as f64;
+    let mean = inclusion.iter().map(|&c| f64::from(c)).sum::<f64>() / n as f64;
+    assert!((mean - expected).abs() < 1e-9);
+
+    // Chi-square-style check: no key should be wildly over/under-included.
+    // With p = 0.1 per trial, counts are Binomial(60, 0.1): mean 6,
+    // sd ≈ 2.32. A count of 20 is > 6σ — allow up to 20.
+    let max = inclusion.iter().copied().max().unwrap();
+    assert!(max <= 20, "some key over-included: {max} (expected ~6)");
+
+    // Aggregate uniformity: variance close to binomial variance.
+    let var = inclusion
+        .iter()
+        .map(|&c| (f64::from(c) - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    let binom_var = expected * (1.0 - sketch_size as f64 / n as f64);
+    assert!(
+        (var / binom_var - 1.0).abs() < 0.35,
+        "inclusion variance {var:.2} vs binomial {binom_var:.2}"
+    );
+}
+
+/// Estimates converge to the exact after-join correlation as the sketch
+/// grows — the space/accuracy trade-off of Section 3.3.
+#[test]
+fn estimates_converge_with_sketch_size() {
+    let n = 12_000usize;
+    let (tx, ty) = make_tables(n, |i| {
+        (i as f64 * 0.11).sin() * 4.0 + ((i * 7) % 13) as f64 * 0.8
+    });
+    let joined = exact_join(&tx, &ty, Aggregation::Mean);
+    let truth = pearson(&joined.x, &joined.y).unwrap();
+
+    let mut last_err = f64::INFINITY;
+    for &size in &[64usize, 512, 3072] {
+        let builder = SketchBuilder::new(SketchConfig::with_size(size));
+        let sample = join_sketches(&builder.build(&tx), &builder.build(&ty)).unwrap();
+        let est = sample.estimate(CorrelationEstimator::Pearson).unwrap();
+        let err = (est - truth).abs();
+        // Allow noise, but demand order-of-magnitude convergence overall.
+        assert!(
+            err < last_err + 0.05,
+            "error should broadly decrease: size {size} err {err:.4} prev {last_err:.4}"
+        );
+        last_err = err;
+    }
+    assert!(last_err < 0.03, "3072-sketch error too large: {last_err}");
+}
+
+/// Every estimator supported by the sketch agrees with its own
+/// full-data population target on a large join sample.
+#[test]
+fn all_estimators_converge_on_their_targets() {
+    let n = 8_000usize;
+    let (tx, ty) = make_tables(n, |i| ((i as f64 * 0.11).sin() * 4.0).exp());
+    let joined = exact_join(&tx, &ty, Aggregation::Mean);
+
+    let builder = SketchBuilder::new(SketchConfig::with_size(1024));
+    let sample = join_sketches(&builder.build(&tx), &builder.build(&ty)).unwrap();
+    assert!(sample.len() > 700);
+
+    for est in CorrelationEstimator::ALL {
+        let truth = est.population_target(&joined.x, &joined.y).unwrap();
+        let est_val = sample.estimate(est).unwrap();
+        let tol = match est {
+            // Qn and PM1 have higher variance.
+            CorrelationEstimator::Qn | CorrelationEstimator::Pm1Bootstrap { .. } => 0.1,
+            _ => 0.05,
+        };
+        assert!(
+            (est_val - truth).abs() < tol,
+            "{}: estimate {est_val:.3} vs target {truth:.3}",
+            est.name()
+        );
+    }
+}
+
+/// The Hoeffding CI covers the exact after-join correlation at the
+/// configured rate, end-to-end through the sketch pipeline.
+#[test]
+fn hoeffding_ci_covers_truth_through_the_pipeline() {
+    let n = 10_000usize;
+    let (tx, ty) = make_tables(n, |i| {
+        (i as f64 * 0.11).sin() * 4.0 + ((i * 3) % 17) as f64 * 0.6
+    });
+    let joined = exact_join(&tx, &ty, Aggregation::Mean);
+    let truth = pearson(&joined.x, &joined.y).unwrap();
+
+    let mut covered = 0usize;
+    let trials = 30usize;
+    for seed in 0..trials as u64 {
+        let builder = SketchBuilder::new(
+            SketchConfig::with_size(512).hasher(TupleHasher::new_64(seed)),
+        );
+        let sample = join_sketches(&builder.build(&tx), &builder.build(&ty)).unwrap();
+        let ci = sample.hoeffding_ci(0.05).unwrap();
+        covered += usize::from(ci.contains(truth));
+    }
+    assert!(
+        covered >= (trials as f64 * 0.95) as usize,
+        "coverage {covered}/{trials}"
+    );
+}
