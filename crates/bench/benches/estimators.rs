@@ -25,18 +25,18 @@ fn bench_estimators(c: &mut Criterion) {
     for n in [64usize, 256, 1024] {
         let (x, y) = sample(n);
         for est in CorrelationEstimator::ALL {
-            if matches!(est, CorrelationEstimator::Pm1Bootstrap { .. } | CorrelationEstimator::Qn)
-                && n > 256
+            if matches!(
+                est,
+                CorrelationEstimator::Pm1Bootstrap { .. } | CorrelationEstimator::Qn
+            ) && n > 256
             {
                 // Quadratic/resampling estimators get slow; keep the suite
                 // fast while still covering the sketch-realistic sizes.
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(est.name(), n),
-                &n,
-                |b, _| b.iter(|| black_box(est.estimate(black_box(&x), black_box(&y)).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(est.name(), n), &n, |b, _| {
+                b.iter(|| black_box(est.estimate(black_box(&x), black_box(&y)).unwrap()))
+            });
         }
     }
     group.finish();

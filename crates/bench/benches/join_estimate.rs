@@ -13,8 +13,12 @@ fn make_pair(table: &str, rows: usize, offset: usize) -> ColumnPair {
         table,
         "k",
         "v",
-        (offset..offset + rows).map(|i| format!("key-{i}")).collect(),
-        (0..rows).map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64 * 0.01).collect(),
+        (offset..offset + rows)
+            .map(|i| format!("key-{i}"))
+            .collect(),
+        (0..rows)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64 * 0.01)
+            .collect(),
     )
 }
 
@@ -44,13 +48,9 @@ fn bench_full_vs_sketch(c: &mut Criterion) {
             bch.iter(|| black_box(join_sketches(black_box(&sa), black_box(&sb)).unwrap()))
         });
         let sample = join_sketches(&sa, &sb).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("sketch_pearson", rows),
-            &rows,
-            |bch, _| {
-                bch.iter(|| black_box(sample.estimate(CorrelationEstimator::Pearson).unwrap()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sketch_pearson", rows), &rows, |bch, _| {
+            bch.iter(|| black_box(sample.estimate(CorrelationEstimator::Pearson).unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("sketch_spearman", rows),
             &rows,

@@ -1,6 +1,8 @@
 //! Criterion micro-benchmark behind the **Section 5.5** query-latency
 //! study: end-to-end top-k join-correlation queries against the inverted
-//! index at increasing corpus sizes.
+//! index at increasing corpus sizes, plus the `top_k_with_reports` path
+//! (the PR-over-PR perf tripwire) at 1/2/4 worker threads over a
+//! ~5k-sketch corpus.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -9,7 +11,11 @@ use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
 use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
 use sketch_index::{engine, QueryOptions, SketchIndex};
 
-fn build_index(tables: usize, seed: u64) -> (SketchIndex, Vec<CorrelationSketch>) {
+fn build_index(
+    tables: usize,
+    sketch_size: usize,
+    seed: u64,
+) -> (SketchIndex, Vec<CorrelationSketch>) {
     let corpus_tables = generate_open_data(&OpenDataConfig {
         tables,
         min_rows: 50,
@@ -17,10 +23,12 @@ fn build_index(tables: usize, seed: u64) -> (SketchIndex, Vec<CorrelationSketch>
         ..OpenDataConfig::nyc(seed)
     });
     let split = split_corpus(&corpus_tables, 0.2, seed);
-    let builder = SketchBuilder::new(SketchConfig::with_size(1024));
+    let builder = SketchBuilder::new(SketchConfig::with_size(sketch_size));
+    let sketches =
+        correlation_sketches::build_sketches_parallel(&split.corpus, *builder.config(), 8);
     let mut idx = SketchIndex::new();
-    for p in &split.corpus {
-        idx.insert(builder.build(p)).expect("uniform hasher");
+    for s in sketches {
+        idx.insert(s).expect("uniform hasher");
     }
     let queries = split
         .queries
@@ -37,7 +45,7 @@ fn bench_query(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(20);
     for tables in [50usize, 200] {
-        let (idx, queries) = build_index(tables, 0xbe_ec);
+        let (idx, queries) = build_index(tables, 1024, 0xbe_ec);
         let opts = QueryOptions::default();
         group.bench_with_input(
             BenchmarkId::new("top10_of_top100", tables),
@@ -55,8 +63,42 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// `top_k_with_reports` over a ~5k-sketch corpus — the acceptance-criteria
+/// benchmark: single-thread speed versus the seed implementation, plus
+/// scaling from the `threads` knob.
+fn bench_reports_5k(c: &mut Criterion) {
+    // ~2900 NYC-style tables yield ≈5k corpus column pairs after the
+    // 20% query split; sketch size 256 keeps setup tractable while the
+    // per-query work stays join-dominated.
+    let (idx, queries) = build_index(2_900, 256, 0x0005_eed5);
+    eprintln!("reports_5k corpus: {} sketches", idx.len());
+    let mut group = c.benchmark_group("top_k_with_reports_5k");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let opts = QueryOptions {
+            overlap_candidates: 100,
+            k: 10,
+            threads,
+            ..QueryOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                black_box(engine::top_k_with_reports(&idx, q, &opts, 0.05))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_reports_5k, bench_retrieval_only);
+
 fn bench_retrieval_only(c: &mut Criterion) {
-    let (idx, queries) = build_index(200, 0xbe_ed);
+    let (idx, queries) = build_index(200, 1024, 0xbe_ed);
     let mut group = c.benchmark_group("overlap_retrieval");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -71,5 +113,4 @@ fn bench_retrieval_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query, bench_retrieval_only);
 criterion_main!(benches);

@@ -60,9 +60,7 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         match self.values.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| panic!("--{key} {v}: {e:?}")),
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("--{key} {v}: {e:?}")),
             None => default,
         }
     }

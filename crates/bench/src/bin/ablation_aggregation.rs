@@ -33,8 +33,7 @@ fn main() {
         "agg", "pairs", "RMSE", "mean |err|"
     );
     for agg in Aggregation::ALL {
-        let builder =
-            SketchBuilder::new(SketchConfig::with_size(sketch_size).aggregation(agg));
+        let builder = SketchBuilder::new(SketchConfig::with_size(sketch_size).aggregation(agg));
         let mut ests = Vec::new();
         let mut truths = Vec::new();
         for (a, b) in &pairs {

@@ -13,8 +13,8 @@
 //! ```
 
 use correlation_sketches::{distinct_value_estimate, HyperLogLog, SketchBuilder, SketchConfig};
-use sketch_hashing::TupleHasher;
 use sketch_bench::Args;
+use sketch_hashing::TupleHasher;
 use sketch_table::ColumnPair;
 
 fn relative_errors(estimates: &[f64], truth: f64) -> (f64, f64) {
@@ -57,8 +57,8 @@ fn main() {
                 (0..cardinality).map(|i| format!("key-{i}")).collect(),
                 (0..cardinality).map(|i| i as f64).collect(),
             );
-            let kmv = SketchBuilder::new(SketchConfig::with_size(kmv_n).hasher(hasher))
-                .build(&pair);
+            let kmv =
+                SketchBuilder::new(SketchConfig::with_size(kmv_n).hasher(hasher)).build(&pair);
             kmv_ests.push(distinct_value_estimate(&kmv));
 
             let mut hll = HyperLogLog::new(hll_p, hasher);

@@ -32,10 +32,12 @@ fn main() {
         ("murmur3-32 (paper)", TupleHasher::paper_32(0)),
     ];
 
-    println!("{:<20} {:>7} {:>9} {:>11}", "hasher", "pairs", "RMSE", "med join");
+    println!(
+        "{:<20} {:>7} {:>9} {:>11}",
+        "hasher", "pairs", "RMSE", "med join"
+    );
     for (name, hasher) in configs {
-        let builder =
-            SketchBuilder::new(SketchConfig::with_size(sketch_size).hasher(hasher));
+        let builder = SketchBuilder::new(SketchConfig::with_size(sketch_size).hasher(hasher));
         let mut ests = Vec::new();
         let mut truths = Vec::new();
         let mut joins = Vec::new();

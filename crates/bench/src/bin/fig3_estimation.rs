@@ -93,10 +93,7 @@ fn main() {
     report(&points, min_sample);
     // Figure 3d: re-filter at n ≥ 20 for the real-data collections.
     if min_sample < 20 {
-        let filtered: Vec<Point> = points
-            .into_iter()
-            .filter(|p| p.sample >= 20)
-            .collect();
+        let filtered: Vec<Point> = points.into_iter().filter(|p| p.sample >= 20).collect();
         println!("\n--- filtered to join samples >= 20 (Figure 3d view) ---");
         report(&filtered, 20);
     }
@@ -129,8 +126,7 @@ fn report(points: &[Point], min_sample: usize) {
     let mut grid = [[0usize; GRID]; GRID];
     for p in points {
         let gx = (((p.truth + 1.0) / 2.0 * (GRID as f64 - 1.0)).round() as usize).min(GRID - 1);
-        let gy =
-            (((p.estimate + 1.0) / 2.0 * (GRID as f64 - 1.0)).round() as usize).min(GRID - 1);
+        let gy = (((p.estimate + 1.0) / 2.0 * (GRID as f64 - 1.0)).round() as usize).min(GRID - 1);
         grid[GRID - 1 - gy][gx] += 1;
     }
     println!("\nscatter density (x: actual -1..1, y: estimate 1..-1):");

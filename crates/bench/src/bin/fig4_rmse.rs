@@ -54,9 +54,7 @@ fn main() {
         .map(|s| s.trim().parse().expect("--sketch-sizes 256,512,1024"))
         .collect();
 
-    eprintln!(
-        "fig4: dataset={dataset} scale={scale} max_pairs={max_pairs} k={sketch_sizes:?}"
-    );
+    eprintln!("fig4: dataset={dataset} scale={scale} max_pairs={max_pairs} k={sketch_sizes:?}");
 
     let pairs = corpus_pairs(dataset, scale, seed, max_pairs);
     let estimators = CorrelationEstimator::ALL;

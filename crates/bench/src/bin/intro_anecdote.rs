@@ -47,7 +47,9 @@ fn main() {
         "day",
         "precipitation",
         (0..days).map(day_key).collect(),
-        (0..days).map(|i| (-0.8 * demand[i] + 12.0 + 0.3 * d.normal()).max(0.0)).collect(),
+        (0..days)
+            .map(|i| (-0.8 * demand[i] + 12.0 + 0.3 * d.normal()).max(0.0))
+            .collect(),
     );
 
     // Full-data pipeline.
@@ -64,11 +66,17 @@ fn main() {
     let (r_sk, t_sk_rp) = time_ms(|| sample.estimate(CorrelationEstimator::Pearson).unwrap());
     let (rs_sk, t_sk_rs) = time_ms(|| sample.estimate(CorrelationEstimator::Spearman).unwrap());
 
-    println!("\nfull data: join of {rows} x {days} rows -> {} joined days", joined.len());
+    println!(
+        "\nfull data: join of {rows} x {days} rows -> {} joined days",
+        joined.len()
+    );
     println!("  join            : {t_join:>10.1} ms");
     println!("  pearson         : {t_rp:>10.3} ms  (r = {r_full:.3})");
     println!("  spearman        : {t_rs:>10.3} ms  (r = {rs_full:.3})");
-    println!("\nsketch (size {sketch_size}): join sample = {} rows", sample.len());
+    println!(
+        "\nsketch (size {sketch_size}): join sample = {} rows",
+        sample.len()
+    );
     println!("  build (1-time)  : {t_build_big:>10.1} ms + {t_build_small:.1} ms");
     println!("  sketch join     : {t_sk_join:>10.3} ms");
     println!("  pearson         : {t_sk_rp:>10.3} ms  (r = {r_sk:.3})");
@@ -78,5 +86,9 @@ fn main() {
         t_join / t_sk_join.max(1e-6),
         (t_join + t_rs) / (t_sk_join + t_sk_rs).max(1e-6)
     );
-    println!("estimate error: pearson {:+.3}, spearman {:+.3}", r_sk - r_full, rs_sk - rs_full);
+    println!(
+        "estimate error: pearson {:+.3}, spearman {:+.3}",
+        r_sk - r_full,
+        rs_sk - rs_full
+    );
 }

@@ -10,11 +10,15 @@
 //!
 //! ```text
 //! cargo run --release -p sketch-bench --bin query_latency -- \
-//!     --tables 400 --sketch-size 1024
+//!     --tables 400 --sketch-size 1024 [--query-threads 1] [--json true]
 //! ```
 //!
 //! Paper reference points: 94% of queries under 100 ms, ~98.5% under
 //! 200 ms on the full NYC snapshot.
+//!
+//! With `--json true` the summary is emitted as a single JSON object on
+//! stdout (human-readable progress stays on stderr), so the perf
+//! trajectory can be tracked mechanically across PRs.
 
 use correlation_sketches::{SketchBuilder, SketchConfig};
 use sketch_bench::{percentile, time_ms, Args, LatencySummary};
@@ -63,9 +67,13 @@ fn main() {
     );
     let index = &mut index;
 
+    let query_threads = args.get_or("query-threads", 1usize);
+    let json = args.get_or("json", false);
+    let with_reports = args.get_or("with-reports", false);
     let opts = QueryOptions {
         overlap_candidates: candidates,
         k,
+        threads: query_threads,
         ..QueryOptions::default()
     };
 
@@ -75,11 +83,15 @@ fn main() {
         // Query-sketch construction is part of the online path here (the
         // user's table is not pre-indexed), matching the paper's setup of
         // issuing column pairs from the query set.
-        let (results, t) = time_ms(|| {
+        let (n_results, t) = time_ms(|| {
             let qs = builder.build(q);
-            engine::top_k_join_correlation(index, &qs, &opts)
+            if with_reports {
+                engine::top_k_with_reports(index, &qs, &opts, 0.05).len()
+            } else {
+                engine::top_k_join_correlation(index, &qs, &opts).len()
+            }
         });
-        total_results += results.len();
+        total_results += n_results;
         latencies.push(t);
     }
 
@@ -87,7 +99,39 @@ fn main() {
     let under = |ms: f64| {
         latencies.iter().filter(|&&t| t < ms).count() as f64 / latencies.len() as f64 * 100.0
     };
-    println!("\nSection 5.5 — query evaluation latency ({} queries)", latencies.len());
+    let mean_results = total_results as f64 / latencies.len().max(1) as f64;
+
+    if json {
+        // One machine-readable object on stdout so CI / scripts can diff
+        // the perf trajectory across PRs.
+        println!(
+            "{{\"bench\":\"query_latency\",\"tables\":{tables},\
+             \"sketches\":{},\"distinct_keys\":{},\"sketch_size\":{sketch_size},\
+             \"candidates\":{candidates},\"k\":{k},\"query_threads\":{query_threads},\
+             \"with_reports\":{with_reports},\"queries\":{},\
+             \"index_build_ms\":{t_index:.3},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\
+             \"p75_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},\"p999_ms\":{:.4},\
+             \"under_100ms_pct\":{:.2},\"under_200ms_pct\":{:.2},\
+             \"mean_results_per_query\":{mean_results:.2}}}",
+            index.len(),
+            index.distinct_keys(),
+            latencies.len(),
+            s.mean,
+            percentile(&latencies, 50.0),
+            s.p75,
+            s.p90,
+            s.p99,
+            s.p999,
+            under(100.0),
+            under(200.0),
+        );
+        return;
+    }
+
+    println!(
+        "\nSection 5.5 — query evaluation latency ({} queries)",
+        latencies.len()
+    );
     println!("mean      : {:>10.3} ms", s.mean);
     println!("p50       : {:>10.3} ms", percentile(&latencies, 50.0));
     println!("p75       : {:>10.3} ms", s.p75);
@@ -96,8 +140,5 @@ fn main() {
     println!("p99.9     : {:>10.3} ms", s.p999);
     println!("< 100 ms  : {:>9.1}%  (paper: 94%)", under(100.0));
     println!("< 200 ms  : {:>9.1}%  (paper: ~98.5%)", under(200.0));
-    println!(
-        "mean results per query: {:.1}",
-        total_results as f64 / latencies.len().max(1) as f64
-    );
+    println!("mean results per query: {mean_results:.1}");
 }

@@ -43,7 +43,10 @@ fn main() {
         ..RankingConfig::default()
     };
     let report = run_ranking_experiment(&split.queries, &split.corpus, &cfg);
-    eprintln!("queries with joinable candidates: {}", report.per_query.len());
+    eprintln!(
+        "queries with joinable candidates: {}",
+        report.per_query.len()
+    );
 
     let summaries = report.summaries();
     let jc = summaries

@@ -72,7 +72,10 @@ fn main() {
         }
     }
 
-    println!("\nTable 2 — running times in milliseconds ({} pairs)", pairs.len());
+    println!(
+        "\nTable 2 — running times in milliseconds ({} pairs)",
+        pairs.len()
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "", "full join", "full r_s", "full r_p", "sk join", "sk r_p", "sk r_s"

@@ -1,8 +1,6 @@
 //! Corpus selection shared by the experiment binaries.
 
-use sketch_datagen::{
-    generate_open_data, generate_sbn, OpenDataConfig, SbnConfig,
-};
+use sketch_datagen::{generate_open_data, generate_sbn, OpenDataConfig, SbnConfig};
 use sketch_table::{ColumnPair, Table};
 
 /// Which of the paper's three data collections to synthesize.

@@ -48,11 +48,13 @@ impl CliArgs {
         let mut iter = argv.iter();
         while let Some(arg) = iter.next() {
             let key = arg.strip_prefix("--").ok_or_else(|| {
-                CliError::Usage(format!("unexpected argument '{arg}' (expected --flag value)"))
+                CliError::Usage(format!(
+                    "unexpected argument '{arg}' (expected --flag value)"
+                ))
             })?;
-            let value = iter.next().ok_or_else(|| {
-                CliError::Usage(format!("flag --{key} is missing a value"))
-            })?;
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{key} is missing a value")))?;
             values.insert(key.to_string(), value.clone());
         }
         Ok(Self { values })

@@ -5,9 +5,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use correlation_sketches::{
-    join_sketches, CorrelationSketch, SketchBuilder, SketchConfig,
-};
+use correlation_sketches::{join_sketches, CorrelationSketch, SketchBuilder, SketchConfig};
 use sketch_stats::CorrelationEstimator;
 use sketch_table::{Aggregation, Table};
 
@@ -146,9 +144,7 @@ pub mod append {
             }
         }
         use std::io::Write as _;
-        let mut file = std::fs::OpenOptions::new()
-            .append(true)
-            .open(index_path)?;
+        let mut file = std::fs::OpenOptions::new().append(true).open(index_path)?;
         file.write_all(lines.as_bytes())?;
         Ok(format!(
             "appended {pairs} column pairs from {} tables to {index_path} \
@@ -200,6 +196,7 @@ pub mod query {
         let value = args.required("value")?;
         let k = args.parse_or("k", 10usize)?;
         let candidates = args.parse_or("candidates", 100usize)?;
+        let threads = args.parse_or("threads", 1usize)?;
         let estimator: CorrelationEstimator = args
             .optional("estimator")
             .unwrap_or("pearson")
@@ -226,9 +223,7 @@ pub mod query {
         };
         let mut index = SketchIndex::new();
         for s in sketches {
-            index
-                .insert(s)
-                .map_err(|e| CliError::Data(e.to_string()))?;
+            index.insert(s).map_err(|e| CliError::Data(e.to_string()))?;
         }
 
         let table = load_table(table_path)?;
@@ -242,9 +237,11 @@ pub mod query {
         })?;
         let q_sketch = SketchBuilder::new(config).build(&pair);
 
-        // Retrieve, featurize, score as a list (ci_h normalization is
-        // list-level), then rank.
-        let cands = sketch_index::engine::retrieve_candidates(&index, &q_sketch, candidates);
+        // Retrieve (joins fanned out over --threads workers), featurize,
+        // score as a list (ci_h normalization is list-level), then rank.
+        let cands = sketch_index::engine::retrieve_candidates_threaded(
+            &index, &q_sketch, candidates, threads,
+        );
         let features: Vec<_> = cands
             .iter()
             .map(|c| features_from_sample(&q_sketch, c.sketch, &c.sample, None, 0x5eed))
@@ -348,11 +345,7 @@ pub mod estimate {
             );
         }
         if let Ok(ci) = sample.hoeffding_ci(0.05) {
-            let _ = writeln!(
-                out,
-                "  hoeffding 95% CI: [{:+.3}, {:+.3}]",
-                ci.low, ci.high
-            );
+            let _ = writeln!(out, "  hoeffding 95% CI: [{:+.3}, {:+.3}]", ci.low, ci.high);
         }
         let _ = writeln!(out, "  fisher-z SE: {:.4}", sample.fisher_se());
         Ok(out)

@@ -58,7 +58,7 @@ USAGE:
   corrsketch append   --dir <csv-dir> --index <file>   (reuses index config)
   corrsketch query    --index <file> --table <csv> --key <col> --value <col>
                       [--k 10] [--candidates 100] [--estimator pearson]
-                      [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est]
+                      [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est] [--threads 1]
   corrsketch estimate --left <csv> --left-key <col> --left-value <col>
                       --right <csv> --right-key <col> --right-value <col>
                       [--sketch-size 1024] [--aggregation mean]

@@ -11,10 +11,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!(
-            "corrsketch-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("corrsketch-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         Self(dir)
@@ -35,7 +33,9 @@ fn write_lake(dir: &TempDir) {
     // Three tables over a shared day key; pickups ~ 2·demand,
     // rain ~ −demand, noise independent.
     let days: Vec<String> = (0..300).map(|i| format!("d{i:03}")).collect();
-    let demand: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.21).sin() * 10.0 + 20.0).collect();
+    let demand: Vec<f64> = (0..300)
+        .map(|i| ((i as f64) * 0.21).sin() * 10.0 + 20.0)
+        .collect();
 
     let mut taxi = String::from("day,pickups\n");
     let mut weather = String::from("day,rain\n");
@@ -66,7 +66,10 @@ fn index_query_roundtrip() {
         "128",
     ]))
     .unwrap();
-    assert!(report.contains("indexed 3 column pairs from 3 tables"), "{report}");
+    assert!(
+        report.contains("indexed 3 column pairs from 3 tables"),
+        "{report}"
+    );
 
     let report = sketch_cli::run(&argv(&[
         "query",
@@ -158,12 +161,15 @@ fn append_extends_an_index_compatibly() {
     let days: Vec<String> = (0..300).map(|i| format!("d{i:03}")).collect();
     let mut extra = String::from("day,events\n");
     for (i, d) in days.iter().enumerate() {
-        extra.push_str(&format!("{d},{}\n", ((i as f64) * 0.21).sin() * 10.0 + 20.0));
+        extra.push_str(&format!(
+            "{d},{}\n",
+            ((i as f64) * 0.21).sin() * 10.0 + 20.0
+        ));
     }
     std::fs::write(format!("{sub}/events.csv"), extra).unwrap();
 
-    let report = sketch_cli::run(&argv(&["append", "--dir", &sub, "--index", &index_file]))
-        .unwrap();
+    let report =
+        sketch_cli::run(&argv(&["append", "--dir", &sub, "--index", &index_file])).unwrap();
     assert!(report.contains("appended 1 column pairs"), "{report}");
     assert!(report.contains("4 sketches total"), "{report}");
 

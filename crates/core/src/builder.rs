@@ -22,7 +22,6 @@ use crate::sketch::CorrelationSketch;
 
 /// Which tuples are retained in the sketch.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SelectionStrategy {
     /// Keep the `n` tuples with smallest unit hash (the paper's strategy).
     FixedSize(usize),
@@ -162,8 +161,8 @@ impl SketchBuilder {
 
 #[cfg(test)]
 mod tests {
-    use sketch_hashing::KeyHasher as _;
     use super::*;
+    use sketch_hashing::KeyHasher as _;
     use std::collections::HashSet;
 
     fn pair(keys: Vec<&str>, values: Vec<f64>) -> ColumnPair {
@@ -280,7 +279,12 @@ mod tests {
         let mut rev_vals = p.values.clone();
         rev_vals.reverse();
         let p_rev = ColumnPair::new("t", "k", "v", rev_keys, rev_vals);
-        for agg in [Aggregation::Mean, Aggregation::Sum, Aggregation::Min, Aggregation::Max] {
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Sum,
+            Aggregation::Min,
+            Aggregation::Max,
+        ] {
             let cfg = SketchConfig::with_size(32).aggregation(agg);
             let a = SketchBuilder::new(cfg).build(&p);
             let b = SketchBuilder::new(cfg).build(&p_rev);
@@ -331,14 +335,10 @@ mod tests {
     #[test]
     fn different_seeds_select_different_keys() {
         let p = range_pair(1000);
-        let a = SketchBuilder::new(
-            SketchConfig::with_size(32).hasher(TupleHasher::new_64(1)),
-        )
-        .build(&p);
-        let b = SketchBuilder::new(
-            SketchConfig::with_size(32).hasher(TupleHasher::new_64(2)),
-        )
-        .build(&p);
+        let a = SketchBuilder::new(SketchConfig::with_size(32).hasher(TupleHasher::new_64(1)))
+            .build(&p);
+        let b = SketchBuilder::new(SketchConfig::with_size(32).hasher(TupleHasher::new_64(2)))
+            .build(&p);
         let ka: HashSet<KeyHash> = a.entries().iter().map(|e| e.key).collect();
         let kb: HashSet<KeyHash> = b.entries().iter().map(|e| e.key).collect();
         assert_ne!(ka, kb);

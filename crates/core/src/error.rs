@@ -43,6 +43,8 @@ mod tests {
         let e = SketchError::JoinTooSmall { got: 1, needed: 3 };
         assert!(e.to_string().contains("1"));
         assert!(e.to_string().contains("3"));
-        assert!(SketchError::Corrupt("bad".into()).to_string().contains("bad"));
+        assert!(SketchError::Corrupt("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

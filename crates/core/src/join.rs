@@ -61,10 +61,9 @@ impl JoinSample {
     ///
     /// [`StatsError`] if the sample is unusable (empty, non-finite).
     pub fn hoeffding_ci(&self, alpha: f64) -> Result<ConfidenceInterval, StatsError> {
-        let bounds = self.bounds.ok_or(StatsError::TooFewSamples {
-            needed: 1,
-            got: 0,
-        })?;
+        let bounds = self
+            .bounds
+            .ok_or(StatsError::TooFewSamples { needed: 1, got: 0 })?;
         hoeffding_interval(&self.x, &self.y, bounds, alpha)
     }
 
@@ -75,10 +74,9 @@ impl JoinSample {
     ///
     /// [`StatsError`] if the sample is unusable.
     pub fn hfd_ci(&self, alpha: f64) -> Result<ConfidenceInterval, StatsError> {
-        let bounds = self.bounds.ok_or(StatsError::TooFewSamples {
-            needed: 1,
-            got: 0,
-        })?;
+        let bounds = self
+            .bounds
+            .ok_or(StatsError::TooFewSamples { needed: 1, got: 0 })?;
         hfd_interval(&self.x, &self.y, bounds, alpha)
     }
 
@@ -92,10 +90,9 @@ impl JoinSample {
     ///
     /// [`StatsError`] if the sample is unusable.
     pub fn bernstein_ci(&self, alpha: f64) -> Result<ConfidenceInterval, StatsError> {
-        let bounds = self.bounds.ok_or(StatsError::TooFewSamples {
-            needed: 2,
-            got: 0,
-        })?;
+        let bounds = self
+            .bounds
+            .ok_or(StatsError::TooFewSamples { needed: 2, got: 0 })?;
         sketch_stats::bernstein_interval(&self.x, &self.y, bounds, alpha)
     }
 
@@ -175,17 +172,21 @@ pub fn join_sketches(
 
     let ea = a.entries();
     let eb = b.entries();
-    let mut key_hashes = Vec::new();
-    let mut x = Vec::new();
-    let mut y = Vec::new();
+    // Cached unit hashes drive the merge walk — the hot path of every
+    // query rehashes nothing.
+    let (ua_all, ub_all) = (a.units(), b.units());
+    // The intersection is at most the smaller side; reserving it up
+    // front keeps the hot loop free of reallocation.
+    let cap = ea.len().min(eb.len());
+    let mut key_hashes = Vec::with_capacity(cap);
+    let mut x = Vec::with_capacity(cap);
+    let mut y = Vec::with_capacity(cap);
 
     let (mut i, mut j) = (0usize, 0usize);
     while i < ea.len() && j < eb.len() {
         let ka = ea[i].key;
         let kb = eb[j].key;
-        let ua = a.unit_hash(&ea[i]);
-        let ub = b.unit_hash(&eb[j]);
-        match ua.total_cmp(&ub).then(ka.cmp(&kb)) {
+        match ua_all[i].total_cmp(&ub_all[j]).then(ka.cmp(&kb)) {
             std::cmp::Ordering::Equal => {
                 key_hashes.push(ka);
                 x.push(ea[i].value);
@@ -317,7 +318,9 @@ mod tests {
     #[test]
     fn estimates_recover_true_correlation() {
         let tx = pair_with("tx", 20_000, |i| (i as f64 * 0.13).sin() * 10.0);
-        let ty = pair_with("ty", 20_000, |i| (i as f64 * 0.13).sin() * 10.0 + (i % 7) as f64);
+        let ty = pair_with("ty", 20_000, |i| {
+            (i as f64 * 0.13).sin() * 10.0 + (i % 7) as f64
+        });
         let exact = exact_join(&tx, &ty, Aggregation::Mean);
         let truth = pearson(&exact.x, &exact.y).unwrap();
 
@@ -335,10 +338,8 @@ mod tests {
     fn hasher_mismatch_is_rejected() {
         let p = pair_with("t", 100, |i| i as f64);
         let a = SketchBuilder::new(SketchConfig::with_size(16)).build(&p);
-        let c = SketchBuilder::new(
-            SketchConfig::with_size(16).hasher(TupleHasher::new_64(99)),
-        )
-        .build(&p);
+        let c = SketchBuilder::new(SketchConfig::with_size(16).hasher(TupleHasher::new_64(99)))
+            .build(&p);
         assert_eq!(join_sketches(&a, &c), Err(SketchError::HasherMismatch));
     }
 

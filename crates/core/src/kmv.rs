@@ -57,7 +57,10 @@ pub fn basic_distinct_estimate(s: &CorrelationSketch) -> f64 {
 /// `L = L_A ⊕ L_B`: the `k = min(k_A, k_B)` smallest distinct hashed keys
 /// of the union. Returns `(k, U(k), K∩)` where `K∩` counts combined keys
 /// present in *both* sketches.
-fn combine(a: &CorrelationSketch, b: &CorrelationSketch) -> Result<(usize, f64, usize), SketchError> {
+fn combine(
+    a: &CorrelationSketch,
+    b: &CorrelationSketch,
+) -> Result<(usize, f64, usize), SketchError> {
     if a.hasher() != b.hasher() {
         return Err(SketchError::HasherMismatch);
     }
@@ -67,13 +70,15 @@ fn combine(a: &CorrelationSketch, b: &CorrelationSketch) -> Result<(usize, f64, 
     }
     let ea = a.entries();
     let eb = b.entries();
+    // Merge-walk on the cached unit hashes — no rehashing per comparison.
+    let (ua_all, ub_all) = (a.units(), b.units());
     let (mut i, mut j) = (0usize, 0usize);
     let mut taken = 0usize;
     let mut common = 0usize;
     let mut last_unit = 0.0f64;
     while taken < k {
-        let ca = (i < ea.len()).then(|| (a.unit_hash(&ea[i]), ea[i].key));
-        let cb = (j < eb.len()).then(|| (b.unit_hash(&eb[j]), eb[j].key));
+        let ca = (i < ea.len()).then(|| (ua_all[i], ea[i].key));
+        let cb = (j < eb.len()).then(|| (ub_all[j], eb[j].key));
         match (ca, cb) {
             (Some((ua, ka)), Some((ub, kb))) => {
                 match ua.total_cmp(&ub).then(ka.cmp(&kb)) {
@@ -116,10 +121,7 @@ fn combine(a: &CorrelationSketch, b: &CorrelationSketch) -> Result<(usize, f64, 
 /// # Errors
 ///
 /// [`SketchError::HasherMismatch`] for incompatible sketches.
-pub fn union_estimate(
-    a: &CorrelationSketch,
-    b: &CorrelationSketch,
-) -> Result<f64, SketchError> {
+pub fn union_estimate(a: &CorrelationSketch, b: &CorrelationSketch) -> Result<f64, SketchError> {
     if a.hasher() != b.hasher() {
         return Err(SketchError::HasherMismatch);
     }
@@ -132,9 +134,8 @@ pub fn union_estimate(
     }
     if !a.is_saturated() && !b.is_saturated() {
         // Exact: count distinct union of the (complete) key sets.
-        let (k, _, common) = combine_full(a, b);
-        let _ = common;
-        return Ok(k as f64);
+        let (union, _) = combine_full(a, b);
+        return Ok(union as f64);
     }
     let (k, u_k, _) = combine(a, b)?;
     if k == 0 {
@@ -146,13 +147,26 @@ pub fn union_estimate(
     Ok((k as f64 - 1.0) / u_k)
 }
 
-/// Exact union/intersection counts over complete (unsaturated) sketches.
-fn combine_full(a: &CorrelationSketch, b: &CorrelationSketch) -> (usize, usize, usize) {
-    use std::collections::HashSet;
-    let ka: HashSet<_> = a.entries().iter().map(|e| e.key).collect();
-    let kb: HashSet<_> = b.entries().iter().map(|e| e.key).collect();
-    let inter = ka.intersection(&kb).count();
-    (ka.len() + kb.len() - inter, inter, inter)
+/// Exact `(union, intersection)` counts over complete (unsaturated)
+/// sketches. Both entry lists are sorted by `(unit hash, key)`, so a
+/// single merge walk suffices — no hash sets.
+fn combine_full(a: &CorrelationSketch, b: &CorrelationSketch) -> (usize, usize) {
+    let (ea, eb) = (a.entries(), b.entries());
+    let (ua, ub) = (a.units(), b.units());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut inter = 0usize;
+    while i < ea.len() && j < eb.len() {
+        match ua[i].total_cmp(&ub[j]).then(ea[i].key.cmp(&eb[j].key)) {
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    (ea.len() + eb.len() - inter, inter)
 }
 
 /// Estimate the number of distinct keys in the intersection `K_A ∩ K_B`
@@ -172,7 +186,7 @@ pub fn intersection_estimate(
         return Err(SketchError::HasherMismatch);
     }
     if !a.is_saturated() && !b.is_saturated() {
-        let (_, inter, _) = combine_full(a, b);
+        let (_, inter) = combine_full(a, b);
         return Ok(inter as f64);
     }
     let (k, u_k, common) = combine(a, b)?;
@@ -191,15 +205,12 @@ pub fn intersection_estimate(
 /// # Errors
 ///
 /// [`SketchError::HasherMismatch`] for incompatible sketches.
-pub fn jaccard_estimate(
-    a: &CorrelationSketch,
-    b: &CorrelationSketch,
-) -> Result<f64, SketchError> {
+pub fn jaccard_estimate(a: &CorrelationSketch, b: &CorrelationSketch) -> Result<f64, SketchError> {
     if !a.is_saturated() && !b.is_saturated() {
-        let (union, inter, _) = combine_full(a, b);
         if a.hasher() != b.hasher() {
             return Err(SketchError::HasherMismatch);
         }
+        let (union, inter) = combine_full(a, b);
         return Ok(if union == 0 {
             0.0
         } else {
@@ -368,10 +379,8 @@ mod tests {
         use sketch_hashing::TupleHasher;
         let p = keyed_pair("t", 0..100);
         let a = sketch(&p, 16);
-        let c = SketchBuilder::new(
-            SketchConfig::with_size(16).hasher(TupleHasher::new_64(5)),
-        )
-        .build(&p);
+        let c = SketchBuilder::new(SketchConfig::with_size(16).hasher(TupleHasher::new_64(5)))
+            .build(&p);
         assert!(intersection_estimate(&a, &c).is_err());
         assert!(union_estimate(&a, &c).is_err());
     }

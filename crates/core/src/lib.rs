@@ -69,7 +69,6 @@ pub mod merge;
 pub mod multi;
 pub mod mutual_info;
 pub mod parallel;
-#[cfg(feature = "serde")]
 pub mod persist;
 pub mod sketch;
 pub mod stream;
@@ -78,11 +77,11 @@ pub use builder::{SelectionStrategy, SketchBuilder, SketchConfig};
 pub use error::SketchError;
 pub use hll::HyperLogLog;
 pub use join::{join_sketches, EstimateReport, JoinSample};
-pub use merge::{is_decomposable, merge_partition_sketches};
 pub use kmv::{
     containment_estimate, distinct_value_estimate, intersection_estimate, jaccard_estimate,
     union_estimate,
 };
+pub use merge::{is_decomposable, merge_partition_sketches};
 pub use multi::{join_multi_sketches, MultiColumnSketch, MultiJoinSample};
 pub use mutual_info::mutual_information;
 pub use parallel::build_sketches_parallel;

@@ -96,40 +96,51 @@ pub fn merge_partition_sketches(
     }
 
     // Merge-walk the two sorted entry lists, combining values on common
-    // keys; both lists are ordered by (unit hash, key).
+    // keys; both lists are ordered by (unit hash, key). The cached unit
+    // hashes drive the comparisons and are carried into the result, so
+    // merging rehashes nothing.
     let (ea, eb) = (a.entries(), b.entries());
+    let (ua_all, ub_all) = (a.units(), b.units());
     let mut merged: Vec<SketchEntry> = Vec::with_capacity(ea.len() + eb.len());
+    let mut merged_units: Vec<f64> = Vec::with_capacity(ea.len() + eb.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < ea.len() && j < eb.len() {
-        let ua = a.unit_hash(&ea[i]);
-        let ub = b.unit_hash(&eb[j]);
-        match ua.total_cmp(&ub).then(ea[i].key.cmp(&eb[j].key)) {
+        match ua_all[i]
+            .total_cmp(&ub_all[j])
+            .then(ea[i].key.cmp(&eb[j].key))
+        {
             std::cmp::Ordering::Equal => {
                 merged.push(SketchEntry {
                     key: ea[i].key,
                     value: combine_values(agg, ea[i].value, eb[j].value),
                 });
+                merged_units.push(ua_all[i]);
                 i += 1;
                 j += 1;
             }
             std::cmp::Ordering::Less => {
                 merged.push(ea[i]);
+                merged_units.push(ua_all[i]);
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
                 merged.push(eb[j]);
+                merged_units.push(ub_all[j]);
                 j += 1;
             }
         }
     }
     merged.extend_from_slice(&ea[i..]);
+    merged_units.extend_from_slice(&ua_all[i..]);
     merged.extend_from_slice(&eb[j..]);
+    merged_units.extend_from_slice(&ub_all[j..]);
 
     // Enforce the selection rule on the union.
     let mut saturated = a.is_saturated() || b.is_saturated();
     if let SelectionStrategy::FixedSize(n) = a.strategy() {
         if merged.len() > n {
             merged.truncate(n);
+            merged_units.truncate(n);
             saturated = true;
         }
     }
@@ -145,6 +156,7 @@ pub fn merge_partition_sketches(
         aggregation: agg,
         strategy: a.strategy(),
         entries: merged,
+        units: merged_units,
         bounds,
         rows_scanned: a.rows_scanned() + b.rows_scanned(),
         saturated,
@@ -227,10 +239,10 @@ mod tests {
     #[test]
     fn config_mismatches_are_rejected() {
         let p = shard(0..50, 1);
-        let a = SketchBuilder::new(SketchConfig::with_size(16).aggregation(Aggregation::Sum))
-            .build(&p);
-        let b = SketchBuilder::new(SketchConfig::with_size(32).aggregation(Aggregation::Sum))
-            .build(&p);
+        let a =
+            SketchBuilder::new(SketchConfig::with_size(16).aggregation(Aggregation::Sum)).build(&p);
+        let b =
+            SketchBuilder::new(SketchConfig::with_size(32).aggregation(Aggregation::Sum)).build(&p);
         assert_eq!(
             merge_partition_sketches(&a, &b),
             Err(SketchError::HasherMismatch)

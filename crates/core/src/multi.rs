@@ -36,6 +36,9 @@ pub struct MultiColumnSketch {
     aggregation: Aggregation,
     column_names: Vec<String>,
     entries: Vec<MultiEntry>,
+    /// Cached unit hashes aligned with `entries` (derived state, same
+    /// rationale as [`crate::sketch::CorrelationSketch`]'s cache).
+    units: Vec<f64>,
     bounds: Vec<Option<ValueBounds>>,
     saturated: bool,
     rows_scanned: u64,
@@ -167,16 +170,23 @@ impl MultiColumnSketch {
             })
             .collect();
         tagged.sort_by_key(|a| a.0);
+        let mut entries = Vec::with_capacity(tagged.len());
+        let mut units = Vec::with_capacity(tagged.len());
+        for (hk, values) in tagged {
+            entries.push(MultiEntry {
+                key: hk.key,
+                values,
+            });
+            units.push(hk.unit);
+        }
 
         Some(Self {
             id: format!("{}/{}", table.name, key_column),
             hasher,
             aggregation,
             column_names: numeric_names,
-            entries: tagged
-                .into_iter()
-                .map(|(hk, values)| MultiEntry { key: hk.key, values })
-                .collect(),
+            entries,
+            units,
             bounds: mins
                 .iter()
                 .zip(&maxs)
@@ -239,6 +249,12 @@ impl MultiColumnSketch {
     #[must_use]
     pub fn entries(&self) -> &[MultiEntry] {
         &self.entries
+    }
+
+    /// Cached unit hashes, aligned with [`Self::entries`].
+    #[must_use]
+    pub fn units(&self) -> &[f64] {
+        &self.units
     }
 }
 
@@ -316,11 +332,13 @@ pub fn join_multi_sketches(
     let mut b_values: Vec<Vec<f64>> = vec![Vec::new(); mb];
 
     let (ea, eb) = (a.entries(), b.entries());
+    let (ua_all, ub_all) = (a.units(), b.units());
     let (mut i, mut j) = (0usize, 0usize);
     while i < ea.len() && j < eb.len() {
-        let ua = a.hasher.unit_hash(ea[i].key);
-        let ub = b.hasher.unit_hash(eb[j].key);
-        match ua.total_cmp(&ub).then(ea[i].key.cmp(&eb[j].key)) {
+        match ua_all[i]
+            .total_cmp(&ub_all[j])
+            .then(ea[i].key.cmp(&eb[j].key))
+        {
             Ordering::Equal => {
                 key_hashes.push(ea[i].key);
                 for (c, v) in ea[i].values.iter().enumerate() {
@@ -357,7 +375,9 @@ mod tests {
             vec![
                 NamedColumn::categorical_dense(
                     "k",
-                    (shift..shift + n).map(|i| format!("key-{i}")).collect::<Vec<_>>(),
+                    (shift..shift + n)
+                        .map(|i| format!("key-{i}"))
+                        .collect::<Vec<_>>(),
                 ),
                 NamedColumn::numeric_dense("a", (0..n).map(|i| i as f64).collect()),
                 NamedColumn::numeric_dense("b", (0..n).map(|i| -(i as f64)).collect()),
@@ -468,7 +488,9 @@ mod tests {
         let joined = join_multi_sketches(&s, &s).unwrap();
         assert_eq!(joined.len(), 3);
         // x has a NaN for key "b": the x-x estimate uses 2 points only.
-        let r = joined.estimate(0, 0, CorrelationEstimator::Pearson).unwrap();
+        let r = joined
+            .estimate(0, 0, CorrelationEstimator::Pearson)
+            .unwrap();
         assert!((r - 1.0).abs() < 1e-12);
     }
 }

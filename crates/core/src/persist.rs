@@ -1,9 +1,15 @@
-//! Sketch persistence (feature `serde`): sketches are precomputed offline
-//! and loaded into an index at query time (paper Section 1: synopses "can
-//! be pre-computed and indexed"), so they need a stable storage format.
+//! Sketch persistence: sketches are precomputed offline and loaded into
+//! an index at query time (paper Section 1: synopses "can be pre-computed
+//! and indexed"), so they need a stable storage format.
+//!
+//! The format is a single JSON object per sketch (newline-delimited in
+//! index files), written and parsed by a small dependency-free
+//! serializer. Following the paper's Figure 2 note, unit hashes are *not*
+//! stored — they are recomputed exactly once at load time into the
+//! sketch's cached `units` side array, and key identifiers are stored as
+//! fixed-width hex strings so 64-bit values survive JSON's number model.
 
-use serde::{Deserialize, Serialize};
-use sketch_hashing::TupleHasher;
+use sketch_hashing::{HashBits, KeyHash, KeyHasher, TupleHasher};
 use sketch_stats::ValueBounds;
 use sketch_table::Aggregation;
 
@@ -11,76 +17,515 @@ use crate::builder::SelectionStrategy;
 use crate::error::SketchError;
 use crate::sketch::{CorrelationSketch, SketchEntry};
 
-/// Serializable mirror of [`CorrelationSketch`]. Entries are stored sorted
-/// (their in-memory invariant); deserialization re-validates that.
-#[derive(Debug, Serialize, Deserialize)]
-struct SketchRecord {
-    id: String,
-    hasher: TupleHasher,
-    aggregation: Aggregation,
-    strategy: SelectionStrategy,
-    entries: Vec<SketchEntry>,
-    bounds: Option<ValueBounds>,
-    rows_scanned: u64,
-    saturated: bool,
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shortest decimal representation that round-trips through `f64` parsing
+/// (Rust's `Debug` float formatting guarantees this).
+fn push_f64(out: &mut String, v: f64) {
+    out.push_str(&format!("{v:?}"));
 }
 
 impl CorrelationSketch {
-    /// Serialize to a JSON string.
+    /// Serialize to a single-line JSON string.
     ///
     /// # Errors
     ///
-    /// [`SketchError::Corrupt`] if serialization fails (cannot happen for
-    /// well-formed sketches; kept as a `Result` for API stability).
+    /// [`SketchError::Corrupt`] if the sketch holds non-finite values
+    /// (such a sketch would not survive the load-time validation).
     pub fn to_json(&self) -> Result<String, SketchError> {
-        let rec = SketchRecord {
-            id: self.id.clone(),
-            hasher: self.hasher,
-            aggregation: self.aggregation,
-            strategy: self.strategy,
-            entries: self.entries.clone(),
-            bounds: self.bounds,
-            rows_scanned: self.rows_scanned,
-            saturated: self.saturated,
-        };
-        serde_json::to_string(&rec).map_err(|e| SketchError::Corrupt(e.to_string()))
+        if self.entries.iter().any(|e| !e.value.is_finite()) {
+            return Err(SketchError::Corrupt("non-finite entry value".into()));
+        }
+        // Every float written must be finite: JSON has no inf/NaN, so a
+        // non-finite bound or threshold would poison the output line.
+        if self
+            .bounds
+            .is_some_and(|b| !b.c_low.is_finite() || !b.c_high.is_finite())
+        {
+            return Err(SketchError::Corrupt("non-finite value bounds".into()));
+        }
+        if let SelectionStrategy::Threshold(t) = self.strategy {
+            if !t.is_finite() {
+                return Err(SketchError::Corrupt("non-finite threshold".into()));
+            }
+        }
+        let mut out = String::with_capacity(64 + 32 * self.entries.len());
+        out.push_str("{\"id\":");
+        push_json_string(&mut out, &self.id);
+        out.push_str(",\"hasher\":{\"bits\":\"");
+        out.push_str(match self.hasher.bits() {
+            HashBits::B32 => "b32",
+            HashBits::B64 => "b64",
+        });
+        out.push_str("\",\"seed\":");
+        out.push_str(&self.hasher.seed().to_string());
+        out.push_str("},\"aggregation\":\"");
+        out.push_str(&self.aggregation.to_string());
+        out.push_str("\",\"strategy\":{");
+        match self.strategy {
+            SelectionStrategy::FixedSize(n) => {
+                out.push_str("\"fixed_size\":");
+                out.push_str(&n.to_string());
+            }
+            SelectionStrategy::Threshold(t) => {
+                out.push_str("\"threshold\":");
+                push_f64(&mut out, t);
+            }
+        }
+        out.push_str("},\"entries\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[\"{:016x}\",", e.key.value()));
+            push_f64(&mut out, e.value);
+            out.push(']');
+        }
+        out.push_str("],\"bounds\":");
+        match self.bounds {
+            Some(b) => {
+                out.push('[');
+                push_f64(&mut out, b.c_low);
+                out.push(',');
+                push_f64(&mut out, b.c_high);
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"rows_scanned\":");
+        out.push_str(&self.rows_scanned.to_string());
+        out.push_str(",\"saturated\":");
+        out.push_str(if self.saturated { "true" } else { "false" });
+        out.push('}');
+        Ok(out)
     }
 
     /// Deserialize from a JSON string produced by [`Self::to_json`].
     ///
+    /// Recomputes the cached unit hashes (one `h_u` evaluation per entry)
+    /// and re-validates the in-memory invariants: ascending strict
+    /// `(unit hash, key)` order and finite values.
+    ///
     /// # Errors
     ///
-    /// [`SketchError::Corrupt`] on malformed input or violated invariants
-    /// (unsorted or non-finite entries).
+    /// [`SketchError::Corrupt`] on malformed input or violated
+    /// invariants.
     pub fn from_json(json: &str) -> Result<Self, SketchError> {
-        let rec: SketchRecord =
-            serde_json::from_str(json).map_err(|e| SketchError::Corrupt(e.to_string()))?;
-        let sketch = Self {
-            id: rec.id,
-            hasher: rec.hasher,
-            aggregation: rec.aggregation,
-            strategy: rec.strategy,
-            entries: rec.entries,
-            bounds: rec.bounds,
-            rows_scanned: rec.rows_scanned,
-            saturated: rec.saturated,
+        let value = json::parse(json).map_err(SketchError::Corrupt)?;
+        let obj = value.as_object("sketch")?;
+
+        let id = obj.get("id")?.as_str("id")?.to_string();
+
+        let hasher_obj = obj.get("hasher")?.as_object("hasher")?;
+        let seed = hasher_obj.get("seed")?.as_u64("hasher.seed")?;
+        let hasher = match hasher_obj.get("bits")?.as_str("hasher.bits")? {
+            "b32" => TupleHasher::paper_32(
+                u32::try_from(seed)
+                    .map_err(|_| SketchError::Corrupt("b32 hasher seed exceeds u32".into()))?,
+            ),
+            "b64" => TupleHasher::new_64(seed),
+            other => {
+                return Err(SketchError::Corrupt(format!(
+                    "unknown hasher bits '{other}'"
+                )))
+            }
         };
-        // Re-validate invariants: ascending (unit hash, key) order and
-        // finite values.
-        use sketch_hashing::KeyHasher as _;
-        for w in sketch.entries.windows(2) {
-            let ua = sketch.hasher.unit_hash(w[0].key);
-            let ub = sketch.hasher.unit_hash(w[1].key);
-            if ua.total_cmp(&ub).then(w[0].key.cmp(&w[1].key)) != std::cmp::Ordering::Less {
+
+        let aggregation: Aggregation = obj
+            .get("aggregation")?
+            .as_str("aggregation")?
+            .parse()
+            .map_err(SketchError::Corrupt)?;
+
+        let strategy_obj = obj.get("strategy")?.as_object("strategy")?;
+        let strategy = if let Ok(v) = strategy_obj.get("fixed_size") {
+            SelectionStrategy::FixedSize(
+                usize::try_from(v.as_u64("strategy.fixed_size")?)
+                    .map_err(|_| SketchError::Corrupt("fixed_size exceeds usize".into()))?,
+            )
+        } else if let Ok(v) = strategy_obj.get("threshold") {
+            SelectionStrategy::Threshold(v.as_f64("strategy.threshold")?)
+        } else {
+            return Err(SketchError::Corrupt(
+                "strategy needs fixed_size or threshold".into(),
+            ));
+        };
+
+        let mut entries = Vec::new();
+        for (i, item) in obj.get("entries")?.as_array("entries")?.iter().enumerate() {
+            let tuple = item.as_array("entry")?;
+            if tuple.len() != 2 {
+                return Err(SketchError::Corrupt(format!(
+                    "entry {i} is not a [key, value] pair"
+                )));
+            }
+            let key_hex = tuple[0].as_str("entry key")?;
+            let key = u64::from_str_radix(key_hex, 16)
+                .map_err(|e| SketchError::Corrupt(format!("entry {i} key: {e}")))?;
+            entries.push(SketchEntry {
+                key: KeyHash(key),
+                value: tuple[1].as_f64("entry value")?,
+            });
+        }
+
+        let bounds = match obj.get("bounds")? {
+            json::Value::Null => None,
+            v => {
+                let pair = v.as_array("bounds")?;
+                if pair.len() != 2 {
+                    return Err(SketchError::Corrupt("bounds is not [low, high]".into()));
+                }
+                Some(ValueBounds::new(
+                    pair[0].as_f64("bounds.low")?,
+                    pair[1].as_f64("bounds.high")?,
+                ))
+            }
+        };
+
+        let rows_scanned = obj.get("rows_scanned")?.as_u64("rows_scanned")?;
+        let saturated = obj.get("saturated")?.as_bool("saturated")?;
+
+        // Recompute the unit-hash cache once, then validate invariants
+        // against it: strict ascending (unit hash, key) order and finite
+        // values.
+        let units: Vec<f64> = entries.iter().map(|e| hasher.unit_hash(e.key)).collect();
+        for i in 1..entries.len() {
+            if units[i - 1]
+                .total_cmp(&units[i])
+                .then(entries[i - 1].key.cmp(&entries[i].key))
+                != std::cmp::Ordering::Less
+            {
                 return Err(SketchError::Corrupt(
                     "entries not sorted by (unit hash, key)".into(),
                 ));
             }
         }
-        if sketch.entries.iter().any(|e| !e.value.is_finite()) {
+        if entries.iter().any(|e| !e.value.is_finite()) {
             return Err(SketchError::Corrupt("non-finite entry value".into()));
         }
-        Ok(sketch)
+
+        Ok(Self {
+            id,
+            hasher,
+            aggregation,
+            strategy,
+            entries,
+            units,
+            bounds,
+            rows_scanned,
+            saturated,
+        })
+    }
+}
+
+/// A small recursive-descent JSON parser — just enough for the sketch
+/// record format, kept private to this module.
+mod json {
+    use crate::error::SketchError;
+
+    /// A parsed JSON value. Numbers keep their raw text so `u64` keys
+    /// and counters survive without a round-trip through `f64`.
+    #[derive(Debug, Clone)]
+    pub(super) enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number, unparsed.
+        Num(String),
+        /// A string with escapes resolved.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object (insertion order preserved).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self, what: &str) -> Result<Obj<'_>, SketchError> {
+            match self {
+                Value::Obj(fields) => Ok(Obj(fields)),
+                _ => Err(SketchError::Corrupt(format!("{what}: expected object"))),
+            }
+        }
+
+        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], SketchError> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(SketchError::Corrupt(format!("{what}: expected array"))),
+            }
+        }
+
+        pub(super) fn as_str(&self, what: &str) -> Result<&str, SketchError> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(SketchError::Corrupt(format!("{what}: expected string"))),
+            }
+        }
+
+        pub(super) fn as_bool(&self, what: &str) -> Result<bool, SketchError> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(SketchError::Corrupt(format!("{what}: expected bool"))),
+            }
+        }
+
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, SketchError> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|e| SketchError::Corrupt(format!("{what}: {e}"))),
+                _ => Err(SketchError::Corrupt(format!("{what}: expected integer"))),
+            }
+        }
+
+        pub(super) fn as_f64(&self, what: &str) -> Result<f64, SketchError> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|e| SketchError::Corrupt(format!("{what}: {e}"))),
+                _ => Err(SketchError::Corrupt(format!("{what}: expected number"))),
+            }
+        }
+    }
+
+    /// Borrowed field list of a `Value::Obj`, so lookups read as
+    /// `obj.get("field")?`.
+    #[derive(Clone, Copy)]
+    pub(super) struct Obj<'a>(&'a [(String, Value)]);
+
+    impl<'a> Obj<'a> {
+        pub(super) fn get(&self, field: &str) -> Result<&'a Value, SketchError> {
+            self.0
+                .iter()
+                .find(|(k, _)| k == field)
+                .map(|(_, v)| v)
+                .ok_or_else(|| SketchError::Corrupt(format!("missing field '{field}'")))
+        }
+    }
+
+    /// Parse one JSON document (trailing whitespace allowed, nothing
+    /// else after the value).
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at offset {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'n') if self.literal("null") => Ok(Value::Null),
+                Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected byte at offset {}", self.pos)),
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.pos += 1;
+            }
+            let raw =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
+            if raw.is_empty() || raw == "-" {
+                return Err(format!("malformed number at offset {start}"));
+            }
+            Ok(Value::Num(raw.to_string()))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Fast path: copy the maximal escape-free run in one go.
+                while self
+                    .peek()
+                    .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
+                {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self
+                            .peek()
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let cp = self.hex4()?;
+                                let ch = if (0xd800..0xdc00).contains(&cp) {
+                                    // Surrogate pair.
+                                    if !self.literal("\\u") {
+                                        return Err("lone high surrogate".into());
+                                    }
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err("bad low surrogate".into());
+                                    }
+                                    let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(c)
+                                } else {
+                                    char::from_u32(cp)
+                                };
+                                out.push(ch.ok_or_else(|| "bad \\u escape".to_string())?);
+                            }
+                            other => return Err(format!("unknown escape '\\{}'", other as char)),
+                        }
+                    }
+                    _ => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, String> {
+            let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+            let end = end.ok_or_else(|| "truncated \\u escape".to_string())?;
+            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+                .map_err(|_| "bad \\u escape".to_string())?;
+            self.pos = end;
+            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape: {e}"))
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
     }
 }
 
@@ -111,6 +556,16 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_unit_hash_cache() {
+        let s = SketchBuilder::new(SketchConfig::with_size(32)).build(&pair(500));
+        let back = CorrelationSketch::from_json(&s.to_json().unwrap()).unwrap();
+        assert_eq!(s.units(), back.units());
+        for (u, e) in back.units().iter().zip(back.entries()) {
+            assert_eq!(*u, back.unit_hash(e));
+        }
+    }
+
+    #[test]
     fn roundtripped_sketches_still_join() {
         let b = SketchBuilder::new(SketchConfig::with_size(64));
         let a = b.build(&pair(2000));
@@ -124,9 +579,42 @@ mod tests {
     }
 
     #[test]
+    fn threshold_and_32bit_configs_roundtrip() {
+        let t = SketchBuilder::new(SketchConfig::with_threshold(0.05)).build(&pair(2000));
+        assert_eq!(
+            CorrelationSketch::from_json(&t.to_json().unwrap()).unwrap(),
+            t
+        );
+        let cfg = SketchConfig::with_size(16).hasher(sketch_hashing::TupleHasher::paper_32(7));
+        let p32 = SketchBuilder::new(cfg).build(&pair(200));
+        assert_eq!(
+            CorrelationSketch::from_json(&p32.to_json().unwrap()).unwrap(),
+            p32
+        );
+    }
+
+    #[test]
+    fn id_with_quotes_and_newlines_roundtrips() {
+        let p = ColumnPair::new(
+            "we \"said\"\nhi\\there",
+            "k",
+            "v",
+            vec!["a".into(), "b".into()],
+            vec![1.0, 2.0],
+        );
+        let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&p);
+        let back = CorrelationSketch::from_json(&s.to_json().unwrap()).unwrap();
+        assert_eq!(back.id(), s.id());
+    }
+
+    #[test]
     fn malformed_json_is_corrupt() {
         assert!(matches!(
             CorrelationSketch::from_json("{not json"),
+            Err(SketchError::Corrupt(_))
+        ));
+        assert!(matches!(
+            CorrelationSketch::from_json("{}"),
             Err(SketchError::Corrupt(_))
         ));
     }
@@ -135,14 +623,33 @@ mod tests {
     fn tampered_order_is_rejected() {
         let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&pair(100));
         let json = s.to_json().unwrap();
-        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let entries = v["entries"].as_array_mut().unwrap();
-        entries.reverse();
-        let tampered = serde_json::to_string(&v).unwrap();
+        // Reverse the entries array textually: entries are flat
+        // ["hex",value] tuples, so splitting on "],[" is unambiguous.
+        let (head, rest) = json.split_once("\"entries\":[[").unwrap();
+        let (entries, tail) = rest.split_once("]]").unwrap();
+        let mut parts: Vec<&str> = entries.split("],[").collect();
+        assert!(parts.len() >= 2);
+        parts.reverse();
+        let tampered = format!("{head}\"entries\":[[{}]]{tail}", parts.join("],["));
         assert!(matches!(
             CorrelationSketch::from_json(&tampered),
             Err(SketchError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_bounds_refused_at_write_time() {
+        // Min aggregation keeps the entry finite while the full-column
+        // bounds capture the infinity — the write must fail loudly
+        // instead of emitting a line that poisons the index on load.
+        use sketch_table::Aggregation;
+        let cfg = SketchConfig::with_size(8).aggregation(Aggregation::Min);
+        let mut b = crate::stream::StreamingSketchBuilder::new("t/k/v", cfg);
+        b.push("a", f64::INFINITY);
+        b.push("a", 1.0);
+        let s = b.finish();
+        assert!(s.entries().iter().all(|e| e.value.is_finite()));
+        assert!(matches!(s.to_json(), Err(SketchError::Corrupt(_))));
     }
 
     #[test]

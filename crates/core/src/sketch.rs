@@ -12,7 +12,6 @@ use crate::builder::SelectionStrategy;
 /// paper notes for Figure 2, it "does not need to be stored as it can be
 /// easily computed from h(k)".
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SketchEntry {
     /// Hashed key identifier `h(k)`.
     pub key: KeyHash,
@@ -33,6 +32,11 @@ pub struct CorrelationSketch {
     pub(crate) aggregation: Aggregation,
     pub(crate) strategy: SelectionStrategy,
     pub(crate) entries: Vec<SketchEntry>,
+    /// Cached unit hashes `g(k)`, aligned with `entries`. Derived state:
+    /// never serialized (the paper's Figure 2 note — `h_u(h(k))` "can be
+    /// easily computed from h(k)"), recomputed once at construction/load
+    /// time so the query path never rehashes inside comparison loops.
+    pub(crate) units: Vec<f64>,
     /// Full-column value range; `None` when the column was empty.
     pub(crate) bounds: Option<ValueBounds>,
     pub(crate) rows_scanned: u64,
@@ -113,46 +117,60 @@ impl CorrelationSketch {
         self.hasher.unit_hash(entry.key)
     }
 
+    /// Cached unit hashes, aligned with [`Self::entries`] and ascending.
+    /// Computed once at construction/load time.
+    #[must_use]
+    pub fn units(&self) -> &[f64] {
+        &self.units
+    }
+
     /// The k-th smallest unit hash `U(k)` — i.e. the largest unit hash
     /// retained. `None` for an empty sketch.
     #[must_use]
     pub fn kth_unit_hash(&self) -> Option<f64> {
-        self.entries.last().map(|e| self.unit_hash(e))
+        self.units.last().copied()
+    }
+
+    /// Binary search over the cached `(unit hash, key)` order. The
+    /// query's unit hash is computed exactly once (it is loop-invariant),
+    /// and the probe reads cached units instead of rehashing entries.
+    fn position_of(&self, key: KeyHash) -> Option<usize> {
+        let ku = self.hasher.unit_hash(key);
+        let (mut lo, mut hi) = (0usize, self.entries.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.units[mid]
+                .total_cmp(&ku)
+                .then(self.entries[mid].key.cmp(&key))
+            {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
     }
 
     /// Does the sketch contain this hashed key?
     #[must_use]
     pub fn contains_key(&self, key: KeyHash) -> bool {
-        // Entries are sorted by (unit hash, key); since unit hash is a
-        // deterministic function of the key we can binary-search on the
-        // composite order.
-        self.entries
-            .binary_search_by(|e| {
-                let eu = self.unit_hash(e);
-                let ku = self.hasher.unit_hash(key);
-                eu.total_cmp(&ku).then(e.key.cmp(&key))
-            })
-            .is_ok()
+        self.position_of(key).is_some()
     }
 
     /// Look up the aggregated value stored for a hashed key.
     #[must_use]
     pub fn value_of(&self, key: KeyHash) -> Option<f64> {
-        self.entries
-            .binary_search_by(|e| {
-                let eu = self.unit_hash(e);
-                let ku = self.hasher.unit_hash(key);
-                eu.total_cmp(&ku).then(e.key.cmp(&key))
-            })
-            .ok()
-            .map(|i| self.entries[i].value)
+        self.position_of(key).map(|i| self.entries[i].value)
     }
 
-    /// Approximate heap memory footprint in bytes (entries only) — the
-    /// space-accuracy trade-off axis of Figure 4.
+    /// Approximate heap memory footprint in bytes — the space-accuracy
+    /// trade-off axis of Figure 4. Counts the entries *and* the cached
+    /// unit hashes (the serialized form stores only the entries; the
+    /// cache is rebuilt on load).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         self.entries.len() * std::mem::size_of::<SketchEntry>()
+            + self.units.len() * std::mem::size_of::<f64>()
     }
 }
 
@@ -178,6 +196,15 @@ mod tests {
         let units: Vec<f64> = s.entries().iter().map(|e| s.unit_hash(e)).collect();
         for w in units.windows(2) {
             assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn units_cache_matches_hasher_recomputation() {
+        let s = SketchBuilder::new(SketchConfig::with_size(64)).build(&pair(1000));
+        assert_eq!(s.units().len(), s.len());
+        for (u, e) in s.units().iter().zip(s.entries()) {
+            assert_eq!(*u, s.unit_hash(e));
         }
     }
 

@@ -18,11 +18,16 @@ use crate::builder::{HeapKey, SelectionStrategy, SketchConfig};
 use crate::sketch::{CorrelationSketch, SketchEntry};
 
 /// Incremental builder for one column pair's sketch.
+///
+/// Each retained key's unit hash is stored next to its aggregation state,
+/// so [`StreamingSketchBuilder::finish`] never rehashes retained keys —
+/// `g(k)` is computed exactly once per pushed row, in
+/// [`StreamingSketchBuilder::push`].
 #[derive(Debug, Clone)]
 pub struct StreamingSketchBuilder {
     id: String,
     config: SketchConfig,
-    members: HashMap<KeyHash, AggState>,
+    members: HashMap<KeyHash, (f64, AggState)>,
     /// Max-heap over `(unit hash, key)`; only used by the fixed-size
     /// strategy (empty for threshold sketches).
     heap: BinaryHeap<HeapKey>,
@@ -80,14 +85,14 @@ impl StreamingSketchBuilder {
         let (kh, unit) = self.config.hasher.g(key.as_bytes());
         match self.config.strategy {
             SelectionStrategy::FixedSize(n) => match self.members.entry(kh) {
-                Entry::Occupied(mut e) => e.get_mut().update(value),
+                Entry::Occupied(mut e) => e.get_mut().1.update(value),
                 Entry::Vacant(e) => {
                     let hk = HeapKey { unit, key: kh };
                     if self.heap.len() < n {
-                        e.insert(agg.start(value));
+                        e.insert((unit, agg.start(value)));
                         self.heap.push(hk);
                     } else if n > 0 && hk < *self.heap.peek().expect("heap full, n > 0") {
-                        e.insert(agg.start(value));
+                        e.insert((unit, agg.start(value)));
                         self.heap.push(hk);
                         let evicted = self.heap.pop().expect("non-empty heap");
                         self.members.remove(&evicted.key);
@@ -100,9 +105,9 @@ impl StreamingSketchBuilder {
             SelectionStrategy::Threshold(t) => {
                 if unit <= t {
                     match self.members.entry(kh) {
-                        Entry::Occupied(mut e) => e.get_mut().update(value),
+                        Entry::Occupied(mut e) => e.get_mut().1.update(value),
                         Entry::Vacant(e) => {
-                            e.insert(agg.start(value));
+                            e.insert((unit, agg.start(value)));
                         }
                     }
                 } else {
@@ -115,30 +120,26 @@ impl StreamingSketchBuilder {
     /// Finalize into an immutable [`CorrelationSketch`].
     #[must_use]
     pub fn finish(self) -> CorrelationSketch {
-        let hasher = self.config.hasher;
+        // Units were captured at push time; no key is rehashed here.
         let mut tagged: Vec<(HeapKey, f64)> = self
             .members
             .into_iter()
-            .map(|(kh, state)| {
-                (
-                    HeapKey {
-                        unit: hasher.unit_hash(kh),
-                        key: kh,
-                    },
-                    state.value(),
-                )
-            })
+            .map(|(kh, (unit, state))| (HeapKey { unit, key: kh }, state.value()))
             .collect();
         tagged.sort_by_key(|e| e.0);
+        let mut entries = Vec::with_capacity(tagged.len());
+        let mut units = Vec::with_capacity(tagged.len());
+        for (hk, value) in tagged {
+            entries.push(SketchEntry { key: hk.key, value });
+            units.push(hk.unit);
+        }
         CorrelationSketch {
             id: self.id,
-            hasher,
+            hasher: self.config.hasher,
             aggregation: self.config.aggregation,
             strategy: self.config.strategy,
-            entries: tagged
-                .into_iter()
-                .map(|(hk, value)| SketchEntry { key: hk.key, value })
-                .collect(),
+            entries,
+            units,
             bounds: (self.rows_scanned > 0)
                 .then(|| ValueBounds::new(self.bounds_min, self.bounds_max)),
             rows_scanned: self.rows_scanned,

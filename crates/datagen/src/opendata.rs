@@ -124,10 +124,19 @@ fn make_domains(cfg: &OpenDataConfig, d: &mut Dist) -> Vec<Domain> {
 /// How a numeric column derives its values.
 enum ValueKind {
     /// `β·latent + σ·noise`, linear in a latent factor (correlated family).
-    Linear { latent: usize, beta: f64, noise: f64 },
+    Linear {
+        latent: usize,
+        beta: f64,
+        noise: f64,
+    },
     /// `exp(μ + a·latent + b·noise)` — heavy-tailed, monotone in the
     /// latent (correlated in rank, Spearman-friendly).
-    LogLinear { latent: usize, a: f64, b: f64, mu: f64 },
+    LogLinear {
+        latent: usize,
+        a: f64,
+        b: f64,
+        mu: f64,
+    },
     /// Independent noise (the uncorrelated majority).
     Noise { heavy: bool },
     /// Small non-negative integer counts driven by a latent.
@@ -136,9 +145,11 @@ enum ValueKind {
 
 fn gen_value(kind: &ValueKind, latent_val: impl Fn(usize) -> f64, d: &mut Dist) -> f64 {
     match *kind {
-        ValueKind::Linear { latent, beta, noise } => {
-            beta * latent_val(latent) + noise * d.normal()
-        }
+        ValueKind::Linear {
+            latent,
+            beta,
+            noise,
+        } => beta * latent_val(latent) + noise * d.normal(),
         ValueKind::LogLinear { latent, a, b, mu } => {
             (mu + a * latent_val(latent) + b * d.normal()).exp()
         }
@@ -149,9 +160,7 @@ fn gen_value(kind: &ValueKind, latent_val: impl Fn(usize) -> f64, d: &mut Dist) 
                 d.normal_with(0.0, 3.0)
             }
         }
-        ValueKind::Count { latent, scale } => {
-            (scale * (latent_val(latent) + 2.5)).max(0.0).round()
-        }
+        ValueKind::Count { latent, scale } => (scale * (latent_val(latent) + 2.5)).max(0.0).round(),
     }
 }
 
@@ -209,8 +218,7 @@ pub fn generate_open_data(cfg: &OpenDataConfig) -> Vec<Table> {
         .map(|t| {
             let dom_idx = d.index(domains.len());
             let dom = &domains[dom_idx];
-            let rows = cfg.min_rows
-                + (d.uniform() * (cfg.max_rows - cfg.min_rows) as f64) as usize;
+            let rows = cfg.min_rows + (d.uniform() * (cfg.max_rows - cfg.min_rows) as f64) as usize;
 
             // Each table sees a contiguous-ish slice of the domain, so key
             // overlap between tables varies from none to full.
@@ -223,16 +231,13 @@ pub fn generate_open_data(cfg: &OpenDataConfig) -> Vec<Table> {
                 .collect();
 
             let n_cols = 1 + d.index(4);
-            let mut columns =
-                vec![NamedColumn::categorical(
-                    "key",
-                    key_idx
-                        .iter()
-                        .map(|&k| {
-                            (!d.coin(missing_rate * 0.3)).then(|| dom.keys[k].clone())
-                        })
-                        .collect(),
-                )];
+            let mut columns = vec![NamedColumn::categorical(
+                "key",
+                key_idx
+                    .iter()
+                    .map(|&k| (!d.coin(missing_rate * 0.3)).then(|| dom.keys[k].clone()))
+                    .collect(),
+            )];
             for c in 0..n_cols {
                 let kind = pick_value_kind(cfg, &mut d);
                 let values: Vec<Option<f64>> = key_idx
@@ -307,11 +312,9 @@ mod tests {
     #[test]
     fn keys_repeat_within_tables() {
         let tables = generate_open_data(&tiny_nyc());
-        let any_repeats = tables.iter().any(|t| {
-            t.column_pairs()
-                .iter()
-                .any(|p| p.distinct_keys() < p.len())
-        });
+        let any_repeats = tables
+            .iter()
+            .any(|t| t.column_pairs().iter().any(|p| p.distinct_keys() < p.len()));
         assert!(any_repeats, "Zipf key draws must produce repeated keys");
     }
 
@@ -330,7 +333,10 @@ mod tests {
                 }
             }
         }
-        assert!(joinable > 5, "need joinable cross-table pairs, got {joinable}");
+        assert!(
+            joinable > 5,
+            "need joinable cross-table pairs, got {joinable}"
+        );
     }
 
     #[test]
@@ -378,6 +384,9 @@ mod tests {
             .flat_map(Table::column_pairs)
             .flat_map(|p| p.values.clone())
             .fold(0.0f64, f64::max);
-        assert!(max_val > 1e5, "WBF columns should reach monetary scale, max={max_val}");
+        assert!(
+            max_val > 1e5,
+            "WBF columns should reach monetary scale, max={max_val}"
+        );
     }
 }

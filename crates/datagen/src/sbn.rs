@@ -66,8 +66,8 @@ pub fn generate_sbn(cfg: &SbnConfig) -> Vec<SbnPair> {
 }
 
 fn generate_pair(d: &mut Dist, cfg: &SbnConfig, pair_idx: usize) -> SbnPair {
-    let n = cfg.min_rows
-        + (d.uniform() * (cfg.max_rows.saturating_sub(cfg.min_rows)) as f64) as usize;
+    let n =
+        cfg.min_rows + (d.uniform() * (cfg.max_rows.saturating_sub(cfg.min_rows)) as f64) as usize;
     let rho = d.uniform_range(-1.0, 1.0);
     // c ∈ (0, 1): floor so at least 3 rows survive where possible.
     let c = d.uniform().max(3.0 / n as f64).min(1.0);
@@ -78,7 +78,10 @@ fn generate_pair(d: &mut Dist, cfg: &SbnConfig, pair_idx: usize) -> SbnPair {
     for i in 0..n {
         // Random unique strings: a per-pair prefix plus the index mixed
         // with a random suffix keeps keys unique and non-sequential.
-        keys.push(format!("sbn{pair_idx}-{i}-{:06x}", (d.uniform() * 16_777_216.0) as u32));
+        keys.push(format!(
+            "sbn{pair_idx}-{i}-{:06x}",
+            (d.uniform() * 16_777_216.0) as u32
+        ));
         let (x, y) = d.bivariate_normal(rho);
         xs.push(x);
         ys.push(y);

@@ -12,7 +12,6 @@ use crate::murmur3::{murmur3_x64_128, murmur3_x86_32};
 
 /// Width of the key-identifier hash `h`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HashBits {
     /// 32-bit MurmurHash3 (`murmur3_x86_32`) — the paper's configuration.
     ///
@@ -29,7 +28,6 @@ pub enum HashBits {
 /// Stored as `u64` regardless of [`HashBits`]; in 32-bit mode the upper
 /// word is zero so identifiers from the two modes never mix silently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KeyHash(pub u64);
 
 impl KeyHash {
@@ -69,7 +67,6 @@ pub trait KeyHasher {
 
 /// The concrete hasher configuration used across a sketch corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TupleHasher {
     bits: HashBits,
     seed: u64,

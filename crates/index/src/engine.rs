@@ -27,6 +27,11 @@ pub struct QueryOptions {
     /// Minimum join-sample size for a candidate to receive an estimate
     /// (below this the estimate is `None` and the candidate ranks last).
     pub min_sample: usize,
+    /// Worker threads for candidate join + estimation. `0` and `1` both
+    /// mean serial; results are bit-identical for every value (the
+    /// fan-out uses deterministic contiguous chunking, like
+    /// `correlation_sketches::build_sketches_parallel`).
+    pub threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -36,6 +41,7 @@ impl Default for QueryOptions {
             k: 10,
             estimator: CorrelationEstimator::Pearson,
             min_sample: 3,
+            threads: 1,
         }
     }
 }
@@ -81,21 +87,86 @@ pub fn retrieve_candidates<'a>(
     query: &CorrelationSketch,
     overlap_candidates: usize,
 ) -> Vec<Candidate<'a>> {
-    index
-        .overlap_candidates(query, overlap_candidates)
-        .into_iter()
-        .filter_map(|(doc, overlap)| {
-            let sketch = index.get(doc)?;
-            // Hashers are uniform across an index; join cannot fail.
-            let sample = join_sketches(query, sketch).ok()?;
-            Some(Candidate {
+    retrieve_candidates_threaded(index, query, overlap_candidates, 1)
+}
+
+/// As [`retrieve_candidates`], fanning the joins out over up to `threads`
+/// scoped worker threads. Deterministic: contiguous chunks of the
+/// retrieval order are joined independently and re-concatenated, so the
+/// output is bit-identical to the serial build for every thread count
+/// (`0` is treated as `1`; counts above the candidate count are capped).
+#[must_use]
+pub fn retrieve_candidates_threaded<'a>(
+    index: &'a SketchIndex,
+    query: &CorrelationSketch,
+    overlap_candidates: usize,
+    threads: usize,
+) -> Vec<Candidate<'a>> {
+    scored_candidates(
+        index,
+        query,
+        overlap_candidates,
+        threads,
+        // Estimation is skipped here (min_sample usize::MAX): callers of
+        // the candidate API (e.g. the CLI's list-level scorers) estimate
+        // themselves.
+        usize::MAX,
+        CorrelationEstimator::Pearson,
+    )
+    .into_iter()
+    .map(|(cand, _)| cand)
+    .collect()
+}
+
+/// Steps 1–3 of the pipeline: retrieve, join, estimate — the expensive,
+/// embarrassingly parallel part, fanned out over scoped threads with
+/// deterministic contiguous chunking.
+fn scored_candidates<'a>(
+    index: &'a SketchIndex,
+    query: &CorrelationSketch,
+    overlap_candidates: usize,
+    threads: usize,
+    min_sample: usize,
+    estimator: CorrelationEstimator,
+) -> Vec<(Candidate<'a>, Option<f64>)> {
+    let hits = index.overlap_candidates(query, overlap_candidates);
+    let join_one = |&(doc, overlap): &(crate::inverted::DocId, usize)| {
+        let sketch = index.get(doc)?;
+        // Hashers are uniform across an index; join cannot fail.
+        let sample = join_sketches(query, sketch).ok()?;
+        let estimate = if sample.len() >= min_sample {
+            sample.estimate(estimator).ok()
+        } else {
+            None
+        };
+        Some((
+            Candidate {
                 doc,
                 sketch,
                 overlap,
                 sample,
-            })
-        })
-        .collect()
+            },
+            estimate,
+        ))
+    };
+
+    let threads = threads.clamp(1, hits.len().max(1));
+    if threads == 1 {
+        return hits.iter().filter_map(join_one).collect();
+    }
+    let chunk_len = hits.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(hits.len());
+    let join_one = &join_one;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = hits
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().filter_map(join_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("query workers do not panic"));
+        }
+    });
+    out
 }
 
 /// Execute a top-k join-correlation query with a custom scorer.
@@ -103,7 +174,8 @@ pub fn retrieve_candidates<'a>(
 /// `scorer` maps a candidate and its (optional) correlation estimate to a
 /// ranking score; higher is better. Candidates are returned sorted by
 /// score (descending, ties broken by overlap then doc id), truncated to
-/// `opts.k`.
+/// `opts.k` via bounded-heap selection (the scorer itself runs serially —
+/// join and estimation are what `opts.threads` parallelizes).
 #[must_use]
 pub fn top_k_with_scorer(
     index: &SketchIndex,
@@ -111,15 +183,34 @@ pub fn top_k_with_scorer(
     opts: &QueryOptions,
     scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
 ) -> Vec<QueryResult> {
-    let mut results: Vec<QueryResult> = retrieve_candidates(index, query, opts.overlap_candidates)
+    top_k_reported_candidates(index, query, opts, scorer)
         .into_iter()
-        .map(|cand| {
-            let estimate = if cand.sample.len() >= opts.min_sample {
-                cand.sample.estimate(opts.estimator).ok()
-            } else {
-                None
-            };
-            let score = scorer(&cand, estimate);
+        .map(|(result, _)| result)
+        .collect()
+}
+
+/// Shared core of [`top_k_with_scorer`] / [`top_k_with_reports`]: rank
+/// all candidates, keep the top `opts.k`, and hand each winner's
+/// already-materialized [`JoinSample`] back alongside its result so
+/// report construction never re-joins.
+fn top_k_reported_candidates(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+    scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
+) -> Vec<(QueryResult, JoinSample)> {
+    let scored = scored_candidates(
+        index,
+        query,
+        opts.overlap_candidates,
+        opts.threads,
+        opts.min_sample,
+        opts.estimator,
+    )
+    .into_iter()
+    .map(|(cand, estimate)| {
+        let score = scorer(&cand, estimate);
+        (
             QueryResult {
                 doc: cand.doc,
                 id: cand.sketch.id().to_string(),
@@ -127,17 +218,16 @@ pub fn top_k_with_scorer(
                 sample_size: cand.sample.len(),
                 estimate,
                 score,
-            }
-        })
-        .collect();
-    results.sort_by(|a, b| {
+            },
+            cand.sample,
+        )
+    });
+    crate::select::top_k_by(scored, opts.k, |(a, _), (b, _)| {
         b.score
             .total_cmp(&a.score)
             .then(b.overlap.cmp(&a.overlap))
             .then(a.doc.cmp(&b.doc))
-    });
-    results.truncate(opts.k);
-    results
+    })
 }
 
 /// Execute a top-k join-correlation query ranked by the absolute
@@ -150,9 +240,7 @@ pub fn top_k_join_correlation(
     query: &CorrelationSketch,
     opts: &QueryOptions,
 ) -> Vec<QueryResult> {
-    top_k_with_scorer(index, query, opts, |_cand, est| {
-        est.map_or(0.0, f64::abs)
-    })
+    top_k_with_scorer(index, query, opts, |_cand, est| est.map_or(0.0, f64::abs))
 }
 
 /// A query result together with the full uncertainty report of
@@ -169,6 +257,11 @@ pub struct ReportedResult {
 /// As [`top_k_join_correlation`], but each answer carries the Section 4
 /// uncertainty report (Hoeffding interval, HFD length, Fisher SE) so a
 /// caller can display confidence alongside the estimate.
+///
+/// Single pass: each winner's report is computed from the join sample
+/// already materialized during retrieval — the pre-fusion implementation
+/// re-joined and re-estimated every winner, doubling the join work for
+/// the exact same numbers.
 #[must_use]
 pub fn top_k_with_reports(
     index: &SketchIndex,
@@ -176,15 +269,12 @@ pub fn top_k_with_reports(
     opts: &QueryOptions,
     alpha: f64,
 ) -> Vec<ReportedResult> {
-    let results = top_k_join_correlation(index, query, opts);
-    results
+    top_k_reported_candidates(index, query, opts, |_cand, est| est.map_or(0.0, f64::abs))
         .into_iter()
-        .map(|result| {
-            let report = index
-                .get(result.doc)
-                .and_then(|sketch| join_sketches(query, sketch).ok())
-                .filter(|s| s.len() >= opts.min_sample)
-                .and_then(|s| s.report(opts.estimator, alpha).ok());
+        .map(|(result, sample)| {
+            let report = (sample.len() >= opts.min_sample)
+                .then(|| sample.report(opts.estimator, alpha).ok())
+                .flatten();
             ReportedResult { result, report }
         })
         .collect()
@@ -229,13 +319,17 @@ mod tests {
             signal.iter().map(|v| -2.0 * v).collect(),
         )))
         .unwrap();
-        idx.insert(b.build(&ColumnPair::new(
-            "noise",
-            "k",
-            "v",
-            keys.clone(),
-            (0..n).map(|i| ((i * 2_654_435_761) % 1_000) as f64).collect(),
-        )))
+        idx.insert(
+            b.build(&ColumnPair::new(
+                "noise",
+                "k",
+                "v",
+                keys.clone(),
+                (0..n)
+                    .map(|i| ((i * 2_654_435_761) % 1_000) as f64)
+                    .collect(),
+            )),
+        )
         .unwrap();
         idx.insert(b.build(&ColumnPair::new(
             "disjoint",
@@ -302,12 +396,9 @@ mod tests {
     fn custom_scorer_changes_order() {
         let (idx, q) = fixture();
         // Score by overlap only: ranking degenerates to retrieval order.
-        let results = top_k_with_scorer(
-            &idx,
-            &q,
-            &QueryOptions::default(),
-            |cand, _| cand.overlap as f64,
-        );
+        let results = top_k_with_scorer(&idx, &q, &QueryOptions::default(), |cand, _| {
+            cand.overlap as f64
+        });
         assert!(results[0].overlap >= results[1].overlap);
     }
 
@@ -336,16 +427,118 @@ mod tests {
         }
     }
 
+    /// A larger corpus for the parallel-determinism tests: many tables
+    /// with staggered key ranges and varied signals.
+    fn wide_fixture(tables: usize) -> (SketchIndex, CorrelationSketch) {
+        let b = SketchBuilder::new(SketchConfig::with_size(128));
+        let n = 800usize;
+        let query = b.build(&ColumnPair::new(
+            "query",
+            "k",
+            "v",
+            (0..n).map(|i| format!("key-{i}")).collect(),
+            (0..n).map(|i| ((i as f64) * 0.11).sin() * 5.0).collect(),
+        ));
+        let mut idx = SketchIndex::new();
+        for t in 0..tables {
+            let lo = (t * 37) % 500;
+            idx.insert(
+                b.build(&ColumnPair::new(
+                    format!("t{t}"),
+                    "k",
+                    "v",
+                    (lo..lo + n).map(|i| format!("key-{i}")).collect(),
+                    (lo..lo + n)
+                        .map(|i| ((i as f64) * 0.11 + t as f64).sin() * (t + 1) as f64)
+                        .collect(),
+                )),
+            )
+            .unwrap();
+        }
+        (idx, query)
+    }
+
+    #[test]
+    fn parallel_query_identical_to_serial_for_every_thread_count() {
+        let (idx, q) = wide_fixture(40);
+        let serial = QueryOptions {
+            k: 15,
+            threads: 1,
+            ..Default::default()
+        };
+        let expected = top_k_join_correlation(&idx, &q, &serial);
+        assert!(expected.len() >= 10);
+        // 0 (treated as 1), several in-range counts, and counts far above
+        // the candidate count must all be bit-identical.
+        for threads in [0usize, 2, 3, 7, 16, 1000] {
+            let opts = QueryOptions { threads, ..serial };
+            assert_eq!(
+                top_k_join_correlation(&idx, &q, &opts),
+                expected,
+                "threads={threads}"
+            );
+            let reports = top_k_with_reports(&idx, &q, &opts, 0.05);
+            let serial_reports = top_k_with_reports(&idx, &q, &serial, 0.05);
+            assert_eq!(reports, serial_reports, "reports, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_retrieve_candidates_identical_to_serial() {
+        let (idx, q) = wide_fixture(25);
+        let serial = retrieve_candidates(&idx, &q, 100);
+        for threads in [0usize, 2, 5, 64] {
+            let par = retrieve_candidates_threaded(&idx, &q, 100, threads);
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.overlap, b.overlap);
+                assert_eq!(a.sample, b.sample);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reports_equal_prefusion_recomputation() {
+        let (idx, q) = fixture();
+        let opts = QueryOptions::default();
+        let fused = top_k_with_reports(&idx, &q, &opts, 0.05);
+        // The pre-fusion implementation ranked first, then re-joined and
+        // re-estimated every winner; reproduce it literally.
+        let prefusion: Vec<ReportedResult> = top_k_join_correlation(&idx, &q, &opts)
+            .into_iter()
+            .map(|result| {
+                let report = idx
+                    .get(result.doc)
+                    .and_then(|sketch| correlation_sketches::join_sketches(&q, sketch).ok())
+                    .filter(|s| s.len() >= opts.min_sample)
+                    .and_then(|s| s.report(opts.estimator, 0.05).ok());
+                ReportedResult { result, report }
+            })
+            .collect();
+        assert_eq!(fused, prefusion);
+    }
+
+    #[test]
+    fn queries_skip_tombstoned_docs() {
+        let (mut idx, q) = wide_fixture(12);
+        // k above the corpus size so no truncation masks the removal.
+        let opts = QueryOptions {
+            k: 50,
+            ..Default::default()
+        };
+        let full = top_k_join_correlation(&idx, &q, &opts);
+        let removed = full[0].doc;
+        assert!(idx.remove(removed));
+        let after = top_k_join_correlation(&idx, &q, &opts);
+        assert!(after.iter().all(|r| r.doc != removed));
+        assert_eq!(after.len(), full.len() - 1);
+    }
+
     #[test]
     fn empty_index_gives_empty_results() {
         let b = SketchBuilder::new(SketchConfig::with_size(16));
-        let q = b.build(&ColumnPair::new(
-            "q",
-            "k",
-            "v",
-            vec!["a".into()],
-            vec![1.0],
-        ));
+        let q = b.build(&ColumnPair::new("q", "k", "v", vec!["a".into()], vec![1.0]));
         let idx = SketchIndex::new();
         assert!(top_k_join_correlation(&idx, &q, &QueryOptions::default()).is_empty());
     }

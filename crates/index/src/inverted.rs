@@ -122,6 +122,13 @@ impl SketchIndex {
     /// with `query`, as `(doc, overlap)` pairs sorted by descending
     /// overlap (ties by ascending doc id for determinism). Documents with
     /// zero overlap are never returned.
+    ///
+    /// Doc ids are dense, so overlap counts accumulate into a flat
+    /// `Vec<u32>` indexed by doc id — one cache-friendly increment per
+    /// posting, no hashing — and the winners are picked with a bounded
+    /// heap (`O(docs · log top_n)`) instead of a full sort. Tombstoned
+    /// documents are skipped once at selection time rather than per
+    /// posting.
     #[must_use]
     pub fn overlap_candidates(
         &self,
@@ -131,20 +138,20 @@ impl SketchIndex {
         if top_n == 0 || self.is_empty() {
             return Vec::new();
         }
-        let mut counts: HashMap<DocId, usize> = HashMap::new();
+        let mut counts = vec![0u32; self.sketches.len()];
         for e in query.entries() {
             if let Some(list) = self.postings.get(&e.key) {
                 for &doc in list {
-                    if !self.deleted.contains(&doc) {
-                        *counts.entry(doc).or_insert(0) += 1;
-                    }
+                    counts[doc as usize] += 1;
                 }
             }
         }
-        let mut hits: Vec<(DocId, usize)> = counts.into_iter().collect();
-        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        hits.truncate(top_n);
-        hits
+        let hits = counts
+            .iter()
+            .enumerate()
+            .filter(|&(doc, &count)| count > 0 && !self.deleted.contains(&(doc as DocId)))
+            .map(|(doc, &count)| (doc as DocId, count as usize));
+        crate::select::top_k_by(hits, top_n, |a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
     }
 }
 
@@ -213,10 +220,8 @@ mod tests {
         use sketch_hashing::TupleHasher;
         let mut idx = SketchIndex::new();
         idx.insert(builder().build(&pair("a", 0..10))).unwrap();
-        let other = SketchBuilder::new(
-            SketchConfig::with_size(128).hasher(TupleHasher::new_64(9)),
-        )
-        .build(&pair("b", 0..10));
+        let other = SketchBuilder::new(SketchConfig::with_size(128).hasher(TupleHasher::new_64(9)))
+            .build(&pair("b", 0..10));
         assert_eq!(idx.insert(other), Err(SketchError::HasherMismatch));
         assert_eq!(idx.len(), 1);
     }
@@ -253,6 +258,39 @@ mod tests {
         let d2 = idx.insert(b.build(&pair("c", 0..100))).unwrap();
         assert_eq!(d2, 2);
         assert_eq!(idx.get(d2).unwrap().id(), "c/k/v");
+    }
+
+    #[test]
+    fn tombstones_respected_under_bounded_heap_selection() {
+        // More live candidates than top_n, with deletions interleaved, so
+        // the dense-counter + heap path must both skip tombstones and
+        // keep the selection order identical to a full sort.
+        let mut idx = SketchIndex::new();
+        let b = builder();
+        for t in 0..30 {
+            // Overlap with the query shrinks as t grows.
+            idx.insert(b.build(&pair(&format!("t{t}"), (t * 2)..(t * 2 + 60))))
+                .unwrap();
+        }
+        for doc in [0u32, 3, 4, 11, 29] {
+            assert!(idx.remove(doc));
+        }
+        let q = b.build(&pair("q", 0..60));
+        let top_n = 8;
+        let hits = idx.overlap_candidates(&q, top_n);
+        assert_eq!(hits.len(), top_n);
+        // Reference: brute-force overlap over live docs only.
+        let mut expected: Vec<(DocId, usize)> = (0..30u32)
+            .filter_map(|doc| {
+                let s = idx.get(doc)?;
+                let overlap = s.entries().iter().filter(|e| q.contains_key(e.key)).count();
+                (overlap > 0).then_some((doc, overlap))
+            })
+            .collect();
+        expected.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        expected.truncate(top_n);
+        assert_eq!(hits, expected);
+        assert!(hits.iter().all(|&(d, _)| ![0, 3, 4, 11, 29].contains(&d)));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod engine;
 pub mod inverted;
+mod select;
 
 pub use engine::{Candidate, QueryOptions, QueryResult, ReportedResult};
 pub use inverted::{DocId, SketchIndex};

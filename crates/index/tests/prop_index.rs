@@ -19,11 +19,7 @@ fn pair_from(table: String, keys: &[u16], values: &[f64]) -> ColumnPair {
 }
 
 fn arb_corpus() -> impl Strategy<Value = Vec<ColumnPair>> {
-    vec(
-        (vec(0u16..300, 1..120), vec(-1e3f64..1e3, 1..120)),
-        1..12,
-    )
-    .prop_map(|tables| {
+    vec((vec(0u16..300, 1..120), vec(-1e3f64..1e3, 1..120)), 1..12).prop_map(|tables| {
         tables
             .into_iter()
             .enumerate()

@@ -154,11 +154,7 @@ fn ground_truth_grade(q: &ColumnPair, c: &ColumnPair, cfg: &RankingConfig) -> Op
     Some(pearson(&joined.x, &joined.y).map_or(0.0, f64::abs))
 }
 
-fn metrics_for_ranking(
-    order: &[usize],
-    grades: &[f64],
-    cfg: &RankingConfig,
-) -> QueryMetrics {
+fn metrics_for_ranking(order: &[usize], grades: &[f64], cfg: &RankingConfig) -> QueryMetrics {
     let ranked_grades: Vec<f64> = order.iter().map(|&i| grades[i]).collect();
     let (thr_high, thr_mid) = cfg.map_thresholds;
     let rel_high: Vec<bool> = ranked_grades.iter().map(|&g| g > thr_high).collect();
@@ -184,11 +180,9 @@ pub fn run_ranking_experiment(
     corpus: &[ColumnPair],
     cfg: &RankingConfig,
 ) -> RankingReport {
-    let builder = SketchBuilder::new(
-        SketchConfig::with_size(cfg.sketch_size).aggregation(cfg.aggregation),
-    );
-    let corpus_sketches: Vec<CorrelationSketch> =
-        corpus.iter().map(|p| builder.build(p)).collect();
+    let builder =
+        SketchBuilder::new(SketchConfig::with_size(cfg.sketch_size).aggregation(cfg.aggregation));
+    let corpus_sketches: Vec<CorrelationSketch> = corpus.iter().map(|p| builder.build(p)).collect();
 
     let mut per_query = Vec::new();
     for (qi, q) in queries.iter().enumerate() {
@@ -329,11 +323,7 @@ mod tests {
         let report = run_ranking_experiment(&queries, &corpus, &RankingConfig::default());
         let by_name = summaries_by_name(&report);
         for name in ["rp*cih", "rb*cib", "rp*sez"] {
-            assert!(
-                by_name[name].map_high > 0.9,
-                "{name}: {:?}",
-                by_name[name]
-            );
+            assert!(by_name[name].map_high > 0.9, "{name}: {:?}", by_name[name]);
         }
     }
 
@@ -367,8 +357,7 @@ mod tests {
             vec!["y1".into(), "y2".into(), "y3".into()],
             vec![1.0, 2.0, 3.0],
         );
-        let report =
-            run_ranking_experiment(&[q], &[c], &RankingConfig::default());
+        let report = run_ranking_experiment(&[q], &[c], &RankingConfig::default());
         assert!(report.per_query.is_empty());
     }
 

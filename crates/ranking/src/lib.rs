@@ -25,6 +25,6 @@ pub mod scoring;
 
 pub use evaluation::{run_ranking_experiment, QueryOutcome, RankingConfig, RankingReport};
 pub use scoring::{
-    extract_features, features_from_sample, rank_candidates, score_candidates,
-    CandidateFeatures, ScoringFunction,
+    extract_features, features_from_sample, rank_candidates, score_candidates, CandidateFeatures,
+    ScoringFunction,
 };

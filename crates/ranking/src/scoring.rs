@@ -13,9 +13,7 @@
 //! `s1` applies no penalization; `jc`, `ĵc` and `random` are the
 //! joinability baselines of Section 5.4.
 
-use correlation_sketches::{
-    containment_estimate, join_sketches, CorrelationSketch, JoinSample,
-};
+use correlation_sketches::{containment_estimate, join_sketches, CorrelationSketch, JoinSample};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sketch_stats::{fisher_z_se, CorrelationEstimator};
@@ -55,13 +53,12 @@ pub fn extract_features(
     full_pairs: Option<(&ColumnPair, &ColumnPair)>,
     pm1_seed: u64,
 ) -> CandidateFeatures {
-    let sample = join_sketches(query_sketch, cand_sketch)
-        .unwrap_or_else(|_| JoinSample {
-            key_hashes: Vec::new(),
-            x: Vec::new(),
-            y: Vec::new(),
-            bounds: None,
-        });
+    let sample = join_sketches(query_sketch, cand_sketch).unwrap_or_else(|_| JoinSample {
+        key_hashes: Vec::new(),
+        x: Vec::new(),
+        y: Vec::new(),
+        bounds: None,
+    });
     features_from_sample(query_sketch, cand_sketch, &sample, full_pairs, pm1_seed)
 }
 
@@ -168,9 +165,7 @@ pub fn score_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> V
         ScoringFunction::RpSez => features
             .iter()
             .map(|c| {
-                c.rp.map_or(0.0, |r| {
-                    r.abs() * (1.0 - fisher_z_se(c.sample_size))
-                })
+                c.rp.map_or(0.0, |r| r.abs() * (1.0 - fisher_z_se(c.sample_size)))
             })
             .collect(),
         ScoringFunction::RbCib => features
@@ -182,10 +177,11 @@ pub fn score_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> V
             .collect(),
         ScoringFunction::RpCih => {
             let lengths: Vec<f64> = features.iter().filter_map(|c| c.hfd_ci_length).collect();
-            let (min_len, max_len) = lengths.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &l| (lo.min(l), hi.max(l)),
-            );
+            let (min_len, max_len) = lengths
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &l| {
+                    (lo.min(l), hi.max(l))
+                });
             features
                 .iter()
                 .map(|c| match (c.rp, c.hfd_ci_length) {
@@ -201,10 +197,7 @@ pub fn score_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> V
                 })
                 .collect()
         }
-        ScoringFunction::Jc => features
-            .iter()
-            .map(|c| c.jc_exact.unwrap_or(0.0))
-            .collect(),
+        ScoringFunction::Jc => features.iter().map(|c| c.jc_exact.unwrap_or(0.0)).collect(),
         ScoringFunction::JcEstimate => features.iter().map(|c| c.jc_estimate).collect(),
         ScoringFunction::Random { seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -259,8 +252,8 @@ mod tests {
     #[test]
     fn s2_penalizes_small_samples() {
         let fs = vec![
-            feat("big", 403, Some(0.8), None, 0.0),  // se_z = 0.05
-            feat("tiny", 4, Some(0.8), None, 0.0),   // se_z = 1.0 → score 0
+            feat("big", 403, Some(0.8), None, 0.0), // se_z = 0.05
+            feat("tiny", 4, Some(0.8), None, 0.0),  // se_z = 1.0 → score 0
         ];
         let s = score_candidates(&fs, ScoringFunction::RpSez);
         assert!(s[0] > 0.75, "{s:?}");

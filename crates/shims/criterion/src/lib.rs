@@ -1,0 +1,271 @@
+//! Hermetic stand-in for the `criterion` crate (no network access in the
+//! build environment). Provides the macro/API surface the workspace's
+//! benches use — [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups with `warm_up_time` / `measurement_time` / `sample_size` /
+//! `throughput`, [`BenchmarkId`], and `Bencher::iter` — measuring
+//! wall-clock time and printing a compact
+//! `group/name  median … mean … (N samples)` line per benchmark.
+//!
+//! No statistical outlier analysis, plots, or saved baselines; results
+//! are intended for relative, same-machine comparisons (which is how the
+//! workspace's perf acceptance criteria are phrased).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build from the process arguments: a bare positional argument is a
+    /// substring filter (as with real criterion); `--test` runs each
+    /// benchmark exactly once (what `cargo test --benches` passes).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                a if !a.starts_with('-') => c.filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+
+    /// Standalone benchmark without a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Units for throughput annotation (accepted, not currently reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (real criterion's `from_parameter`).
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// A set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate throughput (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher::once();
+            f(&mut b);
+            println!("{full}: ok (test mode)");
+            return;
+        }
+
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        let mut b = Bencher::timed(1);
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            f(&mut b);
+            iters_done += b.iters;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Measurement: `sample_size` samples, each batched so the whole
+        // run lands near the measurement budget.
+        let budget = self.measurement.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::timed(iters_per_sample);
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{full:<48} median {:>12}  mean {:>12}  ({} samples x {iters_per_sample} iters)",
+            format_time(median),
+            format_time(mean),
+            samples.len(),
+        );
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn once() -> Self {
+        Self {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn timed(iters: u64) -> Self {
+        Self {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time `iters` executions of `payload`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

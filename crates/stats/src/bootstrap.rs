@@ -52,7 +52,13 @@ pub struct BootstrapResult {
 /// Draw one bootstrap resample (with replacement) of the paired sample and
 /// compute its Pearson correlation; `None` when the resample is degenerate
 /// (e.g. it picked a single index n times).
-fn resample_pearson(x: &[f64], y: &[f64], rng: &mut StdRng, bx: &mut [f64], by: &mut [f64]) -> Option<f64> {
+fn resample_pearson(
+    x: &[f64],
+    y: &[f64],
+    rng: &mut StdRng,
+    bx: &mut [f64],
+    by: &mut [f64],
+) -> Option<f64> {
     let n = x.len();
     for i in 0..n {
         let j = rng.random_range(0..n);
@@ -220,8 +226,24 @@ mod tests {
     #[test]
     fn different_seeds_give_slightly_different_estimates() {
         let (x, y) = linear_data(30);
-        let a = pm1_bootstrap(&x, &y, &BootstrapConfig { seed: 1, ..Default::default() }).unwrap();
-        let b = pm1_bootstrap(&x, &y, &BootstrapConfig { seed: 2, ..Default::default() }).unwrap();
+        let a = pm1_bootstrap(
+            &x,
+            &y,
+            &BootstrapConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = pm1_bootstrap(
+            &x,
+            &y,
+            &BootstrapConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_ne!(a.estimate, b.estimate);
         assert!((a.estimate - b.estimate).abs() < 0.1);
     }
@@ -250,7 +272,11 @@ mod tests {
     #[test]
     fn degenerate_input_is_an_error() {
         assert!(matches!(
-            pm1_bootstrap(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &BootstrapConfig::default()),
+            pm1_bootstrap(
+                &[1.0, 1.0, 1.0],
+                &[1.0, 2.0, 3.0],
+                &BootstrapConfig::default()
+            ),
             Err(StatsError::ZeroVariance)
         ));
     }

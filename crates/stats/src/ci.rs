@@ -24,7 +24,6 @@ use crate::error::{validate_pairs, StatsError};
 /// A closed interval `[low, high]`, always clamped to `[−1, 1]` by the
 /// constructors in this module when it bounds a correlation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfidenceInterval {
     /// Lower endpoint.
     pub low: f64,
@@ -106,7 +105,6 @@ pub fn fisher_z_interval(r: f64, n: usize, alpha: f64) -> ConfidenceInterval {
 /// joined columns are subsets of the originals, so the bounds remain valid
 /// after any join.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ValueBounds {
     /// Smallest value across both columns.
     pub c_low: f64,
@@ -149,7 +147,10 @@ impl ValueBounds {
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        Self { c_low: lo, c_high: hi }
+        Self {
+            c_low: lo,
+            c_high: hi,
+        }
     }
 
     /// Range width `C = C_high − C_low`.
@@ -352,7 +353,13 @@ pub fn hfd_interval(
     let var_a = (p.nu_a - p.mu_a * p.mu_a).max(0.0);
     let var_b = (p.nu_b - p.mu_b * p.mu_b).max(0.0);
     let den = (var_a * var_b).sqrt();
-    Ok(assemble_interval(&p, [t, t, t2, t2, t2], c, Some(den), false))
+    Ok(assemble_interval(
+        &p,
+        [t, t, t2, t2, t2],
+        c,
+        Some(den),
+        false,
+    ))
 }
 
 /// Empirical-Bernstein confidence interval for the population Pearson
@@ -408,7 +415,9 @@ mod tests {
 
     fn correlated_sample(n: usize, noise: f64) -> (Vec<f64>, Vec<f64>) {
         // Deterministic pseudo-random pattern, bounded in [0, ~3].
-        let x: Vec<f64> = (0..n).map(|i| 1.5 + (i as f64 * 0.37).sin() * 1.4).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| 1.5 + (i as f64 * 0.37).sin() * 1.4)
+            .collect();
         let y: Vec<f64> = x
             .iter()
             .enumerate()
@@ -536,7 +545,9 @@ mod tests {
         let bounds = ValueBounds::from_samples(&x, &y);
         let mut prev = f64::INFINITY;
         for &n in &[20usize, 100, 500, 3_000] {
-            let len = hfd_interval(&x[..n], &y[..n], bounds, 0.05).unwrap().length();
+            let len = hfd_interval(&x[..n], &y[..n], bounds, 0.05)
+                .unwrap()
+                .length();
             assert!(len <= prev + 1e-9, "n={n} len={len} prev={prev}");
             prev = len;
         }
@@ -631,7 +642,10 @@ mod tests {
             assert!(ci.low >= -1.0 && ci.high <= 1.0, "alpha={alpha} {ci:?}");
             // HFD endpoints are deliberately unclamped but must be finite.
             let ci = hfd_interval(&x, &y, bounds, alpha).unwrap();
-            assert!(ci.low.is_finite() && ci.high.is_finite(), "alpha={alpha} {ci:?}");
+            assert!(
+                ci.low.is_finite() && ci.high.is_finite(),
+                "alpha={alpha} {ci:?}"
+            );
         }
     }
 

@@ -216,9 +216,7 @@ mod tests {
     fn symmetric() {
         let x = [1.0, 4.0, 2.0, 7.0, 7.0];
         let y = [3.0, 1.0, 9.0, 2.0, 2.0];
-        assert!(
-            (kendall_tau(&x, &y).unwrap() - kendall_tau(&y, &x).unwrap()).abs() < 1e-12
-        );
+        assert!((kendall_tau(&x, &y).unwrap() - kendall_tau(&y, &x).unwrap()).abs() < 1e-12);
     }
 
     #[test]

@@ -42,8 +42,7 @@ pub mod spearman;
 pub use bootstrap::{pm1_bootstrap, pm1_ci, BootstrapConfig, BootstrapResult};
 pub use ci::{
     bernstein_interval, fisher_z_interval, fisher_z_se, hfd_interval, hoeffding_interval,
-    ConfidenceInterval,
-    ValueBounds,
+    ConfidenceInterval, ValueBounds,
 };
 pub use distance::distance_correlation;
 pub use error::StatsError;

@@ -19,11 +19,7 @@ pub fn mean(values: &[f64]) -> f64 {
 /// Panics if the slices differ in length (programmer error in a harness).
 #[must_use]
 pub fn rmse(estimates: &[f64], truths: &[f64]) -> f64 {
-    assert_eq!(
-        estimates.len(),
-        truths.len(),
-        "rmse requires paired slices"
-    );
+    assert_eq!(estimates.len(), truths.len(), "rmse requires paired slices");
     if estimates.is_empty() {
         return 0.0;
     }
@@ -126,10 +122,7 @@ mod tests {
     #[test]
     fn ap_worst_ranking() {
         // Single relevant item at the last of 4 positions: AP = 1/4.
-        assert_eq!(
-            average_precision(&[false, false, false, true]),
-            Some(0.25)
-        );
+        assert_eq!(average_precision(&[false, false, false, true]), Some(0.25));
     }
 
     #[test]

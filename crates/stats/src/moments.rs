@@ -77,7 +77,9 @@ impl Moments {
             + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
             + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
             + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
-        let m3 = self.m3 + other.m3 + delta3 * na * nb * (na - nb) / (n * n)
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
             + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
         let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
 
@@ -250,7 +252,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + i as f64).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64).sin() * 10.0 + i as f64)
+            .collect();
         let whole: Moments = data.iter().copied().collect();
         let mut left: Moments = data[..37].iter().copied().collect();
         let right: Moments = data[37..].iter().copied().collect();
@@ -262,7 +266,11 @@ mod tests {
             whole.population_variance().unwrap(),
             1e-9
         ));
-        assert!(close(left.skewness().unwrap(), whole.skewness().unwrap(), 1e-9));
+        assert!(close(
+            left.skewness().unwrap(),
+            whole.skewness().unwrap(),
+            1e-9
+        ));
         assert!(close(
             left.excess_kurtosis().unwrap(),
             whole.excess_kurtosis().unwrap(),

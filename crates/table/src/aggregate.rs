@@ -9,7 +9,6 @@
 
 /// The aggregate functions supported for repeated keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Aggregation {
     /// Arithmetic mean of the values (Figure 1's example).
     #[default]

@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn len_and_nulls() {
-        let c = NamedColumn::categorical(
-            "k",
-            vec![Some("a".into()), None, Some("b".into())],
-        );
+        let c = NamedColumn::categorical("k", vec![Some("a".into()), None, Some("b".into())]);
         assert_eq!(c.data.len(), 3);
         assert_eq!(c.data.null_count(), 1);
         assert!(c.data.is_categorical());

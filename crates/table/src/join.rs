@@ -86,7 +86,11 @@ fn distinct_keys(pair: &ColumnPair) -> Vec<&str> {
 pub fn key_overlap(a: &ColumnPair, b: &ColumnPair) -> usize {
     let ka = distinct_keys(a);
     let kb = distinct_keys(b);
-    let (small, large) = if ka.len() <= kb.len() { (&ka, &kb) } else { (&kb, &ka) };
+    let (small, large) = if ka.len() <= kb.len() {
+        (&ka, &kb)
+    } else {
+        (&kb, &ka)
+    };
     small
         .iter()
         .filter(|k| large.binary_search(k).is_ok())

@@ -76,7 +76,8 @@ impl Table {
                 .iter()
                 .filter(|s| !is_missing(s) && parse_number(s).is_some())
                 .count();
-            let is_numeric = non_missing > 0 && numeric as f64 >= NUMERIC_MAJORITY * non_missing as f64;
+            let is_numeric =
+                non_missing > 0 && numeric as f64 >= NUMERIC_MAJORITY * non_missing as f64;
             let data = if is_numeric {
                 ColumnData::Numeric(
                     raw.iter()

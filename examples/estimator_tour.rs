@@ -41,8 +41,13 @@ fn main() {
     let sample = join_sketches(&sx, &sy).expect("same hasher");
     let joined = exact_join(&tx, &ty, Aggregation::Mean);
 
-    println!("tables: {} and {} rows; exact join = {} rows; sketch join sample = {} rows\n",
-        tx.len(), ty.len(), joined.len(), sample.len());
+    println!(
+        "tables: {} and {} rows; exact join = {} rows; sketch join sample = {} rows\n",
+        tx.len(),
+        ty.len(),
+        joined.len(),
+        sample.len()
+    );
 
     println!("{:<10} {:>10} {:>10}", "estimator", "sketch", "exact");
     for est in CorrelationEstimator::EXTENDED {

@@ -8,8 +8,8 @@
 //! ```
 
 use join_correlation::sketches::{
-    build_sketches_parallel, join_sketches, merge_partition_sketches, SketchBuilder,
-    SketchConfig, StreamingSketchBuilder,
+    build_sketches_parallel, join_sketches, merge_partition_sketches, SketchBuilder, SketchConfig,
+    StreamingSketchBuilder,
 };
 use join_correlation::stats::CorrelationEstimator;
 use join_correlation::table::{Aggregation, ColumnPair};
@@ -75,8 +75,12 @@ fn main() {
                 format!("table{t}"),
                 "station",
                 "metric",
-                (0..8_000).map(|i| format!("station-{}", (i + t * 31) % 9_000)).collect(),
-                (0..8_000).map(|i| ((i + t) as f64 * 0.11).sin() * 5.0).collect(),
+                (0..8_000)
+                    .map(|i| format!("station-{}", (i + t * 31) % 9_000))
+                    .collect(),
+                (0..8_000)
+                    .map(|i| ((i + t) as f64 * 0.11).sin() * 5.0)
+                    .collect(),
             )
         })
         .collect();

@@ -34,8 +34,12 @@ fn main() {
     .expect("valid CSV");
 
     // 1. Extract the ⟨key, numeric⟩ column pairs.
-    let bikes_pair = bikes.column_pair("day", "active_bikes").expect("columns exist");
-    let accidents_pair = accidents.column_pair("day", "crashes").expect("columns exist");
+    let bikes_pair = bikes
+        .column_pair("day", "active_bikes")
+        .expect("columns exist");
+    let accidents_pair = accidents
+        .column_pair("day", "crashes")
+        .expect("columns exist");
 
     // 2. Build one correlation sketch per column pair. In production these
     //    are built offline, once per column pair, and stored in an index.
@@ -53,7 +57,10 @@ fn main() {
     let joined = exact_join(&bikes_pair, &accidents_pair, Aggregation::Mean);
     let truth = join_correlation::stats::pearson(&joined.x, &joined.y).expect("non-degenerate");
 
-    println!("join sample reconstructed from sketches: {} rows", sample.len());
+    println!(
+        "join sample reconstructed from sketches: {} rows",
+        sample.len()
+    );
     println!("estimated correlation : {estimate:+.4}");
     println!("exact correlation     : {truth:+.4}");
     println!(
@@ -62,6 +69,9 @@ fn main() {
         sample.hoeffding_ci(0.05).expect("sample non-empty").high
     );
 
-    assert!((estimate - truth).abs() < 1e-9, "tables this small are sketched exactly");
+    assert!(
+        (estimate - truth).abs() < 1e-9,
+        "tables this small are sketched exactly"
+    );
     println!("\nMore active bikes — more crashes: the Vision Zero example of the paper's intro.");
 }

@@ -16,7 +16,9 @@ use join_correlation::sketches::{SketchBuilder, SketchConfig};
 use join_correlation::table::ColumnPair;
 
 fn day_keys(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("2021-{:03}-{:02}h", i / 24, i % 24)).collect()
+    (0..n)
+        .map(|i| format!("2021-{:03}-{:02}h", i / 24, i % 24))
+        .collect()
 }
 
 fn main() {
@@ -34,7 +36,10 @@ fn main() {
         "hour",
         "pickups",
         keys.clone(),
-        demand.iter().map(|&v| (20.0 * v + 5.0 * d.normal()).max(0.0)).collect(),
+        demand
+            .iter()
+            .map(|&v| (20.0 * v + 5.0 * d.normal()).max(0.0))
+            .collect(),
     );
 
     // Candidate 1: weather — genuinely correlated, decent overlap.
@@ -70,7 +75,9 @@ fn main() {
         "hour",
         "attendance",
         lucky_idx.iter().map(|&i| keys[i].clone()).collect(),
-        (1..=lucky_idx.len()).map(|rank| 1000.0 * rank as f64).collect(),
+        (1..=lucky_idx.len())
+            .map(|rank| 1000.0 * rank as f64)
+            .collect(),
     );
 
     // Candidate 3: an unrelated sensor with full overlap.

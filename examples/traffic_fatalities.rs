@@ -35,7 +35,10 @@ fn main() {
             indexed_pairs += 1;
         }
     }
-    println!("indexed {indexed_pairs} column pairs ({} distinct keys)", index.distinct_keys());
+    println!(
+        "indexed {indexed_pairs} column pairs ({} distinct keys)",
+        index.distinct_keys()
+    );
 
     // The analyst's own table: we pick a portal dataset to play the role
     // of the fatalities table so that joinable candidates exist.

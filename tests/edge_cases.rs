@@ -1,9 +1,7 @@
 //! Cross-crate edge cases: adversarial inputs that a data-lake deployment
 //! will eventually see.
 
-use join_correlation::sketches::{
-    join_sketches, CorrelationSketch, SketchBuilder, SketchConfig,
-};
+use join_correlation::sketches::{join_sketches, CorrelationSketch, SketchBuilder, SketchConfig};
 use join_correlation::stats::CorrelationEstimator;
 use join_correlation::table::{ColumnPair, Table};
 
@@ -72,13 +70,7 @@ fn single_row_tables_are_handled_throughout() {
 fn identical_values_column_is_rejected_by_estimators_not_by_sketching() {
     let keys: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
     let constant = ColumnPair::new("c", "k", "v", keys.clone(), vec![7.0; 100]);
-    let varying = ColumnPair::new(
-        "v",
-        "k",
-        "v",
-        keys,
-        (0..100).map(f64::from).collect(),
-    );
+    let varying = ColumnPair::new("v", "k", "v", keys, (0..100).map(f64::from).collect());
     let sample =
         join_sketches(&builder(64).build(&constant), &builder(64).build(&varying)).unwrap();
     assert_eq!(sample.len(), 64);
@@ -105,7 +97,10 @@ fn extreme_value_magnitudes_survive_the_pipeline() {
     );
     let sample = join_sketches(&builder(128).build(&a), &builder(128).build(&b)).unwrap();
     let r = sample.estimate(CorrelationEstimator::Pearson).unwrap();
-    assert!(r > 0.999, "mean-centred Pearson must survive 1e12 offsets: {r}");
+    assert!(
+        r > 0.999,
+        "mean-centred Pearson must survive 1e12 offsets: {r}"
+    );
 }
 
 #[test]
@@ -130,12 +125,14 @@ fn sketch_json_from_other_hasher_configs_still_loads_but_wont_join() {
     );
     let a = builder(16).build(&p);
     let other = SketchBuilder::new(
-        SketchConfig::with_size(16)
-            .hasher(join_correlation::hashing::TupleHasher::new_64(99)),
+        SketchConfig::with_size(16).hasher(join_correlation::hashing::TupleHasher::new_64(99)),
     )
     .build(&p);
     let reloaded = CorrelationSketch::from_json(&other.to_json().unwrap()).unwrap();
-    assert!(join_sketches(&a, &reloaded).is_err(), "configs must not mix silently");
+    assert!(
+        join_sketches(&a, &reloaded).is_err(),
+        "configs must not mix silently"
+    );
 }
 
 #[test]
@@ -149,8 +146,7 @@ fn repeated_key_floods_do_not_grow_the_sketch() {
         vals.push(1.0);
     }
     let p = ColumnPair::new("flood", "k", "v", keys, vals);
-    let cfg = SketchConfig::with_size(1024)
-        .aggregation(join_correlation::table::Aggregation::Sum);
+    let cfg = SketchConfig::with_size(1024).aggregation(join_correlation::table::Aggregation::Sum);
     let s = SketchBuilder::new(cfg).build(&p);
     assert_eq!(s.len(), 3);
     assert!(!s.is_saturated());

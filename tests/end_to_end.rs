@@ -63,7 +63,10 @@ fn pipeline_estimates_match_ground_truth_for_large_joins() {
             checked += 1;
         }
     }
-    assert!(checked >= 10, "too few large-sample results validated: {checked}");
+    assert!(
+        checked >= 10,
+        "too few large-sample results validated: {checked}"
+    );
 }
 
 #[test]
@@ -159,11 +162,9 @@ fn multi_column_sketch_agrees_with_per_pair_sketches() {
     let builder = SketchBuilder::new(SketchConfig::with_size(256));
     let pa = ta.column_pair("key", ta.numeric_names()[0]).unwrap();
     let pb = tb.column_pair("key", tb.numeric_names()[0]).unwrap();
-    let single = join_correlation::sketches::join_sketches(
-        &builder.build(&pa),
-        &builder.build(&pb),
-    )
-    .unwrap();
+    let single =
+        join_correlation::sketches::join_sketches(&builder.build(&pa), &builder.build(&pb))
+            .unwrap();
 
     // The multi-column sketch keeps a key as long as *any* numeric column
     // is non-null for it, while the per-pair sketch drops rows whose
@@ -171,7 +172,10 @@ fn multi_column_sketch_agrees_with_per_pair_sketches() {
     // of the multi join keys (and most keys coincide).
     let multi_keys: std::collections::HashSet<_> = multi.key_hashes.iter().copied().collect();
     for kh in &single.key_hashes {
-        assert!(multi_keys.contains(kh), "single-join key missing from multi join");
+        assert!(
+            multi_keys.contains(kh),
+            "single-join key missing from multi join"
+        );
     }
     assert!(
         single.key_hashes.len() as f64 >= 0.8 * multi.key_hashes.len() as f64,

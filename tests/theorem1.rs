@@ -16,13 +16,7 @@ fn make_tables(n: usize, rho_shape: impl Fn(usize) -> f64) -> (ColumnPair, Colum
         keys.clone(),
         (0..n).map(|i| (i as f64 * 0.11).sin() * 4.0).collect(),
     );
-    let ty = ColumnPair::new(
-        "ty",
-        "k",
-        "y",
-        keys,
-        (0..n).map(rho_shape).collect(),
-    );
+    let ty = ColumnPair::new("ty", "k", "y", keys, (0..n).map(rho_shape).collect());
     (tx, ty)
 }
 
@@ -142,9 +136,8 @@ fn hoeffding_ci_covers_truth_through_the_pipeline() {
     let mut covered = 0usize;
     let trials = 30usize;
     for seed in 0..trials as u64 {
-        let builder = SketchBuilder::new(
-            SketchConfig::with_size(512).hasher(TupleHasher::new_64(seed)),
-        );
+        let builder =
+            SketchBuilder::new(SketchConfig::with_size(512).hasher(TupleHasher::new_64(seed)));
         let sample = join_sketches(&builder.build(&tx), &builder.build(&ty)).unwrap();
         let ci = sample.hoeffding_ci(0.05).unwrap();
         covered += usize::from(ci.contains(truth));
