@@ -10,7 +10,8 @@
 //!
 //! ```text
 //! cargo run --release -p sketch-bench --bin query_latency -- \
-//!     --tables 400 --sketch-size 1024 [--query-threads 1] [--json true]
+//!     --tables 400 --sketch-size 1024 [--query-threads 1] [--json true] \
+//!     [--store /tmp/qlat-store]
 //! ```
 //!
 //! Paper reference points: 94% of queries under 100 ms, ~98.5% under
@@ -19,8 +20,14 @@
 //! With `--json true` the summary is emitted as a single JSON object on
 //! stdout (human-readable progress stays on stderr), so the perf
 //! trajectory can be tracked mechanically across PRs.
+//!
+//! With `--store <dir>` the corpus is additionally persisted twice —
+//! newline-delimited JSON and the sharded binary store — and both cold
+//! loads are timed and reported (`json_load_ms`, `store_load_ms`,
+//! `load_speedup`), after asserting that each load returns exactly the
+//! sketches that were built.
 
-use correlation_sketches::{SketchBuilder, SketchConfig};
+use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
 use sketch_bench::{percentile, time_ms, Args, LatencySummary};
 use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
 use sketch_index::{engine, QueryOptions, SketchIndex};
@@ -47,24 +54,82 @@ fn main() {
 
     let threads = args.get_or("threads", 4usize);
     let builder = SketchBuilder::new(SketchConfig::with_size(sketch_size));
-    let (mut index, t_index) = time_ms(|| {
-        let sketches = correlation_sketches::build_sketches_parallel(
-            &split.corpus,
-            *builder.config(),
-            threads,
+    let (sketches, t_sketch) = time_ms(|| {
+        correlation_sketches::build_sketches_parallel(&split.corpus, *builder.config(), threads)
+    });
+
+    // --store <dir>: persist the corpus as JSON and as a sharded binary
+    // store, then time a cold load of each. Loads are verified
+    // bit-identical to the in-memory sketches before timings are trusted.
+    let mut extra = String::new();
+    let mut load_lines: Vec<String> = Vec::new();
+    if let Some(dir) = args.get("store") {
+        let dirp = std::path::Path::new(dir);
+        std::fs::create_dir_all(dirp).expect("create store dir");
+        let shards = args.get_or("shards", 8usize);
+
+        let json_path = dirp.join("corpus.jsonl");
+        let mut text = String::with_capacity(64 * sketches.len());
+        for s in &sketches {
+            text.push_str(&s.to_json().expect("built sketches are finite"));
+            text.push('\n');
+        }
+        std::fs::write(&json_path, &text).expect("write JSON corpus");
+
+        let (_, t_pack) = time_ms(|| {
+            sketch_store::pack_corpus(
+                dirp,
+                &sketches,
+                &sketch_store::PackOptions { shards, threads },
+            )
+            .expect("pack corpus")
+        });
+
+        let (json_loaded, t_json_load) = time_ms(|| {
+            let text = std::fs::read_to_string(&json_path).expect("read JSON corpus");
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| CorrelationSketch::from_json(l).expect("valid sketch line"))
+                .collect::<Vec<_>>()
+        });
+        let (store_loaded, t_store_load) =
+            time_ms(|| sketch_store::read_corpus(dirp, threads).expect("read store"));
+        let (_, t_store_serial) =
+            time_ms(|| sketch_store::read_corpus(dirp, 1).expect("read store"));
+        assert_eq!(json_loaded, sketches, "JSON load must round-trip");
+        assert_eq!(store_loaded, sketches, "store load must round-trip");
+
+        let speedup = t_json_load / t_store_load;
+        load_lines.push(format!(
+            "corpus load ({} sketches): json {t_json_load:.1} ms, \
+             store {t_store_load:.1} ms ({threads} threads; serial {t_store_serial:.1} ms), \
+             pack {t_pack:.1} ms -> {speedup:.1}x faster",
+            sketches.len()
+        ));
+        extra = format!(
+            ",\"store_shards\":{shards},\"pack_ms\":{t_pack:.3},\
+             \"json_load_ms\":{t_json_load:.3},\"store_load_ms\":{t_store_load:.3},\
+             \"store_load_serial_ms\":{t_store_serial:.3},\"load_speedup\":{speedup:.2}"
         );
+    }
+
+    let (mut index, t_insert) = time_ms(|| {
         let mut idx = SketchIndex::new();
         for sketch in sketches {
             idx.insert(sketch).expect("uniform hasher");
         }
         idx
     });
+    let t_index = t_sketch + t_insert;
     eprintln!(
         "indexed {} sketches over {} distinct keys in {:.1} ms",
         index.len(),
         index.distinct_keys(),
         t_index
     );
+    for line in &load_lines {
+        eprintln!("{line}");
+    }
     let index = &mut index;
 
     let query_threads = args.get_or("query-threads", 1usize);
@@ -95,6 +160,25 @@ fn main() {
         latencies.push(t);
     }
 
+    // --batch true: run the same workload again through the amortized
+    // batch API (pre-built query sketches, one call) and report the
+    // whole-batch wall time and throughput.
+    if args.get_or("batch", false) {
+        let query_sketches: Vec<_> = split.queries.iter().map(|q| builder.build(q)).collect();
+        let (batch_results, t_batch) =
+            time_ms(|| engine::top_k_batch(index, &query_sketches, &opts));
+        let n: usize = batch_results.iter().map(Vec::len).sum();
+        assert_eq!(n, total_results, "batch must answer like the loop");
+        let qps = query_sketches.len() as f64 / (t_batch / 1000.0);
+        load_lines.push(format!(
+            "batch: {} queries in {t_batch:.1} ms ({qps:.0} queries/s, {query_threads} threads)",
+            query_sketches.len()
+        ));
+        extra.push_str(&format!(
+            ",\"batch_total_ms\":{t_batch:.3},\"batch_queries_per_sec\":{qps:.1}"
+        ));
+    }
+
     let s = LatencySummary::of(&latencies);
     let under = |ms: f64| {
         latencies.iter().filter(|&&t| t < ms).count() as f64 / latencies.len() as f64 * 100.0
@@ -112,7 +196,7 @@ fn main() {
              \"index_build_ms\":{t_index:.3},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\
              \"p75_ms\":{:.4},\"p90_ms\":{:.4},\"p99_ms\":{:.4},\"p999_ms\":{:.4},\
              \"under_100ms_pct\":{:.2},\"under_200ms_pct\":{:.2},\
-             \"mean_results_per_query\":{mean_results:.2}}}",
+             \"mean_results_per_query\":{mean_results:.2}{extra}}}",
             index.len(),
             index.distinct_keys(),
             latencies.len(),
@@ -141,4 +225,7 @@ fn main() {
     println!("< 100 ms  : {:>9.1}%  (paper: 94%)", under(100.0));
     println!("< 200 ms  : {:>9.1}%  (paper: ~98.5%)", under(200.0));
     println!("mean results per query: {mean_results:.1}");
+    for line in &load_lines {
+        println!("{line}");
+    }
 }

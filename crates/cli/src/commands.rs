@@ -1,6 +1,6 @@
-//! The four subcommands. Each returns its rendered report as a `String`
-//! so the binary stays a thin printing shell and the integration tests
-//! can assert on outputs directly.
+//! The subcommands. Each returns its rendered report as a `String` so
+//! the binary stays a thin printing shell and the integration tests can
+//! assert on outputs directly.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -19,6 +19,38 @@ fn load_table(path: &str) -> Result<Table, CliError> {
         .unwrap_or(path)
         .to_string();
     Table::from_csv(name, &text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+/// Render a store-layer failure (I/O with path, or a typed corruption
+/// reason) as a data error.
+fn store_err(e: sketch_store::StoreError) -> CliError {
+    CliError::Data(e.to_string())
+}
+
+/// Sketch every `⟨categorical, numeric⟩` column pair of every `.csv`
+/// file in a directory, in sorted path order. Returns the sketches plus
+/// the table count.
+fn sketch_csv_dir(
+    dir: &str,
+    builder: &SketchBuilder,
+) -> Result<(Vec<CorrelationSketch>, usize), CliError> {
+    let mut csvs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+        .collect();
+    csvs.sort();
+    if csvs.is_empty() {
+        return Err(CliError::Data(format!("no .csv files in {dir}")));
+    }
+    let mut sketches = Vec::new();
+    for path in &csvs {
+        let table = load_table(path.to_str().expect("utf-8 path"))?;
+        for pair in table.column_pairs() {
+            sketches.push(builder.build(&pair));
+        }
+    }
+    Ok((sketches, csvs.len()))
 }
 
 fn sketch_config(args: &CliArgs, default_size: usize) -> Result<SketchConfig, CliError> {
@@ -50,32 +82,16 @@ pub mod index {
         let config = sketch_config(args, 256)?;
         let builder = SketchBuilder::new(config);
 
-        let mut csvs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
-            .collect();
-        csvs.sort();
-        if csvs.is_empty() {
-            return Err(CliError::Data(format!("no .csv files in {dir}")));
-        }
-
+        let (sketches, tables) = sketch_csv_dir(dir, &builder)?;
         let mut lines = String::new();
-        let mut tables = 0usize;
-        let mut pairs = 0usize;
-        for path in &csvs {
-            let table = load_table(path.to_str().expect("utf-8 path"))?;
-            tables += 1;
-            for pair in table.column_pairs() {
-                let sketch = builder.build(&pair);
-                lines.push_str(
-                    &sketch
-                        .to_json()
-                        .map_err(|e| CliError::Data(e.to_string()))?,
-                );
-                lines.push('\n');
-                pairs += 1;
-            }
+        let pairs = sketches.len();
+        for sketch in &sketches {
+            lines.push_str(
+                &sketch
+                    .to_json()
+                    .map_err(|e| CliError::Data(e.to_string()))?,
+            );
+            lines.push('\n');
         }
         std::fs::write(out, lines)?;
         Ok(format!(
@@ -166,6 +182,91 @@ fn load_sketches(path: &str) -> Result<Vec<CorrelationSketch>, CliError> {
         .collect()
 }
 
+/// `corrsketch corpus` — manage packed binary corpus stores (sharded
+/// `.cskb` files + manifest; the `sketch-store` crate's format).
+pub mod corpus {
+    use super::*;
+    use sketch_store::{pack_corpus, read_corpus_with_manifest, PackOptions, FORMAT_VERSION};
+
+    /// `corrsketch corpus pack` — pack sketches into a sharded binary
+    /// store, either straight from a directory of CSVs (`--dir`) or by
+    /// converting an existing newline-delimited JSON index (`--index`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing/conflicting flags, unreadable inputs, or
+    /// store write failures.
+    pub fn pack(args: &CliArgs) -> Result<String, CliError> {
+        let out = args.required("out")?;
+        let shards = args.parse_or("shards", 8usize)?;
+        let threads = args.parse_or("threads", 1usize)?;
+        let (sketches, source) = match (args.optional("dir"), args.optional("index")) {
+            (Some(dir), None) => {
+                let builder = SketchBuilder::new(sketch_config(args, 256)?);
+                let (sketches, tables) = sketch_csv_dir(dir, &builder)?;
+                (sketches, format!("{tables} tables in {dir}"))
+            }
+            (None, Some(path)) => (load_sketches(path)?, path.to_string()),
+            _ => {
+                return Err(CliError::Usage(
+                    "corpus pack needs exactly one of --dir <csv-dir> or --index <json-file>"
+                        .into(),
+                ))
+            }
+        };
+        let manifest = pack_corpus(Path::new(out), &sketches, &PackOptions { shards, threads })
+            .map_err(store_err)?;
+        Ok(format!(
+            "packed {} sketches from {source} into {} shards under {out}",
+            manifest.total,
+            manifest.shards.len()
+        ))
+    }
+
+    /// `corrsketch corpus info` — validate a packed store (every
+    /// checksum is verified by the full load) and report its shape.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on unreadable or corrupt stores.
+    pub fn info(args: &CliArgs) -> Result<String, CliError> {
+        let dir = args.required("store")?;
+        let threads = args.parse_or("threads", 1usize)?;
+        // One load: the reported shape and the verified checksums come
+        // from the same manifest read.
+        let (manifest, sketches) =
+            read_corpus_with_manifest(Path::new(dir), threads).map_err(store_err)?;
+        let tuples: usize = sketches.iter().map(CorrelationSketch::len).sum();
+        let mem: usize = sketches.iter().map(CorrelationSketch::memory_bytes).sum();
+        let mut disk = 0u64;
+        let mut out = String::new();
+        let _ = writeln!(out, "store {dir} (format v{FORMAT_VERSION}):");
+        let _ = writeln!(out, "  sketches        : {}", manifest.total);
+        let _ = writeln!(out, "  shards          : {}", manifest.shards.len());
+        for s in &manifest.shards {
+            let bytes = std::fs::metadata(Path::new(dir).join(&s.file))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            disk += bytes;
+            let _ = writeln!(
+                out,
+                "    {:<20} records={:<6} {:.1} KiB",
+                s.file,
+                s.count,
+                bytes as f64 / 1024.0
+            );
+        }
+        let _ = writeln!(out, "  tuples          : {tuples}");
+        let _ = writeln!(out, "  on disk         : {:.1} KiB", disk as f64 / 1024.0);
+        let _ = writeln!(out, "  memory (loaded) : {:.1} KiB", mem as f64 / 1024.0);
+        let _ = writeln!(
+            out,
+            "  integrity       : ok (all record checksums verified)"
+        );
+        Ok(out)
+    }
+}
+
 /// `corrsketch query` — top-k join-correlation query against an index.
 pub mod query {
     use super::*;
@@ -190,7 +291,6 @@ pub mod query {
     /// [`CliError`] on missing flags, a hasher-incompatible index, or
     /// missing query columns.
     pub fn run(args: &CliArgs) -> Result<String, CliError> {
-        let index_path = args.required("index")?;
         let table_path = args.required("table")?;
         let key = args.required("key")?;
         let value = args.required("value")?;
@@ -210,9 +310,23 @@ pub mod query {
         // behaves well at any list size.
         let scorer = parse_scorer(args.optional("scorer").unwrap_or("rp*sez"))?;
 
-        let sketches = load_sketches(index_path)?;
+        // The corpus can come from the JSON index file or from a packed
+        // binary store; both yield the same sketches in the same order,
+        // so results are identical either way (tested).
+        let (sketches, source) = match (args.optional("index"), args.optional("store")) {
+            (Some(path), None) => (load_sketches(path)?, path),
+            (None, Some(dir)) => (
+                sketch_store::read_corpus(Path::new(dir), threads).map_err(store_err)?,
+                dir,
+            ),
+            _ => {
+                return Err(CliError::Usage(
+                    "query needs exactly one of --index <json-file> or --store <store-dir>".into(),
+                ))
+            }
+        };
         let Some(first) = sketches.first() else {
-            return Err(CliError::Data(format!("{index_path} contains no sketches")));
+            return Err(CliError::Data(format!("{source} contains no sketches")));
         };
         // Reuse the index's full configuration so the query sketch is
         // joinable and comparably sized.
@@ -221,10 +335,8 @@ pub mod query {
             hasher: first.hasher(),
             aggregation: first.aggregation(),
         };
-        let mut index = SketchIndex::new();
-        for s in sketches {
-            index.insert(s).map_err(|e| CliError::Data(e.to_string()))?;
-        }
+        let index =
+            SketchIndex::from_sketches(sketches).map_err(|e| CliError::Data(e.to_string()))?;
 
         let table = load_table(table_path)?;
         let pair = table.column_pair(key, value).ok_or_else(|| {

@@ -12,7 +12,11 @@
 //!
 //! The index file is newline-delimited JSON, one sketch per line (the
 //! format of [`correlation_sketches::persist`]), so it is diffable,
-//! streamable, and appendable.
+//! streamable, and appendable. For corpora of thousands of sketches the
+//! `corpus` command group packs the same sketches into a sharded binary
+//! store (`sketch-store`'s `.cskb` shards + manifest) that loads an
+//! order of magnitude faster; `query --store <dir>` answers from it
+//! directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +25,7 @@ pub mod cli;
 pub mod commands;
 
 pub use cli::{CliArgs, CliError};
-pub use commands::{append, estimate, index, inspect, query};
+pub use commands::{append, corpus, estimate, index, inspect, query};
 
 /// Entry point shared by `main` and the integration tests: dispatch a
 /// subcommand and return its rendered report.
@@ -34,6 +38,20 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (command, rest) = argv
         .split_first()
         .ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    // `corpus` is a command group: its subcommand precedes the flags.
+    if command == "corpus" {
+        let (sub, rest) = rest
+            .split_first()
+            .ok_or_else(|| CliError::Usage("corpus needs a subcommand: pack | info".into()))?;
+        let args = CliArgs::parse(rest)?;
+        return match sub.as_str() {
+            "pack" => corpus::pack(&args),
+            "info" => corpus::info(&args),
+            other => Err(CliError::Usage(format!(
+                "unknown corpus subcommand '{other}' (expected pack | info)\n{USAGE}"
+            ))),
+        };
+    }
     let args = CliArgs::parse(rest)?;
     match command.as_str() {
         "index" => index::run(&args),
@@ -56,7 +74,11 @@ USAGE:
   corrsketch index    --dir <csv-dir> --out <file>
                       [--sketch-size 256] [--aggregation mean] [--seed 0]
   corrsketch append   --dir <csv-dir> --index <file>   (reuses index config)
-  corrsketch query    --index <file> --table <csv> --key <col> --value <col>
+  corrsketch corpus pack --out <store-dir> (--dir <csv-dir> | --index <file>)
+                      [--shards 8] [--threads 1] [--sketch-size 256]
+  corrsketch corpus info --store <store-dir> [--threads 1]
+  corrsketch query    (--index <file> | --store <store-dir>)
+                      --table <csv> --key <col> --value <col>
                       [--k 10] [--candidates 100] [--estimator pearson]
                       [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est] [--threads 1]
   corrsketch estimate --left <csv> --left-key <col> --left-value <col>

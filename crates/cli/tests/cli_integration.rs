@@ -246,3 +246,162 @@ fn query_rejects_wrong_columns() {
     .to_string();
     assert!(err.contains("categorical"), "{err}");
 }
+
+#[test]
+fn corpus_pack_info_query_roundtrip() {
+    let dir = TempDir::new("corpus-pack");
+    write_lake(&dir);
+    let store_dir = dir.path("store");
+
+    // Pack straight from the CSV directory.
+    let report = sketch_cli::run(&argv(&[
+        "corpus",
+        "pack",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &store_dir,
+        "--shards",
+        "2",
+        "--threads",
+        "2",
+        "--sketch-size",
+        "128",
+    ]))
+    .unwrap();
+    assert!(report.contains("packed 3 sketches"), "{report}");
+    assert!(report.contains("2 shards"), "{report}");
+
+    // Info validates every checksum and reports the shape.
+    let info = sketch_cli::run(&argv(&["corpus", "info", "--store", &store_dir])).unwrap();
+    assert!(info.contains("sketches        : 3"), "{info}");
+    assert!(info.contains("shard-0000.cskb"), "{info}");
+    assert!(info.contains("integrity       : ok"), "{info}");
+
+    // Query the packed store; the ranking must match the JSON path.
+    let query = |source: &[&str]| {
+        let mut cmd = [
+            "query",
+            "--table",
+            &dir.path("taxi.csv"),
+            "--key",
+            "day",
+            "--value",
+            "pickups",
+            "--k",
+            "3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
+        cmd.extend(source.iter().map(|s| s.to_string()));
+        sketch_cli::run(&cmd).unwrap()
+    };
+    let from_store = query(&["--store", &store_dir]);
+    let taxi = from_store.find("taxi/day/pickups").expect("self match");
+    let weather = from_store.find("weather/day/rain").expect("weather");
+    let noise = from_store.find("noise/day/reading").expect("noise");
+    assert!(taxi < weather && weather < noise, "{from_store}");
+}
+
+#[test]
+fn corpus_pack_from_json_index_is_equivalent() {
+    let dir = TempDir::new("corpus-convert");
+    write_lake(&dir);
+    let index_file = dir.path("lake.sketches");
+    let store_dir = dir.path("store");
+    sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &index_file,
+        "--sketch-size",
+        "128",
+    ]))
+    .unwrap();
+    sketch_cli::run(&argv(&[
+        "corpus",
+        "pack",
+        "--index",
+        &index_file,
+        "--out",
+        &store_dir,
+    ]))
+    .unwrap();
+
+    // Same corpus, same order -> byte-identical query reports, except the
+    // header line naming the source.
+    let query = |source: &[&str]| {
+        let mut cmd: Vec<String> = argv(&[
+            "query",
+            "--table",
+            &dir.path("taxi.csv"),
+            "--key",
+            "day",
+            "--value",
+            "pickups",
+        ]);
+        cmd.extend(source.iter().map(|s| s.to_string()));
+        sketch_cli::run(&cmd).unwrap()
+    };
+    let via_json = query(&["--index", &index_file]);
+    let via_store = query(&["--store", &store_dir]);
+    assert_eq!(via_json, via_store);
+}
+
+#[test]
+fn corpus_command_errors_are_usable() {
+    // Missing subcommand.
+    let err = sketch_cli::run(&argv(&["corpus"])).unwrap_err().to_string();
+    assert!(err.contains("pack | info"), "{err}");
+    // Unknown subcommand.
+    let err = sketch_cli::run(&argv(&["corpus", "shrink"]))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("shrink"), "{err}");
+    // pack needs exactly one source.
+    let err = sketch_cli::run(&argv(&["corpus", "pack", "--out", "/tmp/x"]))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("--dir") && err.contains("--index"), "{err}");
+    // query refuses both sources at once.
+    let err = sketch_cli::run(&argv(&[
+        "query", "--index", "a", "--store", "b", "--table", "t.csv", "--key", "k", "--value", "v",
+    ]))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("exactly one"), "{err}");
+}
+
+#[test]
+fn corrupt_store_fails_with_typed_reason() {
+    let dir = TempDir::new("corpus-corrupt");
+    write_lake(&dir);
+    let store_dir = dir.path("store");
+    sketch_cli::run(&argv(&[
+        "corpus",
+        "pack",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &store_dir,
+        "--shards",
+        "1",
+    ]))
+    .unwrap();
+    // Flip a byte inside the shard; info must fail with the checksum
+    // diagnosis, not a panic or a silent partial load.
+    let shard = std::path::Path::new(&store_dir).join("shard-0000.cskb");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&shard, bytes).unwrap();
+    let err = sketch_cli::run(&argv(&["corpus", "info", "--store", &store_dir]))
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("checksum") || err.contains("truncated") || err.contains("corrupt"),
+        "{err}"
+    );
+}

@@ -1,0 +1,431 @@
+//! Compact binary sketch codec — the record payload of the
+//! `sketch-store` shard format.
+//!
+//! JSON persistence ([`crate::persist`]) is diffable and appendable but
+//! slow to parse at corpus scale; this codec is its bit-exact binary
+//! sibling. A payload encodes one [`CorrelationSketch`] as fixed-width
+//! little-endian fields (layout below); like the JSON form it stores only
+//! the entries — the cached unit hashes are recomputed once at decode
+//! time (the paper's Figure 2 note: `h_u(h(k))` "can be easily computed
+//! from h(k)") — and decoding re-validates the in-memory invariants:
+//! strict ascending `(unit hash, key)` order and finite values.
+//!
+//! ## Payload layout (all integers little-endian)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | `id_len` (`u32`) |
+//! | 4      | `id_len` | sketch id, UTF-8 |
+//! | +0     | 1    | hasher bits: `0` = 32-bit, `1` = 64-bit |
+//! | +1     | 8    | hasher seed (`u64`) |
+//! | +9     | 1    | aggregation code (see [`agg_code`]) |
+//! | +10    | 1    | strategy tag: `0` = fixed-size, `1` = threshold |
+//! | +11    | 8    | strategy argument: size as `u64`, or threshold `f64` bits |
+//! | +19    | 1    | bounds flag: `0` = none, `1` = present |
+//! | +20    | 16   | `c_low`, `c_high` (`f64` each; only when flag = 1) |
+//! | +…     | 8    | `rows_scanned` (`u64`) |
+//! | +…     | 1    | `saturated`: `0` or `1` |
+//! | +…     | 4    | entry count `n` (`u32`) |
+//! | +…     | 16·n | entries: `⟨h(k)⟩` as `u64`, then `x_k` as `f64` bits |
+//!
+//! Every byte is significant: decoding rejects trailing bytes, unknown
+//! enum codes, non-canonical flag bytes, and out-of-order entries, so a
+//! payload that decodes is exactly one that [`CorrelationSketch::to_bytes`]
+//! could have produced. Floats round-trip bit-identically (the codec
+//! moves raw `f64` bits, never decimal text).
+
+use sketch_hashing::{HashBits, KeyHash, KeyHasher, TupleHasher};
+use sketch_stats::ValueBounds;
+use sketch_table::Aggregation;
+
+use crate::builder::SelectionStrategy;
+use crate::error::SketchError;
+use crate::sketch::{CorrelationSketch, SketchEntry};
+
+/// Stable wire code of an aggregation (order of [`Aggregation::ALL`]).
+fn agg_code(agg: Aggregation) -> u8 {
+    match agg {
+        Aggregation::Mean => 0,
+        Aggregation::Sum => 1,
+        Aggregation::Min => 2,
+        Aggregation::Max => 3,
+        Aggregation::First => 4,
+        Aggregation::Last => 5,
+        Aggregation::Count => 6,
+    }
+}
+
+fn agg_from_code(code: u8) -> Result<Aggregation, SketchError> {
+    Aggregation::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| SketchError::Corrupt(format!("unknown aggregation code {code}")))
+}
+
+/// Byte-slice cursor with typed truncation errors.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SketchError> {
+        let available = self.bytes.len() - self.pos;
+        if n > available {
+            return Err(SketchError::Truncated {
+                context,
+                needed: n,
+                available,
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, SketchError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, SketchError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, SketchError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, SketchError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+}
+
+impl CorrelationSketch {
+    /// Encode to the compact binary payload documented in the module
+    /// docs. Appends to `out` (so shard writers can frame many records
+    /// into one buffer without copies).
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] if the sketch holds non-finite values —
+    /// the same write-time validation as [`Self::to_json`], so the two
+    /// formats accept exactly the same sketches.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) -> Result<(), SketchError> {
+        if self.entries.iter().any(|e| !e.value.is_finite()) {
+            return Err(SketchError::Corrupt("non-finite entry value".into()));
+        }
+        if self
+            .bounds
+            .is_some_and(|b| !b.c_low.is_finite() || !b.c_high.is_finite())
+        {
+            return Err(SketchError::Corrupt("non-finite value bounds".into()));
+        }
+        if let SelectionStrategy::Threshold(t) = self.strategy {
+            if !t.is_finite() {
+                return Err(SketchError::Corrupt("non-finite threshold".into()));
+            }
+        }
+        let id_len = u32::try_from(self.id.len())
+            .map_err(|_| SketchError::Corrupt("sketch id exceeds u32 length".into()))?;
+        let n = u32::try_from(self.entries.len())
+            .map_err(|_| SketchError::Corrupt("entry count exceeds u32".into()))?;
+
+        out.reserve(42 + self.id.len() + 16 * self.entries.len());
+        out.extend_from_slice(&id_len.to_le_bytes());
+        out.extend_from_slice(self.id.as_bytes());
+        out.push(match self.hasher.bits() {
+            HashBits::B32 => 0,
+            HashBits::B64 => 1,
+        });
+        out.extend_from_slice(&self.hasher.seed().to_le_bytes());
+        out.push(agg_code(self.aggregation));
+        match self.strategy {
+            SelectionStrategy::FixedSize(size) => {
+                out.push(0);
+                out.extend_from_slice(&(size as u64).to_le_bytes());
+            }
+            SelectionStrategy::Threshold(t) => {
+                out.push(1);
+                out.extend_from_slice(&t.to_bits().to_le_bytes());
+            }
+        }
+        match self.bounds {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                out.extend_from_slice(&b.c_low.to_bits().to_le_bytes());
+                out.extend_from_slice(&b.c_high.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.rows_scanned.to_le_bytes());
+        out.push(u8::from(self.saturated));
+        out.extend_from_slice(&n.to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.key.value().to_le_bytes());
+            out.extend_from_slice(&e.value.to_bits().to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// Encode to a fresh byte vector; see [`Self::write_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] if the sketch holds non-finite values.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, SketchError> {
+        let mut out = Vec::new();
+        self.write_bytes(&mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a payload produced by [`Self::write_bytes`], rebuilding the
+    /// cached unit hashes and re-validating every in-memory invariant.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Truncated`] when the bytes end mid-field,
+    /// [`SketchError::Corrupt`] on unknown codes, non-canonical flag
+    /// bytes, trailing bytes, or violated sketch invariants.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SketchError> {
+        let mut r = Reader { bytes, pos: 0 };
+
+        let id_len = r.u32("id length")? as usize;
+        let id = std::str::from_utf8(r.take(id_len, "sketch id")?)
+            .map_err(|e| SketchError::Corrupt(format!("sketch id is not UTF-8: {e}")))?
+            .to_string();
+
+        let seed_field = |r: &mut Reader<'_>| r.u64("hasher seed");
+        let hasher = match r.u8("hasher bits")? {
+            0 => {
+                let seed = seed_field(&mut r)?;
+                TupleHasher::paper_32(
+                    u32::try_from(seed)
+                        .map_err(|_| SketchError::Corrupt("b32 hasher seed exceeds u32".into()))?,
+                )
+            }
+            1 => TupleHasher::new_64(seed_field(&mut r)?),
+            other => {
+                return Err(SketchError::Corrupt(format!(
+                    "unknown hasher bits code {other}"
+                )))
+            }
+        };
+
+        let aggregation = agg_from_code(r.u8("aggregation code")?)?;
+
+        let strategy = match r.u8("strategy tag")? {
+            0 => SelectionStrategy::FixedSize(
+                usize::try_from(r.u64("fixed-size argument")?)
+                    .map_err(|_| SketchError::Corrupt("fixed_size exceeds usize".into()))?,
+            ),
+            1 => {
+                let t = r.f64("threshold argument")?;
+                if !t.is_finite() {
+                    return Err(SketchError::Corrupt("non-finite threshold".into()));
+                }
+                SelectionStrategy::Threshold(t)
+            }
+            other => {
+                return Err(SketchError::Corrupt(format!(
+                    "unknown strategy tag {other}"
+                )))
+            }
+        };
+
+        let bounds = match r.u8("bounds flag")? {
+            0 => None,
+            1 => {
+                let c_low = r.f64("bounds low")?;
+                let c_high = r.f64("bounds high")?;
+                if !c_low.is_finite() || !c_high.is_finite() {
+                    return Err(SketchError::Corrupt("non-finite value bounds".into()));
+                }
+                if c_low > c_high {
+                    return Err(SketchError::Corrupt("inverted value bounds".into()));
+                }
+                Some(ValueBounds::new(c_low, c_high))
+            }
+            other => return Err(SketchError::Corrupt(format!("unknown bounds flag {other}"))),
+        };
+
+        let rows_scanned = r.u64("rows scanned")?;
+        let saturated = match r.u8("saturated flag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(SketchError::Corrupt(format!(
+                    "non-canonical saturated flag {other}"
+                )))
+            }
+        };
+
+        let n = r.u32("entry count")? as usize;
+        // Bound the allocation by the bytes actually present: a corrupted
+        // count must fail with Truncated, not attempt a 64 GiB reserve.
+        let available = bytes.len() - r.pos;
+        if n.checked_mul(16).is_none_or(|need| need > available) {
+            return Err(SketchError::Truncated {
+                context: "sketch entries",
+                needed: n.saturating_mul(16),
+                available,
+            });
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = KeyHash(r.u64("entry key")?);
+            let value = r.f64("entry value")?;
+            entries.push(SketchEntry { key, value });
+        }
+        if r.pos != bytes.len() {
+            return Err(SketchError::Corrupt(format!(
+                "{} trailing bytes after sketch payload",
+                bytes.len() - r.pos
+            )));
+        }
+
+        // Rebuild the unit-hash cache, then validate the invariants
+        // against it — identical to the JSON load path.
+        let units: Vec<f64> = entries.iter().map(|e| hasher.unit_hash(e.key)).collect();
+        for i in 1..entries.len() {
+            if units[i - 1]
+                .total_cmp(&units[i])
+                .then(entries[i - 1].key.cmp(&entries[i].key))
+                != std::cmp::Ordering::Less
+            {
+                return Err(SketchError::Corrupt(
+                    "entries not sorted by (unit hash, key)".into(),
+                ));
+            }
+        }
+        if entries.iter().any(|e| !e.value.is_finite()) {
+            return Err(SketchError::Corrupt("non-finite entry value".into()));
+        }
+
+        Ok(Self {
+            id,
+            hasher,
+            aggregation,
+            strategy,
+            entries,
+            units,
+            bounds,
+            rows_scanned,
+            saturated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    fn pair(n: usize) -> ColumnPair {
+        ColumnPair::new(
+            "t",
+            "k",
+            "v",
+            (0..n).map(|i| format!("key-{i}")).collect(),
+            (0..n).map(|i| i as f64 * 1.5).collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = SketchBuilder::new(SketchConfig::with_size(64)).build(&pair(1000));
+        let back = CorrelationSketch::from_bytes(&s.to_bytes().unwrap()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.units(), back.units());
+    }
+
+    #[test]
+    fn binary_equals_json_roundtrip() {
+        for cfg in [
+            SketchConfig::with_size(32),
+            SketchConfig::with_threshold(0.07),
+            SketchConfig::with_size(16).hasher(TupleHasher::paper_32(7)),
+            SketchConfig::with_size(8).aggregation(Aggregation::Count),
+        ] {
+            let s = SketchBuilder::new(cfg).build(&pair(700));
+            let via_bin = CorrelationSketch::from_bytes(&s.to_bytes().unwrap()).unwrap();
+            let via_json = CorrelationSketch::from_json(&s.to_json().unwrap()).unwrap();
+            assert_eq!(via_bin, via_json);
+            assert_eq!(via_bin, s);
+        }
+    }
+
+    #[test]
+    fn empty_sketch_roundtrips() {
+        let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&pair(0));
+        let back = CorrelationSketch::from_bytes(&s.to_bytes().unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_typed() {
+        let s = SketchBuilder::new(SketchConfig::with_size(16)).build(&pair(200));
+        let bytes = s.to_bytes().unwrap();
+        for cut in 0..bytes.len() {
+            let err = CorrelationSketch::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SketchError::Truncated { .. } | SketchError::Corrupt(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&pair(50));
+        let mut bytes = s.to_bytes().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            CorrelationSketch::from_bytes(&bytes),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn huge_entry_count_fails_without_allocating() {
+        let s = SketchBuilder::new(SketchConfig::with_size(4)).build(&pair(50));
+        let mut bytes = s.to_bytes().unwrap();
+        let count_off = bytes.len() - 4 * 16 - 4;
+        bytes[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            CorrelationSketch::from_bytes(&bytes),
+            Err(SketchError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_order_is_rejected() {
+        let s = SketchBuilder::new(SketchConfig::with_size(8)).build(&pair(100));
+        let mut bytes = s.to_bytes().unwrap();
+        // Swap the first two 16-byte entry records (tail of the payload).
+        let entries_off = bytes.len() - 8 * 16;
+        let (a, b) = (entries_off, entries_off + 16);
+        let tmp: Vec<u8> = bytes[a..a + 16].to_vec();
+        bytes.copy_within(b..b + 16, a);
+        bytes[b..b + 16].copy_from_slice(&tmp);
+        assert!(matches!(
+            CorrelationSketch::from_bytes(&bytes),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_values_refused_at_write_time() {
+        use crate::stream::StreamingSketchBuilder;
+        let cfg = SketchConfig::with_size(8).aggregation(Aggregation::Min);
+        let mut b = StreamingSketchBuilder::new("t/k/v", cfg);
+        b.push("a", f64::INFINITY);
+        b.push("a", 1.0);
+        let s = b.finish();
+        assert!(matches!(s.to_bytes(), Err(SketchError::Corrupt(_))));
+    }
+}

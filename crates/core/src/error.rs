@@ -15,6 +15,43 @@ pub enum SketchError {
     },
     /// Deserialization failed.
     Corrupt(String),
+    /// A binary store file did not start with the expected magic bytes.
+    BadMagic {
+        /// The four bytes actually found at the start of the file.
+        found: [u8; 4],
+    },
+    /// A binary store file declares a format version this build cannot
+    /// read.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u16,
+        /// Newest version this build supports.
+        supported: u16,
+    },
+    /// Binary data ended before a declared section was complete (e.g. a
+    /// truncated shard file).
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+        /// Bytes the section required.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A stored record's checksum does not match its payload — the bytes
+    /// were corrupted at rest or in transit.
+    ChecksumMismatch {
+        /// Zero-based record index within the shard file.
+        record: u64,
+        /// Checksum stored alongside the record.
+        stored: u64,
+        /// Checksum recomputed from the payload bytes.
+        computed: u64,
+    },
+    /// Two stored records share a sketch id; ids are primary keys in a
+    /// corpus store, so this indicates a corrupted or mis-assembled
+    /// corpus.
+    DuplicateId(String),
 }
 
 impl std::fmt::Display for SketchError {
@@ -27,6 +64,38 @@ impl std::fmt::Display for SketchError {
                 write!(f, "sketch join has {got} rows, operation needs {needed}")
             }
             Self::Corrupt(msg) => write!(f, "corrupt sketch data: {msg}"),
+            Self::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:02x?} (expected \"CSKB\")")
+            }
+            Self::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported store format version {found} (this build reads ≤ {supported})"
+                )
+            }
+            Self::Truncated {
+                context,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "truncated data while reading {context}: needed {needed} bytes, \
+                     only {available} available"
+                )
+            }
+            Self::ChecksumMismatch {
+                record,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch on record {record}: stored {stored:016x}, \
+                     computed {computed:016x}"
+                )
+            }
+            Self::DuplicateId(id) => write!(f, "duplicate sketch id '{id}' in corpus"),
         }
     }
 }
@@ -46,5 +115,28 @@ mod tests {
         assert!(SketchError::Corrupt("bad".into())
             .to_string()
             .contains("bad"));
+        assert!(SketchError::BadMagic { found: *b"NOPE" }
+            .to_string()
+            .contains("magic"));
+        let e = SketchError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = SketchError::Truncated {
+            context: "record payload",
+            needed: 16,
+            available: 3,
+        };
+        assert!(e.to_string().contains("record payload"));
+        let e = SketchError::ChecksumMismatch {
+            record: 4,
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("record 4"));
+        assert!(SketchError::DuplicateId("t/k/v".into())
+            .to_string()
+            .contains("t/k/v"));
     }
 }

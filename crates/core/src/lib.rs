@@ -56,10 +56,13 @@
 //! * [`multi`] — multi-column sketches `L_⟨K,X,Z,…⟩` (Section 3.1).
 //! * [`mutual_info`] — mutual-information estimation from join samples,
 //!   demonstrating the "any statistic" claim of Theorem 1.
+//! * [`persist`] / [`binary`] — JSON and compact-binary sketch codecs
+//!   (the binary payload is what `sketch-store` shards contain).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod builder;
 pub mod error;
 pub mod hll;

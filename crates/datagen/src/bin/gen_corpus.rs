@@ -9,13 +9,25 @@
 //! corrsketch query --index /tmp/lake.sketches --table /tmp/lake/nyc_0.csv \
 //!     --key key --value v0
 //! ```
+//!
+//! With `--pack <store-dir>` the corpus is additionally sketched and
+//! emitted as a packed binary store (`sketch-store` shards + manifest),
+//! ready for `corrsketch query --store` / `corrsketch corpus info`:
+//!
+//! ```text
+//! gen_corpus --style nyc --tables 50 --out /tmp/lake \
+//!     --pack /tmp/lake-store --sketch-size 256 --shards 8
+//! ```
 
+use correlation_sketches::{build_sketches_parallel, SketchConfig};
 use sketch_datagen::{generate_open_data, CorpusStyle, OpenDataConfig};
+use sketch_table::Table;
 
 fn usage() -> ! {
     eprintln!(
         "usage: gen_corpus --out <dir> [--style nyc|wbf] [--tables N] \
-         [--seed N] [--min-rows N] [--max-rows N]"
+         [--seed N] [--min-rows N] [--max-rows N] \
+         [--pack <store-dir>] [--sketch-size N] [--shards N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -27,6 +39,10 @@ fn main() {
     let mut seed = 42u64;
     let mut min_rows: Option<usize> = None;
     let mut max_rows: Option<usize> = None;
+    let mut pack: Option<String> = None;
+    let mut sketch_size = 256usize;
+    let mut shards = 8usize;
+    let mut threads = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -44,6 +60,10 @@ fn main() {
             "--seed" => seed = value.parse().unwrap_or_else(|_| usage()),
             "--min-rows" => min_rows = value.parse().ok().or_else(|| usage()),
             "--max-rows" => max_rows = value.parse().ok().or_else(|| usage()),
+            "--pack" => pack = Some(value),
+            "--sketch-size" => sketch_size = value.parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -77,4 +97,21 @@ fn main() {
         rows,
         cfg.style
     );
+
+    if let Some(store_dir) = pack {
+        let pairs: Vec<_> = corpus.iter().flat_map(Table::column_pairs).collect();
+        let sketches =
+            build_sketches_parallel(&pairs, SketchConfig::with_size(sketch_size), threads);
+        let manifest = sketch_store::pack_corpus(
+            std::path::Path::new(&store_dir),
+            &sketches,
+            &sketch_store::PackOptions { shards, threads },
+        )
+        .expect("pack corpus store");
+        println!(
+            "packed {} sketches (size {sketch_size}) into {} shards under {store_dir}",
+            manifest.total,
+            manifest.shards.len()
+        );
+    }
 }

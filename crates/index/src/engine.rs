@@ -130,6 +130,19 @@ fn scored_candidates<'a>(
     estimator: CorrelationEstimator,
 ) -> Vec<(Candidate<'a>, Option<f64>)> {
     let hits = index.overlap_candidates(query, overlap_candidates);
+    join_and_estimate(index, query, &hits, threads, min_sample, estimator)
+}
+
+/// Steps 2–3 for an already-retrieved hit list (shared by the per-query
+/// and batch paths).
+fn join_and_estimate<'a>(
+    index: &'a SketchIndex,
+    query: &CorrelationSketch,
+    hits: &[(crate::inverted::DocId, usize)],
+    threads: usize,
+    min_sample: usize,
+    estimator: CorrelationEstimator,
+) -> Vec<(Candidate<'a>, Option<f64>)> {
     let join_one = |&(doc, overlap): &(crate::inverted::DocId, usize)| {
         let sketch = index.get(doc)?;
         // Hashers are uniform across an index; join cannot fail.
@@ -206,9 +219,18 @@ fn top_k_reported_candidates(
         opts.threads,
         opts.min_sample,
         opts.estimator,
-    )
-    .into_iter()
-    .map(|(cand, estimate)| {
+    );
+    rank_candidates(scored, opts, scorer)
+}
+
+/// Step 4: score every candidate and keep the top `opts.k` via
+/// bounded-heap selection.
+fn rank_candidates(
+    scored: Vec<(Candidate<'_>, Option<f64>)>,
+    opts: &QueryOptions,
+    scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
+) -> Vec<(QueryResult, JoinSample)> {
+    let scored = scored.into_iter().map(|(cand, estimate)| {
         let score = scorer(&cand, estimate);
         (
             QueryResult {
@@ -271,13 +293,113 @@ pub fn top_k_with_reports(
 ) -> Vec<ReportedResult> {
     top_k_reported_candidates(index, query, opts, |_cand, est| est.map_or(0.0, f64::abs))
         .into_iter()
-        .map(|(result, sample)| {
-            let report = (sample.len() >= opts.min_sample)
-                .then(|| sample.report(opts.estimator, alpha).ok())
-                .flatten();
-            ReportedResult { result, report }
-        })
+        .map(|(result, sample)| attach_report(result, &sample, opts, alpha))
         .collect()
+}
+
+/// Attach the Section 4 uncertainty report to a ranked result — the one
+/// place the report gate (`min_sample`, degenerate-sample `ok()`) lives,
+/// so the single-query and batch paths can never drift apart.
+fn attach_report(
+    result: QueryResult,
+    sample: &JoinSample,
+    opts: &QueryOptions,
+    alpha: f64,
+) -> ReportedResult {
+    let report = (sample.len() >= opts.min_sample)
+        .then(|| sample.report(opts.estimator, alpha).ok())
+        .flatten();
+    ReportedResult { result, report }
+}
+
+/// One query of a batch, executed serially with a reusable retrieval
+/// scratch buffer, ranked by the default `|estimate|` scorer.
+fn batch_one(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+    scratch: &mut Vec<u32>,
+) -> Vec<(QueryResult, JoinSample)> {
+    let hits = index.overlap_candidates_with_scratch(query, opts.overlap_candidates, scratch);
+    let scored = join_and_estimate(index, query, &hits, 1, opts.min_sample, opts.estimator);
+    rank_candidates(scored, opts, |_cand, est| est.map_or(0.0, f64::abs))
+}
+
+/// Fan a per-query closure out over contiguous chunks of `queries` —
+/// deterministic for every thread count, with one retrieval scratch
+/// buffer per worker.
+fn batch_map<T: Send>(
+    queries: &[CorrelationSketch],
+    threads: usize,
+    run_one: impl Fn(&CorrelationSketch, &mut Vec<u32>) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 {
+        let mut scratch = Vec::new();
+        return queries.iter().map(|q| run_one(q, &mut scratch)).collect();
+    }
+    let chunk_len = queries.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(queries.len());
+    let run_one = &run_one;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    chunk
+                        .iter()
+                        .map(|q| run_one(q, &mut scratch))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("batch query workers do not panic"));
+        }
+    });
+    out
+}
+
+/// Execute many top-k join-correlation queries as one batch.
+///
+/// Answer `i` corresponds to `queries[i]` and is bit-identical to
+/// `top_k_join_correlation(index, &queries[i], opts)` — but the batch
+/// amortizes work across queries: `opts.threads` fans out over *queries*
+/// (contiguous chunks, like the single-query join fan-out) and each
+/// worker reuses one retrieval counter buffer for its whole chunk
+/// instead of allocating per query. Deterministic for every thread
+/// count.
+#[must_use]
+pub fn top_k_batch(
+    index: &SketchIndex,
+    queries: &[CorrelationSketch],
+    opts: &QueryOptions,
+) -> Vec<Vec<QueryResult>> {
+    batch_map(queries, opts.threads, |query, scratch| {
+        batch_one(index, query, opts, scratch)
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    })
+}
+
+/// As [`top_k_batch`], with each answer carrying the Section 4
+/// uncertainty report — bit-identical to looping
+/// [`top_k_with_reports`] over `queries`.
+#[must_use]
+pub fn top_k_batch_with_reports(
+    index: &SketchIndex,
+    queries: &[CorrelationSketch],
+    opts: &QueryOptions,
+    alpha: f64,
+) -> Vec<Vec<ReportedResult>> {
+    batch_map(queries, opts.threads, |query, scratch| {
+        batch_one(index, query, opts, scratch)
+            .into_iter()
+            .map(|(result, sample)| attach_report(result, &sample, opts, alpha))
+            .collect()
+    })
 }
 
 #[cfg(test)]

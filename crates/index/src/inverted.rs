@@ -118,6 +118,42 @@ impl SketchIndex {
         Ok(doc)
     }
 
+    /// Build an index from a sequence of sketches; doc ids follow the
+    /// iteration order.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::HasherMismatch`] when the sketches disagree on
+    /// hasher configuration.
+    pub fn from_sketches(
+        sketches: impl IntoIterator<Item = CorrelationSketch>,
+    ) -> Result<Self, SketchError> {
+        let mut index = Self::new();
+        for s in sketches {
+            index.insert(s)?;
+        }
+        Ok(index)
+    }
+
+    /// Build the inverted index directly from a packed binary corpus
+    /// store (`sketch-store` shards + manifest), loading shards with up
+    /// to `threads` workers. Doc ids follow the corpus pack order, so an
+    /// index built this way is interchangeable with one built by
+    /// inserting the original sketches in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`sketch_store::StoreError`] on I/O failure or any typed
+    /// corruption (bad magic/version, truncation, checksum mismatch,
+    /// duplicate ids, hasher mismatch).
+    pub fn from_store(
+        dir: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> Result<Self, sketch_store::StoreError> {
+        let sketches = sketch_store::read_corpus(dir.as_ref(), threads)?;
+        Self::from_sketches(sketches).map_err(sketch_store::StoreError::from)
+    }
+
     /// Retrieve the `top_n` indexed sketches with the largest key overlap
     /// with `query`, as `(doc, overlap)` pairs sorted by descending
     /// overlap (ties by ascending doc id for determinism). Documents with
@@ -135,10 +171,27 @@ impl SketchIndex {
         query: &CorrelationSketch,
         top_n: usize,
     ) -> Vec<(DocId, usize)> {
+        self.overlap_candidates_with_scratch(query, top_n, &mut Vec::new())
+    }
+
+    /// As [`Self::overlap_candidates`], accumulating counts into a
+    /// caller-owned scratch buffer. Batch query paths issue thousands of
+    /// retrievals; reusing one counter array per worker amortizes the
+    /// per-query allocation away. `scratch` is cleared and re-zeroed
+    /// here, so the results are identical to the allocating variant.
+    #[must_use]
+    pub fn overlap_candidates_with_scratch(
+        &self,
+        query: &CorrelationSketch,
+        top_n: usize,
+        scratch: &mut Vec<u32>,
+    ) -> Vec<(DocId, usize)> {
         if top_n == 0 || self.is_empty() {
             return Vec::new();
         }
-        let mut counts = vec![0u32; self.sketches.len()];
+        scratch.clear();
+        scratch.resize(self.sketches.len(), 0);
+        let counts = scratch;
         for e in query.entries() {
             if let Some(list) = self.postings.get(&e.key) {
                 for &doc in list {

@@ -21,5 +21,7 @@ pub mod engine;
 pub mod inverted;
 mod select;
 
-pub use engine::{Candidate, QueryOptions, QueryResult, ReportedResult};
+pub use engine::{
+    top_k_batch, top_k_batch_with_reports, Candidate, QueryOptions, QueryResult, ReportedResult,
+};
 pub use inverted::{DocId, SketchIndex};

@@ -1,0 +1,391 @@
+//! Whole-corpus pack/read: contiguous sharding with deterministic
+//! parallel write and read.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use correlation_sketches::{CorrelationSketch, SketchError};
+
+use crate::error::StoreError;
+use crate::manifest::{Manifest, ShardMeta};
+use crate::shard::{read_shard, write_shard};
+
+/// How a corpus is packed.
+#[derive(Debug, Clone, Copy)]
+pub struct PackOptions {
+    /// Number of shard files to aim for (the actual count is capped at
+    /// the sketch count so no shard is empty; `0` is treated as `1`).
+    pub shards: usize,
+    /// Worker threads for shard writing. `0` and `1` both mean serial;
+    /// the shard contents are identical for every value (contiguous
+    /// chunking, like `correlation_sketches::build_sketches_parallel`).
+    pub threads: usize,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            threads: 1,
+        }
+    }
+}
+
+/// Shard file name for shard index `i` (`shard-0000.cskb`, …).
+fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:04}.cskb")
+}
+
+/// Is this a shard file name [`pack_corpus`] could have produced?
+/// (`{i:04}` pads to 4 digits but grows beyond for index ≥ 10000.)
+fn is_shard_file_name(name: &str) -> bool {
+    name.strip_prefix("shard-")
+        .and_then(|rest| rest.strip_suffix(".cskb"))
+        .is_some_and(|digits| digits.len() >= 4 && digits.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// Map contiguous chunks of `items` through a fallible `f` on up to
+/// `threads` scoped workers, re-concatenating results in input order —
+/// the workspace's deterministic fan-out pattern, shared by the pack and
+/// read paths. The first error (in input order within its worker's run)
+/// wins.
+fn try_par_map<T: Sync, U: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> Result<U, StoreError> + Sync,
+) -> Result<Vec<U>, StoreError> {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let per_worker = items.len().div_ceil(threads);
+    let f = &f;
+    let mut runs = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(per_worker)
+            .map(|run| scope.spawn(move || run.iter().map(f).collect::<Result<Vec<_>, _>>()))
+            .collect();
+        for h in handles {
+            runs.push(h.join().expect("store workers do not panic"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for run in runs {
+        out.extend(run?);
+    }
+    Ok(out)
+}
+
+/// Pack a corpus into `dir` as binary shards plus a manifest.
+///
+/// The input order is preserved: shard `i` holds the `i`-th contiguous
+/// chunk, and [`read_corpus`] returns the sketches in exactly this order.
+/// Duplicate sketch ids are rejected up front (ids are primary keys in a
+/// store).
+///
+/// Re-packing into a directory that already holds a store is safe: the
+/// old manifest is removed *before* any shard is written (so a pack
+/// interrupted mid-write leaves the directory unreadable — a missing
+/// manifest — rather than an old manifest over a mix of old and new
+/// shards), stale shard files from a previous larger pack are deleted,
+/// and the new manifest is written atomically (temp file + rename) as
+/// the final step.
+///
+/// # Errors
+///
+/// [`StoreError::Sketch`] with [`SketchError::DuplicateId`] on duplicate
+/// ids or [`SketchError::Corrupt`] on unencodable sketches;
+/// [`StoreError::Io`] on filesystem failure.
+pub fn pack_corpus(
+    dir: &Path,
+    sketches: &[CorrelationSketch],
+    opts: &PackOptions,
+) -> Result<Manifest, StoreError> {
+    let mut seen = HashSet::with_capacity(sketches.len());
+    for s in sketches {
+        if !seen.insert(s.id()) {
+            return Err(SketchError::DuplicateId(s.id().to_string()).into());
+        }
+    }
+    std::fs::create_dir_all(dir).map_err(StoreError::io(dir))?;
+    // Invalidate any previous store generation before touching shards.
+    let old_manifest = dir.join(crate::manifest::MANIFEST_NAME);
+    match std::fs::remove_file(&old_manifest) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::io(old_manifest)(e)),
+    }
+
+    let shards = opts.shards.clamp(1, sketches.len().max(1));
+    let chunk_len = sketches.len().div_ceil(shards);
+    let chunks: Vec<(usize, &[CorrelationSketch])> = if sketches.is_empty() {
+        Vec::new()
+    } else {
+        sketches.chunks(chunk_len).enumerate().collect()
+    };
+
+    let metas: Vec<ShardMeta> = try_par_map(&chunks, opts.threads, |&(i, chunk)| {
+        let file = shard_file_name(i);
+        write_shard(&dir.join(&file), chunk)?;
+        Ok(ShardMeta {
+            file,
+            count: chunk.len() as u64,
+        })
+    })?;
+
+    // Delete shard files a previous, larger pack left behind — they are
+    // no longer referenced and would otherwise linger as dead weight (or
+    // confuse a future by-glob consumer).
+    let current: HashSet<&str> = metas.iter().map(|m| m.file.as_str()).collect();
+    for entry in std::fs::read_dir(dir).map_err(StoreError::io(dir))? {
+        let entry = entry.map_err(StoreError::io(dir))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_shard_file_name(name) && !current.contains(name) {
+            std::fs::remove_file(entry.path()).map_err(StoreError::io(entry.path()))?;
+        }
+    }
+
+    let manifest = Manifest {
+        total: sketches.len() as u64,
+        shards: metas,
+    };
+    manifest.save(dir)?;
+    Ok(manifest)
+}
+
+/// Load a packed corpus, validating every shard (magic, version,
+/// checksums, manifest record counts) and rejecting duplicate sketch ids
+/// across the whole corpus. Returns the manifest the corpus was
+/// validated against alongside the sketches.
+///
+/// Shards are read with up to `threads` workers; the result order equals
+/// the original pack input order for every thread count.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure; [`StoreError::Shard`]
+/// naming the offending file (with a typed [`SketchError`] inside) on
+/// per-shard corruption; [`StoreError::Sketch`] on corpus-level
+/// corruption (bad manifest, duplicate ids) — never a silent partial
+/// load.
+pub fn read_corpus_with_manifest(
+    dir: &Path,
+    threads: usize,
+) -> Result<(Manifest, Vec<CorrelationSketch>), StoreError> {
+    let manifest = Manifest::load(dir)?;
+
+    let shard_contents: Vec<Vec<CorrelationSketch>> =
+        try_par_map(&manifest.shards, threads, |meta| {
+            let in_shard = |e: SketchError| StoreError::Shard {
+                file: meta.file.clone(),
+                source: e,
+            };
+            let sketches = match read_shard(&dir.join(&meta.file)) {
+                Ok(sketches) => sketches,
+                Err(StoreError::Sketch(e)) => return Err(in_shard(e)),
+                Err(other) => return Err(other),
+            };
+            if sketches.len() as u64 != meta.count {
+                return Err(in_shard(SketchError::Corrupt(format!(
+                    "holds {} records, manifest says {}",
+                    sketches.len(),
+                    meta.count
+                ))));
+            }
+            Ok(sketches)
+        })?;
+
+    let mut out = Vec::with_capacity(manifest.total as usize);
+    let mut seen = HashSet::with_capacity(manifest.total as usize);
+    for sketches in shard_contents {
+        for s in sketches {
+            if !seen.insert(s.id().to_string()) {
+                return Err(SketchError::DuplicateId(s.id().to_string()).into());
+            }
+            out.push(s);
+        }
+    }
+    Ok((manifest, out))
+}
+
+/// As [`read_corpus_with_manifest`], returning only the sketches.
+///
+/// # Errors
+///
+/// See [`read_corpus_with_manifest`].
+pub fn read_corpus(dir: &Path, threads: usize) -> Result<Vec<CorrelationSketch>, StoreError> {
+    read_corpus_with_manifest(dir, threads).map(|(_, sketches)| sketches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correlation_sketches::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("cskb-corpus-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn corpus(n: usize) -> Vec<CorrelationSketch> {
+        let b = SketchBuilder::new(SketchConfig::with_size(32));
+        (0..n)
+            .map(|t| {
+                let rows = 50 + (t * 13) % 200;
+                b.build(&ColumnPair::new(
+                    format!("t{t}"),
+                    "k",
+                    "v",
+                    (0..rows).map(|i| format!("key-{}-{i}", t % 5)).collect(),
+                    (0..rows).map(|i| (i as f64 * 0.3).sin()).collect(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_read_roundtrip_preserves_order() {
+        let dir = TempDir::new("roundtrip");
+        let sketches = corpus(23);
+        let opts = PackOptions {
+            shards: 4,
+            threads: 2,
+        };
+        let manifest = pack_corpus(&dir.0, &sketches, &opts).unwrap();
+        assert_eq!(manifest.total, 23);
+        assert_eq!(manifest.shards.len(), 4);
+        let back = read_corpus(&dir.0, 2).unwrap();
+        assert_eq!(back, sketches);
+    }
+
+    #[test]
+    fn shard_and_thread_counts_do_not_change_the_corpus() {
+        let sketches = corpus(17);
+        let reference = {
+            let dir = TempDir::new("ref");
+            pack_corpus(&dir.0, &sketches, &PackOptions::default()).unwrap();
+            read_corpus(&dir.0, 1).unwrap()
+        };
+        for shards in [1usize, 3, 8, 17, 100] {
+            for threads in [0usize, 1, 2, 7, 16] {
+                let dir = TempDir::new(&format!("s{shards}t{threads}"));
+                let opts = PackOptions { shards, threads };
+                let m = pack_corpus(&dir.0, &sketches, &opts).unwrap();
+                assert!(m.shards.len() <= shards.max(1));
+                assert_eq!(
+                    read_corpus(&dir.0, threads).unwrap(),
+                    reference,
+                    "shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus_roundtrips() {
+        let dir = TempDir::new("empty");
+        let m = pack_corpus(&dir.0, &[], &PackOptions::default()).unwrap();
+        assert_eq!(m.total, 0);
+        assert!(m.shards.is_empty());
+        assert!(read_corpus(&dir.0, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repacking_a_smaller_corpus_cleans_stale_shards() {
+        let dir = TempDir::new("repack");
+        let big = corpus(16);
+        pack_corpus(
+            &dir.0,
+            &big,
+            &PackOptions {
+                shards: 8,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        assert!(dir.0.join("shard-0007.cskb").exists());
+
+        let small: Vec<CorrelationSketch> = corpus(4);
+        let m = pack_corpus(
+            &dir.0,
+            &small,
+            &PackOptions {
+                shards: 2,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.shards.len(), 2);
+        assert!(
+            !dir.0.join("shard-0007.cskb").exists(),
+            "stale shard from the previous pack must be removed"
+        );
+        assert_eq!(read_corpus(&dir.0, 2).unwrap(), small);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_at_pack_time() {
+        let dir = TempDir::new("dup");
+        let mut sketches = corpus(3);
+        sketches.push(sketches[0].clone());
+        let err = pack_corpus(&dir.0, &sketches, &PackOptions::default()).unwrap_err();
+        assert!(matches!(
+            err.as_sketch_error(),
+            Some(SketchError::DuplicateId(_))
+        ));
+    }
+
+    #[test]
+    fn missing_shard_file_is_io_error() {
+        let dir = TempDir::new("missing");
+        pack_corpus(
+            &dir.0,
+            &corpus(6),
+            &PackOptions {
+                shards: 3,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        std::fs::remove_file(dir.0.join("shard-0001.cskb")).unwrap();
+        assert!(matches!(read_corpus(&dir.0, 1), Err(StoreError::Io { .. })));
+    }
+
+    #[test]
+    fn shard_count_mismatch_with_manifest_is_corrupt() {
+        let dir = TempDir::new("count-mismatch");
+        let sketches = corpus(6);
+        pack_corpus(
+            &dir.0,
+            &sketches,
+            &PackOptions {
+                shards: 2,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        // Overwrite shard 1 with fewer records than the manifest claims.
+        write_shard(&dir.0.join("shard-0001.cskb"), &sketches[3..5]).unwrap();
+        let err = read_corpus(&dir.0, 1).unwrap_err();
+        assert!(matches!(
+            err.as_sketch_error(),
+            Some(SketchError::Corrupt(_))
+        ));
+    }
+}

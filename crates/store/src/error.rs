@@ -1,0 +1,103 @@
+//! Store error type: typed corruption errors plus I/O context.
+
+use correlation_sketches::SketchError;
+
+/// Why a store operation failed.
+///
+/// Corruption is always a typed [`SketchError`] (magic, version,
+/// truncation, checksum, duplicate ids, payload decode); `Io` covers the
+/// filesystem layer, annotated with the path involved.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure at `path`.
+    Io {
+        /// File or directory the operation touched.
+        path: std::path::PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The stored bytes are invalid; see the inner [`SketchError`] for
+    /// the precise, typed reason.
+    Sketch(SketchError),
+    /// A specific shard file of a corpus is invalid — same typed reasons
+    /// as [`Self::Sketch`], plus the file name so the operator knows
+    /// which of N shards to replace.
+    Shard {
+        /// Shard file name, relative to the corpus directory.
+        file: String,
+        /// The typed corruption reason.
+        source: SketchError,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(path: impl Into<std::path::PathBuf>) -> impl FnOnce(std::io::Error) -> Self {
+        let path = path.into();
+        move |source| Self::Io { path, source }
+    }
+
+    /// The typed corruption reason, when this is a corruption error.
+    #[must_use]
+    pub fn as_sketch_error(&self) -> Option<&SketchError> {
+        match self {
+            Self::Sketch(e) | Self::Shard { source: e, .. } => Some(e),
+            Self::Io { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            Self::Sketch(e) => write!(f, "{e}"),
+            Self::Shard { file, source } => write!(f, "shard {file}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Sketch(e) | Self::Shard { source: e, .. } => Some(e),
+        }
+    }
+}
+
+impl From<SketchError> for StoreError {
+    fn from(e: SketchError) -> Self {
+        Self::Sketch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_path_and_reason() {
+        let e = StoreError::io("/tmp/x.cskb")(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("x.cskb"));
+        assert!(e.to_string().contains("boom"));
+        let e = StoreError::from(SketchError::BadMagic { found: *b"JUNK" });
+        assert!(e.to_string().contains("magic"));
+        assert!(matches!(
+            e.as_sketch_error(),
+            Some(SketchError::BadMagic { .. })
+        ));
+        let e = StoreError::Shard {
+            file: "shard-0005.cskb".into(),
+            source: SketchError::ChecksumMismatch {
+                record: 3,
+                stored: 1,
+                computed: 2,
+            },
+        };
+        assert!(e.to_string().contains("shard-0005.cskb"), "{e}");
+        assert!(matches!(
+            e.as_sketch_error(),
+            Some(SketchError::ChecksumMismatch { .. })
+        ));
+    }
+}

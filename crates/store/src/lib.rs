@@ -1,0 +1,87 @@
+//! **sketch-store** — the sharded on-disk binary corpus store.
+//!
+//! The paper's Section 5 experiments assume a pre-built corpus of
+//! sketches that can be loaded and queried at scale ("synopses can be
+//! pre-computed and indexed"). Newline-delimited JSON (the
+//! `correlation_sketches::persist` format) is great for diffing and
+//! appending but slow to parse for multi-thousand-sketch corpora and
+//! impossible to shard; this crate stores the same sketches as multiple
+//! compact binary shard files plus a small manifest, written and read in
+//! parallel with the workspace's deterministic-chunking pattern.
+//!
+//! # Corpus layout on disk
+//!
+//! ```text
+//! <corpus-dir>/
+//!   manifest.cskm        text manifest: version, totals, shard table
+//!   shard-0000.cskb      binary shard files, contiguous slices of the
+//!   shard-0001.cskb      corpus in input order
+//!   …
+//! ```
+//!
+//! # Shard file format (`.cskb`), byte by byte
+//!
+//! All integers are little-endian. A shard is a fixed 12-byte header
+//! followed by `count` length-prefixed, checksummed records:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `43 53 4B 42` (ASCII `"CSKB"`) |
+//! | 4      | 2    | format version (`u16`, currently `1`) |
+//! | 6      | 2    | reserved, must be `0` |
+//! | 8      | 4    | record count (`u32`) |
+//! | 12     | …    | `count` records, back to back |
+//!
+//! Each record is:
+//!
+//! | offset | size  | field |
+//! |--------|-------|-------|
+//! | 0      | 4     | payload length `L` (`u32`) |
+//! | 4      | `L`   | sketch payload (see [`correlation_sketches::binary`]) |
+//! | 4 + L  | 8     | checksum (`u64`): low word of MurmurHash3 x64-128 of the payload, seed 0 |
+//!
+//! The file must end exactly after the last record — trailing bytes are
+//! corruption. Readers verify, in order: magic, version, reserved bytes,
+//! per-record length bounds, per-record checksum (before any payload
+//! parsing), payload decode, and finally exact end-of-file. Every failure
+//! is a typed [`SketchError`] wrapped in [`StoreError`] — no panics, and
+//! never a silent partial load.
+//!
+//! # Manifest format (`manifest.cskm`)
+//!
+//! A small line-oriented text file (text, so a human can inspect a corpus
+//! with `cat`):
+//!
+//! ```text
+//! cskb-manifest 1
+//! sketches <total-record-count>
+//! shard <file-name> <record-count>
+//! …one line per shard, in corpus order…
+//! ```
+//!
+//! Readers cross-check every shard's header count against its manifest
+//! line and reject duplicate sketch ids across the whole corpus, so a
+//! mis-assembled corpus (a shard swapped in from another pack run) fails
+//! loudly instead of silently double-counting columns.
+//!
+//! # Determinism
+//!
+//! [`pack_corpus`] splits the input into contiguous chunks, so shard `i`
+//! holds a deterministic slice of the input and
+//! [`read_corpus`]`(dir, threads)` returns the sketches in exactly the
+//! original input order for every thread count — the same bit-identical
+//! fan-out contract as `correlation_sketches::build_sketches_parallel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod error;
+pub mod manifest;
+pub mod shard;
+
+pub use corpus::{pack_corpus, read_corpus, read_corpus_with_manifest, PackOptions};
+pub use correlation_sketches::SketchError;
+pub use error::StoreError;
+pub use manifest::{Manifest, ShardMeta, MANIFEST_NAME};
+pub use shard::{read_shard, write_shard, FORMAT_VERSION, MAGIC};

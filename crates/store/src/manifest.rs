@@ -1,0 +1,218 @@
+//! The corpus manifest (`manifest.cskm`): a small line-oriented text file
+//! naming every shard and its record count, in corpus order. See the
+//! crate docs for the exact format.
+
+use std::path::Path;
+
+use correlation_sketches::SketchError;
+
+use crate::error::StoreError;
+
+/// File name of the manifest inside a corpus directory.
+pub const MANIFEST_NAME: &str = "manifest.cskm";
+
+/// Manifest header tag (first line is `cskb-manifest <version>`).
+const HEADER_TAG: &str = "cskb-manifest";
+
+/// One shard as listed in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard file name, relative to the corpus directory.
+    pub file: String,
+    /// Records the shard must contain (cross-checked against the shard
+    /// header at read time).
+    pub count: u64,
+}
+
+/// Parsed corpus manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Total records across all shards.
+    pub total: u64,
+    /// Shards in corpus order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl Manifest {
+    /// Render to the text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(64 + 32 * self.shards.len());
+        out.push_str(HEADER_TAG);
+        out.push_str(" 1\nsketches ");
+        out.push_str(&self.total.to_string());
+        out.push('\n');
+        for s in &self.shards {
+            out.push_str("shard ");
+            out.push_str(&s.file);
+            out.push(' ');
+            out.push_str(&s.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text format, validating structure and totals.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] on malformed lines,
+    /// [`SketchError::UnsupportedVersion`] on a newer manifest version,
+    /// [`SketchError::DuplicateId`] when two lines name the same shard
+    /// file.
+    pub fn parse(text: &str) -> Result<Self, SketchError> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| SketchError::Corrupt("empty manifest".into()))?;
+        let version = header
+            .strip_prefix(HEADER_TAG)
+            .map(str::trim)
+            .and_then(|v| v.parse::<u16>().ok())
+            .ok_or_else(|| SketchError::Corrupt(format!("bad manifest header '{header}'")))?;
+        if version != 1 {
+            return Err(SketchError::UnsupportedVersion {
+                found: version,
+                supported: 1,
+            });
+        }
+        let totals = lines
+            .next()
+            .ok_or_else(|| SketchError::Corrupt("manifest missing 'sketches' line".into()))?;
+        let total: u64 = totals
+            .strip_prefix("sketches ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| SketchError::Corrupt(format!("bad manifest totals line '{totals}'")))?;
+
+        let mut shards = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line.strip_prefix("shard ").ok_or_else(|| {
+                SketchError::Corrupt(format!("unexpected manifest line '{line}'"))
+            })?;
+            let (file, count) = rest
+                .rsplit_once(' ')
+                .ok_or_else(|| SketchError::Corrupt(format!("bad manifest shard line '{line}'")))?;
+            let count: u64 = count
+                .parse()
+                .map_err(|e| SketchError::Corrupt(format!("bad shard count in '{line}': {e}")))?;
+            if file.is_empty() || file.contains('/') || file.contains('\\') {
+                return Err(SketchError::Corrupt(format!(
+                    "shard file name '{file}' must be a bare file name"
+                )));
+            }
+            if shards.iter().any(|s: &ShardMeta| s.file == file) {
+                return Err(SketchError::Corrupt(format!(
+                    "shard file '{file}' listed twice in manifest"
+                )));
+            }
+            shards.push(ShardMeta {
+                file: file.to_string(),
+                count,
+            });
+        }
+        let sum: u64 = shards.iter().map(|s| s.count).sum();
+        if sum != total {
+            return Err(SketchError::Corrupt(format!(
+                "manifest totals disagree: header says {total} sketches, shard lines sum to {sum}"
+            )));
+        }
+        Ok(Self { total, shards })
+    }
+
+    /// Load `manifest.cskm` from a corpus directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when unreadable, [`StoreError::Sketch`] when
+    /// malformed.
+    pub fn load(dir: &Path) -> Result<Self, StoreError> {
+        let path = dir.join(MANIFEST_NAME);
+        let text = std::fs::read_to_string(&path).map_err(StoreError::io(path))?;
+        Self::parse(&text).map_err(StoreError::Sketch)
+    }
+
+    /// Write `manifest.cskm` into a corpus directory, atomically: the
+    /// text lands in a temp file first and is renamed into place, so a
+    /// crash mid-save can never leave a half-written (hence unreadable)
+    /// manifest over a good store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        std::fs::write(&tmp, self.to_text()).map_err(StoreError::io(&tmp))?;
+        let path = dir.join(MANIFEST_NAME);
+        std::fs::rename(&tmp, &path).map_err(StoreError::io(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            total: 7,
+            shards: vec![
+                ShardMeta {
+                    file: "shard-0000.cskb".into(),
+                    count: 4,
+                },
+                ShardMeta {
+                    file: "shard-0001.cskb".into(),
+                    count: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.to_text()).unwrap(), m);
+        let empty = Manifest {
+            total: 0,
+            shards: vec![],
+        };
+        assert_eq!(Manifest::parse(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_manifests_are_typed() {
+        assert!(matches!(Manifest::parse(""), Err(SketchError::Corrupt(_))));
+        assert!(matches!(
+            Manifest::parse("cskb-manifest 2\nsketches 0\n"),
+            Err(SketchError::UnsupportedVersion { found: 2, .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("cskb-manifest 1\nsketches nope\n"),
+            Err(SketchError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Manifest::parse("cskb-manifest 1\nsketches 0\nbogus line\n"),
+            Err(SketchError::Corrupt(_))
+        ));
+        // Totals must agree with the shard lines.
+        assert!(matches!(
+            Manifest::parse("cskb-manifest 1\nsketches 5\nshard a.cskb 4\n"),
+            Err(SketchError::Corrupt(_))
+        ));
+        // Duplicate shard files are rejected (as manifest corruption —
+        // DuplicateId is reserved for sketch ids).
+        let err = Manifest::parse("cskb-manifest 1\nsketches 4\nshard a.cskb 2\nshard a.cskb 2\n")
+            .unwrap_err();
+        assert!(
+            matches!(&err, SketchError::Corrupt(msg) if msg.contains("listed twice")),
+            "{err}"
+        );
+        // Path traversal in shard names is rejected.
+        assert!(matches!(
+            Manifest::parse("cskb-manifest 1\nsketches 2\nshard ../evil.cskb 2\n"),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+}

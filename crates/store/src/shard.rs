@@ -1,0 +1,252 @@
+//! Single shard file (`.cskb`) encode/decode. See the crate docs for the
+//! byte-by-byte layout.
+
+use std::path::Path;
+
+use correlation_sketches::{CorrelationSketch, SketchError};
+use sketch_hashing::murmur3::murmur3_x64_128;
+
+use crate::error::StoreError;
+
+/// First four bytes of every shard file (ASCII `"CSKB"` — Correlation
+/// SKetch Binary).
+pub const MAGIC: [u8; 4] = *b"CSKB";
+
+/// Newest shard format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fixed shard header size: magic (4) + version (2) + reserved (2) +
+/// record count (4).
+const HEADER_LEN: usize = 12;
+
+/// Seed of the per-record MurmurHash3 checksum.
+const CHECKSUM_SEED: u64 = 0;
+
+fn checksum(payload: &[u8]) -> u64 {
+    murmur3_x64_128(payload, CHECKSUM_SEED).0
+}
+
+/// Encode sketches into shard-file bytes (header + checksummed records).
+///
+/// # Errors
+///
+/// [`SketchError::Corrupt`] if a sketch holds non-finite values or the
+/// record count exceeds `u32`.
+pub fn encode_shard(sketches: &[CorrelationSketch]) -> Result<Vec<u8>, SketchError> {
+    let count = u32::try_from(sketches.len())
+        .map_err(|_| SketchError::Corrupt("shard record count exceeds u32".into()))?;
+    let mut out = Vec::with_capacity(HEADER_LEN + sketches.len() * 64);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&count.to_le_bytes());
+    let mut payload = Vec::new();
+    for sketch in sketches {
+        payload.clear();
+        sketch.write_bytes(&mut payload)?;
+        let len = u32::try_from(payload.len())
+            .map_err(|_| SketchError::Corrupt("record payload exceeds u32 length".into()))?;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Decode shard-file bytes, verifying magic, version, reserved bytes,
+/// every record checksum (before parsing the payload), and exact
+/// end-of-file.
+///
+/// # Errors
+///
+/// Typed [`SketchError`] variants: [`SketchError::BadMagic`],
+/// [`SketchError::UnsupportedVersion`], [`SketchError::Truncated`],
+/// [`SketchError::ChecksumMismatch`], or [`SketchError::Corrupt`] for
+/// non-canonical header bytes, record-count mismatches, and payload
+/// decode failures.
+pub fn decode_shard(bytes: &[u8]) -> Result<Vec<CorrelationSketch>, SketchError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SketchError::Truncated {
+            context: "shard header",
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(SketchError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SketchError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let reserved = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if reserved != 0 {
+        return Err(SketchError::Corrupt(format!(
+            "non-zero reserved header bytes {reserved:04x}"
+        )));
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+
+    let mut sketches = Vec::with_capacity(count.min(bytes.len() / 12));
+    let mut pos = HEADER_LEN;
+    for record in 0..count as u64 {
+        let available = bytes.len() - pos;
+        if available < 4 {
+            return Err(SketchError::Truncated {
+                context: "record length prefix",
+                needed: 4,
+                available,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        let available = bytes.len() - pos;
+        // Length is validated against the remaining bytes *before* any
+        // slicing or allocation, so a corrupted length prefix fails as
+        // Truncated instead of panicking or reserving gigabytes.
+        let needed = len.checked_add(8).ok_or(SketchError::Truncated {
+            context: "record payload + checksum",
+            needed: usize::MAX,
+            available,
+        })?;
+        if needed > available {
+            return Err(SketchError::Truncated {
+                context: "record payload + checksum",
+                needed,
+                available,
+            });
+        }
+        let payload = &bytes[pos..pos + len];
+        pos += len;
+        let stored = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        let computed = checksum(payload);
+        if stored != computed {
+            return Err(SketchError::ChecksumMismatch {
+                record,
+                stored,
+                computed,
+            });
+        }
+        sketches.push(CorrelationSketch::from_bytes(payload)?);
+    }
+    if pos != bytes.len() {
+        return Err(SketchError::Corrupt(format!(
+            "{} trailing bytes after {count} records",
+            bytes.len() - pos
+        )));
+    }
+    Ok(sketches)
+}
+
+/// Write one shard file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure, [`StoreError::Sketch`] on
+/// unencodable sketches.
+pub fn write_shard(path: &Path, sketches: &[CorrelationSketch]) -> Result<(), StoreError> {
+    let bytes = encode_shard(sketches)?;
+    std::fs::write(path, bytes).map_err(StoreError::io(path))
+}
+
+/// Read and fully validate one shard file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure, [`StoreError::Sketch`] with
+/// a typed corruption variant on invalid bytes (see [`decode_shard`]).
+pub fn read_shard(path: &Path) -> Result<Vec<CorrelationSketch>, StoreError> {
+    let bytes = std::fs::read(path).map_err(StoreError::io(path))?;
+    decode_shard(&bytes).map_err(StoreError::Sketch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correlation_sketches::{SketchBuilder, SketchConfig};
+    use sketch_table::ColumnPair;
+
+    fn sketches(n: usize) -> Vec<CorrelationSketch> {
+        let b = SketchBuilder::new(SketchConfig::with_size(16));
+        (0..n)
+            .map(|t| {
+                b.build(&ColumnPair::new(
+                    format!("t{t}"),
+                    "k",
+                    "v",
+                    (0..100).map(|i| format!("key-{i}")).collect(),
+                    (0..100).map(|i| (i + t) as f64).collect(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sketches(5);
+        assert_eq!(decode_shard(&encode_shard(&s).unwrap()).unwrap(), s);
+        let empty: Vec<CorrelationSketch> = Vec::new();
+        assert_eq!(decode_shard(&encode_shard(&empty).unwrap()).unwrap(), empty);
+    }
+
+    #[test]
+    fn header_fields_are_checked() {
+        let s = sketches(2);
+        let good = encode_shard(&s).unwrap();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_shard(&bad),
+            Err(SketchError::BadMagic { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode_shard(&bad),
+            Err(SketchError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        ));
+
+        let mut bad = good.clone();
+        bad[6] = 1;
+        assert!(matches!(decode_shard(&bad), Err(SketchError::Corrupt(_))));
+
+        let mut bad = good;
+        bad[8] ^= 0x01; // record count off by one
+        assert!(decode_shard(&bad).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_payload_tampering() {
+        let s = sketches(3);
+        let mut bytes = encode_shard(&s).unwrap();
+        // Flip a byte well inside the first record's payload.
+        bytes[HEADER_LEN + 10] ^= 0x40;
+        assert!(matches!(
+            decode_shard(&bytes),
+            Err(SketchError::ChecksumMismatch { record: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cskb-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.cskb");
+        let s = sketches(4);
+        write_shard(&path, &s).unwrap();
+        assert_eq!(read_shard(&path).unwrap(), s);
+        let missing = dir.join("missing.cskb");
+        assert!(matches!(read_shard(&missing), Err(StoreError::Io { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,286 @@
+//! The corruption battery: every way a shard file or corpus can be
+//! damaged must surface as a *typed* [`SketchError`] — never a panic,
+//! never a silent partial load.
+//!
+//! The centerpiece bit-flips every byte of a small shard (each byte with
+//! a rotating bit position) and asserts that every single flip is
+//! detected.
+
+use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig, SketchError};
+use sketch_store::shard::{decode_shard, encode_shard};
+use sketch_store::{
+    pack_corpus, read_corpus, read_shard, write_shard, Manifest, PackOptions, StoreError,
+    FORMAT_VERSION, MANIFEST_NAME,
+};
+use sketch_table::ColumnPair;
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("cskb-corruption-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sketches(n: usize) -> Vec<CorrelationSketch> {
+    let b = SketchBuilder::new(SketchConfig::with_size(8));
+    (0..n)
+        .map(|t| {
+            b.build(&ColumnPair::new(
+                format!("t{t}"),
+                "k",
+                "v",
+                (0..40).map(|i| format!("key-{i}")).collect(),
+                (0..40).map(|i| (i * (t + 1)) as f64).collect(),
+            ))
+        })
+        .collect()
+}
+
+/// Every prefix of a shard file is rejected with a typed error.
+#[test]
+fn every_truncation_is_detected() {
+    let bytes = encode_shard(&sketches(3)).unwrap();
+    for cut in 0..bytes.len() {
+        match decode_shard(&bytes[..cut]) {
+            Err(
+                SketchError::Truncated { .. }
+                | SketchError::Corrupt(_)
+                | SketchError::BadMagic { .. }
+                | SketchError::UnsupportedVersion { .. }
+                | SketchError::ChecksumMismatch { .. },
+            ) => {}
+            other => panic!(
+                "truncation at {cut}/{} not detected: {other:?}",
+                bytes.len()
+            ),
+        }
+    }
+}
+
+/// Bit-flip every byte of a small shard (rotating which bit is flipped);
+/// every flip must produce a typed error, not a panic and not an Ok.
+#[test]
+fn every_byte_flip_is_detected() {
+    let good = encode_shard(&sketches(2)).unwrap();
+    assert!(decode_shard(&good).is_ok());
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 1 << (i % 8);
+        match decode_shard(&bad) {
+            Err(
+                SketchError::Truncated { .. }
+                | SketchError::Corrupt(_)
+                | SketchError::BadMagic { .. }
+                | SketchError::UnsupportedVersion { .. }
+                | SketchError::ChecksumMismatch { .. }
+                | SketchError::DuplicateId(_),
+            ) => {}
+            Ok(_) => panic!("flip of byte {i} (bit {}) went undetected", i % 8),
+            Err(other) => panic!("flip of byte {i} gave unexpected error {other:?}"),
+        }
+    }
+}
+
+/// Flipping checksum bytes specifically must be diagnosed as a checksum
+/// mismatch on the right record.
+#[test]
+fn flipped_checksum_bytes_name_the_record() {
+    let s = sketches(2);
+    let bytes = encode_shard(&s).unwrap();
+    // Records start after the 12-byte header. Record 0: 4-byte length +
+    // payload + 8-byte checksum.
+    let len0 = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let ck0_start = 16 + len0;
+    for off in ck0_start..ck0_start + 8 {
+        let mut bad = bytes.clone();
+        bad[off] ^= 0x01;
+        match decode_shard(&bad) {
+            Err(SketchError::ChecksumMismatch { record: 0, .. }) => {}
+            other => panic!("checksum flip at {off}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_are_typed() {
+    let bytes = encode_shard(&sketches(1)).unwrap();
+
+    let mut bad = bytes.clone();
+    bad[..4].copy_from_slice(b"JSON");
+    assert_eq!(
+        decode_shard(&bad).unwrap_err(),
+        SketchError::BadMagic { found: *b"JSON" }
+    );
+
+    let mut bad = bytes;
+    bad[4..6].copy_from_slice(&7u16.to_le_bytes());
+    assert_eq!(
+        decode_shard(&bad).unwrap_err(),
+        SketchError::UnsupportedVersion {
+            found: 7,
+            supported: FORMAT_VERSION
+        }
+    );
+}
+
+#[test]
+fn duplicate_record_ids_are_rejected_on_read() {
+    let dir = TempDir::new("dup-read");
+    let s = sketches(2);
+    // Hand-assemble a corpus whose two shards contain the same sketch.
+    write_shard(&dir.path("shard-0000.cskb"), &s).unwrap();
+    write_shard(&dir.path("shard-0001.cskb"), &s[..1]).unwrap();
+    Manifest {
+        total: 3,
+        shards: vec![
+            sketch_store::ShardMeta {
+                file: "shard-0000.cskb".into(),
+                count: 2,
+            },
+            sketch_store::ShardMeta {
+                file: "shard-0001.cskb".into(),
+                count: 1,
+            },
+        ],
+    }
+    .save(&dir.0)
+    .unwrap();
+    let err = read_corpus(&dir.0, 1).unwrap_err();
+    assert!(
+        matches!(
+            err.as_sketch_error(),
+            Some(SketchError::DuplicateId(id)) if id == "t0/k/v"
+        ),
+        "{err}"
+    );
+    // Duplicates within a single shard are equally fatal.
+    write_shard(&dir.path("solo.cskb"), &[s[0].clone(), s[0].clone()]).unwrap();
+    let loaded = read_shard(&dir.path("solo.cskb")).unwrap();
+    assert_eq!(loaded.len(), 2, "shard read is id-agnostic");
+    Manifest {
+        total: 2,
+        shards: vec![sketch_store::ShardMeta {
+            file: "solo.cskb".into(),
+            count: 2,
+        }],
+    }
+    .save(&dir.0)
+    .unwrap();
+    assert!(matches!(
+        read_corpus(&dir.0, 1).unwrap_err().as_sketch_error(),
+        Some(SketchError::DuplicateId(_))
+    ));
+}
+
+#[test]
+fn truncated_shard_file_on_disk_is_detected() {
+    let dir = TempDir::new("truncated-file");
+    let s = sketches(4);
+    pack_corpus(
+        &dir.0,
+        &s,
+        &PackOptions {
+            shards: 1,
+            threads: 1,
+        },
+    )
+    .unwrap();
+    let shard = dir.path("shard-0000.cskb");
+    let full = std::fs::read(&shard).unwrap();
+    for cut in [0, 3, 11, full.len() / 2, full.len() - 1] {
+        std::fs::write(&shard, &full[..cut]).unwrap();
+        let err = read_corpus(&dir.0, 1).unwrap_err();
+        assert!(
+            err.as_sketch_error().is_some(),
+            "cut={cut} must be typed corruption, got {err}"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let dir = TempDir::new("trailing");
+    let s = sketches(2);
+    pack_corpus(
+        &dir.0,
+        &s,
+        &PackOptions {
+            shards: 1,
+            threads: 1,
+        },
+    )
+    .unwrap();
+    let shard = dir.path("shard-0000.cskb");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    bytes.extend_from_slice(b"extra");
+    std::fs::write(&shard, bytes).unwrap();
+    assert!(matches!(
+        read_corpus(&dir.0, 1).unwrap_err().as_sketch_error(),
+        Some(SketchError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn corrupt_manifest_is_typed() {
+    let dir = TempDir::new("manifest");
+    pack_corpus(&dir.0, &sketches(2), &PackOptions::default()).unwrap();
+    std::fs::write(dir.path(MANIFEST_NAME), "here be dragons\n").unwrap();
+    assert!(matches!(
+        read_corpus(&dir.0, 1).unwrap_err().as_sketch_error(),
+        Some(SketchError::Corrupt(_))
+    ));
+    std::fs::remove_file(dir.path(MANIFEST_NAME)).unwrap();
+    assert!(matches!(read_corpus(&dir.0, 1), Err(StoreError::Io { .. })));
+}
+
+/// Parallel readers surface the same typed error as serial ones.
+#[test]
+fn corruption_is_detected_at_every_thread_count() {
+    let dir = TempDir::new("parallel-detect");
+    let s = sketches(8);
+    pack_corpus(
+        &dir.0,
+        &s,
+        &PackOptions {
+            shards: 4,
+            threads: 2,
+        },
+    )
+    .unwrap();
+    let shard = dir.path("shard-0002.cskb");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() - 9; // inside the last record's checksum
+    bytes[mid] ^= 0x20;
+    std::fs::write(&shard, bytes).unwrap();
+    for threads in [1usize, 2, 7, 16] {
+        let err = read_corpus(&dir.0, threads).unwrap_err();
+        assert!(
+            matches!(
+                err.as_sketch_error(),
+                Some(SketchError::ChecksumMismatch { .. })
+            ),
+            "threads={threads}: {err}"
+        );
+        // The error names the offending shard so an operator of an
+        // N-shard store knows which file to replace.
+        assert!(
+            err.to_string().contains("shard-0002.cskb"),
+            "threads={threads}: {err}"
+        );
+    }
+}

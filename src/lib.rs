@@ -8,6 +8,7 @@
 //!   contribution).
 //! * [`sketch_hashing`], [`sketch_stats`], [`sketch_table`] — substrates.
 //! * [`sketch_index`], [`sketch_ranking`] — query engine and scoring.
+//! * [`sketch_store`] — sharded binary corpus store.
 //! * [`sketch_datagen`] — reproducible synthetic corpora.
 
 pub use correlation_sketches as sketches;
@@ -16,4 +17,5 @@ pub use sketch_hashing as hashing;
 pub use sketch_index as index;
 pub use sketch_ranking as ranking;
 pub use sketch_stats as stats;
+pub use sketch_store as store;
 pub use sketch_table as table;
