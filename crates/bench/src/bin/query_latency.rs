@@ -26,6 +26,15 @@
 //! loads are timed and reported (`json_load_ms`, `store_load_ms`,
 //! `load_speedup`), after asserting that each load returns exactly the
 //! sketches that were built.
+//!
+//! With `--churn <N>` (N > 0) the run becomes a mutable-corpus workload:
+//! every N queries the oldest live sketch is removed from the index and
+//! the previously removed one is re-inserted (a steady remove/re-insert
+//! cycle), so queries execute against an index under live maintenance.
+//! Update costs are timed separately from query latencies, and at the
+//! end the churned index is asserted bit-identical (full reports) to an
+//! index rebuilt from scratch over the surviving sketches — the same
+//! equivalence contract the `prop_mutable` battery proves.
 
 use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
 use sketch_bench::{percentile, time_ms, Args, LatencySummary};
@@ -113,6 +122,16 @@ fn main() {
         );
     }
 
+    let churn_every = args.get_or("churn", 0usize);
+    // The churn workload needs the corpus again: as the live mirror that
+    // drives remove/re-insert cycles and as the input of the final
+    // rebuild-equivalence check.
+    let mut live_order: Vec<CorrelationSketch> = if churn_every > 0 {
+        sketches.clone()
+    } else {
+        Vec::new()
+    };
+
     let (mut index, t_insert) = time_ms(|| {
         let mut idx = SketchIndex::new();
         for sketch in sketches {
@@ -144,7 +163,26 @@ fn main() {
 
     let mut latencies = Vec::with_capacity(split.queries.len());
     let mut total_results = 0usize;
-    for q in &split.queries {
+    let mut churn_ops = 0usize;
+    let mut churn_ms: Vec<f64> = Vec::new();
+    // The sketch removed by the previous churn step, re-inserted by the
+    // next one, so the live corpus size stays steady under churn.
+    let mut parked: Option<CorrelationSketch> = None;
+    for (qi, q) in split.queries.iter().enumerate() {
+        if churn_every > 0 && qi > 0 && qi % churn_every == 0 && !live_order.is_empty() {
+            let (_, t) = time_ms(|| {
+                let victim = live_order.remove(0);
+                assert!(index.remove(victim.id()), "victim must be live");
+                churn_ops += 1;
+                if let Some(back) = parked.take() {
+                    index.insert(back.clone()).expect("uniform hasher");
+                    live_order.push(back);
+                    churn_ops += 1;
+                }
+                parked = Some(victim);
+            });
+            churn_ms.push(t);
+        }
         // Query-sketch construction is part of the online path here (the
         // user's table is not pre-indexed), matching the paper's setup of
         // issuing column pairs from the query set.
@@ -160,10 +198,43 @@ fn main() {
         latencies.push(t);
     }
 
+    // After interleaved updates + queries, the churned index must answer
+    // exactly like an index rebuilt from scratch over the survivors —
+    // doc ids, tie-breaks, uncertainty reports and all.
+    if churn_every > 0 {
+        let (rebuilt, t_rebuild) = time_ms(|| {
+            SketchIndex::from_sketches(live_order.iter().cloned()).expect("uniform hasher")
+        });
+        for q in split.queries.iter().take(50) {
+            let qs = builder.build(q);
+            assert_eq!(
+                engine::top_k_with_reports(index, &qs, &opts, 0.05),
+                engine::top_k_with_reports(&rebuilt, &qs, &opts, 0.05),
+                "churned index must be bit-identical to a rebuild"
+            );
+        }
+        let mean_churn = churn_ms.iter().sum::<f64>() / churn_ms.len().max(1) as f64;
+        load_lines.push(format!(
+            "churn: {churn_ops} update ops (every {churn_every} queries, \
+             mean {mean_churn:.3} ms/cycle), verified bit-identical to a \
+             from-scratch rebuild ({t_rebuild:.1} ms)"
+        ));
+        extra.push_str(&format!(
+            ",\"churn_every\":{churn_every},\"churn_ops\":{churn_ops},\
+             \"churn_cycle_mean_ms\":{mean_churn:.4},\"churn_verified\":true"
+        ));
+    }
+
     // --batch true: run the same workload again through the amortized
     // batch API (pre-built query sketches, one call) and report the
-    // whole-batch wall time and throughput.
-    if args.get_or("batch", false) {
+    // whole-batch wall time and throughput. Under churn the loop above
+    // answered against a moving index, so the equality check (and hence
+    // the batch pass) only runs for the static workload.
+    if churn_every > 0 && args.get_or("batch", false) {
+        load_lines
+            .push("batch: skipped under --churn (the loop answered a moving index)".to_string());
+    }
+    if churn_every == 0 && args.get_or("batch", false) {
         let query_sketches: Vec<_> = split.queries.iter().map(|q| builder.build(q)).collect();
         let (batch_results, t_batch) =
             time_ms(|| engine::top_k_batch(index, &query_sketches, &opts));

@@ -183,10 +183,16 @@ fn load_sketches(path: &str) -> Result<Vec<CorrelationSketch>, CliError> {
 }
 
 /// `corrsketch corpus` — manage packed binary corpus stores (sharded
-/// `.cskb` files + manifest; the `sketch-store` crate's format).
+/// `.cskb` files + manifest; the `sketch-store` crate's format),
+/// including live mutation: `append` and `rm` write delta shards,
+/// `compact` folds them back into base shards.
 pub mod corpus {
     use super::*;
-    use sketch_store::{pack_corpus, read_corpus_with_manifest, PackOptions, FORMAT_VERSION};
+    use correlation_sketches::DeltaRecord;
+    use sketch_store::{
+        append_corpus, compact_corpus, pack_corpus, read_corpus_with_manifest, remove_from_corpus,
+        Manifest, PackOptions, FORMAT_VERSION,
+    };
 
     /// `corrsketch corpus pack` — pack sketches into a sharded binary
     /// store, either straight from a directory of CSVs (`--dir`) or by
@@ -224,7 +230,8 @@ pub mod corpus {
     }
 
     /// `corrsketch corpus info` — validate a packed store (every
-    /// checksum is verified by the full load) and report its shape.
+    /// checksum is verified by the full load, delta shards included) and
+    /// report its shape, generations, and pending delta records.
     ///
     /// # Errors
     ///
@@ -238,10 +245,17 @@ pub mod corpus {
             read_corpus_with_manifest(Path::new(dir), threads).map_err(store_err)?;
         let tuples: usize = sketches.iter().map(CorrelationSketch::len).sum();
         let mem: usize = sketches.iter().map(CorrelationSketch::memory_bytes).sum();
+        let base_records: u64 = manifest.shards.iter().map(|s| s.count).sum();
         let mut disk = 0u64;
         let mut out = String::new();
         let _ = writeln!(out, "store {dir} (format v{FORMAT_VERSION}):");
-        let _ = writeln!(out, "  sketches        : {}", manifest.total);
+        let _ = writeln!(out, "  sketches (live) : {}", manifest.total);
+        let _ = writeln!(
+            out,
+            "  generation      : {} (base at {})",
+            manifest.generation, manifest.base_generation
+        );
+        let _ = writeln!(out, "  base records    : {base_records}");
         let _ = writeln!(out, "  shards          : {}", manifest.shards.len());
         for s in &manifest.shards {
             let bytes = std::fs::metadata(Path::new(dir).join(&s.file))
@@ -256,6 +270,39 @@ pub mod corpus {
                 bytes as f64 / 1024.0
             );
         }
+        let _ = writeln!(out, "  delta shards    : {}", manifest.deltas.len());
+        let mut appends = 0u64;
+        let mut tombstones = 0u64;
+        for d in &manifest.deltas {
+            let path = Path::new(dir).join(&d.file);
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            disk += bytes;
+            // The full load above already verified every delta checksum;
+            // this re-read only tallies the append/tombstone split.
+            let records = sketch_store::read_delta_shard(&path).map_err(store_err)?;
+            let dead = records
+                .iter()
+                .filter(|r| matches!(r, DeltaRecord::Tombstone(_)))
+                .count() as u64;
+            tombstones += dead;
+            appends += d.records - dead;
+            let _ = writeln!(
+                out,
+                "    {:<20} records={:<6} tombstones={:<4} gen={:<4} {:.1} KiB",
+                d.file,
+                d.records,
+                dead,
+                d.generation,
+                bytes as f64 / 1024.0
+            );
+        }
+        if !manifest.deltas.is_empty() {
+            let _ = writeln!(
+                out,
+                "  pending         : {appends} appends, {tombstones} tombstones \
+                 (reclaimable by `corpus compact`)"
+            );
+        }
         let _ = writeln!(out, "  tuples          : {tuples}");
         let _ = writeln!(out, "  on disk         : {:.1} KiB", disk as f64 / 1024.0);
         let _ = writeln!(out, "  memory (loaded) : {:.1} KiB", mem as f64 / 1024.0);
@@ -264,6 +311,142 @@ pub mod corpus {
             "  integrity       : ok (all record checksums verified)"
         );
         Ok(out)
+    }
+
+    /// The sketch configuration of the store's first record, read from
+    /// the first populated manifest-listed shard only — `corpus append`
+    /// needs just the configuration up front (the full corpus is loaded
+    /// and validated once, inside `append_corpus`), so a whole-store
+    /// read here would double the append cost.
+    fn store_config(dir: &Path) -> Result<Option<SketchConfig>, CliError> {
+        let manifest = Manifest::load(dir).map_err(store_err)?;
+        let mut first = None;
+        if let Some(s) = manifest.shards.iter().find(|s| s.count > 0) {
+            first = sketch_store::read_shard(&dir.join(&s.file))
+                .map_err(store_err)?
+                .into_iter()
+                .next();
+        }
+        for d in &manifest.deltas {
+            if first.is_some() {
+                break;
+            }
+            first = sketch_store::read_delta_shard(&dir.join(&d.file))
+                .map_err(store_err)?
+                .into_iter()
+                .find_map(|r| match r {
+                    DeltaRecord::Sketch(s) => Some(s),
+                    DeltaRecord::Tombstone(_) => None,
+                });
+        }
+        Ok(first.map(|first| SketchConfig {
+            strategy: first.strategy(),
+            hasher: first.hasher(),
+            aggregation: first.aggregation(),
+        }))
+    }
+
+    /// `corrsketch corpus append` — sketch more columns (from CSVs or a
+    /// JSON index file) and append them to a live store as one delta
+    /// shard, without re-packing. CSV inputs reuse the store's sketch
+    /// configuration so old and new sketches stay joinable (the store
+    /// layer additionally rejects hasher-incompatible appends).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing/conflicting flags, unreadable inputs,
+    /// id collisions with the live corpus, hasher-incompatible appends,
+    /// or store write failures.
+    pub fn append(args: &CliArgs) -> Result<String, CliError> {
+        let store = args.required("store")?;
+        let threads = args.parse_or("threads", 1usize)?;
+        let (sketches, source) = match (args.optional("dir"), args.optional("index")) {
+            (Some(dir), None) => {
+                let config = match store_config(Path::new(store))? {
+                    Some(config) => config,
+                    None => sketch_config(args, 256)?,
+                };
+                let builder = SketchBuilder::new(config);
+                let (sketches, tables) = sketch_csv_dir(dir, &builder)?;
+                (sketches, format!("{tables} tables in {dir}"))
+            }
+            (None, Some(path)) => (load_sketches(path)?, path.to_string()),
+            _ => {
+                return Err(CliError::Usage(
+                    "corpus append needs exactly one of --dir <csv-dir> or --index <json-file>"
+                        .into(),
+                ))
+            }
+        };
+        let manifest = append_corpus(Path::new(store), &sketches, threads).map_err(store_err)?;
+        Ok(format!(
+            "appended {} sketches from {source} to {store} \
+             (generation {}, {} live sketches)",
+            sketches.len(),
+            manifest.generation,
+            manifest.total
+        ))
+    }
+
+    /// `corrsketch corpus rm` — tombstone live sketches by id
+    /// (comma-separated `--ids`) as one delta shard. The records stay on
+    /// disk until `corpus compact` reclaims them.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags, ids that are not live, or store
+    /// write failures.
+    pub fn rm(args: &CliArgs) -> Result<String, CliError> {
+        let store = args.required("store")?;
+        let threads = args.parse_or("threads", 1usize)?;
+        let ids: Vec<String> = args
+            .required("ids")?
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if ids.is_empty() {
+            return Err(CliError::Usage(
+                "corpus rm needs --ids <id>[,<id>…] (sketch ids like table/key/value)".into(),
+            ));
+        }
+        let manifest = remove_from_corpus(Path::new(store), &ids, threads).map_err(store_err)?;
+        Ok(format!(
+            "tombstoned {} sketches in {store} (generation {}, {} live sketches)",
+            ids.len(),
+            manifest.generation,
+            manifest.total
+        ))
+    }
+
+    /// `corrsketch corpus compact` — fold every delta shard back into
+    /// freshly packed base shards, reclaiming tombstoned records. Query
+    /// results over the store are unchanged; only the layout is.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on unreadable/corrupt stores or write failures.
+    pub fn compact(args: &CliArgs) -> Result<String, CliError> {
+        let store = args.required("store")?;
+        let shards = args.parse_or("shards", 8usize)?;
+        let threads = args.parse_or("threads", 1usize)?;
+        let before = Manifest::load(Path::new(store)).map_err(store_err)?;
+        let before_records: u64 = before.shards.iter().map(|s| s.count).sum::<u64>()
+            + before.deltas.iter().map(|d| d.records).sum::<u64>();
+        let manifest = compact_corpus(Path::new(store), &PackOptions { shards, threads })
+            .map_err(store_err)?;
+        Ok(format!(
+            "compacted {store}: {} records across {} base + {} delta shards -> \
+             {} live sketches in {} shards (reclaimed {} records, generation {})",
+            before_records,
+            before.shards.len(),
+            before.deltas.len(),
+            manifest.total,
+            manifest.shards.len(),
+            before_records - manifest.total,
+            manifest.generation
+        ))
     }
 }
 

@@ -40,15 +40,19 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage(USAGE.into()))?;
     // `corpus` is a command group: its subcommand precedes the flags.
     if command == "corpus" {
-        let (sub, rest) = rest
-            .split_first()
-            .ok_or_else(|| CliError::Usage("corpus needs a subcommand: pack | info".into()))?;
+        let (sub, rest) = rest.split_first().ok_or_else(|| {
+            CliError::Usage("corpus needs a subcommand: pack | info | append | rm | compact".into())
+        })?;
         let args = CliArgs::parse(rest)?;
         return match sub.as_str() {
             "pack" => corpus::pack(&args),
             "info" => corpus::info(&args),
+            "append" => corpus::append(&args),
+            "rm" => corpus::rm(&args),
+            "compact" => corpus::compact(&args),
             other => Err(CliError::Usage(format!(
-                "unknown corpus subcommand '{other}' (expected pack | info)\n{USAGE}"
+                "unknown corpus subcommand '{other}' \
+                 (expected pack | info | append | rm | compact)\n{USAGE}"
             ))),
         };
     }
@@ -77,6 +81,12 @@ USAGE:
   corrsketch corpus pack --out <store-dir> (--dir <csv-dir> | --index <file>)
                       [--shards 8] [--threads 1] [--sketch-size 256]
   corrsketch corpus info --store <store-dir> [--threads 1]
+  corrsketch corpus append --store <store-dir> (--dir <csv-dir> | --index <file>)
+                      [--threads 1]                     (writes a delta shard)
+  corrsketch corpus rm --store <store-dir> --ids <id>[,<id>...]
+                      [--threads 1]                     (tombstones live ids)
+  corrsketch corpus compact --store <store-dir> [--shards 8] [--threads 1]
+                      (folds deltas + tombstones back into base shards)
   corrsketch query    (--index <file> | --store <store-dir>)
                       --table <csv> --key <col> --value <col>
                       [--k 10] [--candidates 100] [--estimator pearson]

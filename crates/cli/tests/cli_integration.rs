@@ -274,8 +274,9 @@ fn corpus_pack_info_query_roundtrip() {
 
     // Info validates every checksum and reports the shape.
     let info = sketch_cli::run(&argv(&["corpus", "info", "--store", &store_dir])).unwrap();
-    assert!(info.contains("sketches        : 3"), "{info}");
+    assert!(info.contains("sketches (live) : 3"), "{info}");
     assert!(info.contains("shard-0000.cskb"), "{info}");
+    assert!(info.contains("generation      : 0"), "{info}");
     assert!(info.contains("integrity       : ok"), "{info}");
 
     // Query the packed store; the ranking must match the JSON path.
@@ -348,6 +349,166 @@ fn corpus_pack_from_json_index_is_equivalent() {
     let via_json = query(&["--index", &index_file]);
     let via_store = query(&["--store", &store_dir]);
     assert_eq!(via_json, via_store);
+}
+
+/// The mutable-corpus round trip: append → query --store → rm → compact,
+/// with query reports asserted byte-identical before and after the
+/// compaction, and the compaction reclaiming every tombstoned record.
+#[test]
+fn corpus_append_rm_compact_roundtrip() {
+    let dir = TempDir::new("corpus-mutate");
+    write_lake(&dir);
+    let store_dir = dir.path("store");
+    sketch_cli::run(&argv(&[
+        "corpus",
+        "pack",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &store_dir,
+        "--shards",
+        "2",
+        "--sketch-size",
+        "128",
+    ]))
+    .unwrap();
+
+    // Append a fourth, correlated table from a sub-directory. The
+    // sketch configuration is inherited from the store, so no
+    // --sketch-size is needed (or allowed to disagree).
+    let sub = dir.path("more");
+    std::fs::create_dir_all(&sub).unwrap();
+    let mut extra = String::from("day,events\n");
+    for i in 0..300 {
+        extra.push_str(&format!(
+            "d{i:03},{}\n",
+            ((i as f64) * 0.21).sin() * 10.0 + 20.0
+        ));
+    }
+    std::fs::write(format!("{sub}/events.csv"), extra).unwrap();
+    let report = sketch_cli::run(&argv(&[
+        "corpus", "append", "--store", &store_dir, "--dir", &sub,
+    ]))
+    .unwrap();
+    assert!(report.contains("appended 1 sketches"), "{report}");
+    assert!(report.contains("generation 1"), "{report}");
+    assert!(report.contains("4 live sketches"), "{report}");
+
+    let query = || {
+        sketch_cli::run(&argv(&[
+            "query",
+            "--store",
+            &store_dir,
+            "--table",
+            &dir.path("taxi.csv"),
+            "--key",
+            "day",
+            "--value",
+            "pickups",
+            "--k",
+            "5",
+        ]))
+        .unwrap()
+    };
+    // The appended column is queryable immediately, no re-pack needed.
+    assert!(query().contains("events/day/events"), "{}", query());
+
+    // Tombstone the noise column; it must vanish from results while the
+    // record still sits in the store (reclaimed only by compact).
+    let report = sketch_cli::run(&argv(&[
+        "corpus",
+        "rm",
+        "--store",
+        &store_dir,
+        "--ids",
+        "noise/day/reading",
+    ]))
+    .unwrap();
+    assert!(report.contains("tombstoned 1 sketches"), "{report}");
+    assert!(report.contains("3 live sketches"), "{report}");
+    let after_rm = query();
+    assert!(!after_rm.contains("noise/day/reading"), "{after_rm}");
+
+    // Info shows the pending delta records before compaction.
+    let info = sketch_cli::run(&argv(&["corpus", "info", "--store", &store_dir])).unwrap();
+    assert!(info.contains("sketches (live) : 3"), "{info}");
+    assert!(info.contains("generation      : 2"), "{info}");
+    assert!(info.contains("delta shards    : 2"), "{info}");
+    assert!(
+        info.contains("pending         : 1 appends, 1 tombstones"),
+        "{info}"
+    );
+
+    // Compact: the report is byte-identical before and after, and info
+    // shows every tombstoned record reclaimed.
+    let report = sketch_cli::run(&argv(&["corpus", "compact", "--store", &store_dir])).unwrap();
+    assert!(report.contains("reclaimed 2 records"), "{report}");
+    let after_compact = query();
+    assert_eq!(
+        after_rm, after_compact,
+        "compaction must not change reports"
+    );
+    let info = sketch_cli::run(&argv(&["corpus", "info", "--store", &store_dir])).unwrap();
+    assert!(info.contains("sketches (live) : 3"), "{info}");
+    assert!(info.contains("base records    : 3"), "{info}");
+    assert!(info.contains("delta shards    : 0"), "{info}");
+    assert!(info.contains("generation      : 3 (base at 3)"), "{info}");
+    assert!(!info.contains("pending"), "{info}");
+}
+
+/// Mutation error paths stay typed and readable at the CLI surface.
+#[test]
+fn corpus_mutation_errors_are_usable() {
+    let dir = TempDir::new("corpus-mutate-errs");
+    write_lake(&dir);
+    let store_dir = dir.path("store");
+    sketch_cli::run(&argv(&[
+        "corpus",
+        "pack",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &store_dir,
+    ]))
+    .unwrap();
+
+    // Appending a column that is already live names the duplicate id.
+    let err = sketch_cli::run(&argv(&[
+        "corpus",
+        "append",
+        "--store",
+        &store_dir,
+        "--dir",
+        &dir.path(""),
+    ]))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("duplicate sketch id"), "{err}");
+
+    // Removing an unknown id names it.
+    let err = sketch_cli::run(&argv(&[
+        "corpus",
+        "rm",
+        "--store",
+        &store_dir,
+        "--ids",
+        "ghost/day/x",
+    ]))
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("tombstone for unknown sketch id"), "{err}");
+    assert!(err.contains("ghost/day/x"), "{err}");
+
+    // A store whose manifest references a deleted shard file reports the
+    // typed missing-shard reason, not a bare I/O error.
+    std::fs::remove_file(std::path::Path::new(&store_dir).join("shard-0000.cskb")).unwrap();
+    let err = sketch_cli::run(&argv(&["corpus", "info", "--store", &store_dir]))
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("shard-0000.cskb") && err.contains("missing"),
+        "{err}"
+    );
 }
 
 #[test]

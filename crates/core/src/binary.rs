@@ -319,6 +319,138 @@ impl CorrelationSketch {
     }
 }
 
+/// Record tag opening every *delta-shard* record payload: the record is a
+/// full sketch (its [`CorrelationSketch::write_bytes`] payload follows).
+pub const DELTA_TAG_SKETCH: u8 = 0;
+
+/// Record tag opening every *delta-shard* record payload: the record is a
+/// tombstone deleting one sketch id (see [`encode_tombstone`]).
+pub const DELTA_TAG_TOMBSTONE: u8 = 1;
+
+/// One record of a corpus delta: either a sketch appended to the corpus
+/// or a tombstone retiring a live sketch id. Delta shards are an ordered
+/// log of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaRecord {
+    /// Append this sketch to the live corpus.
+    Sketch(CorrelationSketch),
+    /// Retire the live sketch with this id.
+    Tombstone(String),
+}
+
+/// Encode a tombstone payload: `[DELTA_TAG_TOMBSTONE] [id_len u32 LE]
+/// [id bytes, UTF-8]`. The sibling of a tagged sketch payload
+/// ([`DeltaRecord::write_bytes`]), sized so a delete costs a few dozen
+/// bytes instead of a re-pack.
+///
+/// # Errors
+///
+/// [`SketchError::Corrupt`] on an empty id or one exceeding `u32` bytes.
+pub fn encode_tombstone(id: &str) -> Result<Vec<u8>, SketchError> {
+    if id.is_empty() {
+        return Err(SketchError::Corrupt("empty tombstone id".into()));
+    }
+    let id_len = u32::try_from(id.len())
+        .map_err(|_| SketchError::Corrupt("tombstone id exceeds u32 length".into()))?;
+    let mut out = Vec::with_capacity(5 + id.len());
+    out.push(DELTA_TAG_TOMBSTONE);
+    out.extend_from_slice(&id_len.to_le_bytes());
+    out.extend_from_slice(id.as_bytes());
+    Ok(out)
+}
+
+/// Decode a tombstone payload produced by [`encode_tombstone`],
+/// validating the tag, the declared length against the actual bytes, and
+/// UTF-8.
+///
+/// # Errors
+///
+/// [`SketchError::Truncated`] when bytes end mid-field,
+/// [`SketchError::Corrupt`] on a wrong tag, trailing bytes, an empty id,
+/// or non-UTF-8 id bytes.
+pub fn decode_tombstone(payload: &[u8]) -> Result<String, SketchError> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let tag = r.u8("tombstone tag")?;
+    if tag != DELTA_TAG_TOMBSTONE {
+        return Err(SketchError::Corrupt(format!(
+            "record tag {tag} where a tombstone ({DELTA_TAG_TOMBSTONE}) was expected"
+        )));
+    }
+    let id_len = r.u32("tombstone id length")? as usize;
+    let id = std::str::from_utf8(r.take(id_len, "tombstone id")?)
+        .map_err(|e| SketchError::Corrupt(format!("tombstone id is not UTF-8: {e}")))?
+        .to_string();
+    if r.pos != payload.len() {
+        return Err(SketchError::Corrupt(format!(
+            "{} trailing bytes after tombstone",
+            payload.len() - r.pos
+        )));
+    }
+    if id.is_empty() {
+        return Err(SketchError::Corrupt("empty tombstone id".into()));
+    }
+    Ok(id)
+}
+
+impl DeltaRecord {
+    /// The sketch id this record is about (appended id or retired id).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        match self {
+            Self::Sketch(s) => s.id(),
+            Self::Tombstone(id) => id,
+        }
+    }
+
+    /// Encode as a tagged delta payload, appending to `out`: one tag
+    /// byte ([`DELTA_TAG_SKETCH`] or [`DELTA_TAG_TOMBSTONE`]) followed by
+    /// the sketch payload or the tombstone body.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] on unencodable sketches or empty/oversize
+    /// tombstone ids.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) -> Result<(), SketchError> {
+        match self {
+            Self::Sketch(s) => {
+                out.push(DELTA_TAG_SKETCH);
+                s.write_bytes(out)
+            }
+            Self::Tombstone(id) => {
+                out.extend_from_slice(&encode_tombstone(id)?);
+                Ok(())
+            }
+        }
+    }
+
+    /// Decode a tagged delta payload produced by [`Self::write_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Truncated`] / [`SketchError::Corrupt`] with the
+    /// same validation as [`CorrelationSketch::from_bytes`] and
+    /// [`decode_tombstone`].
+    pub fn from_bytes(payload: &[u8]) -> Result<Self, SketchError> {
+        match payload.first() {
+            Some(&DELTA_TAG_SKETCH) => {
+                CorrelationSketch::from_bytes(&payload[1..]).map(Self::Sketch)
+            }
+            Some(&DELTA_TAG_TOMBSTONE) => decode_tombstone(payload).map(Self::Tombstone),
+            Some(&other) => Err(SketchError::Corrupt(format!(
+                "unknown delta record tag {other}"
+            ))),
+            None => Err(SketchError::Truncated {
+                context: "delta record tag",
+                needed: 1,
+                available: 0,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,5 +559,60 @@ mod tests {
         b.push("a", 1.0);
         let s = b.finish();
         assert!(matches!(s.to_bytes(), Err(SketchError::Corrupt(_))));
+    }
+
+    #[test]
+    fn tombstone_roundtrip_and_validation() {
+        let bytes = encode_tombstone("taxi/day/pickups").unwrap();
+        assert_eq!(bytes[0], DELTA_TAG_TOMBSTONE);
+        assert_eq!(decode_tombstone(&bytes).unwrap(), "taxi/day/pickups");
+
+        // Empty ids are refused at both ends.
+        assert!(matches!(encode_tombstone(""), Err(SketchError::Corrupt(_))));
+
+        // Trailing bytes, truncation, wrong tag.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            decode_tombstone(&bad),
+            Err(SketchError::Corrupt(_))
+        ));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_tombstone(&bytes[..cut]).is_err(),
+                "tombstone cut at {cut} undetected"
+            );
+        }
+        let mut bad = bytes;
+        bad[0] = DELTA_TAG_SKETCH;
+        assert!(matches!(
+            decode_tombstone(&bad),
+            Err(SketchError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn delta_record_roundtrip_both_variants() {
+        let s = SketchBuilder::new(SketchConfig::with_size(32)).build(&pair(120));
+        for record in [
+            DeltaRecord::Sketch(s.clone()),
+            DeltaRecord::Tombstone("t/k/v".into()),
+        ] {
+            let mut payload = Vec::new();
+            record.write_bytes(&mut payload).unwrap();
+            assert_eq!(DeltaRecord::from_bytes(&payload).unwrap(), record);
+        }
+        assert_eq!(DeltaRecord::Sketch(s.clone()).id(), s.id());
+        assert_eq!(DeltaRecord::Tombstone("x/y/z".into()).id(), "x/y/z");
+
+        // Unknown tags and empty payloads are typed errors.
+        assert!(matches!(
+            DeltaRecord::from_bytes(&[9, 0, 0]),
+            Err(SketchError::Corrupt(_))
+        ));
+        assert!(matches!(
+            DeltaRecord::from_bytes(&[]),
+            Err(SketchError::Truncated { .. })
+        ));
     }
 }

@@ -52,6 +52,23 @@ pub enum SketchError {
     /// corpus store, so this indicates a corrupted or mis-assembled
     /// corpus.
     DuplicateId(String),
+    /// A generation number went backwards or repeated where the store
+    /// format requires strict progression — a manifest listing delta
+    /// shards out of order, or an incremental index trying to refresh
+    /// from a store whose base was rewritten (compacted) underneath it.
+    StaleGeneration {
+        /// The generation actually found.
+        found: u64,
+        /// The nearest generation the store lineage would have accepted
+        /// (the base generation when `found` predates it, the store
+        /// generation when `found` is beyond it, the required next
+        /// generation for out-of-order manifest delta lines).
+        expected: u64,
+    },
+    /// A tombstone record names a sketch id that is not live at that
+    /// point of the corpus log — the delete refers to a record that
+    /// never existed or was already deleted.
+    TombstoneForUnknownId(String),
 }
 
 impl std::fmt::Display for SketchError {
@@ -96,6 +113,16 @@ impl std::fmt::Display for SketchError {
                 )
             }
             Self::DuplicateId(id) => write!(f, "duplicate sketch id '{id}' in corpus"),
+            Self::StaleGeneration { found, expected } => {
+                write!(
+                    f,
+                    "stale generation {found} does not match the store lineage \
+                     (acceptable: {expected}); rebuild from the store"
+                )
+            }
+            Self::TombstoneForUnknownId(id) => {
+                write!(f, "tombstone for unknown sketch id '{id}'")
+            }
         }
     }
 }
@@ -136,6 +163,14 @@ mod tests {
         };
         assert!(e.to_string().contains("record 4"));
         assert!(SketchError::DuplicateId("t/k/v".into())
+            .to_string()
+            .contains("t/k/v"));
+        let e = SketchError::StaleGeneration {
+            found: 2,
+            expected: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+        assert!(SketchError::TombstoneForUnknownId("t/k/v".into())
             .to_string()
             .contains("t/k/v"));
     }

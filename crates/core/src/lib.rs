@@ -76,6 +76,9 @@ pub mod persist;
 pub mod sketch;
 pub mod stream;
 
+pub use binary::{
+    decode_tombstone, encode_tombstone, DeltaRecord, DELTA_TAG_SKETCH, DELTA_TAG_TOMBSTONE,
+};
 pub use builder::{SelectionStrategy, SketchBuilder, SketchConfig};
 pub use error::SketchError;
 pub use hll::HyperLogLog;

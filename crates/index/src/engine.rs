@@ -642,7 +642,7 @@ mod tests {
     }
 
     #[test]
-    fn queries_skip_tombstoned_docs() {
+    fn queries_skip_removed_docs() {
         let (mut idx, q) = wide_fixture(12);
         // k above the corpus size so no truncation masks the removal.
         let opts = QueryOptions {
@@ -650,11 +650,16 @@ mod tests {
             ..Default::default()
         };
         let full = top_k_join_correlation(&idx, &q, &opts);
-        let removed = full[0].doc;
-        assert!(idx.remove(removed));
+        let removed_id = full[0].id.clone();
+        assert!(idx.remove(&removed_id));
         let after = top_k_join_correlation(&idx, &q, &opts);
-        assert!(after.iter().all(|r| r.doc != removed));
+        assert!(after.iter().all(|r| r.id != removed_id));
         assert_eq!(after.len(), full.len() - 1);
+        // The surviving results keep their relative order, with doc ids
+        // renumbered exactly as a rebuild over the survivors would.
+        let surviving: Vec<&str> = full.iter().skip(1).map(|r| r.id.as_str()).collect();
+        let after_ids: Vec<&str> = after.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(after_ids, surviving);
     }
 
     #[test]

@@ -1,18 +1,42 @@
-//! The inverted index over sketch key hashes.
+//! The inverted index over sketch key hashes, incrementally maintained
+//! under inserts and removes.
+//!
+//! # Doc ids under mutation
+//!
+//! A [`DocId`] is the sketch's position in the **live corpus order** —
+//! surviving inserts in insertion order. Removing a sketch therefore
+//! shifts the doc ids of everything inserted after it down by one, which
+//! is exactly how a from-scratch rebuild over the surviving sketches
+//! would number them. This is the index's central equivalence contract:
+//! after *any* interleaving of inserts and removes, the index is
+//! bit-identical — doc ids, tie-breaks, query reports — to
+//! [`SketchIndex::from_sketches`] over the surviving sketches in
+//! insertion order (and to [`SketchIndex::from_store`] over a store that
+//! replayed the same log). Because ids shift, removal is keyed by the
+//! stable sketch id string, not by doc id.
+//!
+//! Internally the index never renumbers anything: sketches live in
+//! append-only *slots*, posting lists hold slot numbers, and a sorted
+//! slot→doc translation (`live`) is maintained at the edges. Removal
+//! incrementally unthreads the sketch from its posting lists
+//! (`O(sketch size · posting length)`) rather than rebuilding.
 
 use std::collections::HashMap;
 
-use correlation_sketches::{CorrelationSketch, SketchError};
+use correlation_sketches::{CorrelationSketch, DeltaRecord, SketchError};
 use sketch_hashing::{KeyHash, TupleHasher};
 
-/// Identifier of an indexed sketch (dense, assigned at insertion).
+/// Identifier of an indexed sketch: its position in the live corpus
+/// order. Dense (`0..len`), shifts down on removal of an earlier sketch —
+/// see the module docs for the equivalence contract this buys.
 pub type DocId = u32;
 
 /// In-memory inverted index: `h(k) → [sketches containing k]`.
 ///
-/// Insertion is `O(sketch size)`; retrieval of overlap candidates is
-/// `O(Σ posting-list lengths)` over the query sketch's keys — the same
-/// set-overlap-search shape as the Lucene index the paper used.
+/// Insertion is `O(sketch size)`; removal is `O(sketch size · posting
+/// length)`; retrieval of overlap candidates is `O(Σ posting-list
+/// lengths)` over the query sketch's keys — the same set-overlap-search
+/// shape as the Lucene index the paper used.
 ///
 /// ```
 /// use correlation_sketches::{SketchBuilder, SketchConfig};
@@ -32,15 +56,29 @@ pub type DocId = u32;
 /// let query = builder.build(&pair("q"));
 /// let hits = index.overlap_candidates(&query, 10);
 /// assert_eq!(hits.len(), 2); // both corpus sketches share all keys
+///
+/// index.remove("a/k/v");
+/// assert_eq!(index.len(), 1);
+/// assert_eq!(index.get(0).unwrap().id(), "b/k/v"); // doc ids shifted
 /// ```
 #[derive(Debug, Default)]
 pub struct SketchIndex {
     hasher: Option<TupleHasher>,
-    sketches: Vec<CorrelationSketch>,
-    postings: HashMap<KeyHash, Vec<DocId>>,
-    /// Tombstoned documents: kept in `sketches` (doc ids stay stable) but
-    /// excluded from retrieval. Posting lists are cleaned lazily.
-    deleted: std::collections::HashSet<DocId>,
+    /// Append-only insertion log; removed slots are `None`.
+    slots: Vec<Option<CorrelationSketch>>,
+    /// Live slots in ascending (= insertion) order; a [`DocId`] is a
+    /// position in this vector.
+    live: Vec<u32>,
+    /// Live sketch id → slot. On duplicate ids the latest insert wins
+    /// (ids are unique in any store-backed corpus; see [`Self::insert`]).
+    by_id: HashMap<String, u32>,
+    /// Posting lists of slot numbers, incrementally maintained: removal
+    /// unthreads the slot from every list its sketch appears in.
+    postings: HashMap<KeyHash, Vec<u32>>,
+    /// Store generation this index has applied (see
+    /// [`Self::refresh_from_store`]). `0` for indices not built from a
+    /// store.
+    generation: u64,
 }
 
 impl SketchIndex {
@@ -51,54 +89,55 @@ impl SketchIndex {
         Self::default()
     }
 
-    /// Number of live (non-deleted) sketches.
+    /// Number of live sketches.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sketches.len() - self.deleted.len()
+        self.live.len()
     }
 
     /// True when no live sketches remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live.is_empty()
     }
 
-    /// Number of distinct hashed keys with posting lists.
+    /// Number of distinct hashed keys with non-empty posting lists.
     #[must_use]
     pub fn distinct_keys(&self) -> usize {
         self.postings.len()
     }
 
-    /// Look up a live indexed sketch (`None` for unknown or deleted ids).
+    /// The store generation this index has applied — advanced by
+    /// [`Self::from_store`] and [`Self::refresh_from_store`], `0` for
+    /// indices built in memory.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Look up a live indexed sketch by doc id (`None` past the end).
     #[must_use]
     pub fn get(&self, doc: DocId) -> Option<&CorrelationSketch> {
-        if self.deleted.contains(&doc) {
-            return None;
-        }
-        self.sketches.get(doc as usize)
+        let &slot = self.live.get(doc as usize)?;
+        self.slots[slot as usize].as_ref()
     }
 
-    /// Tombstone a document: it disappears from retrieval immediately
-    /// (posting lists are cleaned lazily on traversal). Returns `false`
-    /// for unknown or already-deleted ids.
-    pub fn remove(&mut self, doc: DocId) -> bool {
-        if (doc as usize) < self.sketches.len() && !self.deleted.contains(&doc) {
-            self.deleted.insert(doc);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// All stored sketches in insertion order, *including* tombstoned
-    /// ones (doc ids are positions in this slice; use [`Self::get`] for
-    /// liveness-aware lookup).
+    /// The current doc id of the live sketch with this id, if any.
     #[must_use]
-    pub fn sketches(&self) -> &[CorrelationSketch] {
-        &self.sketches
+    pub fn doc_for_id(&self, id: &str) -> Option<DocId> {
+        let &slot = self.by_id.get(id)?;
+        let doc = self.live.partition_point(|&s| s < slot);
+        debug_assert_eq!(self.live[doc], slot);
+        Some(doc as DocId)
     }
 
-    /// Insert a sketch, returning its document id.
+    /// Insert a sketch, returning its doc id (always `len() - 1`: new
+    /// sketches enter at the end of the live order).
+    ///
+    /// Sketch ids are not required to be unique here (a JSON corpus may
+    /// legitimately repeat column ids), but [`Self::remove`] and
+    /// [`Self::apply_delta`] resolve ids to the *latest* insert; corpora
+    /// read from a `sketch-store` directory are always id-unique.
     ///
     /// # Errors
     ///
@@ -110,12 +149,73 @@ impl SketchIndex {
             None => self.hasher = Some(sketch.hasher()),
             _ => {}
         }
-        let doc = DocId::try_from(self.sketches.len()).expect("fewer than 2^32 sketches");
+        let slot = u32::try_from(self.slots.len()).expect("fewer than 2^32 inserts");
         for e in sketch.entries() {
-            self.postings.entry(e.key).or_default().push(doc);
+            self.postings.entry(e.key).or_default().push(slot);
         }
-        self.sketches.push(sketch);
-        Ok(doc)
+        self.by_id.insert(sketch.id().to_string(), slot);
+        self.live.push(slot);
+        self.slots.push(Some(sketch));
+        Ok((self.live.len() - 1) as DocId)
+    }
+
+    /// Remove the live sketch with this id, incrementally unthreading it
+    /// from every posting list it appears in. Doc ids of later sketches
+    /// shift down by one — the index stays bit-equivalent to a rebuild
+    /// over the survivors. Returns `false` for ids that are not live.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let Some(slot) = self.by_id.remove(id) else {
+            return false;
+        };
+        let sketch = self.slots[slot as usize]
+            .take()
+            .expect("by_id only maps live slots");
+        for e in sketch.entries() {
+            if let std::collections::hash_map::Entry::Occupied(mut list) =
+                self.postings.entry(e.key)
+            {
+                list.get_mut().retain(|&s| s != slot);
+                if list.get().is_empty() {
+                    list.remove();
+                }
+            }
+        }
+        let doc = self.live.partition_point(|&s| s < slot);
+        debug_assert_eq!(self.live[doc], slot);
+        self.live.remove(doc);
+        true
+    }
+
+    /// Apply one run of corpus delta records (appends and tombstones) in
+    /// log order — the in-memory half of the store's
+    /// [`sketch_store::append_corpus`] / [`sketch_store::remove_from_corpus`]
+    /// write paths.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::DuplicateId`] when an appended id is already live,
+    /// [`SketchError::TombstoneForUnknownId`] when a tombstone names an
+    /// id that is not, [`SketchError::HasherMismatch`] on an incompatible
+    /// append — the same validation the store's read path applies, so a
+    /// delta the store accepts always applies cleanly. On error the index
+    /// may have applied a prefix of `records`; rebuild it from the store.
+    pub fn apply_delta(&mut self, records: &[DeltaRecord]) -> Result<(), SketchError> {
+        for record in records {
+            match record {
+                DeltaRecord::Sketch(s) => {
+                    if self.by_id.contains_key(s.id()) {
+                        return Err(SketchError::DuplicateId(s.id().to_string()));
+                    }
+                    self.insert(s.clone())?;
+                }
+                DeltaRecord::Tombstone(id) => {
+                    if !self.remove(id) {
+                        return Err(SketchError::TombstoneForUnknownId(id.clone()));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Build an index from a sequence of sketches; doc ids follow the
@@ -135,23 +235,78 @@ impl SketchIndex {
         Ok(index)
     }
 
-    /// Build the inverted index directly from a packed binary corpus
-    /// store (`sketch-store` shards + manifest), loading shards with up
-    /// to `threads` workers. Doc ids follow the corpus pack order, so an
-    /// index built this way is interchangeable with one built by
-    /// inserting the original sketches in input order.
+    /// Build the inverted index directly from a binary corpus store
+    /// (`sketch-store` shards + manifest), loading shards with up to
+    /// `threads` workers and replaying any delta shards. Doc ids follow
+    /// the store's live order, so an index built this way is
+    /// interchangeable with one maintained incrementally through the
+    /// same log of inserts and removes.
     ///
     /// # Errors
     ///
     /// [`sketch_store::StoreError`] on I/O failure or any typed
     /// corruption (bad magic/version, truncation, checksum mismatch,
-    /// duplicate ids, hasher mismatch).
+    /// duplicate ids, stale generations, hasher mismatch).
     pub fn from_store(
         dir: impl AsRef<std::path::Path>,
         threads: usize,
     ) -> Result<Self, sketch_store::StoreError> {
-        let sketches = sketch_store::read_corpus(dir.as_ref(), threads)?;
-        Self::from_sketches(sketches).map_err(sketch_store::StoreError::from)
+        let (manifest, sketches) = sketch_store::read_corpus_with_manifest(dir.as_ref(), threads)?;
+        let mut index = Self::from_sketches(sketches).map_err(sketch_store::StoreError::from)?;
+        index.generation = manifest.generation;
+        Ok(index)
+    }
+
+    /// Catch up with a store this index was built from, applying only the
+    /// delta generations newer than [`Self::generation`] — no base shard
+    /// is re-read. Returns the number of delta records applied (`0` when
+    /// already current).
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::StaleGeneration`] (wrapped in
+    /// [`sketch_store::StoreError::Sketch`]) when the store was compacted
+    /// past this index's generation — the deltas it would need are gone,
+    /// so it must be rebuilt with [`Self::from_store`]; otherwise the
+    /// store's usual typed I/O and corruption errors. On error the index
+    /// is unchanged unless a delta shard itself was inconsistent with the
+    /// index (which [`Self::apply_delta`] reports typed).
+    pub fn refresh_from_store(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> Result<usize, sketch_store::StoreError> {
+        let (manifest, records) =
+            sketch_store::read_deltas_since(dir.as_ref(), self.generation, threads)?;
+        self.apply_delta(&records)
+            .map_err(sketch_store::StoreError::from)?;
+        self.generation = manifest.generation;
+        Ok(records.len())
+    }
+
+    /// Reclaim the memory of removed sketches by renumbering slots
+    /// densely — the in-memory sibling of `sketch_store::compact_corpus`.
+    ///
+    /// Slots are append-only, so under sustained remove/insert churn the
+    /// slot space (and the per-query overlap counter sized to it) grows
+    /// with the *historical* insert count rather than the live size;
+    /// long-lived indices should call this periodically. Queries are
+    /// unaffected: the live order, doc ids, and every report are
+    /// bit-identical before and after (the equivalence contract in the
+    /// module docs), and [`Self::generation`] is preserved.
+    pub fn compact(&mut self) {
+        let generation = self.generation;
+        let live: Vec<CorrelationSketch> = self
+            .live
+            .iter()
+            .map(|&slot| {
+                self.slots[slot as usize]
+                    .take()
+                    .expect("live only lists occupied slots")
+            })
+            .collect();
+        *self = Self::from_sketches(live).expect("live sketches share one hasher");
+        self.generation = generation;
     }
 
     /// Retrieve the `top_n` indexed sketches with the largest key overlap
@@ -159,12 +314,12 @@ impl SketchIndex {
     /// overlap (ties by ascending doc id for determinism). Documents with
     /// zero overlap are never returned.
     ///
-    /// Doc ids are dense, so overlap counts accumulate into a flat
-    /// `Vec<u32>` indexed by doc id — one cache-friendly increment per
+    /// Slots are dense, so overlap counts accumulate into a flat
+    /// `Vec<u32>` indexed by slot — one cache-friendly increment per
     /// posting, no hashing — and the winners are picked with a bounded
-    /// heap (`O(docs · log top_n)`) instead of a full sort. Tombstoned
-    /// documents are skipped once at selection time rather than per
-    /// posting.
+    /// heap (`O(docs · log top_n)`) instead of a full sort. Removed
+    /// sketches are already absent from every posting list, so no
+    /// liveness filtering happens in the hot loop.
     #[must_use]
     pub fn overlap_candidates(
         &self,
@@ -186,24 +341,25 @@ impl SketchIndex {
         top_n: usize,
         scratch: &mut Vec<u32>,
     ) -> Vec<(DocId, usize)> {
-        if top_n == 0 || self.is_empty() {
+        if top_n == 0 || self.live.is_empty() {
             return Vec::new();
         }
         scratch.clear();
-        scratch.resize(self.sketches.len(), 0);
+        scratch.resize(self.slots.len(), 0);
         let counts = scratch;
         for e in query.entries() {
             if let Some(list) = self.postings.get(&e.key) {
-                for &doc in list {
-                    counts[doc as usize] += 1;
+                for &slot in list {
+                    counts[slot as usize] += 1;
                 }
             }
         }
-        let hits = counts
+        let hits = self
+            .live
             .iter()
             .enumerate()
-            .filter(|&(doc, &count)| count > 0 && !self.deleted.contains(&(doc as DocId)))
-            .map(|(doc, &count)| (doc as DocId, count as usize));
+            .filter(|&(_, &slot)| counts[slot as usize] > 0)
+            .map(|(doc, &slot)| (doc as DocId, counts[slot as usize] as usize));
         crate::select::top_k_by(hits, top_n, |a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
     }
 }
@@ -235,8 +391,11 @@ mod tests {
         let doc = idx.insert(s.clone()).unwrap();
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.get(doc).unwrap().id(), "a/k/v");
+        assert_eq!(idx.doc_for_id("a/k/v"), Some(doc));
         assert!(idx.get(99).is_none());
+        assert!(idx.doc_for_id("nope").is_none());
         assert!(idx.distinct_keys() > 0);
+        assert_eq!(idx.generation(), 0);
     }
 
     #[test]
@@ -288,71 +447,150 @@ mod tests {
     }
 
     #[test]
-    fn removed_documents_disappear_from_retrieval() {
+    fn removed_documents_disappear_and_doc_ids_stay_dense() {
         let mut idx = SketchIndex::new();
         let b = builder();
-        let d0 = idx.insert(b.build(&pair("a", 0..100))).unwrap();
-        let d1 = idx.insert(b.build(&pair("b", 0..100))).unwrap();
+        idx.insert(b.build(&pair("a", 0..100))).unwrap();
+        idx.insert(b.build(&pair("b", 0..100))).unwrap();
         assert_eq!(idx.len(), 2);
 
-        assert!(idx.remove(d0));
-        assert!(!idx.remove(d0), "double delete is a no-op");
-        assert!(!idx.remove(99), "unknown id rejected");
+        assert!(idx.remove("a/k/v"));
+        assert!(!idx.remove("a/k/v"), "double delete is a no-op");
+        assert!(!idx.remove("zzz/k/v"), "unknown id rejected");
         assert_eq!(idx.len(), 1);
-        assert!(idx.get(d0).is_none());
-        assert!(idx.get(d1).is_some());
+        // Doc ids shift down: the survivor is now doc 0, exactly as a
+        // rebuild over the survivors would number it.
+        assert_eq!(idx.get(0).unwrap().id(), "b/k/v");
+        assert!(idx.get(1).is_none());
+        assert_eq!(idx.doc_for_id("b/k/v"), Some(0));
 
         let q = b.build(&pair("q", 0..100));
         let hits = idx.overlap_candidates(&q, 10);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].0, d1);
+        assert_eq!(hits[0].0, 0);
 
-        // Doc ids remain stable across deletions.
+        // New inserts enter at the end of the live order.
         let d2 = idx.insert(b.build(&pair("c", 0..100))).unwrap();
-        assert_eq!(d2, 2);
+        assert_eq!(d2, 1);
         assert_eq!(idx.get(d2).unwrap().id(), "c/k/v");
     }
 
+    /// The equivalence contract: any interleaving of inserts and removes
+    /// leaves the index identical — doc ids included — to a rebuild over
+    /// the survivors in insertion order.
     #[test]
-    fn tombstones_respected_under_bounded_heap_selection() {
-        // More live candidates than top_n, with deletions interleaved, so
-        // the dense-counter + heap path must both skip tombstones and
-        // keep the selection order identical to a full sort.
-        let mut idx = SketchIndex::new();
+    fn mutated_index_equals_rebuild_over_survivors() {
         let b = builder();
+        let mut idx = SketchIndex::new();
+        let mut survivors: Vec<CorrelationSketch> = Vec::new();
         for t in 0..30 {
-            // Overlap with the query shrinks as t grows.
-            idx.insert(b.build(&pair(&format!("t{t}"), (t * 2)..(t * 2 + 60))))
-                .unwrap();
+            let s = b.build(&pair(&format!("t{t}"), (t * 2)..(t * 2 + 60)));
+            idx.insert(s.clone()).unwrap();
+            survivors.push(s);
         }
-        for doc in [0u32, 3, 4, 11, 29] {
-            assert!(idx.remove(doc));
+        for t in [0usize, 3, 4, 11, 29] {
+            assert!(idx.remove(&format!("t{t}/k/v")));
+            survivors.retain(|s| s.id() != format!("t{t}/k/v"));
+        }
+        // Interleave: one more insert after the removes.
+        let late = b.build(&pair("late", 0..60));
+        idx.insert(late.clone()).unwrap();
+        survivors.push(late);
+
+        let rebuilt = SketchIndex::from_sketches(survivors).unwrap();
+        assert_eq!(idx.len(), rebuilt.len());
+        assert_eq!(idx.distinct_keys(), rebuilt.distinct_keys());
+        for doc in 0..idx.len() as DocId {
+            assert_eq!(idx.get(doc).unwrap(), rebuilt.get(doc).unwrap(), "{doc}");
         }
         let q = b.build(&pair("q", 0..60));
-        let top_n = 8;
-        let hits = idx.overlap_candidates(&q, top_n);
-        assert_eq!(hits.len(), top_n);
-        // Reference: brute-force overlap over live docs only.
-        let mut expected: Vec<(DocId, usize)> = (0..30u32)
-            .filter_map(|doc| {
-                let s = idx.get(doc)?;
-                let overlap = s.entries().iter().filter(|e| q.contains_key(e.key)).count();
-                (overlap > 0).then_some((doc, overlap))
-            })
+        assert_eq!(
+            idx.overlap_candidates(&q, 8),
+            rebuilt.overlap_candidates(&q, 8)
+        );
+    }
+
+    #[test]
+    fn apply_delta_validates_like_the_store() {
+        let b = builder();
+        let mut idx = SketchIndex::new();
+        idx.insert(b.build(&pair("a", 0..50))).unwrap();
+
+        // A valid delta: append then tombstone.
+        idx.apply_delta(&[
+            DeltaRecord::Sketch(b.build(&pair("c", 0..50))),
+            DeltaRecord::Tombstone("a/k/v".into()),
+        ])
+        .unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(0).unwrap().id(), "c/k/v");
+
+        // Appending a live id is a typed duplicate.
+        let err = idx
+            .apply_delta(&[DeltaRecord::Sketch(b.build(&pair("c", 0..50)))])
+            .unwrap_err();
+        assert!(matches!(err, SketchError::DuplicateId(id) if id == "c/k/v"));
+
+        // Tombstoning a non-live id is typed too.
+        let err = idx
+            .apply_delta(&[DeltaRecord::Tombstone("a/k/v".into())])
+            .unwrap_err();
+        assert!(matches!(err, SketchError::TombstoneForUnknownId(id) if id == "a/k/v"));
+
+        // Tombstone-then-re-append revives an id at the end.
+        idx.apply_delta(&[
+            DeltaRecord::Tombstone("c/k/v".into()),
+            DeltaRecord::Sketch(b.build(&pair("c", 10..60))),
+        ])
+        .unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(0).unwrap().id(), "c/k/v");
+    }
+
+    #[test]
+    fn in_memory_compact_preserves_answers_and_doc_ids() {
+        let b = builder();
+        let mut idx = SketchIndex::new();
+        // Churn: insert 20, remove half interleaved, insert 5 more.
+        for t in 0..20 {
+            idx.insert(b.build(&pair(&format!("t{t}"), (t * 3)..(t * 3 + 50))))
+                .unwrap();
+        }
+        for t in [1usize, 2, 5, 8, 9, 13, 14, 15, 16, 19] {
+            assert!(idx.remove(&format!("t{t}/k/v")));
+        }
+        for t in 20..25 {
+            idx.insert(b.build(&pair(&format!("t{t}"), (t * 3)..(t * 3 + 50))))
+                .unwrap();
+        }
+        let q = b.build(&pair("q", 0..80));
+        let before_hits = idx.overlap_candidates(&q, 10);
+        let before: Vec<(DocId, String)> = (0..idx.len() as DocId)
+            .map(|d| (d, idx.get(d).unwrap().id().to_string()))
             .collect();
-        expected.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        expected.truncate(top_n);
-        assert_eq!(hits, expected);
-        assert!(hits.iter().all(|&(d, _)| ![0, 3, 4, 11, 29].contains(&d)));
+
+        idx.compact();
+        assert_eq!(idx.len(), 15);
+        let after: Vec<(DocId, String)> = (0..idx.len() as DocId)
+            .map(|d| (d, idx.get(d).unwrap().id().to_string()))
+            .collect();
+        assert_eq!(before, after, "doc ids must survive compaction");
+        assert_eq!(idx.overlap_candidates(&q, 10), before_hits);
+
+        // Post-compact mutation keeps working and stays dense.
+        let d = idx.insert(b.build(&pair("post", 0..50))).unwrap();
+        assert_eq!(d, 15);
+        assert!(idx.remove("post/k/v"));
     }
 
     #[test]
     fn removing_everything_empties_the_index() {
         let mut idx = SketchIndex::new();
         let b = builder();
-        let d = idx.insert(b.build(&pair("a", 0..10))).unwrap();
-        idx.remove(d);
+        idx.insert(b.build(&pair("a", 0..10))).unwrap();
+        idx.remove("a/k/v");
         assert!(idx.is_empty());
+        assert_eq!(idx.distinct_keys(), 0, "posting lists fully unthreaded");
         let q = b.build(&pair("q", 0..10));
         assert!(idx.overlap_candidates(&q, 10).is_empty());
     }

@@ -13,7 +13,8 @@
 //!   exactly under `cargo test`;
 //! * string strategies accept only the `[chars]{lo,hi}` regex shape
 //!   (character classes with ranges), falling back to the literal string;
-//! * the default case count is 64.
+//! * the default case count is 64, overridable via the `PROPTEST_CASES`
+//!   environment variable (as in real proptest).
 
 #![forbid(unsafe_code)]
 
@@ -89,8 +90,20 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Like real proptest, the default case count honors the
+    /// `PROPTEST_CASES` environment variable (CI runs the batteries with
+    /// elevated counts), falling back to 64 when unset. A malformed or
+    /// zero value panics — like real proptest — so a CI typo shrinks no
+    /// battery silently. Explicit [`ProptestConfig::with_cases`] configs
+    /// are unaffected.
     fn default() -> Self {
-        Self { cases: 64 }
+        let cases = match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().ok().filter(|&c| c > 0).unwrap_or_else(|| {
+                panic!("invalid PROPTEST_CASES '{v}' (need a positive integer)")
+            }),
+            Err(_) => 64,
+        };
+        Self { cases }
     }
 }
 

@@ -1,14 +1,36 @@
-//! Whole-corpus pack/read: contiguous sharding with deterministic
-//! parallel write and read.
+//! Whole-corpus operations: pack/read with deterministic parallel
+//! fan-out, plus the mutable-corpus write paths — append-only delta
+//! shards, tombstone deletes, and offline compaction.
+//!
+//! # The corpus log and its live view
+//!
+//! A corpus directory is an ordered log: base shards (one contiguous
+//! chunk each, pack order) followed by delta shards in generation order,
+//! each holding appends and tombstones in the order they were issued.
+//! Reading replays the log into the **live view**: base records in base
+//! order with tombstoned records dropped, then surviving appends in
+//! append order. Every reader (and [`sketch-index`]'s `from_store`)
+//! sees exactly this order, so doc ids, tie-breaks, and query reports
+//! are reproducible across loads, thread counts, and compactions.
+//!
+//! # Crash safety
+//!
+//! Appends and removes write their delta shard *before* atomically
+//! renaming the new manifest into place — a crash in between leaves an
+//! orphan delta file the old manifest never references (invisible, and
+//! cleaned up by the next compact). Compaction and re-packing follow the
+//! invalidate-first discipline: the old manifest is deleted before any
+//! shard is rewritten, so a crash mid-compact leaves the directory
+//! loudly unreadable (missing manifest) rather than silently mixed.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
-use correlation_sketches::{CorrelationSketch, SketchError};
+use correlation_sketches::{CorrelationSketch, DeltaRecord, SketchError};
 
 use crate::error::StoreError;
-use crate::manifest::{Manifest, ShardMeta};
-use crate::shard::{read_shard, write_shard};
+use crate::manifest::{DeltaMeta, Manifest, ShardMeta};
+use crate::shard::{read_delta_shard, read_shard, write_shard};
 
 /// How a corpus is packed.
 #[derive(Debug, Clone, Copy)]
@@ -36,12 +58,27 @@ fn shard_file_name(i: usize) -> String {
     format!("shard-{i:04}.cskb")
 }
 
-/// Is this a shard file name [`pack_corpus`] could have produced?
+/// Delta shard file name for generation `gen` (`delta-000001.cskb`, …).
+fn delta_file_name(gen: u64) -> String {
+    format!("delta-{gen:06}.cskb")
+}
+
+/// Is this a base shard file name [`pack_corpus`] could have produced?
 /// (`{i:04}` pads to 4 digits but grows beyond for index ≥ 10000.)
 fn is_shard_file_name(name: &str) -> bool {
-    name.strip_prefix("shard-")
+    is_numbered(name, "shard-", 4)
+}
+
+/// Is this a delta shard file name [`append_corpus`] /
+/// [`remove_from_corpus`] could have produced?
+fn is_delta_file_name(name: &str) -> bool {
+    is_numbered(name, "delta-", 6)
+}
+
+fn is_numbered(name: &str, prefix: &str, digits: usize) -> bool {
+    name.strip_prefix(prefix)
         .and_then(|rest| rest.strip_suffix(".cskb"))
-        .is_some_and(|digits| digits.len() >= 4 && digits.bytes().all(|b| b.is_ascii_digit()))
+        .is_some_and(|d| d.len() >= digits && d.bytes().all(|b| b.is_ascii_digit()))
 }
 
 /// Map contiguous chunks of `items` through a fallible `f` on up to
@@ -77,37 +114,16 @@ fn try_par_map<T: Sync, U: Send>(
     Ok(out)
 }
 
-/// Pack a corpus into `dir` as binary shards plus a manifest.
-///
-/// The input order is preserved: shard `i` holds the `i`-th contiguous
-/// chunk, and [`read_corpus`] returns the sketches in exactly this order.
-/// Duplicate sketch ids are rejected up front (ids are primary keys in a
-/// store).
-///
-/// Re-packing into a directory that already holds a store is safe: the
-/// old manifest is removed *before* any shard is written (so a pack
-/// interrupted mid-write leaves the directory unreadable — a missing
-/// manifest — rather than an old manifest over a mix of old and new
-/// shards), stale shard files from a previous larger pack are deleted,
-/// and the new manifest is written atomically (temp file + rename) as
-/// the final step.
-///
-/// # Errors
-///
-/// [`StoreError::Sketch`] with [`SketchError::DuplicateId`] on duplicate
-/// ids or [`SketchError::Corrupt`] on unencodable sketches;
-/// [`StoreError::Io`] on filesystem failure.
-pub fn pack_corpus(
+/// Write base shards for `sketches` into `dir` at `generation`, cleaning
+/// every stale base/delta file, with the invalidate-first discipline.
+/// Shared by [`pack_corpus`] (generation 0 → version-1 manifest) and
+/// [`compact_corpus`] (the compacting generation).
+fn write_base(
     dir: &Path,
     sketches: &[CorrelationSketch],
     opts: &PackOptions,
+    generation: u64,
 ) -> Result<Manifest, StoreError> {
-    let mut seen = HashSet::with_capacity(sketches.len());
-    for s in sketches {
-        if !seen.insert(s.id()) {
-            return Err(SketchError::DuplicateId(s.id().to_string()).into());
-        }
-    }
     std::fs::create_dir_all(dir).map_err(StoreError::io(dir))?;
     // Invalidate any previous store generation before touching shards.
     let old_manifest = dir.join(crate::manifest::MANIFEST_NAME);
@@ -134,89 +150,431 @@ pub fn pack_corpus(
         })
     })?;
 
-    // Delete shard files a previous, larger pack left behind — they are
-    // no longer referenced and would otherwise linger as dead weight (or
-    // confuse a future by-glob consumer).
+    // Delete files a previous, larger pack (or the pre-compaction delta
+    // log) left behind — they are no longer referenced and would
+    // otherwise linger as dead weight (or confuse a by-glob consumer).
     let current: HashSet<&str> = metas.iter().map(|m| m.file.as_str()).collect();
     for entry in std::fs::read_dir(dir).map_err(StoreError::io(dir))? {
         let entry = entry.map_err(StoreError::io(dir))?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if is_shard_file_name(name) && !current.contains(name) {
+        let stale =
+            (is_shard_file_name(name) && !current.contains(name)) || is_delta_file_name(name);
+        if stale {
             std::fs::remove_file(entry.path()).map_err(StoreError::io(entry.path()))?;
         }
     }
 
     let manifest = Manifest {
-        total: sketches.len() as u64,
-        shards: metas,
+        generation,
+        base_generation: generation,
+        ..Manifest::base(sketches.len() as u64, metas)
     };
     manifest.save(dir)?;
     Ok(manifest)
 }
 
-/// Load a packed corpus, validating every shard (magic, version,
-/// checksums, manifest record counts) and rejecting duplicate sketch ids
-/// across the whole corpus. Returns the manifest the corpus was
-/// validated against alongside the sketches.
+/// Pack a corpus into `dir` as binary shards plus a manifest.
 ///
-/// Shards are read with up to `threads` workers; the result order equals
-/// the original pack input order for every thread count.
+/// The input order is preserved: shard `i` holds the `i`-th contiguous
+/// chunk, and [`read_corpus`] returns the sketches in exactly this order.
+/// Duplicate sketch ids are rejected up front (ids are primary keys in a
+/// store).
+///
+/// Re-packing into a directory that already holds a store is safe: the
+/// old manifest is removed *before* any shard is written (so a pack
+/// interrupted mid-write leaves the directory unreadable — a missing
+/// manifest — rather than an old manifest over a mix of old and new
+/// shards), stale base and delta files from the previous store are
+/// deleted, and the new manifest is written atomically (temp file +
+/// rename) as the final step. The packed store starts over at
+/// generation 0.
 ///
 /// # Errors
 ///
-/// [`StoreError::Io`] on filesystem failure; [`StoreError::Shard`]
-/// naming the offending file (with a typed [`SketchError`] inside) on
-/// per-shard corruption; [`StoreError::Sketch`] on corpus-level
-/// corruption (bad manifest, duplicate ids) — never a silent partial
-/// load.
-pub fn read_corpus_with_manifest(
+/// [`StoreError::Sketch`] with [`SketchError::DuplicateId`] on duplicate
+/// ids or [`SketchError::Corrupt`] on unencodable sketches;
+/// [`StoreError::Io`] on filesystem failure.
+pub fn pack_corpus(
     dir: &Path,
-    threads: usize,
-) -> Result<(Manifest, Vec<CorrelationSketch>), StoreError> {
+    sketches: &[CorrelationSketch],
+    opts: &PackOptions,
+) -> Result<Manifest, StoreError> {
+    let mut seen = HashSet::with_capacity(sketches.len());
+    for s in sketches {
+        if !seen.insert(s.id()) {
+            return Err(SketchError::DuplicateId(s.id().to_string()).into());
+        }
+    }
+    write_base(dir, sketches, opts, 0)
+}
+
+/// The replayed live view of a corpus log: surviving records in log
+/// order, with the id-keyed bookkeeping needed to apply more deltas.
+struct LiveView {
+    /// Records in log order; tombstoned slots are `None`.
+    slots: Vec<Option<CorrelationSketch>>,
+    /// Live id → slot position.
+    by_id: HashMap<String, usize>,
+}
+
+impl LiveView {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            by_id: HashMap::with_capacity(capacity),
+        }
+    }
+
+    fn append(&mut self, sketch: CorrelationSketch) -> Result<(), SketchError> {
+        match self.by_id.entry(sketch.id().to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                Err(SketchError::DuplicateId(e.key().clone()))
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.slots.len());
+                self.slots.push(Some(sketch));
+                Ok(())
+            }
+        }
+    }
+
+    fn tombstone(&mut self, id: &str) -> Result<(), SketchError> {
+        match self.by_id.remove(id) {
+            Some(slot) => {
+                self.slots[slot] = None;
+                Ok(())
+            }
+            None => Err(SketchError::TombstoneForUnknownId(id.to_string())),
+        }
+    }
+
+    fn apply(&mut self, record: DeltaRecord) -> Result<(), SketchError> {
+        match record {
+            DeltaRecord::Sketch(s) => self.append(s),
+            DeltaRecord::Tombstone(id) => self.tombstone(&id),
+        }
+    }
+
+    fn into_live(self) -> Vec<CorrelationSketch> {
+        self.slots.into_iter().flatten().collect()
+    }
+}
+
+/// Read a shard-like file through `read`, converting a not-found I/O
+/// error into the typed [`StoreError::MissingShard`] and wrapping
+/// corruption with the shard's file name.
+fn read_listed<T>(
+    dir: &Path,
+    file: &str,
+    read: impl FnOnce(&Path) -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    match read(&dir.join(file)) {
+        Ok(v) => Ok(v),
+        Err(StoreError::Sketch(e)) => Err(StoreError::Shard {
+            file: file.to_string(),
+            source: e,
+        }),
+        Err(StoreError::Io { path, source }) if source.kind() == std::io::ErrorKind::NotFound => {
+            let _ = path;
+            Err(StoreError::MissingShard {
+                file: file.to_string(),
+            })
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Load the full corpus log (manifest, base shards, delta shards) and
+/// replay it into the live view. The backbone of every read path.
+fn load_live(dir: &Path, threads: usize) -> Result<(Manifest, LiveView), StoreError> {
     let manifest = Manifest::load(dir)?;
 
     let shard_contents: Vec<Vec<CorrelationSketch>> =
         try_par_map(&manifest.shards, threads, |meta| {
-            let in_shard = |e: SketchError| StoreError::Shard {
-                file: meta.file.clone(),
-                source: e,
-            };
-            let sketches = match read_shard(&dir.join(&meta.file)) {
-                Ok(sketches) => sketches,
-                Err(StoreError::Sketch(e)) => return Err(in_shard(e)),
-                Err(other) => return Err(other),
-            };
+            let sketches = read_listed(dir, &meta.file, read_shard)?;
             if sketches.len() as u64 != meta.count {
-                return Err(in_shard(SketchError::Corrupt(format!(
-                    "holds {} records, manifest says {}",
-                    sketches.len(),
-                    meta.count
-                ))));
+                return Err(StoreError::Shard {
+                    file: meta.file.clone(),
+                    source: SketchError::Corrupt(format!(
+                        "holds {} records, manifest says {}",
+                        sketches.len(),
+                        meta.count
+                    )),
+                });
             }
             Ok(sketches)
         })?;
+    let delta_contents: Vec<Vec<DeltaRecord>> = try_par_map(&manifest.deltas, threads, |meta| {
+        let records = read_listed(dir, &meta.file, read_delta_shard)?;
+        if records.len() as u64 != meta.records {
+            return Err(StoreError::Shard {
+                file: meta.file.clone(),
+                source: SketchError::Corrupt(format!(
+                    "holds {} records, manifest says {}",
+                    records.len(),
+                    meta.records
+                )),
+            });
+        }
+        Ok(records)
+    })?;
 
-    let mut out = Vec::with_capacity(manifest.total as usize);
-    let mut seen = HashSet::with_capacity(manifest.total as usize);
+    // Replay serially in log order — deterministic for every thread count.
+    let mut live = LiveView::new(manifest.total as usize);
     for sketches in shard_contents {
         for s in sketches {
-            if !seen.insert(s.id().to_string()) {
-                return Err(SketchError::DuplicateId(s.id().to_string()).into());
-            }
-            out.push(s);
+            live.append(s)?;
         }
     }
-    Ok((manifest, out))
+    for (meta, records) in manifest.deltas.iter().zip(delta_contents) {
+        for record in records {
+            live.apply(record).map_err(|e| StoreError::Shard {
+                file: meta.file.clone(),
+                source: e,
+            })?;
+        }
+    }
+    let live_count = live.by_id.len() as u64;
+    if live_count != manifest.total {
+        return Err(SketchError::Corrupt(format!(
+            "replaying the corpus log leaves {live_count} live records, \
+             manifest says {}",
+            manifest.total
+        ))
+        .into());
+    }
+    Ok((manifest, live))
 }
 
-/// As [`read_corpus_with_manifest`], returning only the sketches.
+/// Load a packed corpus, validating every shard (magic, version,
+/// checksums, manifest record counts), replaying delta shards in
+/// generation order, and rejecting duplicate live ids and tombstones for
+/// unknown ids. Returns the manifest the corpus was validated against
+/// alongside the live sketches.
+///
+/// Shards are read with up to `threads` workers; the live order (base
+/// survivors in pack order, then surviving appends in append order) is
+/// identical for every thread count.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure; [`StoreError::MissingShard`]
+/// when the manifest references a shard file that is not on disk;
+/// [`StoreError::Shard`] naming the offending file (with a typed
+/// [`SketchError`] inside) on per-shard corruption; [`StoreError::Sketch`]
+/// on corpus-level corruption (bad manifest, duplicate ids, stale
+/// generations, live-count mismatch) — never a silent partial load.
+pub fn read_corpus_with_manifest(
+    dir: &Path,
+    threads: usize,
+) -> Result<(Manifest, Vec<CorrelationSketch>), StoreError> {
+    let (manifest, live) = load_live(dir, threads)?;
+    Ok((manifest, live.into_live()))
+}
+
+/// As [`read_corpus_with_manifest`], returning only the live sketches.
 ///
 /// # Errors
 ///
 /// See [`read_corpus_with_manifest`].
 pub fn read_corpus(dir: &Path, threads: usize) -> Result<Vec<CorrelationSketch>, StoreError> {
     read_corpus_with_manifest(dir, threads).map(|(_, sketches)| sketches)
+}
+
+/// Read only the delta records with generation greater than `after`, in
+/// log order, together with the current manifest — the incremental feed
+/// for `sketch-index`'s `refresh_from_store`.
+///
+/// `after` must name a generation this store lineage has actually been
+/// through: at least the base generation (older deltas were folded away
+/// by a compaction) and at most the store generation (a larger value
+/// means the caller's state came from a store that no longer exists —
+/// e.g. the directory was re-packed from scratch, which resets
+/// generations to 0). Both directions are rejected with the typed
+/// staleness error rather than silently returning "no new deltas".
+/// (A re-pack followed by enough new mutations to catch back up to
+/// `after` is indistinguishable by generation alone — re-packing a live
+/// directory is an offline operation; prefer [`compact_corpus`], which
+/// keeps generations monotonic, while incremental consumers exist.)
+///
+/// # Errors
+///
+/// [`SketchError::StaleGeneration`] (wrapped in [`StoreError::Sketch`])
+/// when `after` is outside `[base_generation, generation]`; otherwise
+/// the same errors as [`read_corpus_with_manifest`] for the shards
+/// actually read.
+pub fn read_deltas_since(
+    dir: &Path,
+    after: u64,
+    threads: usize,
+) -> Result<(Manifest, Vec<DeltaRecord>), StoreError> {
+    let manifest = Manifest::load(dir)?;
+    if after < manifest.base_generation || after > manifest.generation {
+        return Err(SketchError::StaleGeneration {
+            found: after,
+            expected: if after < manifest.base_generation {
+                manifest.base_generation
+            } else {
+                manifest.generation
+            },
+        }
+        .into());
+    }
+    let wanted: Vec<DeltaMeta> = manifest
+        .deltas
+        .iter()
+        .filter(|d| d.generation > after)
+        .cloned()
+        .collect();
+    let contents: Vec<Vec<DeltaRecord>> = try_par_map(&wanted, threads, |meta| {
+        let records = read_listed(dir, &meta.file, read_delta_shard)?;
+        if records.len() as u64 != meta.records {
+            return Err(StoreError::Shard {
+                file: meta.file.clone(),
+                source: SketchError::Corrupt(format!(
+                    "holds {} records, manifest says {}",
+                    records.len(),
+                    meta.records
+                )),
+            });
+        }
+        Ok(records)
+    })?;
+    Ok((manifest, contents.into_iter().flatten().collect()))
+}
+
+/// Append sketches to a live corpus as one new delta shard, advancing the
+/// store generation by one. Ids must be new — appending an id that is
+/// already live is rejected (retire it first with
+/// [`remove_from_corpus`]).
+///
+/// The whole corpus is re-validated (every checksum) before the append,
+/// so a corrupted store is never silently extended. The delta shard is
+/// written before the manifest is atomically renamed into place; a crash
+/// in between leaves an unreferenced file, not a broken store.
+///
+/// # Errors
+///
+/// [`SketchError::DuplicateId`] (wrapped) on an id collision with the
+/// live corpus or within `sketches`; [`SketchError::HasherMismatch`]
+/// when an appended sketch was built with a different hasher
+/// configuration than the live corpus (it could never be joined with
+/// it, so accepting it would leave the store valid but unqueryable);
+/// otherwise the errors of [`read_corpus_with_manifest`] and
+/// [`StoreError::Io`].
+pub fn append_corpus(
+    dir: &Path,
+    sketches: &[CorrelationSketch],
+    threads: usize,
+) -> Result<Manifest, StoreError> {
+    mutate_corpus(
+        dir,
+        threads,
+        sketches.iter().cloned().map(DeltaRecord::Sketch),
+    )
+}
+
+/// Tombstone live sketch ids as one new delta shard, advancing the store
+/// generation by one.
+///
+/// # Errors
+///
+/// [`SketchError::TombstoneForUnknownId`] (wrapped) when an id is not
+/// live (unknown, already removed, or repeated within `ids`); otherwise
+/// the errors of [`read_corpus_with_manifest`] and [`StoreError::Io`].
+pub fn remove_from_corpus(
+    dir: &Path,
+    ids: &[String],
+    threads: usize,
+) -> Result<Manifest, StoreError> {
+    mutate_corpus(
+        dir,
+        threads,
+        ids.iter().cloned().map(DeltaRecord::Tombstone),
+    )
+}
+
+/// Shared append/remove implementation: validate the records against the
+/// current live view, write the delta shard, advance the manifest.
+fn mutate_corpus(
+    dir: &Path,
+    threads: usize,
+    records: impl Iterator<Item = DeltaRecord>,
+) -> Result<Manifest, StoreError> {
+    let (mut manifest, mut live) = load_live(dir, threads)?;
+    let records: Vec<DeltaRecord> = records.collect();
+    if records.is_empty() {
+        return Ok(manifest);
+    }
+    // Appends must be joinable with the live corpus: enforce hasher
+    // uniformity here, mirroring `SketchIndex::insert`, so a mutation
+    // can never leave the store valid on disk but unindexable.
+    let mut hasher = live
+        .slots
+        .iter()
+        .flatten()
+        .next()
+        .map(CorrelationSketch::hasher);
+    for record in &records {
+        if let DeltaRecord::Sketch(s) = record {
+            match hasher {
+                Some(h) if h != s.hasher() => return Err(SketchError::HasherMismatch.into()),
+                None => hasher = Some(s.hasher()),
+                _ => {}
+            }
+        }
+    }
+    for record in &records {
+        live.apply(record.clone())?;
+    }
+
+    let gen = manifest.generation + 1;
+    let file = delta_file_name(gen);
+    let path = dir.join(&file);
+    // `create_new`: two writers racing on the same store both compute
+    // generation G+1; the loser must collide loudly here instead of
+    // truncate-overwriting the winner's acknowledged delta (the final
+    // manifest rename would then pick one and silently drop the other).
+    // The same error fires on an orphan file left by an append that
+    // crashed before its manifest rename — `corpus compact` (which
+    // deletes every delta file) clears either situation.
+    let bytes = crate::shard::encode_delta_shard(&records).map_err(StoreError::Sketch)?;
+    let mut delta_file = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .map_err(StoreError::io(&path))?;
+    std::io::Write::write_all(&mut delta_file, &bytes).map_err(StoreError::io(&path))?;
+    manifest.deltas.push(DeltaMeta {
+        file,
+        records: records.len() as u64,
+        generation: gen,
+    });
+    manifest.generation = gen;
+    manifest.total = live.by_id.len() as u64;
+    manifest.save(dir)?;
+    Ok(manifest)
+}
+
+/// Fold every delta shard (appends and tombstones) back into freshly
+/// packed base shards, reclaiming tombstoned records and deleting the
+/// delta log. The live view — and therefore every query report of an
+/// index built over the store — is unchanged; only the layout is.
+///
+/// The compacted store carries `base_generation = generation = G + 1`
+/// where `G` was the pre-compact generation, so an incremental index
+/// still sitting at an older generation gets a typed
+/// [`SketchError::StaleGeneration`] from `refresh_from_store` instead of
+/// silently replaying against the wrong base.
+///
+/// # Errors
+///
+/// The errors of [`read_corpus_with_manifest`] (the corpus is fully
+/// validated first) and [`StoreError::Io`].
+pub fn compact_corpus(dir: &Path, opts: &PackOptions) -> Result<Manifest, StoreError> {
+    let (manifest, live) = load_live(dir, opts.threads)?;
+    write_base(dir, &live.into_live(), opts, manifest.generation + 1)
 }
 
 #[cfg(test)]
@@ -259,6 +617,22 @@ mod tests {
             .collect()
     }
 
+    /// Fresh sketches with ids disjoint from [`corpus`].
+    fn extra(n: usize, tag: &str) -> Vec<CorrelationSketch> {
+        let b = SketchBuilder::new(SketchConfig::with_size(32));
+        (0..n)
+            .map(|t| {
+                b.build(&ColumnPair::new(
+                    format!("{tag}{t}"),
+                    "k",
+                    "v",
+                    (0..80).map(|i| format!("key-{t}-{i}")).collect(),
+                    (0..80).map(|i| (i as f64 * 0.7).cos()).collect(),
+                ))
+            })
+            .collect()
+    }
+
     #[test]
     fn pack_read_roundtrip_preserves_order() {
         let dir = TempDir::new("roundtrip");
@@ -270,6 +644,7 @@ mod tests {
         let manifest = pack_corpus(&dir.0, &sketches, &opts).unwrap();
         assert_eq!(manifest.total, 23);
         assert_eq!(manifest.shards.len(), 4);
+        assert_eq!(manifest.generation, 0);
         let back = read_corpus(&dir.0, 2).unwrap();
         assert_eq!(back, sketches);
     }
@@ -352,7 +727,7 @@ mod tests {
     }
 
     #[test]
-    fn missing_shard_file_is_io_error() {
+    fn missing_shard_file_is_typed() {
         let dir = TempDir::new("missing");
         pack_corpus(
             &dir.0,
@@ -364,7 +739,11 @@ mod tests {
         )
         .unwrap();
         std::fs::remove_file(dir.0.join("shard-0001.cskb")).unwrap();
-        assert!(matches!(read_corpus(&dir.0, 1), Err(StoreError::Io { .. })));
+        let err = read_corpus(&dir.0, 1).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::MissingShard { file } if file == "shard-0001.cskb"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -387,5 +766,231 @@ mod tests {
             err.as_sketch_error(),
             Some(SketchError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn append_remove_compact_roundtrip() {
+        let dir = TempDir::new("mutate");
+        let base = corpus(10);
+        pack_corpus(
+            &dir.0,
+            &base,
+            &PackOptions {
+                shards: 3,
+                threads: 2,
+            },
+        )
+        .unwrap();
+
+        // Append five new sketches.
+        let added = extra(5, "x");
+        let m = append_corpus(&dir.0, &added, 2).unwrap();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.total, 15);
+        assert_eq!(m.deltas.len(), 1);
+        let mut expect: Vec<CorrelationSketch> = base.clone();
+        expect.extend(added.clone());
+        assert_eq!(read_corpus(&dir.0, 2).unwrap(), expect);
+
+        // Remove two: one from the base, one just appended.
+        let gone = vec![base[3].id().to_string(), added[1].id().to_string()];
+        let m = remove_from_corpus(&dir.0, &gone, 1).unwrap();
+        assert_eq!(m.generation, 2);
+        assert_eq!(m.total, 13);
+        expect.retain(|s| !gone.contains(&s.id().to_string()));
+        assert_eq!(read_corpus(&dir.0, 3).unwrap(), expect);
+
+        // Re-appending a removed id is allowed and lands at the end.
+        let m = append_corpus(&dir.0, &base[3..4], 1).unwrap();
+        assert_eq!(m.generation, 3);
+        assert_eq!(m.total, 14);
+        expect.push(base[3].clone());
+        assert_eq!(read_corpus(&dir.0, 1).unwrap(), expect);
+
+        // Compaction preserves the live view exactly and reclaims the
+        // delta log.
+        let m = compact_corpus(
+            &dir.0,
+            &PackOptions {
+                shards: 4,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.generation, 4);
+        assert_eq!(m.base_generation, 4);
+        assert!(m.deltas.is_empty());
+        assert_eq!(m.total, 14);
+        assert!(!dir.0.join("delta-000001.cskb").exists());
+        assert!(!dir.0.join("delta-000002.cskb").exists());
+        assert!(!dir.0.join("delta-000003.cskb").exists());
+        for threads in [0usize, 1, 2, 7, 16] {
+            assert_eq!(read_corpus(&dir.0, threads).unwrap(), expect, "{threads}");
+        }
+    }
+
+    #[test]
+    fn append_duplicate_live_id_rejected() {
+        let dir = TempDir::new("append-dup");
+        let base = corpus(4);
+        pack_corpus(&dir.0, &base, &PackOptions::default()).unwrap();
+        let err = append_corpus(&dir.0, &base[1..2], 1).unwrap_err();
+        assert!(matches!(
+            err.as_sketch_error(),
+            Some(SketchError::DuplicateId(_))
+        ));
+        // The failed append must not have advanced the store.
+        assert_eq!(Manifest::load(&dir.0).unwrap().generation, 0);
+        assert_eq!(read_corpus(&dir.0, 1).unwrap(), base);
+    }
+
+    #[test]
+    fn remove_unknown_id_rejected() {
+        let dir = TempDir::new("rm-unknown");
+        let base = corpus(4);
+        pack_corpus(&dir.0, &base, &PackOptions::default()).unwrap();
+        for ids in [
+            vec!["nope/k/v".to_string()],
+            // Removing the same live id twice in one call: the second
+            // tombstone refers to an id that is no longer live.
+            vec![base[0].id().to_string(), base[0].id().to_string()],
+        ] {
+            let err = remove_from_corpus(&dir.0, &ids, 1).unwrap_err();
+            assert!(
+                matches!(
+                    err.as_sketch_error(),
+                    Some(SketchError::TombstoneForUnknownId(_))
+                ),
+                "{err}"
+            );
+        }
+        assert_eq!(Manifest::load(&dir.0).unwrap().generation, 0);
+        assert_eq!(read_corpus(&dir.0, 1).unwrap(), base);
+    }
+
+    #[test]
+    fn colliding_delta_file_makes_the_race_loud() {
+        let dir = TempDir::new("delta-collision");
+        pack_corpus(&dir.0, &corpus(3), &PackOptions::default()).unwrap();
+        // Simulate a concurrent writer (or a crashed append's orphan):
+        // the file for the next generation already exists.
+        std::fs::write(dir.0.join("delta-000001.cskb"), b"in flight").unwrap();
+        let err = append_corpus(&dir.0, &extra(1, "w"), 1).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Io { source, .. }
+                if source.kind() == std::io::ErrorKind::AlreadyExists),
+            "{err}"
+        );
+        // The manifest was never advanced; compact clears the orphan and
+        // the append then succeeds.
+        assert_eq!(Manifest::load(&dir.0).unwrap().generation, 0);
+        compact_corpus(&dir.0, &PackOptions::default()).unwrap();
+        assert!(!dir.0.join("delta-000001.cskb").exists());
+        append_corpus(&dir.0, &extra(1, "w"), 1).unwrap();
+        assert_eq!(read_corpus(&dir.0, 1).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn empty_mutations_are_noops() {
+        let dir = TempDir::new("noop");
+        pack_corpus(&dir.0, &corpus(3), &PackOptions::default()).unwrap();
+        assert_eq!(append_corpus(&dir.0, &[], 1).unwrap().generation, 0);
+        assert_eq!(remove_from_corpus(&dir.0, &[], 1).unwrap().generation, 0);
+    }
+
+    #[test]
+    fn read_deltas_since_feeds_incremental_consumers() {
+        let dir = TempDir::new("since");
+        let base = corpus(5);
+        pack_corpus(&dir.0, &base, &PackOptions::default()).unwrap();
+        let added = extra(2, "y");
+        append_corpus(&dir.0, &added, 1).unwrap();
+        remove_from_corpus(&dir.0, &[base[0].id().to_string()], 1).unwrap();
+
+        let (m, records) = read_deltas_since(&dir.0, 0, 2).unwrap();
+        assert_eq!(m.generation, 2);
+        assert_eq!(records.len(), 3);
+        let (_, records) = read_deltas_since(&dir.0, 1, 1).unwrap();
+        assert_eq!(
+            records,
+            vec![DeltaRecord::Tombstone(base[0].id().to_string())]
+        );
+        let (_, records) = read_deltas_since(&dir.0, 2, 1).unwrap();
+        assert!(records.is_empty());
+
+        // After a compact, pre-compact generations are stale.
+        compact_corpus(&dir.0, &PackOptions::default()).unwrap();
+        let err = read_deltas_since(&dir.0, 2, 1).unwrap_err();
+        assert!(
+            matches!(
+                err.as_sketch_error(),
+                Some(SketchError::StaleGeneration {
+                    found: 2,
+                    expected: 3
+                })
+            ),
+            "{err}"
+        );
+        let (m, records) = read_deltas_since(&dir.0, 3, 1).unwrap();
+        assert_eq!(m.generation, 3);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn read_deltas_since_rejects_generations_the_store_never_reached() {
+        let dir = TempDir::new("since-future");
+        let base = corpus(4);
+        pack_corpus(&dir.0, &base, &PackOptions::default()).unwrap();
+        append_corpus(&dir.0, &extra(1, "z"), 1).unwrap();
+        // A caller claiming generation 5 cannot have come from this store
+        // lineage (e.g. the directory was re-packed from scratch after
+        // the caller last refreshed): typed staleness, not "no deltas".
+        let err = read_deltas_since(&dir.0, 5, 1).unwrap_err();
+        assert!(
+            matches!(
+                err.as_sketch_error(),
+                Some(SketchError::StaleGeneration { found: 5, .. })
+            ),
+            "{err}"
+        );
+        // The boundary itself (the store's own generation) is fine.
+        assert!(read_deltas_since(&dir.0, 1, 1).unwrap().1.is_empty());
+    }
+
+    #[test]
+    fn hasher_incompatible_append_rejected() {
+        use correlation_sketches::{SketchBuilder, SketchConfig};
+        let dir = TempDir::new("append-hasher");
+        let base = corpus(3);
+        pack_corpus(&dir.0, &base, &PackOptions::default()).unwrap();
+        let alien = SketchBuilder::new(
+            SketchConfig::with_size(32).hasher(sketch_hashing::TupleHasher::new_64(99)),
+        )
+        .build(&sketch_table::ColumnPair::new(
+            "alien",
+            "k",
+            "v",
+            (0..50).map(|i| format!("key-{i}")).collect(),
+            (0..50).map(|i| i as f64).collect(),
+        ));
+        let err = append_corpus(&dir.0, &[alien], 1).unwrap_err();
+        assert!(
+            matches!(err.as_sketch_error(), Some(SketchError::HasherMismatch)),
+            "{err}"
+        );
+        // The rejected append must not have advanced the store.
+        assert_eq!(Manifest::load(&dir.0).unwrap().generation, 0);
+        assert_eq!(read_corpus(&dir.0, 1).unwrap(), base);
+    }
+
+    #[test]
+    fn compacting_an_unmutated_store_just_advances_the_generation() {
+        let dir = TempDir::new("compact-fresh");
+        let base = corpus(6);
+        pack_corpus(&dir.0, &base, &PackOptions::default()).unwrap();
+        let m = compact_corpus(&dir.0, &PackOptions::default()).unwrap();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.base_generation, 1);
+        assert_eq!(read_corpus(&dir.0, 1).unwrap(), base);
     }
 }

@@ -28,6 +28,15 @@ pub enum StoreError {
         /// The typed corruption reason.
         source: SketchError,
     },
+    /// The manifest references a shard file that does not exist on disk —
+    /// the store was partially deleted or mis-assembled. Distinct from
+    /// [`Self::Io`] so callers can tell "the store is incomplete" apart
+    /// from environmental filesystem failures.
+    MissingShard {
+        /// Shard file name the manifest references, relative to the
+        /// corpus directory.
+        file: String,
+    },
 }
 
 impl StoreError {
@@ -41,7 +50,7 @@ impl StoreError {
     pub fn as_sketch_error(&self) -> Option<&SketchError> {
         match self {
             Self::Sketch(e) | Self::Shard { source: e, .. } => Some(e),
-            Self::Io { .. } => None,
+            Self::Io { .. } | Self::MissingShard { .. } => None,
         }
     }
 }
@@ -52,6 +61,12 @@ impl std::fmt::Display for StoreError {
             Self::Io { path, source } => write!(f, "{}: {source}", path.display()),
             Self::Sketch(e) => write!(f, "{e}"),
             Self::Shard { file, source } => write!(f, "shard {file}: {source}"),
+            Self::MissingShard { file } => {
+                write!(
+                    f,
+                    "shard {file} is referenced by the manifest but missing on disk"
+                )
+            }
         }
     }
 }
@@ -61,6 +76,7 @@ impl std::error::Error for StoreError {
         match self {
             Self::Io { source, .. } => Some(source),
             Self::Sketch(e) | Self::Shard { source: e, .. } => Some(e),
+            Self::MissingShard { .. } => None,
         }
     }
 }
@@ -99,5 +115,11 @@ mod tests {
             e.as_sketch_error(),
             Some(SketchError::ChecksumMismatch { .. })
         ));
+        let e = StoreError::MissingShard {
+            file: "delta-000003.cskb".into(),
+        };
+        assert!(e.to_string().contains("delta-000003.cskb"), "{e}");
+        assert!(e.to_string().contains("missing"), "{e}");
+        assert!(e.as_sketch_error().is_none());
     }
 }

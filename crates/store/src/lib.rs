@@ -1,4 +1,5 @@
-//! **sketch-store** — the sharded on-disk binary corpus store.
+//! **sketch-store** — the sharded on-disk binary corpus store, with
+//! append-only delta shards, tombstone deletes, and offline compaction.
 //!
 //! The paper's Section 5 experiments assume a pre-built corpus of
 //! sketches that can be loaded and queried at scale ("synopses can be
@@ -7,15 +8,22 @@
 //! appending but slow to parse for multi-thousand-sketch corpora and
 //! impossible to shard; this crate stores the same sketches as multiple
 //! compact binary shard files plus a small manifest, written and read in
-//! parallel with the workspace's deterministic-chunking pattern.
+//! parallel with the workspace's deterministic-chunking pattern. On top
+//! of the static base shards it supports *mutation without re-packing*:
+//! [`append_corpus`] and [`remove_from_corpus`] write small delta shards,
+//! and [`compact_corpus`] folds them back into base shards offline.
 //!
 //! # Corpus layout on disk
 //!
 //! ```text
 //! <corpus-dir>/
-//!   manifest.cskm        text manifest: version, totals, shard table
-//!   shard-0000.cskb      binary shard files, contiguous slices of the
-//!   shard-0001.cskb      corpus in input order
+//!   manifest.cskm        text manifest: version, generations, totals,
+//!                        shard + delta tables
+//!   shard-0000.cskb      base shard files, contiguous slices of the
+//!   shard-0001.cskb      packed corpus in input order
+//!   …
+//!   delta-000001.cskb    delta shard files, one per mutation, in
+//!   delta-000002.cskb    generation order
 //!   …
 //! ```
 //!
@@ -28,7 +36,7 @@
 //! |--------|------|-------|
 //! | 0      | 4    | magic `43 53 4B 42` (ASCII `"CSKB"`) |
 //! | 4      | 2    | format version (`u16`, currently `1`) |
-//! | 6      | 2    | reserved, must be `0` |
+//! | 6      | 2    | shard kind: `0` = base, `1` = delta |
 //! | 8      | 4    | record count (`u32`) |
 //! | 12     | …    | `count` records, back to back |
 //!
@@ -37,40 +45,76 @@
 //! | offset | size  | field |
 //! |--------|-------|-------|
 //! | 0      | 4     | payload length `L` (`u32`) |
-//! | 4      | `L`   | sketch payload (see [`correlation_sketches::binary`]) |
+//! | 4      | `L`   | record payload (see below) |
 //! | 4 + L  | 8     | checksum (`u64`): low word of MurmurHash3 x64-128 of the payload, seed 0 |
 //!
-//! The file must end exactly after the last record — trailing bytes are
-//! corruption. Readers verify, in order: magic, version, reserved bytes,
+//! In a **base** shard every payload is one sketch in the
+//! [`correlation_sketches::binary`] layout — the kind field occupies the
+//! bytes the pre-delta format reserved as zero, so every pre-delta shard
+//! file is a valid base shard byte for byte. In a **delta** shard every
+//! payload opens with a tag byte:
+//!
+//! | tag | record | body |
+//! |-----|--------|------|
+//! | `0` | append | one sketch payload ([`correlation_sketches::binary`]) |
+//! | `1` | tombstone | `u32` id length + sketch id (UTF-8) |
+//!
+//! The checksum covers the tag *and* the body, so a flipped tag can
+//! never turn an append into a delete (or vice versa) undetected. The
+//! file must end exactly after the last record — trailing bytes are
+//! corruption. Readers verify, in order: magic, version, kind,
 //! per-record length bounds, per-record checksum (before any payload
-//! parsing), payload decode, and finally exact end-of-file. Every failure
-//! is a typed [`SketchError`] wrapped in [`StoreError`] — no panics, and
-//! never a silent partial load.
+//! parsing), payload decode, and finally exact end-of-file. Every
+//! failure is a typed [`SketchError`] wrapped in [`StoreError`] — no
+//! panics, and never a silent partial load.
 //!
 //! # Manifest format (`manifest.cskm`)
 //!
 //! A small line-oriented text file (text, so a human can inspect a corpus
-//! with `cat`):
+//! with `cat`). A never-mutated store writes version 1, byte-identical to
+//! the pre-delta format:
 //!
 //! ```text
 //! cskb-manifest 1
 //! sketches <total-record-count>
 //! shard <file-name> <record-count>
-//! …one line per shard, in corpus order…
+//! …one line per base shard, in corpus order…
 //! ```
 //!
-//! Readers cross-check every shard's header count against its manifest
-//! line and reject duplicate sketch ids across the whole corpus, so a
-//! mis-assembled corpus (a shard swapped in from another pack run) fails
-//! loudly instead of silently double-counting columns.
+//! Once a store has been mutated it writes version 2:
+//!
+//! ```text
+//! cskb-manifest 2
+//! generation <latest-generation>
+//! base <generation-of-the-base-shards>
+//! sketches <live-record-count>
+//! shard <file-name> <record-count>
+//! delta <file-name> <record-count> <generation>
+//! …delta lines in strictly increasing generation order…
+//! ```
+//!
+//! # Generations
+//!
+//! Every mutation advances the store generation by one: a fresh pack is
+//! generation 0, each append/remove stamps its delta shard with the new
+//! generation, and a compact rewrites the base at generation `G + 1`
+//! (folding all deltas in) with no delta lines left. Readers enforce the
+//! progression — delta generations must strictly increase from just past
+//! the base generation up to the store generation, else the typed
+//! [`SketchError::StaleGeneration`] — and incremental consumers
+//! ([`read_deltas_since`], `sketch-index`'s `refresh_from_store`) use the
+//! same error to learn that the base was compacted underneath them and a
+//! rebuild is required.
 //!
 //! # Determinism
 //!
 //! [`pack_corpus`] splits the input into contiguous chunks, so shard `i`
-//! holds a deterministic slice of the input and
-//! [`read_corpus`]`(dir, threads)` returns the sketches in exactly the
-//! original input order for every thread count — the same bit-identical
-//! fan-out contract as `correlation_sketches::build_sketches_parallel`.
+//! holds a deterministic slice of the input, and reading replays deltas
+//! serially in generation order; [`read_corpus`]`(dir, threads)` returns
+//! the *live view* — base survivors in pack order, then surviving
+//! appends in append order — bit-identically for every thread count, and
+//! [`compact_corpus`] preserves it exactly. This is the order contract
+//! `sketch-index` builds doc ids on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,8 +124,14 @@ pub mod error;
 pub mod manifest;
 pub mod shard;
 
-pub use corpus::{pack_corpus, read_corpus, read_corpus_with_manifest, PackOptions};
-pub use correlation_sketches::SketchError;
+pub use corpus::{
+    append_corpus, compact_corpus, pack_corpus, read_corpus, read_corpus_with_manifest,
+    read_deltas_since, remove_from_corpus, PackOptions,
+};
+pub use correlation_sketches::{DeltaRecord, SketchError};
 pub use error::StoreError;
-pub use manifest::{Manifest, ShardMeta, MANIFEST_NAME};
-pub use shard::{read_shard, write_shard, FORMAT_VERSION, MAGIC};
+pub use manifest::{DeltaMeta, Manifest, ShardMeta, MANIFEST_NAME, MANIFEST_VERSION};
+pub use shard::{
+    read_delta_shard, read_shard, write_delta_shard, write_shard, FORMAT_VERSION, KIND_BASE,
+    KIND_DELTA, MAGIC,
+};
