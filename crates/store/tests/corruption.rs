@@ -6,11 +6,13 @@
 //! a rotating bit position) and asserts that every single flip is
 //! detected.
 
-use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig, SketchError};
-use sketch_store::shard::{decode_shard, encode_shard};
+use correlation_sketches::{
+    CorrelationSketch, DeltaRecord, SketchBuilder, SketchConfig, SketchError,
+};
+use sketch_store::shard::{decode_delta_shard, decode_shard, encode_delta_shard, encode_shard};
 use sketch_store::{
-    pack_corpus, read_corpus, read_shard, write_shard, Manifest, PackOptions, StoreError,
-    FORMAT_VERSION, MANIFEST_NAME,
+    append_corpus, pack_corpus, read_corpus, read_shard, remove_from_corpus, write_delta_shard,
+    write_shard, Manifest, PackOptions, StoreError, FORMAT_VERSION, MANIFEST_NAME,
 };
 use sketch_table::ColumnPair;
 
@@ -145,9 +147,9 @@ fn duplicate_record_ids_are_rejected_on_read() {
     // Hand-assemble a corpus whose two shards contain the same sketch.
     write_shard(&dir.path("shard-0000.cskb"), &s).unwrap();
     write_shard(&dir.path("shard-0001.cskb"), &s[..1]).unwrap();
-    Manifest {
-        total: 3,
-        shards: vec![
+    Manifest::base(
+        3,
+        vec![
             sketch_store::ShardMeta {
                 file: "shard-0000.cskb".into(),
                 count: 2,
@@ -157,7 +159,7 @@ fn duplicate_record_ids_are_rejected_on_read() {
                 count: 1,
             },
         ],
-    }
+    )
     .save(&dir.0)
     .unwrap();
     let err = read_corpus(&dir.0, 1).unwrap_err();
@@ -172,13 +174,13 @@ fn duplicate_record_ids_are_rejected_on_read() {
     write_shard(&dir.path("solo.cskb"), &[s[0].clone(), s[0].clone()]).unwrap();
     let loaded = read_shard(&dir.path("solo.cskb")).unwrap();
     assert_eq!(loaded.len(), 2, "shard read is id-agnostic");
-    Manifest {
-        total: 2,
-        shards: vec![sketch_store::ShardMeta {
+    Manifest::base(
+        2,
+        vec![sketch_store::ShardMeta {
             file: "solo.cskb".into(),
             count: 2,
         }],
-    }
+    )
     .save(&dir.0)
     .unwrap();
     assert!(matches!(
@@ -246,6 +248,247 @@ fn corrupt_manifest_is_typed() {
     ));
     std::fs::remove_file(dir.path(MANIFEST_NAME)).unwrap();
     assert!(matches!(read_corpus(&dir.0, 1), Err(StoreError::Io { .. })));
+}
+
+/// A mutated corpus fixture: 4 base sketches, one delta appending two
+/// more, one delta tombstoning a base sketch.
+fn mutated_store(tag: &str) -> (TempDir, Vec<CorrelationSketch>) {
+    let dir = TempDir::new(tag);
+    let s = sketches(6);
+    pack_corpus(
+        &dir.0,
+        &s[..4],
+        &PackOptions {
+            shards: 2,
+            threads: 1,
+        },
+    )
+    .unwrap();
+    append_corpus(&dir.0, &s[4..6], 1).unwrap();
+    remove_from_corpus(&dir.0, &[s[1].id().to_string()], 1).unwrap();
+    (dir, s)
+}
+
+/// Every prefix of a delta shard file is rejected with a typed error.
+#[test]
+fn every_delta_truncation_is_detected() {
+    let s = sketches(3);
+    let bytes = encode_delta_shard(&[
+        DeltaRecord::Sketch(s[0].clone()),
+        DeltaRecord::Tombstone(s[1].id().to_string()),
+        DeltaRecord::Sketch(s[2].clone()),
+    ])
+    .unwrap();
+    for cut in 0..bytes.len() {
+        match decode_delta_shard(&bytes[..cut]) {
+            Err(
+                SketchError::Truncated { .. }
+                | SketchError::Corrupt(_)
+                | SketchError::BadMagic { .. }
+                | SketchError::UnsupportedVersion { .. }
+                | SketchError::ChecksumMismatch { .. },
+            ) => {}
+            other => panic!(
+                "delta truncation at {cut}/{} not detected: {other:?}",
+                bytes.len()
+            ),
+        }
+    }
+}
+
+/// Bit-flip every byte of a delta shard holding both record kinds
+/// (rotating which bit is flipped); every flip must produce a typed
+/// error, not a panic and not an Ok.
+#[test]
+fn every_delta_byte_flip_is_detected() {
+    let s = sketches(2);
+    let good = encode_delta_shard(&[
+        DeltaRecord::Sketch(s[0].clone()),
+        DeltaRecord::Tombstone(s[1].id().to_string()),
+    ])
+    .unwrap();
+    assert!(decode_delta_shard(&good).is_ok());
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 1 << (i % 8);
+        match decode_delta_shard(&bad) {
+            Err(
+                SketchError::Truncated { .. }
+                | SketchError::Corrupt(_)
+                | SketchError::BadMagic { .. }
+                | SketchError::UnsupportedVersion { .. }
+                | SketchError::ChecksumMismatch { .. }
+                | SketchError::DuplicateId(_),
+            ) => {}
+            Ok(_) => panic!("delta flip of byte {i} (bit {}) went undetected", i % 8),
+            Err(other) => panic!("delta flip of byte {i} gave unexpected error {other:?}"),
+        }
+    }
+}
+
+/// Truncating a delta shard *file* of a mutated corpus surfaces as typed
+/// corruption naming the delta file — never a partial replay.
+#[test]
+fn truncated_delta_file_on_disk_is_detected() {
+    let (dir, _) = mutated_store("delta-truncated");
+    let delta = dir.path("delta-000001.cskb");
+    let full = std::fs::read(&delta).unwrap();
+    for cut in [0, 5, 11, full.len() / 2, full.len() - 1] {
+        std::fs::write(&delta, &full[..cut]).unwrap();
+        let err = read_corpus(&dir.0, 1).unwrap_err();
+        assert!(
+            err.as_sketch_error().is_some(),
+            "cut={cut} must be typed corruption, got {err}"
+        );
+        assert!(
+            err.to_string().contains("delta-000001.cskb"),
+            "cut={cut}: {err}"
+        );
+    }
+}
+
+/// A tombstone naming an id that is not live at its point of the log is
+/// the typed TombstoneForUnknownId — both via the write path and when a
+/// hand-assembled store smuggles one in.
+#[test]
+fn tombstone_for_unknown_id_is_typed() {
+    let (dir, s) = mutated_store("tomb-unknown");
+    // Write path: unknown and already-removed ids are rejected up front.
+    for id in ["ghost/k/v", "t1/k/v"] {
+        let err = remove_from_corpus(&dir.0, &[id.to_string()], 1).unwrap_err();
+        assert!(
+            matches!(
+                err.as_sketch_error(),
+                Some(SketchError::TombstoneForUnknownId(bad)) if bad == id
+            ),
+            "{err}"
+        );
+    }
+    // Read path: overwrite the tombstone delta with one for an id that
+    // never existed; the replay must fail typed, naming the delta file.
+    write_delta_shard(
+        &dir.path("delta-000002.cskb"),
+        &[DeltaRecord::Tombstone("never/k/v".into())],
+    )
+    .unwrap();
+    for threads in [1usize, 2, 7] {
+        let err = read_corpus(&dir.0, threads).unwrap_err();
+        assert!(
+            matches!(
+                err.as_sketch_error(),
+                Some(SketchError::TombstoneForUnknownId(id)) if id == "never/k/v"
+            ),
+            "threads={threads}: {err}"
+        );
+        assert!(err.to_string().contains("delta-000002.cskb"), "{err}");
+    }
+    let _ = s;
+}
+
+/// Stale and duplicate generation numbers in the manifest are the typed
+/// StaleGeneration — a mis-merged manifest can never replay out of order.
+#[test]
+fn stale_and_duplicate_manifest_generations_are_typed() {
+    let (dir, _) = mutated_store("stale-gen");
+    let manifest_text = std::fs::read_to_string(dir.path(MANIFEST_NAME)).unwrap();
+    // Duplicate generation: stamp the second delta with the first's.
+    let dup = manifest_text.replace("delta-000002.cskb 1 2", "delta-000002.cskb 1 1");
+    std::fs::write(dir.path(MANIFEST_NAME), dup).unwrap();
+    let err = read_corpus(&dir.0, 1).unwrap_err();
+    assert!(
+        matches!(
+            err.as_sketch_error(),
+            Some(SketchError::StaleGeneration {
+                found: 1,
+                expected: 2
+            })
+        ),
+        "{err}"
+    );
+    // Regressed generation: delta stamped at the base generation.
+    let stale = manifest_text.replace("delta-000001.cskb 2 1", "delta-000001.cskb 2 0");
+    std::fs::write(dir.path(MANIFEST_NAME), stale).unwrap();
+    let err = read_corpus(&dir.0, 1).unwrap_err();
+    assert!(
+        matches!(
+            err.as_sketch_error(),
+            Some(SketchError::StaleGeneration { found: 0, .. })
+        ),
+        "{err}"
+    );
+    // Generation header beyond the last delta.
+    let ahead = manifest_text.replace("generation 2", "generation 9");
+    std::fs::write(dir.path(MANIFEST_NAME), ahead).unwrap();
+    let err = read_corpus(&dir.0, 1).unwrap_err();
+    assert!(
+        matches!(
+            err.as_sketch_error(),
+            Some(SketchError::StaleGeneration { .. } | SketchError::Corrupt(_))
+        ),
+        "{err}"
+    );
+}
+
+/// A manifest referencing shard files that are missing on disk is the
+/// typed MissingShard naming the file — for base and delta shards alike.
+#[test]
+fn manifest_referencing_missing_files_is_typed() {
+    let (dir, _) = mutated_store("missing-ref");
+    for (victim, threads) in [("shard-0001.cskb", 1usize), ("delta-000002.cskb", 2)] {
+        let path = dir.path(victim);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let err = read_corpus(&dir.0, threads).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::MissingShard { file } if file == victim),
+            "{victim}: {err}"
+        );
+        assert!(err.to_string().contains(victim), "{err}");
+        assert!(err.as_sketch_error().is_none(), "not corruption: {err}");
+        std::fs::write(&path, bytes).unwrap();
+    }
+    // Restored intact, the corpus reads fine again.
+    assert_eq!(read_corpus(&dir.0, 2).unwrap().len(), 5);
+}
+
+/// A duplicate id smuggled in through a delta append (bypassing the
+/// write-path check) is still rejected at read time.
+#[test]
+fn duplicate_append_id_rejected_on_read() {
+    let (dir, s) = mutated_store("dup-append");
+    // Overwrite the append delta so it re-appends a live base sketch.
+    write_delta_shard(
+        &dir.path("delta-000001.cskb"),
+        &[
+            DeltaRecord::Sketch(s[4].clone()),
+            DeltaRecord::Sketch(s[0].clone()),
+        ],
+    )
+    .unwrap();
+    let err = read_corpus(&dir.0, 1).unwrap_err();
+    assert!(
+        matches!(
+            err.as_sketch_error(),
+            Some(SketchError::DuplicateId(id)) if id == "t0/k/v"
+        ),
+        "{err}"
+    );
+}
+
+/// Swapping a base shard in where a delta is expected (and vice versa)
+/// is typed corruption naming the kind mismatch.
+#[test]
+fn shard_kind_swaps_are_detected() {
+    let (dir, s) = mutated_store("kind-swap");
+    write_shard(&dir.path("delta-000001.cskb"), &s[4..6]).unwrap();
+    let err = read_corpus(&dir.0, 1).unwrap_err();
+    assert!(
+        matches!(
+            err.as_sketch_error(),
+            Some(SketchError::Corrupt(msg)) if msg.contains("base shard")
+        ),
+        "{err}"
+    );
 }
 
 /// Parallel readers surface the same typed error as serial ones.
