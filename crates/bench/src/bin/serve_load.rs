@@ -1,0 +1,294 @@
+//! **serve_load** — deterministic load generator for the `sketch-serve`
+//! HTTP query service: replay a fixed workload of top-k queries over
+//! keep-alive connections and report sustained q/s plus p50/p95/p99
+//! client-side latency, in the same bench-JSON shape as `query_latency`.
+//!
+//! ```text
+//! cargo run --release -p sketch-bench --bin serve_load -- \
+//!     [--tables 400] [--sketch-size 1024] [--queries 64] \
+//!     [--requests 20000] [--clients <server-threads>] [--server-threads 4] \
+//!     [--warm true] [--verify true] [--json true] \
+//!     [--store <dir>] [--addr <host:port>]
+//! ```
+//!
+//! By default the harness generates the ~5k-sketch NYC-style corpus
+//! (the `query_latency` protocol), packs it into a temp store, boots an
+//! in-process server with a fixed worker pool, and drives it over
+//! loopback TCP. `--store` serves an existing packed store instead;
+//! `--addr` targets an already-running server (skipping boot and
+//! response verification, which needs local store access).
+//!
+//! The workload is deterministic: `--queries` distinct request bodies
+//! are derived from the seeded corpus split, client `c` of `C` issues
+//! request `c + i·C` of the round-robin sequence, and every body is
+//! serialized once up front. With `--warm true` (default) each distinct
+//! body is issued once before timing, so the timed run measures the
+//! generation-aware cache's hit path; `--warm false` measures the
+//! compute path (every request still hits the engine only on its first
+//! occurrence per generation unless `--cache 0` disabled caching at the
+//! server). With `--verify true` every warm-up response is asserted
+//! byte-identical to a fresh single-process `top_k_with_reports`
+//! rendering before any timing is trusted.
+
+use std::net::SocketAddr;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use correlation_sketches::SketchConfig;
+use sketch_bench::{time_ms, Args, LatencySummary};
+use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
+use sketch_server::{api, HttpClient, IndexSnapshot, QueryParams, ServerConfig};
+use sketch_table::ColumnPair;
+
+fn query_body(pair: &ColumnPair, k: usize, candidates: usize) -> String {
+    let mut out = String::with_capacity(32 * pair.len());
+    out.push_str("{\"id\":");
+    correlation_sketches::json::push_string(&mut out, &pair.id());
+    out.push_str(",\"k\":");
+    out.push_str(&k.to_string());
+    out.push_str(",\"candidates\":");
+    out.push_str(&candidates.to_string());
+    out.push_str(",\"keys\":[");
+    for (i, key) in pair.keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        correlation_sketches::json::push_string(&mut out, key);
+    }
+    out.push_str("],\"values\":[");
+    for (i, v) in pair.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        correlation_sketches::json::push_f64(&mut out, *v);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let tables = args.get_or("tables", 400usize);
+    let sketch_size = args.get_or("sketch-size", 1024usize);
+    let n_queries = args.get_or("queries", 64usize);
+    let requests = args.get_or("requests", 20_000usize);
+    let server_threads = args.get_or("server-threads", 4usize);
+    // A worker serves one connection at a time, so more clients than
+    // workers just serializes into waves; default to a 1:1 match.
+    let clients = args.get_or("clients", server_threads).max(1);
+    let cache = args.get_or("cache", 1024usize);
+    let k = args.get_or("k", 10usize);
+    let candidates = args.get_or("candidates", 100usize);
+    let seed = args.get_or("seed", 0x55_5eedu64);
+    let warm = args.get_or("warm", true);
+    let verify = args.get_or("verify", true);
+    let json = args.get_or("json", false);
+
+    // Deterministic workload bodies, derived from the same seeded corpus
+    // split as `query_latency`.
+    let corpus_tables = generate_open_data(&OpenDataConfig {
+        tables,
+        ..OpenDataConfig::nyc(seed)
+    });
+    let mut split = split_corpus(&corpus_tables, 0.3, seed);
+    split.queries.truncate(n_queries);
+    let bodies: Vec<String> = split
+        .queries
+        .iter()
+        .map(|q| query_body(q, k, candidates))
+        .collect();
+    assert!(!bodies.is_empty(), "no query bodies; raise --tables");
+
+    // Resolve the server: external --addr, existing --store, or a
+    // freshly generated + packed corpus in a temp dir.
+    let external: Option<SocketAddr> = args
+        .get("addr")
+        .map(|a| a.parse().expect("--addr must be host:port"));
+    let mut _tmp_store: Option<std::path::PathBuf> = None;
+    let mut handle = None;
+    let addr = if let Some(addr) = external {
+        addr
+    } else {
+        let store_dir = match args.get("store") {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => {
+                let dir = std::env::temp_dir().join(format!("serve-load-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).expect("create temp store dir");
+                _tmp_store = Some(dir.clone());
+                dir
+            }
+        };
+        if !store_dir.join("manifest.cskm").exists() {
+            let config = SketchConfig::with_size(sketch_size);
+            let (sketches, t_build) = time_ms(|| {
+                correlation_sketches::build_sketches_parallel(&split.corpus, config, server_threads)
+            });
+            let (_, t_pack) = time_ms(|| {
+                sketch_store::pack_corpus(
+                    &store_dir,
+                    &sketches,
+                    &sketch_store::PackOptions {
+                        shards: 8,
+                        threads: server_threads,
+                    },
+                )
+                .expect("pack corpus")
+            });
+            eprintln!(
+                "serve_load: built {} sketches in {t_build:.0} ms, packed in {t_pack:.0} ms",
+                sketches.len()
+            );
+        }
+        let mut config = ServerConfig::new(&store_dir);
+        config.threads = server_threads;
+        config.load_threads = server_threads;
+        config.cache_capacity = cache;
+        let h = sketch_server::start(config).expect("server starts");
+        let addr = h.addr();
+        eprintln!(
+            "serve_load: serving {} sketches at {addr} with {server_threads} workers",
+            h.sketches()
+        );
+        // Verification needs the store on disk; only meaningful when we
+        // own the server.
+        if verify {
+            let snap = IndexSnapshot::from_store(&store_dir, server_threads)
+                .expect("load store for verification");
+            let defaults = QueryParams::default();
+            let mut client = HttpClient::connect(addr).expect("connect");
+            for body in &bodies {
+                let resp = client.post("/query", body).expect("verify request");
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                let req = api::QueryRequest::parse(body.as_bytes(), &defaults).expect("own body");
+                let sketch =
+                    snap.build_query(&req.body.id, req.body.keys.clone(), req.body.values.clone());
+                let results = sketch_index::engine::top_k_with_reports(
+                    snap.index(),
+                    &sketch,
+                    &req.params.to_options(),
+                    req.params.alpha,
+                );
+                assert_eq!(
+                    resp.body,
+                    api::render_query_response(snap.generation(), &results),
+                    "served answer diverged from single-process engine"
+                );
+            }
+            eprintln!(
+                "serve_load: verified {} responses byte-identical to the engine",
+                bodies.len()
+            );
+        }
+        handle = Some(h);
+        addr
+    };
+
+    // Warm the cache: every distinct body once.
+    if warm {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        for body in &bodies {
+            let resp = client.post("/query", body).expect("warm request");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+        eprintln!("serve_load: warmed {} distinct queries", bodies.len());
+    }
+
+    // The timed run: `clients` threads over keep-alive connections,
+    // client c issuing bodies[(c + i*clients) % B] — a deterministic
+    // round-robin partition of the request sequence.
+    let per_client = requests / clients;
+    let barrier = Barrier::new(clients + 1);
+    let mut latencies: Vec<f64> = Vec::with_capacity(per_client * clients);
+    let mut failures = 0usize;
+    let bodies_ref = &bodies;
+    let barrier_ref = &barrier;
+    let (results, wall_ms): (Vec<(Vec<f64>, usize)>, f64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut fails = 0usize;
+                    barrier_ref.wait();
+                    for i in 0..per_client {
+                        let body = &bodies_ref[(c + i * clients) % bodies_ref.len()];
+                        let t = Instant::now();
+                        let resp = client.post("/query", body).expect("request");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        if resp.status != 200 {
+                            fails += 1;
+                        }
+                    }
+                    (lat, fails)
+                })
+            })
+            .collect();
+        barrier_ref.wait();
+        let t0 = Instant::now();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("client threads do not panic"))
+            .collect();
+        (results, t0.elapsed().as_secs_f64() * 1e3)
+    });
+    for (lat, fails) in results {
+        latencies.extend(lat);
+        failures += fails;
+    }
+    assert_eq!(failures, 0, "{failures} non-200 responses during the run");
+
+    let total = latencies.len();
+    let qps = total as f64 / (wall_ms / 1000.0);
+    let s = LatencySummary::of(&latencies);
+
+    // Server-side cache statistics, over HTTP like any other client.
+    let (mut cache_hits, mut cache_misses, mut generation, mut sketches) = (0, 0, 0, 0);
+    if let Ok(mut client) = HttpClient::connect(addr) {
+        if let Ok(resp) = client.get("/stats") {
+            cache_hits = api::extract_u64(&resp.body, "cache_hits").unwrap_or(0);
+            cache_misses = api::extract_u64(&resp.body, "cache_misses").unwrap_or(0);
+            generation = api::extract_u64(&resp.body, "generation").unwrap_or(0);
+        }
+        if let Ok(resp) = client.get("/healthz") {
+            sketches = api::extract_u64(&resp.body, "sketches").unwrap_or(0);
+        }
+    }
+
+    if json {
+        println!(
+            "{{\"bench\":\"serve_load\",\"sketches\":{sketches},\
+             \"sketch_size\":{sketch_size},\"tables\":{tables},\
+             \"distinct_queries\":{},\"requests\":{total},\
+             \"clients\":{clients},\"server_threads\":{server_threads},\
+             \"warm\":{warm},\"verified\":{},\"generation\":{generation},\
+             \"total_ms\":{wall_ms:.1},\"qps\":{qps:.1},\
+             \"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\
+             \"p99_ms\":{:.4},\"cache_hits\":{cache_hits},\
+             \"cache_misses\":{cache_misses}}}",
+            bodies.len(),
+            verify && external.is_none(),
+            s.mean,
+            s.p50,
+            s.p95,
+            s.p99,
+        );
+    } else {
+        println!(
+            "\nserve_load — {total} requests, {clients} clients, {server_threads} server threads"
+        );
+        println!("throughput: {qps:>10.0} q/s  ({wall_ms:.0} ms total)");
+        println!("mean      : {:>10.3} ms", s.mean);
+        println!("p50       : {:>10.3} ms", s.p50);
+        println!("p95       : {:>10.3} ms", s.p95);
+        println!("p99       : {:>10.3} ms", s.p99);
+        println!("cache     : {cache_hits} hits / {cache_misses} misses (generation {generation})");
+    }
+
+    if let Some(h) = handle {
+        let _ = h.shutdown();
+    }
+    if let Some(dir) = _tmp_store {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -231,7 +231,10 @@ pub mod corpus {
 
     /// `corrsketch corpus info` — validate a packed store (every
     /// checksum is verified by the full load, delta shards included) and
-    /// report its shape, generations, and pending delta records.
+    /// report its shape, generations, and pending delta records. With
+    /// `--json true` the same metadata is emitted as one machine-readable
+    /// JSON object (the schema the query server's `GET /corpus` endpoint
+    /// nests under `"store"`), for scripts and tooling.
     ///
     /// # Errors
     ///
@@ -245,6 +248,21 @@ pub mod corpus {
             read_corpus_with_manifest(Path::new(dir), threads).map_err(store_err)?;
         let tuples: usize = sketches.iter().map(CorrelationSketch::len).sum();
         let mem: usize = sketches.iter().map(CorrelationSketch::memory_bytes).sum();
+        if args.parse_or("json", false)? {
+            // The full load above already verified every checksum; the
+            // stat re-read only needs the manifest + delta shards.
+            let info = sketch_store::stat_corpus(Path::new(dir)).map_err(store_err)?;
+            let mut out = String::new();
+            out.push_str("{\"store\":");
+            correlation_sketches::json::push_string(&mut out, dir);
+            let _ = write!(
+                out,
+                ",\"format_version\":{FORMAT_VERSION},\"integrity\":\"ok\",\
+                 \"tuples\":{tuples},\"memory_bytes\":{mem},\"layout\":{}}}",
+                info.to_json()
+            );
+            return Ok(out);
+        }
         let base_records: u64 = manifest.shards.iter().map(|s| s.count).sum();
         let mut disk = 0u64;
         let mut out = String::new();
@@ -644,6 +662,56 @@ pub mod estimate {
         }
         let _ = writeln!(out, "  fisher-z SE: {:.4}", sample.fisher_se());
         Ok(out)
+    }
+}
+
+/// `corrsketch serve` — boot the `sketch-server` HTTP query service
+/// over a packed corpus store and run until `SIGTERM`/`SIGINT`, then
+/// shut down gracefully (in-flight requests finish, workers join, exit
+/// code 0).
+pub mod serve {
+    use super::*;
+    use std::time::Duration;
+
+    /// Run the subcommand. Blocks until a termination signal; the bound
+    /// address is printed to stdout immediately so scripts can wait for
+    /// readiness.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags, unreadable stores, or unbindable
+    /// addresses.
+    pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        let store = args.required("store")?;
+        let mut config = sketch_server::ServerConfig::new(store);
+        config.addr = format!(
+            "{}:{}",
+            args.optional("host").unwrap_or("127.0.0.1"),
+            args.parse_or("port", 0u16)?
+        );
+        config.threads = args.parse_or("threads", 4usize)?;
+        config.load_threads = args.parse_or("load-threads", config.threads)?;
+        config.cache_capacity = args.parse_or("cache", 1024usize)?;
+        config.poll_interval = Duration::from_millis(args.parse_or("poll-ms", 200u64)?);
+        let handle = sketch_server::start(config).map_err(|e| CliError::Data(e.to_string()))?;
+
+        // Readiness goes to stdout *now* — the final report string is
+        // only printed at shutdown, and launch scripts poll for this.
+        println!(
+            "serving {store} at http://{} ({} sketches, generation {})",
+            handle.addr(),
+            handle.sketches(),
+            handle.generation()
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        sketch_server::signal::install();
+        while !sketch_server::signal::termination_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let summary = handle.shutdown();
+        Ok(format!("graceful shutdown; final stats: {summary}"))
     }
 }
 

@@ -25,7 +25,7 @@ pub mod cli;
 pub mod commands;
 
 pub use cli::{CliArgs, CliError};
-pub use commands::{append, corpus, estimate, index, inspect, query};
+pub use commands::{append, corpus, estimate, index, inspect, query, serve};
 
 /// Entry point shared by `main` and the integration tests: dispatch a
 /// subcommand and return its rendered report.
@@ -61,6 +61,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "index" => index::run(&args),
         "append" => append::run(&args),
         "query" => query::run(&args),
+        "serve" => serve::run(&args),
         "estimate" => estimate::run(&args),
         "inspect" => inspect::run(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -80,7 +81,7 @@ USAGE:
   corrsketch append   --dir <csv-dir> --index <file>   (reuses index config)
   corrsketch corpus pack --out <store-dir> (--dir <csv-dir> | --index <file>)
                       [--shards 8] [--threads 1] [--sketch-size 256]
-  corrsketch corpus info --store <store-dir> [--threads 1]
+  corrsketch corpus info --store <store-dir> [--threads 1] [--json true]
   corrsketch corpus append --store <store-dir> (--dir <csv-dir> | --index <file>)
                       [--threads 1]                     (writes a delta shard)
   corrsketch corpus rm --store <store-dir> --ids <id>[,<id>...]
@@ -91,6 +92,10 @@ USAGE:
                       --table <csv> --key <col> --value <col>
                       [--k 10] [--candidates 100] [--estimator pearson]
                       [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est] [--threads 1]
+  corrsketch serve    --store <store-dir> [--host 127.0.0.1] [--port 0]
+                      [--threads 4] [--cache 1024] [--poll-ms 200]
+                      (HTTP: POST /query, POST /query_batch, GET /corpus,
+                       GET /healthz, GET /stats; graceful stop on SIGTERM)
   corrsketch estimate --left <csv> --left-key <col> --left-value <col>
                       --right <csv> --right-key <col> --right-value <col>
                       [--sketch-size 1024] [--aggregation mean]

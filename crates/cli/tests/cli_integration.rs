@@ -279,6 +279,32 @@ fn corpus_pack_info_query_roundtrip() {
     assert!(info.contains("generation      : 0"), "{info}");
     assert!(info.contains("integrity       : ok"), "{info}");
 
+    // --json true: the same metadata, machine-readable.
+    let json = sketch_cli::run(&argv(&[
+        "corpus", "info", "--store", &store_dir, "--json", "true",
+    ]))
+    .unwrap();
+    let v = correlation_sketches::json::parse(&json).unwrap();
+    let obj = v.as_object("info").unwrap();
+    assert_eq!(
+        obj.get("integrity").unwrap().as_str("i").unwrap(),
+        "ok",
+        "{json}"
+    );
+    assert!(obj.get("tuples").unwrap().as_u64("t").unwrap() > 0);
+    let layout = obj.get("layout").unwrap().as_object("layout").unwrap();
+    assert_eq!(layout.get("generation").unwrap().as_u64("g").unwrap(), 0);
+    assert_eq!(layout.get("live").unwrap().as_u64("live").unwrap(), 3);
+    assert_eq!(
+        layout
+            .get("shards")
+            .unwrap()
+            .as_array("shards")
+            .unwrap()
+            .len(),
+        2
+    );
+
     // Query the packed store; the ranking must match the JSON path.
     let query = |source: &[&str]| {
         let mut cmd = [
@@ -439,6 +465,42 @@ fn corpus_append_rm_compact_roundtrip() {
         "{info}"
     );
 
+    // The JSON view carries the same generation/tombstone metadata.
+    let json = sketch_cli::run(&argv(&[
+        "corpus", "info", "--store", &store_dir, "--json", "true",
+    ]))
+    .unwrap();
+    let v = correlation_sketches::json::parse(&json).unwrap();
+    let layout = v
+        .as_object("info")
+        .unwrap()
+        .get("layout")
+        .unwrap()
+        .as_object("layout")
+        .unwrap();
+    assert_eq!(layout.get("generation").unwrap().as_u64("g").unwrap(), 2);
+    assert_eq!(
+        layout
+            .get("pending_tombstones")
+            .unwrap()
+            .as_u64("t")
+            .unwrap(),
+        1
+    );
+    assert_eq!(
+        layout.get("pending_appends").unwrap().as_u64("a").unwrap(),
+        1
+    );
+    assert_eq!(
+        layout
+            .get("deltas")
+            .unwrap()
+            .as_array("deltas")
+            .unwrap()
+            .len(),
+        2
+    );
+
     // Compact: the report is byte-identical before and after, and info
     // shows every tombstoned record reclaimed.
     let report = sketch_cli::run(&argv(&["corpus", "compact", "--store", &store_dir])).unwrap();
@@ -565,4 +627,47 @@ fn corrupt_store_fails_with_typed_reason() {
         err.contains("checksum") || err.contains("truncated") || err.contains("corrupt"),
         "{err}"
     );
+}
+
+/// `query --store` against a directory that is not a store must exit
+/// with the typed "not a packed store" message, never a raw
+/// `No such file or directory` I/O string.
+#[test]
+fn query_missing_or_empty_store_is_typed() {
+    let dir = TempDir::new("missing-store");
+    write_lake(&dir);
+    let query_against = |store: &str| {
+        sketch_cli::run(&argv(&[
+            "query",
+            "--store",
+            store,
+            "--table",
+            &dir.path("taxi.csv"),
+            "--key",
+            "day",
+            "--value",
+            "pickups",
+        ]))
+        .unwrap_err()
+        .to_string()
+    };
+
+    // A directory that does not exist at all.
+    let err = query_against(&dir.path("never-created"));
+    assert!(err.contains("manifest.cskm"), "{err}");
+    assert!(err.contains("not a packed store"), "{err}");
+    assert!(!err.contains("os error"), "{err}");
+
+    // An existing but empty directory.
+    let empty = dir.path("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let err = query_against(&empty);
+    assert!(err.contains("not a packed store"), "{err}");
+    assert!(!err.contains("os error"), "{err}");
+
+    // `corpus info` reports the same typed reason.
+    let err = sketch_cli::run(&argv(&["corpus", "info", "--store", &empty]))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("not a packed store"), "{err}");
 }

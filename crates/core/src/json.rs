@@ -1,0 +1,436 @@
+//! A small dependency-free JSON toolkit shared by every layer that
+//! speaks JSON: sketch persistence ([`crate::persist`]), the CLI's
+//! machine-readable reports, and the `sketch-server` HTTP service.
+//!
+//! Reading is a recursive-descent parser into a borrowed-friendly
+//! [`Value`] tree; numbers keep their raw text so `u64` identifiers and
+//! counters survive without a round-trip through `f64`. Writing is a
+//! pair of append helpers ([`push_string`], [`push_f64`]) chosen so that
+//! the output of a given value is deterministic byte for byte — the
+//! property the server's response cache and the store equivalence tests
+//! rely on.
+
+use crate::error::SketchError;
+
+/// Append `s` to `out` as a JSON string literal, escaping quotes,
+/// backslashes, and control characters.
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append the shortest decimal representation of `v` that round-trips
+/// through `f64` parsing (Rust's `Debug` float formatting guarantees
+/// this). The caller must ensure `v` is finite — JSON has no inf/NaN.
+pub fn push_f64(out: &mut String, v: f64) {
+    out.push_str(&format!("{v:?}"));
+}
+
+/// A parsed JSON value. Numbers keep their raw text so `u64` keys and
+/// counters survive without a round-trip through `f64`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, unparsed.
+    Num(String),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion order preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// View as an object; `what` names the value in the error message.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the value is not an object.
+    pub fn as_object(&self, what: &str) -> Result<Obj<'_>, SketchError> {
+        match self {
+            Value::Obj(fields) => Ok(Obj(fields)),
+            _ => Err(SketchError::Corrupt(format!("{what}: expected object"))),
+        }
+    }
+
+    /// View as an array.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the value is not an array.
+    pub fn as_array(&self, what: &str) -> Result<&[Value], SketchError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(SketchError::Corrupt(format!("{what}: expected array"))),
+        }
+    }
+
+    /// View as a string.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the value is not a string.
+    pub fn as_str(&self, what: &str) -> Result<&str, SketchError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(SketchError::Corrupt(format!("{what}: expected string"))),
+        }
+    }
+
+    /// View as a bool.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the value is not a bool.
+    pub fn as_bool(&self, what: &str) -> Result<bool, SketchError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(SketchError::Corrupt(format!("{what}: expected bool"))),
+        }
+    }
+
+    /// Parse as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the value is not an unsigned
+    /// integer.
+    pub fn as_u64(&self, what: &str) -> Result<u64, SketchError> {
+        match self {
+            Value::Num(raw) => raw
+                .parse()
+                .map_err(|e| SketchError::Corrupt(format!("{what}: {e}"))),
+            _ => Err(SketchError::Corrupt(format!("{what}: expected integer"))),
+        }
+    }
+
+    /// Parse as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the value is not a number.
+    pub fn as_f64(&self, what: &str) -> Result<f64, SketchError> {
+        match self {
+            Value::Num(raw) => raw
+                .parse()
+                .map_err(|e| SketchError::Corrupt(format!("{what}: {e}"))),
+            _ => Err(SketchError::Corrupt(format!("{what}: expected number"))),
+        }
+    }
+}
+
+/// Borrowed field list of a [`Value::Obj`], so lookups read as
+/// `obj.get("field")?`.
+#[derive(Clone, Copy)]
+pub struct Obj<'a>(&'a [(String, Value)]);
+
+impl<'a> Obj<'a> {
+    /// Look up a required field.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::Corrupt`] when the field is absent.
+    pub fn get(&self, field: &str) -> Result<&'a Value, SketchError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == field)
+            .map(|(_, v)| v)
+            .ok_or_else(|| SketchError::Corrupt(format!("missing field '{field}'")))
+    }
+
+    /// Look up an optional field (`None` when absent).
+    #[must_use]
+    pub fn opt(&self, field: &str) -> Option<&'a Value> {
+        self.0.iter().find(|(k, _)| k == field).map(|(_, v)| v)
+    }
+}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else
+/// after the value).
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed byte.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
+        if raw.is_empty() || raw == "-" {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the maximal escape-free run in one go.
+            while self
+                .peek()
+                .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("invalid utf-8 in string: {e}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&cp) {
+                                // Surrogate pair.
+                                if !self.literal("\\u") {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| "bad \\u escape".to_string())?);
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| "truncated \\u escape".to_string())?;
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape: {e}"))
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        let obj = v.as_object("root").unwrap();
+        let arr = obj.get("a").unwrap().as_array("a").unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64("a0").unwrap(), 1);
+        assert_eq!(arr[1].as_f64("a1").unwrap(), 2.5);
+        assert_eq!(arr[2].as_f64("a2").unwrap(), -300.0);
+        assert_eq!(obj.get("b").unwrap().as_str("b").unwrap(), "x\ny");
+        assert!(obj.get("c").unwrap().as_bool("c").unwrap());
+        assert!(matches!(obj.get("d").unwrap(), Value::Null));
+        assert!(obj.opt("missing").is_none());
+        assert!(obj.get("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_type_confusion() {
+        assert!(parse("{} junk").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nope").is_err());
+        let v = parse("[1]").unwrap();
+        assert!(v.as_object("v").is_err());
+        assert!(v.as_str("v").is_err());
+        assert!(v.as_u64("v").is_err());
+        assert!(v.as_bool("v").is_err());
+    }
+
+    #[test]
+    fn string_writer_roundtrips_through_parser() {
+        let nasty = "quote \" slash \\ nl \n tab \t bell \u{7} unicode ✓";
+        let mut out = String::new();
+        push_string(&mut out, nasty);
+        let back = parse(&out).unwrap();
+        assert_eq!(back.as_str("s").unwrap(), nasty);
+    }
+
+    #[test]
+    fn f64_writer_roundtrips_exactly() {
+        for v in [0.0, -0.0, 1.5, 1e-300, 123_456_789.123_456_78, f64::MIN] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            let back: f64 = out.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{out}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().as_str("s").unwrap(),
+            "\u{1f600}"
+        );
+        assert!(parse(r#""\ud83d""#).is_err());
+    }
+}

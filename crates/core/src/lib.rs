@@ -67,6 +67,7 @@ pub mod builder;
 pub mod error;
 pub mod hll;
 pub mod join;
+pub mod json;
 pub mod kmv;
 pub mod merge;
 pub mod multi;

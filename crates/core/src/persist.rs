@@ -17,29 +17,7 @@ use crate::builder::SelectionStrategy;
 use crate::error::SketchError;
 use crate::sketch::{CorrelationSketch, SketchEntry};
 
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Shortest decimal representation that round-trips through `f64` parsing
-/// (Rust's `Debug` float formatting guarantees this).
-fn push_f64(out: &mut String, v: f64) {
-    out.push_str(&format!("{v:?}"));
-}
+use crate::json::{push_f64, push_string};
 
 impl CorrelationSketch {
     /// Serialize to a single-line JSON string.
@@ -67,7 +45,7 @@ impl CorrelationSketch {
         }
         let mut out = String::with_capacity(64 + 32 * self.entries.len());
         out.push_str("{\"id\":");
-        push_json_string(&mut out, &self.id);
+        push_string(&mut out, &self.id);
         out.push_str(",\"hasher\":{\"bits\":\"");
         out.push_str(match self.hasher.bits() {
             HashBits::B32 => "b32",
@@ -127,7 +105,7 @@ impl CorrelationSketch {
     /// [`SketchError::Corrupt`] on malformed input or violated
     /// invariants.
     pub fn from_json(json: &str) -> Result<Self, SketchError> {
-        let value = json::parse(json).map_err(SketchError::Corrupt)?;
+        let value = crate::json::parse(json).map_err(SketchError::Corrupt)?;
         let obj = value.as_object("sketch")?;
 
         let id = obj.get("id")?.as_str("id")?.to_string();
@@ -185,7 +163,7 @@ impl CorrelationSketch {
         }
 
         let bounds = match obj.get("bounds")? {
-            json::Value::Null => None,
+            crate::json::Value::Null => None,
             v => {
                 let pair = v.as_array("bounds")?;
                 if pair.len() != 2 {
@@ -231,301 +209,6 @@ impl CorrelationSketch {
             rows_scanned,
             saturated,
         })
-    }
-}
-
-/// A small recursive-descent JSON parser — just enough for the sketch
-/// record format, kept private to this module.
-mod json {
-    use crate::error::SketchError;
-
-    /// A parsed JSON value. Numbers keep their raw text so `u64` keys
-    /// and counters survive without a round-trip through `f64`.
-    #[derive(Debug, Clone)]
-    pub(super) enum Value {
-        /// `null`
-        Null,
-        /// `true` / `false`
-        Bool(bool),
-        /// Any JSON number, unparsed.
-        Num(String),
-        /// A string with escapes resolved.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object (insertion order preserved).
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub(super) fn as_object(&self, what: &str) -> Result<Obj<'_>, SketchError> {
-            match self {
-                Value::Obj(fields) => Ok(Obj(fields)),
-                _ => Err(SketchError::Corrupt(format!("{what}: expected object"))),
-            }
-        }
-
-        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], SketchError> {
-            match self {
-                Value::Arr(items) => Ok(items),
-                _ => Err(SketchError::Corrupt(format!("{what}: expected array"))),
-            }
-        }
-
-        pub(super) fn as_str(&self, what: &str) -> Result<&str, SketchError> {
-            match self {
-                Value::Str(s) => Ok(s),
-                _ => Err(SketchError::Corrupt(format!("{what}: expected string"))),
-            }
-        }
-
-        pub(super) fn as_bool(&self, what: &str) -> Result<bool, SketchError> {
-            match self {
-                Value::Bool(b) => Ok(*b),
-                _ => Err(SketchError::Corrupt(format!("{what}: expected bool"))),
-            }
-        }
-
-        pub(super) fn as_u64(&self, what: &str) -> Result<u64, SketchError> {
-            match self {
-                Value::Num(raw) => raw
-                    .parse()
-                    .map_err(|e| SketchError::Corrupt(format!("{what}: {e}"))),
-                _ => Err(SketchError::Corrupt(format!("{what}: expected integer"))),
-            }
-        }
-
-        pub(super) fn as_f64(&self, what: &str) -> Result<f64, SketchError> {
-            match self {
-                Value::Num(raw) => raw
-                    .parse()
-                    .map_err(|e| SketchError::Corrupt(format!("{what}: {e}"))),
-                _ => Err(SketchError::Corrupt(format!("{what}: expected number"))),
-            }
-        }
-    }
-
-    /// Borrowed field list of a `Value::Obj`, so lookups read as
-    /// `obj.get("field")?`.
-    #[derive(Clone, Copy)]
-    pub(super) struct Obj<'a>(&'a [(String, Value)]);
-
-    impl<'a> Obj<'a> {
-        pub(super) fn get(&self, field: &str) -> Result<&'a Value, SketchError> {
-            self.0
-                .iter()
-                .find(|(k, _)| k == field)
-                .map(|(_, v)| v)
-                .ok_or_else(|| SketchError::Corrupt(format!("missing field '{field}'")))
-        }
-    }
-
-    /// Parse one JSON document (trailing whitespace allowed, nothing
-    /// else after the value).
-    pub(super) fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-            {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!("expected '{}' at offset {}", b as char, self.pos))
-            }
-        }
-
-        fn literal(&mut self, word: &str) -> bool {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                true
-            } else {
-                false
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'n') if self.literal("null") => Ok(Value::Null),
-                Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
-                Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
-                Some(b'"') => self.string().map(Value::Str),
-                Some(b'[') => self.array(),
-                Some(b'{') => self.object(),
-                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-                _ => Err(format!("unexpected byte at offset {}", self.pos)),
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while self.peek().is_some_and(|b| {
-                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
-            }) {
-                self.pos += 1;
-            }
-            let raw =
-                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number bytes");
-            if raw.is_empty() || raw == "-" {
-                return Err(format!("malformed number at offset {start}"));
-            }
-            Ok(Value::Num(raw.to_string()))
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                let start = self.pos;
-                // Fast path: copy the maximal escape-free run in one go.
-                while self
-                    .peek()
-                    .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
-                {
-                    self.pos += 1;
-                }
-                out.push_str(
-                    std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?,
-                );
-                match self.peek() {
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        let esc = self
-                            .peek()
-                            .ok_or_else(|| "unterminated escape".to_string())?;
-                        self.pos += 1;
-                        match esc {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'b' => out.push('\u{8}'),
-                            b'f' => out.push('\u{c}'),
-                            b'n' => out.push('\n'),
-                            b'r' => out.push('\r'),
-                            b't' => out.push('\t'),
-                            b'u' => {
-                                let cp = self.hex4()?;
-                                let ch = if (0xd800..0xdc00).contains(&cp) {
-                                    // Surrogate pair.
-                                    if !self.literal("\\u") {
-                                        return Err("lone high surrogate".into());
-                                    }
-                                    let lo = self.hex4()?;
-                                    if !(0xdc00..0xe000).contains(&lo) {
-                                        return Err("bad low surrogate".into());
-                                    }
-                                    let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
-                                    char::from_u32(c)
-                                } else {
-                                    char::from_u32(cp)
-                                };
-                                out.push(ch.ok_or_else(|| "bad \\u escape".to_string())?);
-                            }
-                            other => return Err(format!("unknown escape '\\{}'", other as char)),
-                        }
-                    }
-                    _ => return Err("unterminated string".into()),
-                }
-            }
-        }
-
-        fn hex4(&mut self) -> Result<u32, String> {
-            let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
-            let end = end.ok_or_else(|| "truncated \\u escape".to_string())?;
-            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
-                .map_err(|_| "bad \\u escape".to_string())?;
-            self.pos = end;
-            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape: {e}"))
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let value = self.value()?;
-                fields.push((key, value));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
-                }
-            }
-        }
     }
 }
 

@@ -61,7 +61,7 @@ pub type DocId = u32;
 /// assert_eq!(index.len(), 1);
 /// assert_eq!(index.get(0).unwrap().id(), "b/k/v"); // doc ids shifted
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SketchIndex {
     hasher: Option<TupleHasher>,
     /// Append-only insertion log; removed slots are `None`.

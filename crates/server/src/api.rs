@@ -1,0 +1,553 @@
+//! The JSON request/response schema of the query endpoints, plus the
+//! canonical query fingerprint the cache is keyed by.
+//!
+//! Responses are rendered with the workspace's deterministic JSON
+//! writers ([`correlation_sketches::json`]), so a response body is a
+//! pure function of `(ranked results, generation)` — the property that
+//! makes "cache hit is byte-identical to cache miss" and "server answer
+//! is byte-identical to a single-process [`engine::top_k_with_reports`]
+//! call" testable as exact byte equality.
+//!
+//! [`engine::top_k_with_reports`]: sketch_index::engine::top_k_with_reports
+
+use correlation_sketches::json::{self, push_f64, push_string};
+use sketch_hashing::murmur3_x64_128;
+use sketch_index::{QueryOptions, ReportedResult};
+use sketch_stats::CorrelationEstimator;
+
+/// Ranking parameters shared by `/query` and `/query_batch`, resolved
+/// against the server's defaults when a field is absent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryParams {
+    /// Results returned after re-ranking.
+    pub k: usize,
+    /// Candidates retrieved by overlap before re-ranking.
+    pub candidates: usize,
+    /// Correlation estimator.
+    pub estimator: CorrelationEstimator,
+    /// Minimum join-sample size for an estimate.
+    pub min_sample: usize,
+    /// Hoeffding interval significance for the uncertainty reports.
+    pub alpha: f64,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        let opts = QueryOptions::default();
+        Self {
+            k: opts.k,
+            candidates: opts.overlap_candidates,
+            estimator: opts.estimator,
+            min_sample: opts.min_sample,
+            alpha: 0.05,
+        }
+    }
+}
+
+impl QueryParams {
+    /// The engine options these parameters resolve to. Joins run serial
+    /// per request — the thread pool parallelizes across requests, and
+    /// the engine's answers are thread-count-invariant anyway.
+    #[must_use]
+    pub fn to_options(&self) -> QueryOptions {
+        QueryOptions {
+            overlap_candidates: self.candidates,
+            k: self.k,
+            estimator: self.estimator,
+            min_sample: self.min_sample,
+            threads: 1,
+        }
+    }
+}
+
+/// One query: an ad-hoc column (keys + values) to correlate against the
+/// corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBody {
+    /// Label for the query column (becomes the query sketch's table
+    /// name; purely cosmetic).
+    pub id: String,
+    /// Categorical join-key column.
+    pub keys: Vec<String>,
+    /// Numeric value column, same length as `keys`.
+    pub values: Vec<f64>,
+}
+
+/// A parsed `POST /query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The query column.
+    pub body: QueryBody,
+    /// Resolved ranking parameters.
+    pub params: QueryParams,
+}
+
+/// A parsed `POST /query_batch` request: many query columns ranked
+/// under one shared set of parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The query columns, answered in order.
+    pub queries: Vec<QueryBody>,
+    /// Resolved ranking parameters (shared by every query).
+    pub params: QueryParams,
+}
+
+fn parse_params(obj: json::Obj<'_>, defaults: &QueryParams) -> Result<QueryParams, String> {
+    let mut params = *defaults;
+    if let Some(v) = obj.opt("k") {
+        params.k = usize::try_from(v.as_u64("k").map_err(|e| e.to_string())?)
+            .map_err(|e| format!("k: {e}"))?;
+    }
+    if let Some(v) = obj.opt("candidates") {
+        params.candidates = usize::try_from(v.as_u64("candidates").map_err(|e| e.to_string())?)
+            .map_err(|e| format!("candidates: {e}"))?;
+    }
+    if let Some(v) = obj.opt("estimator") {
+        params.estimator = v
+            .as_str("estimator")
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("estimator: {e}"))?;
+    }
+    if let Some(v) = obj.opt("min_sample") {
+        params.min_sample = usize::try_from(v.as_u64("min_sample").map_err(|e| e.to_string())?)
+            .map_err(|e| format!("min_sample: {e}"))?;
+    }
+    if let Some(v) = obj.opt("alpha") {
+        let alpha = v.as_f64("alpha").map_err(|e| e.to_string())?;
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(format!("alpha must be in (0, 1), got {alpha}"));
+        }
+        params.alpha = alpha;
+    }
+    Ok(params)
+}
+
+fn parse_body(obj: json::Obj<'_>) -> Result<QueryBody, String> {
+    let id = match obj.opt("id") {
+        Some(v) => v.as_str("id").map_err(|e| e.to_string())?.to_string(),
+        None => "query".to_string(),
+    };
+    let keys = obj
+        .get("keys")
+        .and_then(|v| v.as_array("keys"))
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(|v| v.as_str("keys[]").map(str::to_string))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?;
+    let values = obj
+        .get("values")
+        .and_then(|v| v.as_array("values"))
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(|v| v.as_f64("values[]"))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?;
+    if keys.len() != values.len() {
+        return Err(format!(
+            "keys ({}) and values ({}) must have equal length",
+            keys.len(),
+            values.len()
+        ));
+    }
+    if keys.is_empty() {
+        return Err("keys must be non-empty".into());
+    }
+    if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+        return Err(format!("values must be finite, got {bad}"));
+    }
+    Ok(QueryBody { id, keys, values })
+}
+
+impl QueryRequest {
+    /// Parse a `POST /query` body, resolving absent parameters against
+    /// `defaults`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason, safe to echo in a 400 response.
+    pub fn parse(body: &[u8], defaults: &QueryParams) -> Result<Self, String> {
+        let text = std::str::from_utf8(body).map_err(|e| format!("non-utf8 body: {e}"))?;
+        let value = json::parse(text)?;
+        let obj = value.as_object("request").map_err(|e| e.to_string())?;
+        Ok(Self {
+            body: parse_body(obj)?,
+            params: parse_params(obj, defaults)?,
+        })
+    }
+
+    /// The canonical fingerprint of this request (parameters included),
+    /// for cache keying. Two requests that resolve to the same query
+    /// and parameters share a fingerprint regardless of JSON field
+    /// order, whitespace, or spelled-out defaults.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        let mut bytes = Vec::with_capacity(64 + self.body.keys.len() * 16);
+        bytes.extend_from_slice(b"query\x00");
+        push_params(&mut bytes, &self.params);
+        push_query(&mut bytes, &self.body);
+        fingerprint_of(&bytes)
+    }
+}
+
+impl BatchRequest {
+    /// Parse a `POST /query_batch` body: `{"queries":[...]}` plus the
+    /// shared parameter fields of [`QueryParams`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason, safe to echo in a 400 response.
+    pub fn parse(body: &[u8], defaults: &QueryParams) -> Result<Self, String> {
+        let text = std::str::from_utf8(body).map_err(|e| format!("non-utf8 body: {e}"))?;
+        let value = json::parse(text)?;
+        let obj = value.as_object("request").map_err(|e| e.to_string())?;
+        let params = parse_params(obj, defaults)?;
+        let queries = obj
+            .get("queries")
+            .and_then(|v| v.as_array("queries"))
+            .map_err(|e| e.to_string())?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let q = v
+                    .as_object("queries[]")
+                    .map_err(|e| e.to_string())
+                    .and_then(parse_body);
+                q.map_err(|e| format!("queries[{i}]: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if queries.is_empty() {
+            return Err("queries must be non-empty".into());
+        }
+        Ok(Self { queries, params })
+    }
+
+    /// Canonical fingerprint of the whole batch, for cache keying.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        let mut bytes = Vec::with_capacity(64 * self.queries.len());
+        bytes.extend_from_slice(b"batch\x00");
+        push_params(&mut bytes, &self.params);
+        for q in &self.queries {
+            push_query(&mut bytes, q);
+        }
+        fingerprint_of(&bytes)
+    }
+}
+
+/// Seed of the fingerprint hash (arbitrary, fixed forever: fingerprints
+/// of a given request must be stable across server restarts for the
+/// cache key space to make sense in logs).
+const FINGERPRINT_SEED: u64 = 0x5e7e_5e7e_5e7e_5e7e;
+
+fn fingerprint_of(bytes: &[u8]) -> u128 {
+    let (h1, h2) = murmur3_x64_128(bytes, FINGERPRINT_SEED);
+    (u128::from(h1) << 64) | u128::from(h2)
+}
+
+fn push_params(bytes: &mut Vec<u8>, p: &QueryParams) {
+    bytes.extend_from_slice(&(p.k as u64).to_le_bytes());
+    bytes.extend_from_slice(&(p.candidates as u64).to_le_bytes());
+    bytes.extend_from_slice(p.estimator.name().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&(p.min_sample as u64).to_le_bytes());
+    bytes.extend_from_slice(&p.alpha.to_bits().to_le_bytes());
+}
+
+fn push_query(bytes: &mut Vec<u8>, q: &QueryBody) {
+    bytes.extend_from_slice(&(q.id.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(q.id.as_bytes());
+    bytes.extend_from_slice(&(q.keys.len() as u64).to_le_bytes());
+    for (k, v) in q.keys.iter().zip(&q.values) {
+        bytes.extend_from_slice(&(k.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(k.as_bytes());
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn push_result(out: &mut String, r: &ReportedResult) {
+    out.push_str("{\"id\":");
+    push_string(out, &r.result.id);
+    out.push_str(",\"doc\":");
+    out.push_str(&r.result.doc.to_string());
+    out.push_str(",\"overlap\":");
+    out.push_str(&r.result.overlap.to_string());
+    out.push_str(",\"sample_size\":");
+    out.push_str(&r.result.sample_size.to_string());
+    out.push_str(",\"estimate\":");
+    match r.result.estimate {
+        Some(e) => push_f64(out, e),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"score\":");
+    push_f64(out, r.result.score);
+    out.push_str(",\"report\":");
+    match &r.report {
+        Some(rep) => {
+            out.push_str("{\"estimator\":\"");
+            out.push_str(rep.estimator.name());
+            out.push_str("\",\"estimate\":");
+            push_f64(out, rep.estimate);
+            out.push_str(",\"sample_size\":");
+            out.push_str(&rep.sample_size.to_string());
+            out.push_str(",\"hoeffding\":[");
+            push_f64(out, rep.hoeffding.low);
+            out.push(',');
+            push_f64(out, rep.hoeffding.high);
+            out.push_str("],\"hfd_length\":");
+            push_f64(out, rep.hfd_length);
+            out.push_str(",\"fisher_se\":");
+            push_f64(out, rep.fisher_se);
+            out.push('}');
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn push_results(out: &mut String, results: &[ReportedResult]) {
+    out.push('[');
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_result(out, r);
+    }
+    out.push(']');
+}
+
+/// Render a `/query` response: deterministic bytes for a given
+/// `(results, generation)`.
+#[must_use]
+pub fn render_query_response(generation: u64, results: &[ReportedResult]) -> String {
+    let mut out = String::with_capacity(64 + 256 * results.len());
+    out.push_str("{\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"count\":");
+    out.push_str(&results.len().to_string());
+    out.push_str(",\"results\":");
+    push_results(&mut out, results);
+    out.push('}');
+    out
+}
+
+/// Render a `/query_batch` response; `answers[i]` answers `queries[i]`.
+#[must_use]
+pub fn render_batch_response(generation: u64, answers: &[Vec<ReportedResult>]) -> String {
+    let mut out = String::with_capacity(64 + 256 * answers.len());
+    out.push_str("{\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"count\":");
+    out.push_str(&answers.len().to_string());
+    out.push_str(",\"answers\":[");
+    for (i, results) in answers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_results(&mut out, results);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render an error payload: `{"error":"..."}`.
+#[must_use]
+pub fn render_error(message: &str) -> String {
+    let mut out = String::with_capacity(16 + message.len());
+    out.push_str("{\"error\":");
+    push_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Extract a `u64` field from a JSON object body — the tiny client-side
+/// helper used by the load harness and smoke tooling to read
+/// `generation` out of responses without a full schema.
+///
+/// # Errors
+///
+/// A human-readable reason when the body is not JSON or lacks the field.
+pub fn extract_u64(body: &str, field: &str) -> Result<u64, String> {
+    let value = json::parse(body)?;
+    let obj = value.as_object("response").map_err(|e| e.to_string())?;
+    obj.get(field)
+        .and_then(|v| v.as_u64(field))
+        .map_err(|e| e.to_string())
+}
+
+/// Does this parsed response value look like `{"error": ...}`?
+#[must_use]
+pub fn is_error_body(body: &str) -> bool {
+    json::parse(body)
+        .ok()
+        .and_then(|v| {
+            v.as_object("response")
+                .ok()
+                .map(|o| o.opt("error").is_some())
+        })
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> QueryParams {
+        QueryParams::default()
+    }
+
+    #[test]
+    fn parses_minimal_query_with_defaults() {
+        let req =
+            QueryRequest::parse(br#"{"keys":["a","b"],"values":[1.0,2.5]}"#, &defaults()).unwrap();
+        assert_eq!(req.body.id, "query");
+        assert_eq!(req.body.keys, vec!["a", "b"]);
+        assert_eq!(req.body.values, vec![1.0, 2.5]);
+        assert_eq!(req.params, defaults());
+        let opts = req.params.to_options();
+        assert_eq!(opts.k, 10);
+        assert_eq!(opts.overlap_candidates, 100);
+        assert_eq!(opts.threads, 1);
+    }
+
+    #[test]
+    fn parses_full_query_overrides() {
+        let req = QueryRequest::parse(
+            br#"{"id":"taxi","keys":["a"],"values":[1],"k":3,"candidates":7,
+                 "estimator":"spearman","min_sample":5,"alpha":0.1}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(req.body.id, "taxi");
+        assert_eq!(req.params.k, 3);
+        assert_eq!(req.params.candidates, 7);
+        assert_eq!(req.params.estimator.name(), "spearman");
+        assert_eq!(req.params.min_sample, 5);
+        assert_eq!(req.params.alpha, 0.1);
+    }
+
+    #[test]
+    fn rejects_malformed_queries_with_reasons() {
+        for (body, needle) in [
+            (&br#"{"values":[1]}"#[..], "keys"),
+            (br#"{"keys":["a"],"values":[]}"#, "equal length"),
+            (br#"{"keys":[],"values":[]}"#, "non-empty"),
+            (br#"{"keys":["a"],"values":[1],"alpha":2}"#, "alpha"),
+            (
+                br#"{"keys":["a"],"values":[1],"estimator":"psychic"}"#,
+                "estimator",
+            ),
+            (br#"not json"#, "unexpected"),
+            (br#"[1,2]"#, "object"),
+        ] {
+            let err = QueryRequest::parse(body, &defaults()).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "body {:?}: error {err:?} should mention {needle:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_field_order_and_spelled_defaults() {
+        let a = QueryRequest::parse(br#"{"keys":["a"],"values":[1.5]}"#, &defaults()).unwrap();
+        let b = QueryRequest::parse(
+            br#"{ "values" : [1.5], "k":10, "keys" : ["a"], "id":"query" }"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_dimension() {
+        let base = QueryRequest::parse(br#"{"keys":["a"],"values":[1.5]}"#, &defaults()).unwrap();
+        for other in [
+            &br#"{"keys":["b"],"values":[1.5]}"#[..],
+            br#"{"keys":["a"],"values":[2.5]}"#,
+            br#"{"keys":["a"],"values":[1.5],"k":9}"#,
+            br#"{"keys":["a"],"values":[1.5],"candidates":99}"#,
+            br#"{"keys":["a"],"values":[1.5],"estimator":"spearman"}"#,
+            br#"{"keys":["a"],"values":[1.5],"min_sample":4}"#,
+            br#"{"keys":["a"],"values":[1.5],"alpha":0.01}"#,
+            br#"{"keys":["a"],"values":[1.5],"id":"other"}"#,
+        ] {
+            let req = QueryRequest::parse(other, &defaults()).unwrap();
+            assert_ne!(
+                base.fingerprint(),
+                req.fingerprint(),
+                "{}",
+                String::from_utf8_lossy(other)
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_injection_safe_across_key_boundaries() {
+        // ["ab","c"] vs ["a","bc"] must not collide (length-prefixed).
+        let a = QueryRequest::parse(br#"{"keys":["ab","c"],"values":[1,2]}"#, &defaults()).unwrap();
+        let b = QueryRequest::parse(br#"{"keys":["a","bc"],"values":[1,2]}"#, &defaults()).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn batch_parses_and_fingerprints() {
+        let batch = BatchRequest::parse(
+            br#"{"queries":[{"keys":["a"],"values":[1]},{"id":"q2","keys":["b"],"values":[2]}],"k":5}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(batch.queries.len(), 2);
+        assert_eq!(batch.params.k, 5);
+        assert_eq!(batch.queries[1].id, "q2");
+
+        let reordered = BatchRequest::parse(
+            br#"{"queries":[{"id":"q2","keys":["b"],"values":[2]},{"keys":["a"],"values":[1]}],"k":5}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_ne!(batch.fingerprint(), reordered.fingerprint());
+
+        assert!(BatchRequest::parse(br#"{"queries":[]}"#, &defaults()).is_err());
+        let err = BatchRequest::parse(br#"{"queries":[{"keys":["a"]}]}"#, &defaults()).unwrap_err();
+        assert!(err.contains("queries[0]"), "{err}");
+    }
+
+    #[test]
+    fn batch_and_single_fingerprints_never_collide() {
+        let single = QueryRequest::parse(br#"{"keys":["a"],"values":[1]}"#, &defaults()).unwrap();
+        let batch =
+            BatchRequest::parse(br#"{"queries":[{"keys":["a"],"values":[1]}]}"#, &defaults())
+                .unwrap();
+        assert_ne!(single.fingerprint(), batch.fingerprint());
+    }
+
+    #[test]
+    fn error_rendering_escapes_and_parses() {
+        let body = render_error("bad \"thing\"\nhappened");
+        assert!(is_error_body(&body));
+        assert!(!is_error_body("{\"ok\":1}"));
+        let v = json::parse(&body).unwrap();
+        assert_eq!(
+            v.as_object("e")
+                .unwrap()
+                .get("error")
+                .unwrap()
+                .as_str("m")
+                .unwrap(),
+            "bad \"thing\"\nhappened"
+        );
+    }
+
+    #[test]
+    fn extract_u64_reads_generation() {
+        assert_eq!(
+            extract_u64("{\"generation\":42,\"x\":[]}", "generation").unwrap(),
+            42
+        );
+        assert!(extract_u64("[]", "generation").is_err());
+        assert!(extract_u64("{\"a\":1}", "generation").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The generation-aware query-result cache: an O(1) hand-rolled LRU
+//! keyed by `(query fingerprint, store generation)`.
+//!
+//! Because the store generation is part of the key, a corpus mutation
+//! invalidates exactly the stale entries — requests against the new
+//! generation miss and recompute, while the old generation's entries
+//! age out of the LRU tail naturally. Values are the fully rendered
+//! response bodies (`Arc<str>`), so a cache hit serves byte-identical
+//! output to the miss that populated it, by construction.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key: `(canonical query fingerprint, store generation)`.
+pub type CacheKey = (u128, u64);
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Arc<str>,
+    prev: usize,
+    next: usize,
+}
+
+struct Lru {
+    map: HashMap<CacheKey, usize>,
+    entries: Vec<Entry>,
+    /// Most recently used entry, `NIL` when empty.
+    head: usize,
+    /// Least recently used entry, `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+}
+
+impl Lru {
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.entries[i].prev = NIL;
+        self.entries[i].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+/// A thread-safe LRU of rendered query responses. Capacity 0 disables
+/// caching entirely (every lookup misses, every insert is dropped).
+pub struct QueryCache {
+    inner: Mutex<Lru>,
+}
+
+impl QueryCache {
+    /// An empty cache holding at most `capacity` responses.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Lru {
+                map: HashMap::with_capacity(capacity.min(1 << 16)),
+                entries: Vec::with_capacity(capacity.min(1 << 16)),
+                head: NIL,
+                tail: NIL,
+                capacity,
+            }),
+        }
+    }
+
+    /// Fetch a cached response and mark it most recently used.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+        let mut lru = self.inner.lock().expect("cache lock is never poisoned");
+        let &i = lru.map.get(key)?;
+        let value = Arc::clone(&lru.entries[i].value);
+        if lru.head != i {
+            lru.unlink(i);
+            lru.push_front(i);
+        }
+        Some(value)
+    }
+
+    /// Insert (or refresh) a response, evicting the least recently used
+    /// entry when full.
+    pub fn put(&self, key: CacheKey, value: Arc<str>) {
+        let mut lru = self.inner.lock().expect("cache lock is never poisoned");
+        if lru.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = lru.map.get(&key) {
+            lru.entries[i].value = value;
+            if lru.head != i {
+                lru.unlink(i);
+                lru.push_front(i);
+            }
+            return;
+        }
+        let i = if lru.entries.len() < lru.capacity {
+            lru.entries.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            lru.entries.len() - 1
+        } else {
+            // Reuse the LRU slot in place.
+            let i = lru.tail;
+            lru.unlink(i);
+            let old_key = lru.entries[i].key;
+            lru.map.remove(&old_key);
+            lru.entries[i].key = key;
+            lru.entries[i].value = value;
+            i
+        };
+        lru.map.insert(key, i);
+        lru.push_front(i);
+    }
+
+    /// Number of cached responses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("cache lock is never poisoned")
+            .map
+            .len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u128, generation: u64) -> CacheKey {
+        (fp, generation)
+    }
+
+    fn val(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction_order() {
+        let c = QueryCache::new(2);
+        assert!(c.get(&key(1, 0)).is_none());
+        c.put(key(1, 0), val("one"));
+        c.put(key(2, 0), val("two"));
+        assert_eq!(c.get(&key(1, 0)).as_deref(), Some("one"));
+        // 2 is now least recently used; inserting a third evicts it.
+        c.put(key(3, 0), val("three"));
+        assert!(c.get(&key(2, 0)).is_none());
+        assert_eq!(c.get(&key(1, 0)).as_deref(), Some("one"));
+        assert_eq!(c.get(&key(3, 0)).as_deref(), Some("three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn same_fingerprint_different_generation_are_distinct() {
+        let c = QueryCache::new(8);
+        c.put(key(7, 0), val("gen0"));
+        c.put(key(7, 1), val("gen1"));
+        assert_eq!(c.get(&key(7, 0)).as_deref(), Some("gen0"));
+        assert_eq!(c.get(&key(7, 1)).as_deref(), Some("gen1"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let c = QueryCache::new(2);
+        c.put(key(1, 0), val("a"));
+        c.put(key(2, 0), val("b"));
+        c.put(key(1, 0), val("a2"));
+        c.put(key(3, 0), val("c")); // evicts 2, not the refreshed 1
+        assert_eq!(c.get(&key(1, 0)).as_deref(), Some("a2"));
+        assert!(c.get(&key(2, 0)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = QueryCache::new(0);
+        c.put(key(1, 0), val("x"));
+        assert!(c.get(&key(1, 0)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let c = QueryCache::new(1);
+        for i in 0..100u128 {
+            c.put(key(i, 0), val(&i.to_string()));
+            assert_eq!(c.get(&key(i, 0)).as_deref(), Some(i.to_string().as_str()));
+            if i > 0 {
+                assert!(c.get(&key(i - 1, 0)).is_none());
+            }
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_bounded() {
+        let c = Arc::new(QueryCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..8u128 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..500u128 {
+                        let k = key(t * 1000 + (i % 96), i as u64 % 3);
+                        if let Some(v) = c.get(&k) {
+                            assert!(!v.is_empty());
+                        } else {
+                            c.put(k, val("payload"));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 64);
+    }
+}

@@ -1,0 +1,437 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the query service needs
+//! (request line + headers + `Content-Length` bodies, keep-alive,
+//! pipelining-tolerant buffering) and nothing it doesn't (no chunked
+//! encoding, no TLS, no compression).
+//!
+//! Reading is built around a caller-owned byte buffer that persists
+//! across requests on a connection: bytes of a second pipelined request
+//! that arrive with the first are kept, not dropped. Streams are
+//! expected to have a short read timeout; every timeout tick checks the
+//! caller's shutdown flag (so a stalled client can never pin a worker
+//! past shutdown), and in the idle keep-alive state it additionally
+//! checks the caller's idle deadline (so parked connections hand their
+//! worker back to the accept loop instead of holding it forever).
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Upper bound on the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the wire format already).
+    pub method: String,
+    /// Request target, e.g. `/query` (query strings are not split off).
+    pub path: String,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after responding.
+    pub keep_alive: bool,
+}
+
+/// Why no request could be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly between requests, or sat
+    /// idle past the caller's deadline and was reclaimed.
+    Closed,
+    /// The server's shutdown flag was raised — while idle between
+    /// requests, or on a timeout tick of a stalled partial request.
+    Shutdown,
+    /// The bytes on the wire are not a well-formed request; the string
+    /// says why (safe to echo in a 400 response).
+    Malformed(String),
+    /// Head or body exceeded [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`].
+    TooLarge,
+    /// A non-timeout I/O failure on the stream.
+    Io(std::io::Error),
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one request from `stream` into/out of `buf` (which carries
+/// pipelined leftovers between calls).
+///
+/// `idle_deadline` bounds the *idle* wait only (no request bytes yet):
+/// past it the connection is reclaimed as a clean [`RecvError::Closed`]
+/// so the worker can go back to accepting. Once request bytes have
+/// arrived there is no deadline — but every timeout tick still honors
+/// `shutdown`, so a stalled client cannot pin a worker past shutdown.
+///
+/// # Errors
+///
+/// See [`RecvError`]; `Closed` and `Shutdown` are the clean exits.
+pub fn read_request(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+    idle_deadline: Option<Instant>,
+) -> Result<Request, RecvError> {
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the head is complete.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RecvError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Malformed("connection closed mid-request".into()))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Err(RecvError::Shutdown);
+                }
+                if buf.is_empty() && idle_deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(RecvError::Closed);
+                }
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RecvError::Malformed("non-utf8 request head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RecvError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| RecvError::Malformed("request line has no target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| RecvError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| RecvError::Malformed(format!("bad content-length '{value}'")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(RecvError::Malformed(
+                "chunked bodies are not supported".into(),
+            ));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RecvError::TooLarge);
+    }
+
+    // Phase 2: the body.
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    while buf.len() < total {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RecvError::Malformed("connection closed mid-body".into())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Err(RecvError::Shutdown);
+                }
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+
+    let body = buf[body_start..total].to_vec();
+    // Keep pipelined leftovers for the next call.
+    buf.drain(..total);
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serialize and send one response. The body is always sent with an
+/// explicit `Content-Length` (no chunking), content type
+/// `application/json`.
+///
+/// # Errors
+///
+/// Propagates the stream's write error.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(if keep_alive {
+        b"Connection: keep-alive\r\n\r\n"
+    } else {
+        b"Connection: close\r\n\r\n"
+    });
+    out.extend_from_slice(body.as_bytes());
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A `Read` over a script of chunks; an empty chunk injects a
+    /// timeout error (like a read timeout on a real socket).
+    struct Script {
+        chunks: Vec<Vec<u8>>,
+    }
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.chunks.is_empty() {
+                return Ok(0);
+            }
+            let mut chunk = self.chunks.remove(0);
+            if chunk.is_empty() {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"));
+            }
+            let n = chunk.len().min(out.len());
+            out[..n].copy_from_slice(&chunk[..n]);
+            if n < chunk.len() {
+                chunk.drain(..n);
+                self.chunks.insert(0, chunk);
+            }
+            Ok(n)
+        }
+    }
+
+    fn read_one(wire: &[Vec<u8>], buf: &mut Vec<u8>) -> Result<Request, RecvError> {
+        let mut s = Script {
+            chunks: wire.to_vec(),
+        };
+        read_request(&mut s, buf, &AtomicBool::new(false), None)
+    }
+
+    #[test]
+    fn parses_post_with_body_split_across_reads() {
+        let mut buf = Vec::new();
+        let req = read_one(
+            &[
+                b"POST /query HTTP/1.1\r\nContent-Le".to_vec(),
+                b"ngth: 11\r\n\r\nhello".to_vec(),
+                Vec::new(), // a timeout mid-body just keeps waiting
+                b" world".to_vec(),
+            ],
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, b"hello world");
+        assert!(req.keep_alive);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_the_buffer() {
+        let mut buf = Vec::new();
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n".to_vec();
+        let first = read_one(&[wire], &mut buf).unwrap();
+        assert_eq!(first.path, "/healthz");
+        // Second request is already buffered; no further reads needed.
+        let second = read_one(&[], &mut buf).unwrap();
+        assert_eq!(second.path, "/stats");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let mut buf = Vec::new();
+        let req = read_one(
+            &[b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec()],
+            &mut buf,
+        )
+        .unwrap();
+        assert!(!req.keep_alive);
+        let req = read_one(&[b"GET / HTTP/1.0\r\n\r\n".to_vec()], &mut buf).unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_close_vs_truncation() {
+        let mut buf = Vec::new();
+        assert!(matches!(read_one(&[], &mut buf), Err(RecvError::Closed)));
+        assert!(matches!(
+            read_one(&[b"GET / HT".to_vec()], &mut buf),
+            Err(RecvError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_flag_ends_idle_and_stalled_connections() {
+        let shutdown = AtomicBool::new(true);
+        // Idle (empty buffer) + timeout -> Shutdown.
+        let mut s = Script {
+            chunks: vec![Vec::new()],
+        };
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, None),
+            Err(RecvError::Shutdown)
+        ));
+        // A client stalled mid-head is abandoned on the next timeout
+        // tick — a worker must never be pinned past shutdown.
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![b"GET / HTTP/1.1".to_vec(), Vec::new(), b"\r\n\r\n".to_vec()],
+        };
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, None),
+            Err(RecvError::Shutdown)
+        ));
+        // Same for a client stalled mid-body.
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab".to_vec(),
+                Vec::new(),
+                b"cde".to_vec(),
+            ],
+        };
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, None),
+            Err(RecvError::Shutdown)
+        ));
+        // Without shutdown, the same stalls just keep waiting and the
+        // requests complete.
+        let no_shutdown = AtomicBool::new(false);
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab".to_vec(),
+                Vec::new(),
+                b"cde".to_vec(),
+            ],
+        };
+        let req = read_request(&mut s, &mut buf, &no_shutdown, None).unwrap();
+        assert_eq!(req.body, b"abcde");
+    }
+
+    #[test]
+    fn idle_deadline_reclaims_parked_connections() {
+        let shutdown = AtomicBool::new(false);
+        let expired = Some(Instant::now() - std::time::Duration::from_millis(1));
+        // Idle past the deadline: reclaimed as a clean close.
+        let mut s = Script {
+            chunks: vec![Vec::new()],
+        };
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, expired),
+            Err(RecvError::Closed)
+        ));
+        // Once request bytes exist, the idle deadline no longer applies.
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![b"GET / HTTP/1.1".to_vec(), Vec::new(), b"\r\n\r\n".to_vec()],
+        };
+        assert!(read_request(&mut s, &mut buf, &shutdown, expired).is_ok());
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_rejected() {
+        let mut buf = Vec::new();
+        let huge = vec![b'a'; MAX_HEAD_BYTES + 8];
+        assert!(matches!(
+            read_one(&[huge], &mut buf),
+            Err(RecvError::TooLarge)
+        ));
+        buf.clear();
+        let req = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u64::MAX);
+        assert!(matches!(
+            read_one(&[req.into_bytes()], &mut buf),
+            Err(RecvError::Malformed(_) | RecvError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_typed() {
+        for wire in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/9\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            let mut buf = Vec::new();
+            assert!(
+                matches!(
+                    read_one(&[wire.as_bytes().to_vec()], &mut buf),
+                    Err(RecvError::Malformed(_))
+                ),
+                "{wire:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,57 @@
+//! **sketch-serve** — a dependency-free (std-only) concurrent HTTP/1.1
+//! query service over a packed corpus store, turning the one-shot query
+//! engine into a long-running system.
+//!
+//! The paper's scenario is interactive: a user uploads a column and asks
+//! "which tables in the lake join with mine *and* correlate?". That
+//! demands a resident index answering many concurrent queries while the
+//! corpus underneath keeps mutating — the `sketch-store` delta log from
+//! the mutable-corpora work, served live.
+//!
+//! # Endpoints
+//!
+//! | method & path        | purpose |
+//! |----------------------|---------|
+//! | `POST /query`        | top-k join-correlation query with uncertainty reports |
+//! | `POST /query_batch`  | many queries ranked under shared parameters |
+//! | `GET /corpus`        | store generation + shard/tombstone shape |
+//! | `GET /healthz`       | liveness + served generation |
+//! | `GET /stats`         | request counters, cache hits, latency percentiles |
+//!
+//! # Design invariants
+//!
+//! * **Snapshot reads.** Queries run on an immutable
+//!   [`IndexSnapshot`](snapshot::IndexSnapshot) behind an `Arc`; the only
+//!   synchronized step is cloning that `Arc`. No query ever blocks on a
+//!   mutation, and no mutation ever tears a query.
+//! * **Generation-aware caching.** The LRU response cache is keyed by
+//!   `(canonical query fingerprint, store generation)`, so a corpus
+//!   mutation invalidates exactly the stale entries — and a cache hit is
+//!   byte-identical to the miss that populated it.
+//! * **Answers are the engine's answers.** A served response body is a
+//!   pure rendering of [`sketch_index::engine::top_k_with_reports`] at
+//!   the served generation — proven byte-identical in the
+//!   mutation-under-load integration test.
+//! * **Freshness off the hot path.** A background thread polls the store
+//!   manifest, applies new delta generations incrementally to a private
+//!   clone, and atomically swaps snapshots; after a compaction
+//!   (`StaleGeneration`) it rebuilds from the store instead.
+
+#![deny(unsafe_code)] // `signal.rs` carves out the one allowed exception.
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+pub mod stats;
+
+pub use api::{render_batch_response, render_query_response, QueryParams};
+pub use cache::QueryCache;
+pub use client::{HttpClient, Response};
+pub use server::{start, ServerConfig, ServerError, ServerHandle};
+pub use snapshot::{IndexSnapshot, SnapshotCell};
+pub use stats::ServerStats;

@@ -1,0 +1,477 @@
+//! The server itself: a fixed pool of worker threads accepting on one
+//! shared listener, routing requests against the current
+//! [`IndexSnapshot`](crate::snapshot::IndexSnapshot), plus a background
+//! refresher thread that polls the store manifest and swaps fresh
+//! snapshots in off the hot path.
+//!
+//! # Concurrency model
+//!
+//! * **Workers** (`threads` of them) each loop `accept → serve
+//!   connection (keep-alive) → accept`. The listener is non-blocking and
+//!   shared, so an idle worker picks up the next connection without a
+//!   dispatcher thread or a channel. A worker serves one connection at a
+//!   time, so the pool size bounds concurrent connections; to keep a
+//!   parked client from pinning a worker, a connection idle past
+//!   `keep_alive_idle` is closed and the worker returns to accepting
+//!   (active clients are unaffected — the deadline only applies between
+//!   requests). Connection streams use a short read timeout, and every
+//!   timeout tick honors shutdown — even mid-request on a stalled
+//!   client — so graceful shutdown always completes.
+//! * **Queries never take a lock**: a worker loads the current snapshot
+//!   `Arc` (the only synchronized step — an `RwLock` held for one
+//!   refcount increment) and runs the whole query on that immutable
+//!   snapshot. A refresh swapping a new snapshot in mid-query is
+//!   invisible to the request being served.
+//! * **The refresher** polls `manifest.cskm` every `poll_interval`.
+//!   Polling is one tiny file read; only when the generation moved does
+//!   it clone the index, apply the new deltas (or rebuild after a
+//!   compaction), and swap. Store errors are logged to stderr and
+//!   retried next tick — the previous snapshot keeps serving.
+//! * **The cache** is keyed by `(query fingerprint, generation)`; see
+//!   [`crate::cache`].
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sketch_index::engine;
+use sketch_store::StoreError;
+
+use crate::api::{self, BatchRequest, QueryParams, QueryRequest};
+use crate::cache::QueryCache;
+use crate::http::{self, RecvError, Request};
+use crate::snapshot::{refresh, IndexSnapshot, RefreshOutcome, SnapshotCell};
+use crate::stats::ServerStats;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The packed corpus store directory to serve.
+    pub store: PathBuf,
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads in the fixed pool.
+    pub threads: usize,
+    /// Threads for shard loading (initial load and rebuilds).
+    pub load_threads: usize,
+    /// Query-result cache capacity in responses (0 disables).
+    pub cache_capacity: usize,
+    /// How often the refresher polls the store manifest.
+    pub poll_interval: Duration,
+    /// How long a keep-alive connection may sit idle (no request bytes)
+    /// before its worker closes it and returns to accepting. Bounds
+    /// worker starvation by parked clients; active requests are never
+    /// cut off.
+    pub keep_alive_idle: Duration,
+    /// Default ranking parameters for requests that omit them.
+    pub defaults: QueryParams,
+}
+
+impl ServerConfig {
+    /// Sensible defaults for serving `store`: ephemeral loopback port,
+    /// 4 workers, 1024-entry cache, 200 ms manifest polling, 10 s
+    /// keep-alive idle reclaim.
+    #[must_use]
+    pub fn new(store: impl Into<PathBuf>) -> Self {
+        Self {
+            store: store.into(),
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            load_threads: 4,
+            cache_capacity: 1024,
+            poll_interval: Duration::from_millis(200),
+            keep_alive_idle: Duration::from_secs(10),
+            defaults: QueryParams::default(),
+        }
+    }
+}
+
+/// Why the server failed to start or refresh.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The corpus store could not be read.
+    Store(StoreError),
+    /// The listener could not be bound or configured.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Store(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Store(e) => Some(e),
+            Self::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for ServerError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Everything the workers and the refresher share.
+struct Ctx {
+    store: PathBuf,
+    load_threads: usize,
+    keep_alive_idle: Duration,
+    defaults: QueryParams,
+    cell: SnapshotCell,
+    cache: QueryCache,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (they exit with the
+/// process); call `shutdown` for a deterministic, graceful stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    refresher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store generation currently being served.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.ctx.cell.load().generation()
+    }
+
+    /// Live sketches in the served snapshot.
+    #[must_use]
+    pub fn sketches(&self) -> usize {
+        self.ctx.cell.load().index().len()
+    }
+
+    /// Live server counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.ctx.stats
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// join every worker and the refresher. Returns the final `/stats`
+    /// payload.
+    #[must_use = "the returned stats summary describes the server's whole life"]
+    pub fn shutdown(self) -> String {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some(r) = self.refresher {
+            let _ = r.join();
+        }
+        let generation = self.ctx.cell.load().generation();
+        self.ctx.stats.to_json(generation, self.ctx.cache.len())
+    }
+}
+
+/// Load the store, bind the listener, and start the worker pool plus
+/// the background refresher.
+///
+/// # Errors
+///
+/// [`ServerError`] when the store cannot be loaded or the address
+/// cannot be bound.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    let snapshot = IndexSnapshot::from_store(&config.store, config.load_threads)?;
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let ctx = Arc::new(Ctx {
+        store: config.store,
+        load_threads: config.load_threads,
+        keep_alive_idle: config.keep_alive_idle,
+        defaults: config.defaults,
+        cell: SnapshotCell::new(snapshot),
+        cache: QueryCache::new(config.cache_capacity),
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers = (0..config.threads.max(1))
+        .map(|i| {
+            let listener = listener.try_clone()?;
+            let ctx = Arc::clone(&ctx);
+            Ok(std::thread::Builder::new()
+                .name(format!("sketch-serve-{i}"))
+                .spawn(move || worker_loop(&listener, &ctx))
+                .expect("spawning a worker thread succeeds"))
+        })
+        .collect::<Result<Vec<_>, std::io::Error>>()?;
+
+    let refresher = {
+        let ctx = Arc::clone(&ctx);
+        let interval = config.poll_interval;
+        std::thread::Builder::new()
+            .name("sketch-serve-refresh".to_string())
+            .spawn(move || refresher_loop(&ctx, interval))
+            .expect("spawning the refresher thread succeeds")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        workers,
+        refresher: Some(refresher),
+    })
+}
+
+fn refresher_loop(ctx: &Ctx, interval: Duration) {
+    // Tick in small steps so shutdown is observed promptly even with
+    // long poll intervals.
+    let tick = interval.min(Duration::from_millis(50));
+    let mut next_poll = Instant::now();
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        if Instant::now() >= next_poll {
+            next_poll = Instant::now() + interval;
+            match refresh(&ctx.cell, &ctx.store, ctx.load_threads) {
+                Ok(RefreshOutcome::Unchanged) => {}
+                Ok(RefreshOutcome::Refreshed(_)) => ServerStats::bump(&ctx.stats.refreshes),
+                Ok(RefreshOutcome::Rebuilt) => ServerStats::bump(&ctx.stats.rebuilds),
+                Err(e) => {
+                    // Keep serving the old snapshot; a mutation that is
+                    // mid-write will be complete by a later poll.
+                    eprintln!("sketch-serve: refresh failed (will retry): {e}");
+                }
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+fn worker_loop(listener: &TcpListener, ctx: &Ctx) {
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_connection(stream, ctx),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    loop {
+        let idle_deadline = Some(Instant::now() + ctx.keep_alive_idle);
+        match http::read_request(&mut stream, &mut buf, &ctx.shutdown, idle_deadline) {
+            Ok(req) => {
+                let (status, body) = route(ctx, &req);
+                ServerStats::bump(&ctx.stats.requests);
+                if status >= 300 {
+                    ServerStats::bump(&ctx.stats.errors);
+                }
+                if http::write_response(&mut stream, status, body.as_str(), req.keep_alive).is_err()
+                    || !req.keep_alive
+                {
+                    return;
+                }
+            }
+            Err(RecvError::Closed | RecvError::Shutdown | RecvError::Io(_)) => return,
+            Err(RecvError::Malformed(msg)) => {
+                ServerStats::bump(&ctx.stats.requests);
+                ServerStats::bump(&ctx.stats.errors);
+                let _ = http::write_response(&mut stream, 400, &api::render_error(&msg), false);
+                return;
+            }
+            Err(RecvError::TooLarge) => {
+                ServerStats::bump(&ctx.stats.requests);
+                ServerStats::bump(&ctx.stats.errors);
+                let _ = http::write_response(
+                    &mut stream,
+                    413,
+                    &api::render_error("request too large"),
+                    false,
+                );
+                return;
+            }
+        }
+        // Finish the in-flight request, then honor shutdown.
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+/// A response body: freshly rendered, or shared straight out of the
+/// cache (no copy on the hit path).
+enum Body {
+    Owned(String),
+    Shared(Arc<str>),
+}
+
+impl Body {
+    fn as_str(&self) -> &str {
+        match self {
+            Self::Owned(s) => s,
+            Self::Shared(s) => s,
+        }
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Self::Owned(s)
+    }
+}
+
+/// Dispatch one request. Returns `(status, body)`.
+fn route(ctx: &Ctx, req: &Request) -> (u16, Body) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            ServerStats::bump(&ctx.stats.healthz);
+            let snap = ctx.cell.load();
+            (
+                200,
+                Body::Owned(format!(
+                    "{{\"status\":\"ok\",\"generation\":{},\"sketches\":{}}}",
+                    snap.generation(),
+                    snap.index().len()
+                )),
+            )
+        }
+        ("GET", "/stats") => {
+            ServerStats::bump(&ctx.stats.stats);
+            let snap = ctx.cell.load();
+            (
+                200,
+                Body::Owned(ctx.stats.to_json(snap.generation(), ctx.cache.len())),
+            )
+        }
+        ("GET", "/corpus") => {
+            ServerStats::bump(&ctx.stats.corpus);
+            let snap = ctx.cell.load();
+            match sketch_store::stat_corpus(&ctx.store) {
+                Ok(info) => (
+                    200,
+                    Body::Owned(format!(
+                        "{{\"served_generation\":{},\"serving_sketches\":{},\
+                         \"distinct_keys\":{},\"store\":{}}}",
+                        snap.generation(),
+                        snap.index().len(),
+                        snap.index().distinct_keys(),
+                        info.to_json()
+                    )),
+                ),
+                // Transient: a compact can briefly race the stat read.
+                Err(e) => (503, Body::Owned(api::render_error(&e.to_string()))),
+            }
+        }
+        ("POST", "/query") => {
+            ServerStats::bump(&ctx.stats.query);
+            let t0 = Instant::now();
+            let response = handle_query(ctx, &req.body);
+            ctx.stats
+                .latency
+                .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            response
+        }
+        ("POST", "/query_batch") => {
+            ServerStats::bump(&ctx.stats.query_batch);
+            let t0 = Instant::now();
+            let response = handle_batch(ctx, &req.body);
+            ctx.stats
+                .latency
+                .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            response
+        }
+        ("POST", "/healthz" | "/stats" | "/corpus") | ("GET", "/query" | "/query_batch") => {
+            (405, Body::Owned(api::render_error("method not allowed")))
+        }
+        _ => (404, Body::Owned(api::render_error("no such endpoint"))),
+    }
+}
+
+fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let req = match QueryRequest::parse(body, &ctx.defaults) {
+        Ok(req) => req,
+        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+    };
+    let snap = ctx.cell.load();
+    let key = (req.fingerprint(), snap.generation());
+    if let Some(cached) = ctx.cache.get(&key) {
+        ServerStats::bump(&ctx.stats.cache_hits);
+        return (200, Body::Shared(cached));
+    }
+    ServerStats::bump(&ctx.stats.cache_misses);
+    let sketch = snap.build_query(&req.body.id, req.body.keys, req.body.values);
+    let results = engine::top_k_with_reports(
+        snap.index(),
+        &sketch,
+        &req.params.to_options(),
+        req.params.alpha,
+    );
+    let rendered = api::render_query_response(snap.generation(), &results);
+    ctx.cache.put(key, Arc::from(rendered.as_str()));
+    (200, Body::Owned(rendered))
+}
+
+fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let req = match BatchRequest::parse(body, &ctx.defaults) {
+        Ok(req) => req,
+        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+    };
+    let snap = ctx.cell.load();
+    let key = (req.fingerprint(), snap.generation());
+    if let Some(cached) = ctx.cache.get(&key) {
+        ServerStats::bump(&ctx.stats.cache_hits);
+        ctx.stats
+            .batched_queries
+            .fetch_add(req.queries.len() as u64, Ordering::Relaxed);
+        return (200, Body::Shared(cached));
+    }
+    ServerStats::bump(&ctx.stats.cache_misses);
+    ctx.stats
+        .batched_queries
+        .fetch_add(req.queries.len() as u64, Ordering::Relaxed);
+    let sketches: Vec<_> = req
+        .queries
+        .into_iter()
+        .map(|q| snap.build_query(&q.id, q.keys, q.values))
+        .collect();
+    let answers = engine::top_k_batch_with_reports(
+        snap.index(),
+        &sketches,
+        &req.params.to_options(),
+        req.params.alpha,
+    );
+    let rendered = api::render_batch_response(snap.generation(), &answers);
+    ctx.cache.put(key, Arc::from(rendered.as_str()));
+    (200, Body::Owned(rendered))
+}

@@ -1,0 +1,203 @@
+//! Lock-free server counters and a log-bucketed latency histogram.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — the stats endpoint
+//! is observability, not accounting, and must never contend with the
+//! query hot path. The histogram buckets latencies by power-of-two
+//! microseconds (bucket 0 holds 0 µs; bucket `i ≥ 1` covers
+//! `[2^(i-1), 2^i)` µs), which is accurate to within ~50% per sample
+//! across nine decades — plenty for p50/p95/p99 reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 histogram buckets: covers up to ~2^40 µs ≈ 12 days.
+const BUCKETS: usize = 40;
+
+/// A latency histogram with power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Estimate the `p`-th percentile (0–100) in milliseconds from a
+    /// snapshot: the geometric midpoint of the bucket containing the
+    /// rank. Returns 0.0 for an empty histogram.
+    #[must_use]
+    pub fn percentile_ms(counts: &[u64; BUCKETS], p: f64) -> f64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket 0 holds 0 µs; bucket i≥1 covers [2^(i-1), 2^i) µs.
+                let low = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let high = (1u64 << i) as f64;
+                return (low + high) / 2.0 / 1000.0;
+            }
+        }
+        f64::from(u32::MAX) // unreachable: ranks are <= total
+    }
+}
+
+/// All server counters, shared by the workers, the refresher, and the
+/// `/stats` endpoint.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests that reached routing (any endpoint, any status).
+    pub requests: AtomicU64,
+    /// `POST /query` requests.
+    pub query: AtomicU64,
+    /// `POST /query_batch` requests.
+    pub query_batch: AtomicU64,
+    /// Individual queries inside batch requests.
+    pub batched_queries: AtomicU64,
+    /// `GET /corpus` requests.
+    pub corpus: AtomicU64,
+    /// `GET /healthz` requests.
+    pub healthz: AtomicU64,
+    /// `GET /stats` requests.
+    pub stats: AtomicU64,
+    /// Responses with a non-2xx status.
+    pub errors: AtomicU64,
+    /// Query-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Query-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Incremental snapshot refreshes applied by the background poller.
+    pub refreshes: AtomicU64,
+    /// Full index rebuilds (post-compaction `StaleGeneration`).
+    pub rebuilds: AtomicU64,
+    /// Query latency histogram (`/query` and `/query_batch`, cache hits
+    /// included).
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the `/stats` payload: counters plus histogram percentiles,
+    /// with `cached` (current cache entry count) and `generation` passed
+    /// in by the caller.
+    #[must_use]
+    pub fn to_json(&self, generation: u64, cached: usize) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let counts = self.latency.snapshot();
+        let served: u64 = counts.iter().sum();
+        format!(
+            "{{\"generation\":{generation},\"requests\":{},\"query\":{},\
+             \"query_batch\":{},\"batched_queries\":{},\"corpus\":{},\
+             \"healthz\":{},\"stats\":{},\"errors\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{cached},\
+             \"refreshes\":{},\"rebuilds\":{},\"latency\":{{\"count\":{served},\
+             \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4}}}}}",
+            load(&self.requests),
+            load(&self.query),
+            load(&self.query_batch),
+            load(&self.batched_queries),
+            load(&self.corpus),
+            load(&self.healthz),
+            load(&self.stats),
+            load(&self.errors),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+            load(&self.refreshes),
+            load(&self.rebuilds),
+            LatencyHistogram::percentile_ms(&counts, 50.0),
+            LatencyHistogram::percentile_ms(&counts, 95.0),
+            LatencyHistogram::percentile_ms(&counts, 99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let h = LatencyHistogram::default();
+        h.record_us(0); // bucket 0
+        h.record_us(1); // bucket 1
+        h.record_us(3); // bucket 2
+        h.record_us(1000);
+        h.record_us(u64::MAX); // clamped to the last bucket
+        let counts = h.snapshot();
+        assert_eq!(counts.iter().sum::<u64>(), 5);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_data() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record_us(100); // ~0.1 ms
+        }
+        for _ in 0..10 {
+            h.record_us(50_000); // ~50 ms
+        }
+        let counts = h.snapshot();
+        let p50 = LatencyHistogram::percentile_ms(&counts, 50.0);
+        let p95 = LatencyHistogram::percentile_ms(&counts, 95.0);
+        let p99 = LatencyHistogram::percentile_ms(&counts, 99.0);
+        assert!(p50 < 1.0, "p50={p50}");
+        assert!(p95 > 10.0, "p95={p95}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(LatencyHistogram::percentile_ms(&[0; BUCKETS], 50.0), 0.0);
+    }
+
+    #[test]
+    fn stats_json_is_parseable() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.requests);
+        ServerStats::bump(&s.query);
+        ServerStats::bump(&s.cache_hits);
+        s.latency.record_us(250);
+        let text = s.to_json(3, 7);
+        let v = correlation_sketches::json::parse(&text).unwrap();
+        let obj = v.as_object("stats").unwrap();
+        assert_eq!(obj.get("generation").unwrap().as_u64("g").unwrap(), 3);
+        assert_eq!(obj.get("requests").unwrap().as_u64("r").unwrap(), 1);
+        assert_eq!(obj.get("cache_entries").unwrap().as_u64("c").unwrap(), 7);
+        let lat = obj.get("latency").unwrap().as_object("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64("n").unwrap(), 1);
+        assert!(lat.get("p99_ms").unwrap().as_f64("p99").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Concurrent snapshot-swap stress: queries racing
+//! `refresh_from_store`-driven swaps (and post-compaction rebuilds)
+//! across {2, 7, 16} query threads must never observe a torn index —
+//! every observed answer must be bit-identical to an independent
+//! in-memory rebuild over the exact live corpus of its generation.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
+use sketch_index::{engine, QueryOptions, ReportedResult, SketchIndex};
+use sketch_server::snapshot::{refresh, IndexSnapshot, SnapshotCell};
+use sketch_store::PackOptions;
+use sketch_table::ColumnPair;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("sketch-serve-stress-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn builder() -> SketchBuilder {
+    SketchBuilder::new(SketchConfig::with_size(48))
+}
+
+fn sketch(table: &str, lo: usize) -> CorrelationSketch {
+    builder().build(&ColumnPair::new(
+        table,
+        "k",
+        "v",
+        (lo..lo + 60).map(|i| format!("key-{i}")).collect(),
+        (lo..lo + 60).map(|i| ((i as f64) * 0.23).sin()).collect(),
+    ))
+}
+
+fn run_stress(query_threads: usize) {
+    let dir = TempDir::new(&format!("t{query_threads}"));
+    // The authoritative mirror of the store's live view, in live order
+    // (base survivors in pack order, then surviving appends in append
+    // order) — the order contract `read_corpus` guarantees.
+    let mut live: Vec<CorrelationSketch> =
+        (0..12).map(|t| sketch(&format!("t{t}"), t * 7)).collect();
+    sketch_store::pack_corpus(
+        &dir.0,
+        &live,
+        &PackOptions {
+            shards: 3,
+            threads: 1,
+        },
+    )
+    .unwrap();
+
+    let cell = SnapshotCell::new(IndexSnapshot::from_store(&dir.0, 1).unwrap());
+    let query = builder().build(&ColumnPair::new(
+        "q",
+        "k",
+        "v",
+        (0..60).map(|i| format!("key-{i}")).collect(),
+        (0..60).map(|i| (i as f64) * 1.5).collect(),
+    ));
+    let opts = QueryOptions {
+        k: 20,
+        ..QueryOptions::default()
+    };
+
+    // generation -> expected answer, recorded by the mutator *before*
+    // the swap that makes the generation observable.
+    let expected: Mutex<HashMap<u64, Vec<ReportedResult>>> = Mutex::new(HashMap::new());
+    let record = |generation: u64,
+                  live: &[CorrelationSketch],
+                  expected: &Mutex<HashMap<u64, Vec<ReportedResult>>>| {
+        let rebuilt = SketchIndex::from_sketches(live.iter().cloned()).unwrap();
+        let answer = engine::top_k_with_reports(&rebuilt, &query, &opts, 0.05);
+        expected.lock().unwrap().insert(generation, answer);
+    };
+    record(0, &live, &expected);
+
+    let stop = AtomicBool::new(false);
+    let observed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..query_threads {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cell.load();
+                    let generation = snap.generation();
+                    let got = engine::top_k_with_reports(snap.index(), &query, &opts, 0.05);
+                    let map = expected.lock().unwrap();
+                    let want = map
+                        .get(&generation)
+                        .unwrap_or_else(|| panic!("unknown generation {generation}"));
+                    assert_eq!(&got, want, "torn answer at generation {generation}");
+                    drop(map);
+                    observed.lock().unwrap().push(generation);
+                }
+            });
+        }
+
+        // The mutator: appends, removes, and compactions, each followed
+        // by a refresh of the cell — racing the query threads above.
+        let mut next_table = 100usize;
+        for round in 0..8u64 {
+            let generation = round * 3;
+            // Append two.
+            let a = sketch(&format!("t{next_table}"), next_table % 90);
+            let b = sketch(&format!("t{}", next_table + 1), (next_table * 3) % 90);
+            next_table += 2;
+            sketch_store::append_corpus(&dir.0, &[a.clone(), b.clone()], 1).unwrap();
+            live.push(a);
+            live.push(b);
+            record(generation + 1, &live, &expected);
+            refresh(&cell, &dir.0, 1).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+
+            // Remove the oldest survivor.
+            let victim = live.remove(0);
+            sketch_store::remove_from_corpus(&dir.0, &[victim.id().to_string()], 1).unwrap();
+            record(generation + 2, &live, &expected);
+            refresh(&cell, &dir.0, 1).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+
+            // Compact every round: exercises the rebuild path. The live
+            // view is unchanged, but the generation advances.
+            sketch_store::compact_corpus(
+                &dir.0,
+                &PackOptions {
+                    shards: 2,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+            // After a compact the base is rewritten in live order, so
+            // the mirror stays valid as-is.
+            record(generation + 3, &live, &expected);
+            refresh(&cell, &dir.0, 1).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let observed = observed.into_inner().unwrap();
+    assert!(
+        observed.len() >= query_threads * 4,
+        "only {} observations across {query_threads} threads",
+        observed.len()
+    );
+    // The run must have seen swaps actually land, not just generation 0.
+    let distinct: std::collections::HashSet<u64> = observed.iter().copied().collect();
+    assert!(
+        distinct.len() >= 2,
+        "queries only ever saw generations {distinct:?}"
+    );
+    assert_eq!(cell.load().generation(), 24);
+}
+
+#[test]
+fn snapshot_swaps_are_tear_free_2_threads() {
+    run_stress(2);
+}
+
+#[test]
+fn snapshot_swaps_are_tear_free_7_threads() {
+    run_stress(7);
+}
+
+#[test]
+fn snapshot_swaps_are_tear_free_16_threads() {
+    run_stress(16);
+}

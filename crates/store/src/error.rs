@@ -37,6 +37,14 @@ pub enum StoreError {
         /// corpus directory.
         file: String,
     },
+    /// The directory has no `manifest.cskm` at all — it is missing,
+    /// empty, or simply not a packed corpus store. Distinct from
+    /// [`Self::Io`] so front ends can print "not a store" instead of a
+    /// raw `No such file or directory` I/O string.
+    MissingManifest {
+        /// The directory that was supposed to be a corpus store.
+        dir: std::path::PathBuf,
+    },
 }
 
 impl StoreError {
@@ -50,7 +58,7 @@ impl StoreError {
     pub fn as_sketch_error(&self) -> Option<&SketchError> {
         match self {
             Self::Sketch(e) | Self::Shard { source: e, .. } => Some(e),
-            Self::Io { .. } | Self::MissingShard { .. } => None,
+            Self::Io { .. } | Self::MissingShard { .. } | Self::MissingManifest { .. } => None,
         }
     }
 }
@@ -67,6 +75,15 @@ impl std::fmt::Display for StoreError {
                     "shard {file} is referenced by the manifest but missing on disk"
                 )
             }
+            Self::MissingManifest { dir } => {
+                write!(
+                    f,
+                    "{}: no corpus manifest ({}) — not a packed store, or the \
+                     directory is empty or missing",
+                    dir.display(),
+                    crate::manifest::MANIFEST_NAME
+                )
+            }
         }
     }
 }
@@ -76,7 +93,7 @@ impl std::error::Error for StoreError {
         match self {
             Self::Io { source, .. } => Some(source),
             Self::Sketch(e) | Self::Shard { source: e, .. } => Some(e),
-            Self::MissingShard { .. } => None,
+            Self::MissingShard { .. } | Self::MissingManifest { .. } => None,
         }
     }
 }

@@ -121,6 +121,7 @@
 
 pub mod corpus;
 pub mod error;
+pub mod info;
 pub mod manifest;
 pub mod shard;
 
@@ -130,6 +131,7 @@ pub use corpus::{
 };
 pub use correlation_sketches::{DeltaRecord, SketchError};
 pub use error::StoreError;
+pub use info::{stat_corpus, DeltaInfo, ShardInfo, StoreInfo};
 pub use manifest::{DeltaMeta, Manifest, ShardMeta, MANIFEST_NAME, MANIFEST_VERSION};
 pub use shard::{
     read_delta_shard, read_shard, write_delta_shard, write_shard, FORMAT_VERSION, KIND_BASE,

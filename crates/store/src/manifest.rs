@@ -278,11 +278,21 @@ impl Manifest {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when unreadable, [`StoreError::Sketch`] when
-    /// malformed.
+    /// [`StoreError::MissingManifest`] when the directory holds no
+    /// manifest at all (missing, empty, or not a store),
+    /// [`StoreError::Io`] when unreadable for environmental reasons,
+    /// [`StoreError::Sketch`] when malformed.
     pub fn load(dir: &Path) -> Result<Self, StoreError> {
         let path = dir.join(MANIFEST_NAME);
-        let text = std::fs::read_to_string(&path).map_err(StoreError::io(path))?;
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingManifest {
+                    dir: dir.to_path_buf(),
+                }
+            } else {
+                StoreError::io(path)(e)
+            }
+        })?;
         Self::parse(&text).map_err(StoreError::Sketch)
     }
 

@@ -247,7 +247,12 @@ fn corrupt_manifest_is_typed() {
         Some(SketchError::Corrupt(_))
     ));
     std::fs::remove_file(dir.path(MANIFEST_NAME)).unwrap();
-    assert!(matches!(read_corpus(&dir.0, 1), Err(StoreError::Io { .. })));
+    // A directory with no manifest at all is typed as "not a store", so
+    // front ends never print a raw `No such file or directory` string.
+    assert!(matches!(
+        read_corpus(&dir.0, 1),
+        Err(StoreError::MissingManifest { .. })
+    ));
 }
 
 /// A mutated corpus fixture: 4 base sketches, one delta appending two

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Smoke test for `corrsketch serve`: pack a small corpus, boot the
+# server in the background, run scripted requests (fresh, cached,
+# post-append, post-compact), and assert a clean graceful shutdown on
+# SIGTERM (exit code 0).
+#
+# Used by CI (.github/workflows/ci.yml, `serve-smoke` job) and runnable
+# locally:  bash scripts/serve_smoke.sh [target/release]
+set -euo pipefail
+
+BIN_DIR="${1:-target/release}"
+CORRSKETCH="$BIN_DIR/corrsketch"
+WORK="$(mktemp -d)"
+PORT="${SERVE_SMOKE_PORT:-7351}"
+BASE="http://127.0.0.1:$PORT"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# --- 1. Write a tiny CSV lake and pack it. ------------------------------
+mkdir -p "$WORK/lake" "$WORK/more"
+{
+  echo "day,pickups"
+  for i in $(seq 0 199); do echo "d$i,$(( (i * 37) % 100 ))"; done
+} > "$WORK/lake/taxi.csv"
+{
+  echo "day,rain"
+  for i in $(seq 0 199); do echo "d$i,$(( 100 - (i * 37) % 100 ))"; done
+} > "$WORK/lake/weather.csv"
+{
+  echo "day,events"
+  for i in $(seq 0 199); do echo "d$i,$(( (i * 37) % 100 + 3 ))"; done
+} > "$WORK/more/events.csv"
+
+"$CORRSKETCH" corpus pack --dir "$WORK/lake" --out "$WORK/store" \
+  --shards 2 --sketch-size 128
+"$CORRSKETCH" corpus info --store "$WORK/store" --json true \
+  | grep -q '"generation":0' || fail "corpus info --json missing generation"
+
+# --- 2. Boot the server in the background. ------------------------------
+"$CORRSKETCH" serve --store "$WORK/store" --port "$PORT" --threads 2 \
+  --poll-ms 100 > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" > /dev/null 2>&1; then break; fi
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.log"; fail "server died during startup"; }
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"' || fail "healthz not ok"
+
+# --- 3. Fresh query, then cached repeat — byte-identical. ---------------
+QUERY="{\"keys\":[$(printf '"d%s",' $(seq 0 198))\"d199\"],\"values\":[$(printf '%s,' $(seq 0 198))199]}"
+echo "$QUERY" > "$WORK/query.json"
+
+curl -sf -X POST --data-binary @"$WORK/query.json" "$BASE/query" > "$WORK/r1.json"
+grep -q '"generation":0' "$WORK/r1.json" || fail "fresh query not at generation 0"
+grep -q '"results":\[{' "$WORK/r1.json" || fail "fresh query returned no results"
+
+curl -sf -X POST --data-binary @"$WORK/query.json" "$BASE/query" > "$WORK/r2.json"
+cmp -s "$WORK/r1.json" "$WORK/r2.json" || fail "cached response not byte-identical"
+curl -sf "$BASE/stats" | grep -q '"cache_hits":0' && fail "repeat was not a cache hit"
+
+# --- 4. Mutate the corpus under the live server. ------------------------
+"$CORRSKETCH" corpus append --store "$WORK/store" --dir "$WORK/more"
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" | grep -q '"generation":1' && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" | grep -q '"generation":1' || fail "server never saw the append"
+
+curl -sf -X POST --data-binary @"$WORK/query.json" "$BASE/query" > "$WORK/r3.json"
+grep -q '"generation":1' "$WORK/r3.json" || fail "post-append answer not at generation 1"
+grep -q 'events/day/events' "$WORK/r3.json" || fail "appended column not served"
+
+"$CORRSKETCH" corpus compact --store "$WORK/store"
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" | grep -q '"generation":2' && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" | grep -q '"generation":2' || fail "server never saw the compact"
+
+curl -sf -X POST --data-binary @"$WORK/query.json" "$BASE/query" > "$WORK/r4.json"
+grep -q '"generation":2' "$WORK/r4.json" || fail "post-compact answer not at generation 2"
+grep -q 'events/day/events' "$WORK/r4.json" || fail "post-compact results lost the appended column"
+
+curl -sf "$BASE/corpus" | grep -q '"served_generation":2' || fail "corpus endpoint stale"
+
+# --- 5. Graceful shutdown on SIGTERM. -----------------------------------
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+[ "$EXIT_CODE" -eq 0 ] || { cat "$WORK/server.log"; fail "server exited $EXIT_CODE on SIGTERM"; }
+grep -q "graceful shutdown" "$WORK/server.log" || { cat "$WORK/server.log"; fail "no graceful shutdown report"; }
+
+# Nothing must be listening any more.
+curl -sf --max-time 2 "$BASE/healthz" > /dev/null 2>&1 && fail "server still listening after SIGTERM"
+
+echo "serve_smoke: OK (fresh, cached, post-append, post-compact, SIGTERM all clean)"
