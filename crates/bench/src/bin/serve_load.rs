@@ -144,11 +144,11 @@ fn main() {
         config.threads = server_threads;
         config.load_threads = server_threads;
         config.cache_capacity = cache;
-        let h = sketch_server::start(config).expect("server starts");
-        let addr = h.addr();
+        let mut h = sketch_server::start(config.clone()).expect("server starts");
         eprintln!(
-            "serve_load: serving {} sketches at {addr} with {server_threads} workers",
-            h.sketches()
+            "serve_load: serving {} sketches at {} with {server_threads} workers",
+            h.sketches(),
+            h.addr()
         );
         // Verification needs the store on disk; only meaningful when we
         // own the server.
@@ -156,7 +156,7 @@ fn main() {
             let snap = IndexSnapshot::from_store(&store_dir, server_threads)
                 .expect("load store for verification");
             let defaults = QueryParams::default();
-            let mut client = HttpClient::connect(addr).expect("connect");
+            let mut client = HttpClient::connect(h.addr()).expect("connect");
             for body in &bodies {
                 let resp = client.post("/query", body).expect("verify request");
                 assert_eq!(resp.status, 200, "{}", resp.body);
@@ -180,6 +180,15 @@ fn main() {
                 bodies.len()
             );
         }
+        if verify && !warm {
+            // The verification pass populated the response cache; a
+            // cold-cache run timed against it would silently measure
+            // the hit path. Restart for a genuinely cold server.
+            let _ = h.shutdown();
+            h = sketch_server::start(config).expect("server restarts");
+            eprintln!("serve_load: restarted server so the timed run starts cold");
+        }
+        let addr = h.addr();
         handle = Some(h);
         addr
     };

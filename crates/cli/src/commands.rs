@@ -693,6 +693,13 @@ pub mod serve {
         config.load_threads = args.parse_or("load-threads", config.threads)?;
         config.cache_capacity = args.parse_or("cache", 1024usize)?;
         config.poll_interval = Duration::from_millis(args.parse_or("poll-ms", 200u64)?);
+        config.request_timeout =
+            Duration::from_millis(args.parse_or("request-timeout-ms", 10_000u64)?);
+
+        // Handlers must be in place before the (possibly slow) store
+        // load: a supervisor's SIGTERM during startup should still take
+        // the graceful exit path, not the default disposition.
+        sketch_server::signal::install();
         let handle = sketch_server::start(config).map_err(|e| CliError::Data(e.to_string()))?;
 
         // Readiness goes to stdout *now* — the final report string is
@@ -706,7 +713,6 @@ pub mod serve {
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
 
-        sketch_server::signal::install();
         while !sketch_server::signal::termination_requested() {
             std::thread::sleep(Duration::from_millis(25));
         }

@@ -94,6 +94,7 @@ USAGE:
                       [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est] [--threads 1]
   corrsketch serve    --store <store-dir> [--host 127.0.0.1] [--port 0]
                       [--threads 4] [--cache 1024] [--poll-ms 200]
+                      [--request-timeout-ms 10000]      (0 disables)
                       (HTTP: POST /query, POST /query_batch, GET /corpus,
                        GET /healthz, GET /stats; graceful stop on SIGTERM)
   corrsketch estimate --left <csv> --left-key <col> --left-value <col>

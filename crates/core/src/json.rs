@@ -172,6 +172,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -182,9 +183,16 @@ pub fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Maximum container nesting. The parser is recursive-descent, so
+/// without a ceiling a few tens of KB of `[` bytes from an untrusted
+/// source would overflow the thread stack; 64 is far beyond any
+/// document this workspace exchanges.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -226,8 +234,8 @@ impl Parser<'_> {
             Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
             Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
             Some(b'"') => self.string().map(Value::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(format!("unexpected byte at offset {}", self.pos)),
         }
@@ -322,6 +330,19 @@ impl Parser<'_> {
         u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape: {e}"))
     }
 
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Value, String>) -> Result<Value, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at offset {}",
+                self.pos
+            ));
+        }
+        let v = f(self)?;
+        self.depth -= 1;
+        Ok(v)
+    }
+
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
@@ -404,6 +425,23 @@ mod tests {
         assert!(v.as_str("v").is_err());
         assert!(v.as_u64("v").is_err());
         assert!(v.as_bool("v").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // At the limit: fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // One past: typed error, not a stack overflow.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&over).unwrap_err().contains("nesting"));
+        // The attack shape: a huge run of '[' must not crash the
+        // process (pre-fix this overflowed a 2 MiB thread stack).
+        let bomb = "[".repeat(512 * 1024);
+        assert!(parse(&bomb).is_err());
+        // Objects count toward the same depth, and mixed nesting too.
+        let obj_bomb = "{\"a\":".repeat(MAX_DEPTH + 1);
+        assert!(parse(&obj_bomb).unwrap_err().contains("nesting"));
     }
 
     #[test]

@@ -22,8 +22,11 @@ pub(crate) fn top_k_by<T>(
         return Vec::new();
     }
     // `heap` is a max-heap under `cmp`: the root is the *worst* item
-    // currently kept, ready to be displaced.
-    let mut heap: Vec<T> = Vec::with_capacity(k + 1);
+    // currently kept, ready to be displaced. The pre-allocation is a
+    // hint capped well below `k`, which may be attacker-controlled
+    // (e.g. a served query's `candidates`) — an absurd `k` must not
+    // become a huge allocation before the first item arrives.
+    let mut heap: Vec<T> = Vec::with_capacity(k.saturating_add(1).min(4096));
     for item in items {
         if heap.len() < k {
             heap.push(item);

@@ -92,15 +92,28 @@ pub struct BatchRequest {
     pub params: QueryParams,
 }
 
+/// Ceiling on request-supplied `k` and `candidates`. Both size
+/// selection heaps, so an untrusted request must not be able to demand
+/// an enormous allocation; far beyond any useful top-k over any corpus
+/// this serves.
+pub const MAX_SELECTION: usize = 100_000;
+
+fn bounded(v: &json::Value, field: &str) -> Result<usize, String> {
+    let n = usize::try_from(v.as_u64(field).map_err(|e| e.to_string())?)
+        .map_err(|e| format!("{field}: {e}"))?;
+    if n > MAX_SELECTION {
+        return Err(format!("{field} must be <= {MAX_SELECTION}, got {n}"));
+    }
+    Ok(n)
+}
+
 fn parse_params(obj: json::Obj<'_>, defaults: &QueryParams) -> Result<QueryParams, String> {
     let mut params = *defaults;
     if let Some(v) = obj.opt("k") {
-        params.k = usize::try_from(v.as_u64("k").map_err(|e| e.to_string())?)
-            .map_err(|e| format!("k: {e}"))?;
+        params.k = bounded(v, "k")?;
     }
     if let Some(v) = obj.opt("candidates") {
-        params.candidates = usize::try_from(v.as_u64("candidates").map_err(|e| e.to_string())?)
-            .map_err(|e| format!("candidates: {e}"))?;
+        params.candidates = bounded(v, "candidates")?;
     }
     if let Some(v) = obj.opt("estimator") {
         params.estimator = v
@@ -440,6 +453,16 @@ mod tests {
             ),
             (br#"not json"#, "unexpected"),
             (br#"[1,2]"#, "object"),
+            // Absurd selection sizes must be rejected at the boundary,
+            // not turned into enormous allocations downstream.
+            (
+                br#"{"keys":["a"],"values":[1],"k":1099511627776}"#,
+                "k must be <=",
+            ),
+            (
+                br#"{"keys":["a"],"values":[1],"candidates":1099511627776}"#,
+                "candidates must be <=",
+            ),
         ] {
             let err = QueryRequest::parse(body, &defaults()).unwrap_err();
             assert!(

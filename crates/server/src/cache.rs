@@ -7,12 +7,22 @@
 //! age out of the LRU tail naturally. Values are the fully rendered
 //! response bodies (`Arc<str>`), so a cache hit serves byte-identical
 //! output to the miss that populated it, by construction.
+//!
+//! Retention is bounded two ways: by entry count (`capacity`) and by
+//! total value bytes ([`BYTE_BUDGET`]) — request parameters size the
+//! rendered bodies, so an entry-count bound alone would let a client
+//! asking huge-`k` queries pin memory proportional to
+//! `capacity × max body`.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cache key: `(canonical query fingerprint, store generation)`.
 pub type CacheKey = (u128, u64);
+
+/// Upper bound on the summed length of cached response bodies. Bodies
+/// larger than the whole budget are never cached at all.
+pub const BYTE_BUDGET: usize = 64 << 20;
 
 const NIL: usize = usize::MAX;
 
@@ -26,14 +36,32 @@ struct Entry {
 struct Lru {
     map: HashMap<CacheKey, usize>,
     entries: Vec<Entry>,
+    /// Slab slots in `entries` freed by byte-budget eviction.
+    free: Vec<usize>,
     /// Most recently used entry, `NIL` when empty.
     head: usize,
     /// Least recently used entry, `NIL` when empty.
     tail: usize,
     capacity: usize,
+    /// Summed `value.len()` of live entries.
+    bytes: usize,
+    byte_budget: usize,
 }
 
 impl Lru {
+    fn empty(capacity: usize, byte_budget: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            entries: Vec::with_capacity(capacity.min(1 << 16)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            bytes: 0,
+            byte_budget,
+        }
+    }
+
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.entries[i].prev, self.entries[i].next);
         if prev == NIL {
@@ -59,6 +87,18 @@ impl Lru {
             self.tail = i;
         }
     }
+
+    /// Evict the least recently used entry, returning its slab slot to
+    /// the free list.
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        self.unlink(i);
+        let key = self.entries[i].key;
+        self.map.remove(&key);
+        self.bytes -= self.entries[i].value.len();
+        self.entries[i].value = Arc::from("");
+        self.free.push(i);
+    }
 }
 
 /// A thread-safe LRU of rendered query responses. Capacity 0 disables
@@ -68,24 +108,40 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
-    /// An empty cache holding at most `capacity` responses.
+    /// An empty cache holding at most `capacity` responses totalling at
+    /// most [`BYTE_BUDGET`] bytes.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, BYTE_BUDGET)
+    }
+
+    /// An empty cache with an explicit byte budget (tests).
+    #[must_use]
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
         Self {
-            inner: Mutex::new(Lru {
-                map: HashMap::with_capacity(capacity.min(1 << 16)),
-                entries: Vec::with_capacity(capacity.min(1 << 16)),
-                head: NIL,
-                tail: NIL,
-                capacity,
-            }),
+            inner: Mutex::new(Lru::empty(capacity, byte_budget)),
         }
+    }
+
+    /// Lock the LRU, surviving poisoning: the server catches panics per
+    /// connection, so a panic inside a cache operation must not turn
+    /// every later query into a lock panic (a permanent zombie that
+    /// still answers `/healthz`). The interrupted operation may have
+    /// left the list inconsistent, so a poisoned cache is dumped — it
+    /// is only a cache — rather than served from.
+    fn lock(&self) -> MutexGuard<'_, Lru> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            let mut lru = poisoned.into_inner();
+            *lru = Lru::empty(lru.capacity, lru.byte_budget);
+            self.inner.clear_poison();
+            lru
+        })
     }
 
     /// Fetch a cached response and mark it most recently used.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
-        let mut lru = self.inner.lock().expect("cache lock is never poisoned");
+        let mut lru = self.lock();
         let &i = lru.map.get(key)?;
         let value = Arc::clone(&lru.entries[i].value);
         if lru.head != i {
@@ -95,51 +151,52 @@ impl QueryCache {
         Some(value)
     }
 
-    /// Insert (or refresh) a response, evicting the least recently used
-    /// entry when full.
+    /// Insert (or refresh) a response, evicting least recently used
+    /// entries while over the count capacity or the byte budget. A
+    /// value that alone exceeds the whole budget is not cached.
     pub fn put(&self, key: CacheKey, value: Arc<str>) {
-        let mut lru = self.inner.lock().expect("cache lock is never poisoned");
-        if lru.capacity == 0 {
+        let mut lru = self.lock();
+        if lru.capacity == 0 || value.len() > lru.byte_budget {
             return;
         }
         if let Some(&i) = lru.map.get(&key) {
+            lru.bytes -= lru.entries[i].value.len();
+            lru.bytes += value.len();
             lru.entries[i].value = value;
             if lru.head != i {
                 lru.unlink(i);
                 lru.push_front(i);
             }
-            return;
-        }
-        let i = if lru.entries.len() < lru.capacity {
-            lru.entries.push(Entry {
+        } else {
+            let entry = Entry {
                 key,
                 value,
                 prev: NIL,
                 next: NIL,
-            });
-            lru.entries.len() - 1
-        } else {
-            // Reuse the LRU slot in place.
-            let i = lru.tail;
-            lru.unlink(i);
-            let old_key = lru.entries[i].key;
-            lru.map.remove(&old_key);
-            lru.entries[i].key = key;
-            lru.entries[i].value = value;
-            i
-        };
-        lru.map.insert(key, i);
-        lru.push_front(i);
+            };
+            let i = if let Some(i) = lru.free.pop() {
+                lru.entries[i] = entry;
+                i
+            } else {
+                lru.entries.push(entry);
+                lru.entries.len() - 1
+            };
+            lru.bytes += lru.entries[i].value.len();
+            lru.map.insert(key, i);
+            lru.push_front(i);
+        }
+        // The freshly touched entry is the head, so these evictions
+        // never remove it: once it is the only survivor, `map.len()`
+        // is 1 ≤ capacity and `bytes ≤ byte_budget` (checked above).
+        while lru.map.len() > lru.capacity || lru.bytes > lru.byte_budget {
+            lru.evict_tail();
+        }
     }
 
     /// Number of cached responses.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("cache lock is never poisoned")
-            .map
-            .len()
+        self.lock().map.len()
     }
 
     /// True when nothing is cached.
@@ -197,6 +254,32 @@ mod tests {
     }
 
     #[test]
+    fn byte_budget_bounds_retained_memory() {
+        // Budget of 100 bytes: four 30-byte values can't all stay.
+        let c = QueryCache::with_byte_budget(1024, 100);
+        let big = "x".repeat(30);
+        for i in 0..4u128 {
+            c.put(key(i, 0), val(&big));
+        }
+        assert_eq!(c.len(), 3, "fourth insert must evict the LRU entry");
+        assert!(c.get(&key(0, 0)).is_none());
+        assert_eq!(c.get(&key(3, 0)).as_deref(), Some(big.as_str()));
+        // A value bigger than the whole budget is never cached.
+        c.put(key(9, 0), val(&"y".repeat(101)));
+        assert!(c.get(&key(9, 0)).is_none());
+        assert_eq!(c.len(), 3);
+        // Refreshing a key with a bigger value re-balances the budget.
+        c.put(key(3, 0), val(&"z".repeat(90)));
+        assert_eq!(c.get(&key(3, 0)).as_deref(), Some("z".repeat(90).as_str()));
+        assert_eq!(c.len(), 1, "the two other 30-byte entries must go");
+        // Freed slab slots are reused, not leaked.
+        for i in 100..200u128 {
+            c.put(key(i, 0), val("small"));
+        }
+        assert!(c.len() <= 20);
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let c = QueryCache::new(0);
         c.put(key(1, 0), val("x"));
@@ -215,6 +298,22 @@ mod tests {
             }
         }
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_by_dumping() {
+        let c = QueryCache::new(4);
+        c.put(key(1, 0), val("x"));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = c.inner.lock().unwrap();
+            panic!("poison the cache lock");
+        }));
+        assert!(result.is_err());
+        // The cache dumped its (possibly inconsistent) contents and
+        // keeps working — no permanent lock panic on every later query.
+        assert!(c.get(&key(1, 0)).is_none());
+        c.put(key(2, 0), val("y"));
+        assert_eq!(c.get(&key(2, 0)).as_deref(), Some("y"));
     }
 
     #[test]

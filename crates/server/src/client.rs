@@ -55,6 +55,16 @@ impl HttpClient {
         self.request("POST", path, Some(body))
     }
 
+    /// Issue a bodyless request with an arbitrary method (tests use
+    /// this to cover 405 handling for HEAD/PUT/…).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a malformed/oversized response.
+    pub fn request_with_method(&mut self, method: &str, path: &str) -> std::io::Result<Response> {
+        self.request(method, path, None)
+    }
+
     fn request(
         &mut self,
         method: &str,

@@ -8,13 +8,15 @@
 //! that arrive with the first are kept, not dropped. Streams are
 //! expected to have a short read timeout; every timeout tick checks the
 //! caller's shutdown flag (so a stalled client can never pin a worker
-//! past shutdown), and in the idle keep-alive state it additionally
-//! checks the caller's idle deadline (so parked connections hand their
-//! worker back to the accept loop instead of holding it forever).
+//! past shutdown). In the idle keep-alive state it additionally checks
+//! the caller's idle deadline (so parked connections hand their worker
+//! back to the accept loop), and once request bytes exist a per-request
+//! deadline bounds the head/body phases (so a slow-loris client that
+//! trickles a partial request cannot pin a worker either).
 
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line + headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -26,7 +28,8 @@ pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 pub struct Request {
     /// `GET`, `POST`, … (uppercased by the wire format already).
     pub method: String,
-    /// Request target, e.g. `/query` (query strings are not split off).
+    /// Request target, e.g. `/query`. Query strings are not split off
+    /// here; the router strips `?...` before matching.
     pub path: String,
     /// Raw request body (`Content-Length` bytes).
     pub body: Vec<u8>,
@@ -46,6 +49,9 @@ pub enum RecvError {
     /// The bytes on the wire are not a well-formed request; the string
     /// says why (safe to echo in a 400 response).
     Malformed(String),
+    /// Request bytes stopped arriving in full (stalled or trickled)
+    /// before the caller's per-request deadline; respond 408.
+    TimedOut,
     /// Head or body exceeded [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`].
     TooLarge,
     /// A non-timeout I/O failure on the stream.
@@ -59,14 +65,39 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+fn stalled_past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// The minimum transfer rate a request must sustain once the deadline
+/// is armed: every received byte credits the deadline at this rate, so
+/// the timeout bounds *lack of progress* rather than total duration. A
+/// legitimate client pushing a large body over a modest link keeps
+/// earning time (worst case `timeout + MAX_BODY_BYTES / rate`, ~4 min),
+/// while a slow-loris trickle earns microseconds per byte and still
+/// dies at ~`timeout`.
+const MIN_PROGRESS_BYTES_PER_SEC: u64 = 64 * 1024;
+
+fn credit_progress(deadline: &mut Option<Instant>, bytes: usize) {
+    if let Some(d) = deadline {
+        let ns = (bytes as u64).saturating_mul(1_000_000_000 / MIN_PROGRESS_BYTES_PER_SEC);
+        *d += Duration::from_nanos(ns);
+    }
+}
+
 /// Read one request from `stream` into/out of `buf` (which carries
 /// pipelined leftovers between calls).
 ///
 /// `idle_deadline` bounds the *idle* wait only (no request bytes yet):
 /// past it the connection is reclaimed as a clean [`RecvError::Closed`]
 /// so the worker can go back to accepting. Once request bytes have
-/// arrived there is no deadline — but every timeout tick still honors
-/// `shutdown`, so a stalled client cannot pin a worker past shutdown.
+/// arrived, `request_timeout` bounds the remaining head/body phases
+/// instead: a client that stops making progress — stalled outright or
+/// trickling bytes below [`MIN_PROGRESS_BYTES_PER_SEC`] — gets a
+/// [`RecvError::TimedOut`] rather than pinning the worker (a
+/// slow-loris defense), while received bytes credit the deadline so a
+/// large body on a modest link is never rejected for duration alone.
+/// Every timeout tick additionally honors `shutdown`.
 ///
 /// # Errors
 ///
@@ -76,15 +107,30 @@ pub fn read_request(
     buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
     idle_deadline: Option<Instant>,
+    request_timeout: Option<Duration>,
 ) -> Result<Request, RecvError> {
     let mut chunk = [0u8; 4096];
-    // Phase 1: accumulate until the head is complete.
+    // Armed when the first request byte arrives (or immediately, for a
+    // request already started by pipelined leftovers).
+    let mut request_deadline: Option<Instant> = if buf.is_empty() {
+        None
+    } else {
+        request_timeout.map(|t| Instant::now() + t)
+    };
+    // Phase 1: accumulate until the head is complete. The deadline is
+    // checked whenever the request is still incomplete — before every
+    // read, not just on timeout ticks — so a client trickling bytes
+    // faster than the socket read timeout cannot sidestep it; a request
+    // that completes is never rejected.
     let head_end = loop {
         if let Some(pos) = find_head_end(buf) {
             break pos;
         }
         if buf.len() > MAX_HEAD_BYTES {
             return Err(RecvError::TooLarge);
+        }
+        if stalled_past(request_deadline) {
+            return Err(RecvError::TimedOut);
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
@@ -94,12 +140,19 @@ pub fn read_request(
                     Err(RecvError::Malformed("connection closed mid-request".into()))
                 };
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if request_deadline.is_none() {
+                    request_deadline = request_timeout.map(|t| Instant::now() + t);
+                } else {
+                    credit_progress(&mut request_deadline, n);
+                }
+            }
             Err(e) if is_timeout(&e) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return Err(RecvError::Shutdown);
                 }
-                if buf.is_empty() && idle_deadline.is_some_and(|d| Instant::now() >= d) {
+                if buf.is_empty() && stalled_past(idle_deadline) {
                     return Err(RecvError::Closed);
                 }
             }
@@ -130,18 +183,52 @@ pub fn read_request(
         )));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = version == "HTTP/1.1";
     for line in lines {
+        // RFC 9112 §5.2: a line starting with SP/HTAB is obsolete
+        // header folding — reject rather than silently drop, since a
+        // proxy that unfolds it would frame the message differently.
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(RecvError::Malformed("obsolete header folding".into()));
+        }
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
+        // RFC 9112 §5.1: whitespace between the field name and the
+        // colon MUST be rejected with 400 — a lenient proxy that
+        // accepts "Content-Length : N" while this parser silently
+        // dropped it would disagree on message framing (the same
+        // desync class as the duplicate/'+digit' rejections below).
+        if name.trim_end() != name {
+            return Err(RecvError::Malformed(
+                "whitespace before header colon".into(),
+            ));
+        }
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| RecvError::Malformed(format!("bad content-length '{value}'")))?;
+            // Duplicate Content-Length headers are a request-smuggling
+            // desync vector behind proxies (RFC 9112 §6.3) — reject
+            // rather than silently letting the last one win.
+            if content_length.is_some() {
+                return Err(RecvError::Malformed(
+                    "duplicate content-length header".into(),
+                ));
+            }
+            // RFC 9110 allows DIGIT only; Rust's integer parse also
+            // accepts a leading '+', which a fronting proxy may frame
+            // differently — another desync vector, so digits only.
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(RecvError::Malformed(format!(
+                    "bad content-length '{value}'"
+                )));
+            }
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| RecvError::Malformed(format!("bad content-length '{value}'")))?,
+            );
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
@@ -150,6 +237,7 @@ pub fn read_request(
             ));
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(RecvError::TooLarge);
     }
@@ -158,9 +246,15 @@ pub fn read_request(
     let body_start = head_end + 4;
     let total = body_start + content_length;
     while buf.len() < total {
+        if stalled_past(request_deadline) {
+            return Err(RecvError::TimedOut);
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(RecvError::Malformed("connection closed mid-body".into())),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                credit_progress(&mut request_deadline, n);
+            }
             Err(e) if is_timeout(&e) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return Err(RecvError::Shutdown);
@@ -185,6 +279,33 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+fn render_response(status: u16, body: &str, keep_alive: bool, allow: Option<&str>) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    if let Some(methods) = allow {
+        out.extend_from_slice(format!("Allow: {methods}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(if keep_alive {
+        b"Connection: keep-alive\r\n\r\n"
+    } else {
+        b"Connection: close\r\n\r\n"
+    });
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
 /// Serialize and send one response. The body is always sent with an
 /// explicit `Content-Length` (no chunking), content type
 /// `application/json`.
@@ -198,26 +319,65 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        413 => "Payload Too Large",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    };
-    let mut out = Vec::with_capacity(128 + body.len());
-    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
-    out.extend_from_slice(b"Content-Type: application/json\r\n");
-    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
-    out.extend_from_slice(if keep_alive {
-        b"Connection: keep-alive\r\n\r\n"
-    } else {
-        b"Connection: close\r\n\r\n"
-    });
-    out.extend_from_slice(body.as_bytes());
-    stream.write_all(&out)?;
+    stream.write_all(&render_response(status, body, keep_alive, None))?;
+    stream.flush()
+}
+
+/// [`write_response`] under the same progress deadline as the receive
+/// side: the stream must have a short write timeout, and every write
+/// that makes progress credits the deadline at
+/// [`MIN_PROGRESS_BYTES_PER_SEC`] — so a reader that drains slowly but
+/// steadily completes, while one holding its window shut (or trickling
+/// a byte per timeout tick to reset a naive per-syscall timeout) is cut
+/// off near `timeout`. Timeout ticks also honor `shutdown`, so a
+/// non-draining client cannot wedge graceful drain.
+///
+/// # Errors
+///
+/// `TimedOut` past the deadline or on shutdown, otherwise the stream's
+/// write error.
+pub fn write_response_bounded(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    allow: Option<&str>,
+    shutdown: &AtomicBool,
+    timeout: Option<Duration>,
+) -> std::io::Result<()> {
+    let out = render_response(status, body, keep_alive, allow);
+    let mut deadline = timeout.map(|t| Instant::now() + t);
+    let mut pos = 0;
+    while pos < out.len() {
+        if stalled_past(deadline) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response write timed out",
+            ));
+        }
+        match stream.write(&out[pos..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "stream refused response bytes",
+                ));
+            }
+            Ok(n) => {
+                pos += n;
+                credit_progress(&mut deadline, n);
+            }
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "shutdown during response write",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     stream.flush()
 }
 
@@ -254,7 +414,7 @@ mod tests {
         let mut s = Script {
             chunks: wire.to_vec(),
         };
-        read_request(&mut s, buf, &AtomicBool::new(false), None)
+        read_request(&mut s, buf, &AtomicBool::new(false), None, None)
     }
 
     #[test]
@@ -320,7 +480,7 @@ mod tests {
         };
         let mut buf = Vec::new();
         assert!(matches!(
-            read_request(&mut s, &mut buf, &shutdown, None),
+            read_request(&mut s, &mut buf, &shutdown, None, None),
             Err(RecvError::Shutdown)
         ));
         // A client stalled mid-head is abandoned on the next timeout
@@ -330,7 +490,7 @@ mod tests {
             chunks: vec![b"GET / HTTP/1.1".to_vec(), Vec::new(), b"\r\n\r\n".to_vec()],
         };
         assert!(matches!(
-            read_request(&mut s, &mut buf, &shutdown, None),
+            read_request(&mut s, &mut buf, &shutdown, None, None),
             Err(RecvError::Shutdown)
         ));
         // Same for a client stalled mid-body.
@@ -343,7 +503,7 @@ mod tests {
             ],
         };
         assert!(matches!(
-            read_request(&mut s, &mut buf, &shutdown, None),
+            read_request(&mut s, &mut buf, &shutdown, None, None),
             Err(RecvError::Shutdown)
         ));
         // Without shutdown, the same stalls just keep waiting and the
@@ -357,8 +517,75 @@ mod tests {
                 b"cde".to_vec(),
             ],
         };
-        let req = read_request(&mut s, &mut buf, &no_shutdown, None).unwrap();
+        let req = read_request(&mut s, &mut buf, &no_shutdown, None, None).unwrap();
         assert_eq!(req.body, b"abcde");
+    }
+
+    #[test]
+    fn request_timeout_abandons_slow_loris_clients() {
+        let shutdown = AtomicBool::new(false);
+        let expired = Some(Duration::ZERO);
+        // Stalled mid-head past the request deadline: typed error, the
+        // worker is released.
+        let mut buf = Vec::new();
+        let mut s = Script {
+            chunks: vec![b"GET / HTTP/1.1".to_vec(), Vec::new(), b"\r\n\r\n".to_vec()],
+        };
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, None, expired),
+            Err(RecvError::TimedOut)
+        ));
+        // Stalled mid-body: same.
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab".to_vec(),
+                Vec::new(),
+                b"cde".to_vec(),
+            ],
+        };
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, None, expired),
+            Err(RecvError::TimedOut)
+        ));
+        // Trickling bytes *without* ever hitting a read timeout must
+        // not sidestep the deadline: the check runs whenever the
+        // request is incomplete, not just on timeout ticks.
+        buf.clear();
+        let mut s = Script {
+            chunks: (0..32).map(|_| b"x".to_vec()).collect(),
+        };
+        assert!(matches!(
+            read_request(&mut s, &mut buf, &shutdown, None, expired),
+            Err(RecvError::TimedOut)
+        ));
+        assert!(buf.len() < 4, "trickle must be cut off at the deadline");
+        // A generous deadline lets the same trickle complete: the
+        // timeout only fires on ticks past the deadline.
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab".to_vec(),
+                Vec::new(),
+                b"cde".to_vec(),
+            ],
+        };
+        let req = read_request(
+            &mut s,
+            &mut buf,
+            &shutdown,
+            None,
+            Some(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(req.body, b"abcde");
+        // The idle wait is NOT governed by the request timeout — only
+        // request bytes arm it.
+        buf.clear();
+        let mut s = Script {
+            chunks: vec![Vec::new(), b"GET / HTTP/1.1\r\n\r\n".to_vec()],
+        };
+        assert!(read_request(&mut s, &mut buf, &shutdown, None, expired).is_ok());
     }
 
     #[test]
@@ -371,7 +598,7 @@ mod tests {
         };
         let mut buf = Vec::new();
         assert!(matches!(
-            read_request(&mut s, &mut buf, &shutdown, expired),
+            read_request(&mut s, &mut buf, &shutdown, expired, None),
             Err(RecvError::Closed)
         ));
         // Once request bytes exist, the idle deadline no longer applies.
@@ -379,7 +606,7 @@ mod tests {
         let mut s = Script {
             chunks: vec![b"GET / HTTP/1.1".to_vec(), Vec::new(), b"\r\n\r\n".to_vec()],
         };
-        assert!(read_request(&mut s, &mut buf, &shutdown, expired).is_ok());
+        assert!(read_request(&mut s, &mut buf, &shutdown, expired, None).is_ok());
     }
 
     #[test]
@@ -406,6 +633,10 @@ mod tests {
             "GET /\r\n\r\n",
             "GET / SPDY/9\r\n\r\n",
             "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: +16\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length : 5\r\n\r\nhello",
+            "POST / HTTP/1.1\r\n Content-Length: 5\r\n\r\nhello",
+            "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 50\r\n\r\n",
             "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
         ] {
             let mut buf = Vec::new();
@@ -417,6 +648,83 @@ mod tests {
                 "{wire:?}"
             );
         }
+    }
+
+    /// A `Write` that accepts one byte per call, with a timeout tick
+    /// between accepts — the shape of a peer draining its receive
+    /// window one byte at a time.
+    struct TrickleSink {
+        written: Vec<u8>,
+        tick: bool,
+    }
+
+    impl Write for TrickleSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.tick = !self.tick;
+            if self.tick {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.written.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn bounded_write_cuts_off_non_draining_readers() {
+        // A reader draining one byte per tick earns ~15 µs per byte —
+        // far below the expired deadline — and is cut off early, even
+        // though every other write call makes (token) progress.
+        let mut sink = TrickleSink {
+            written: Vec::new(),
+            tick: false,
+        };
+        let err = write_response_bounded(
+            &mut sink,
+            200,
+            "{\"big\":true}",
+            true,
+            None,
+            &AtomicBool::new(false),
+            Some(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(sink.written.len() < 4, "must not ride progress forever");
+        // A generous deadline lets the same slow reader finish.
+        let mut sink = TrickleSink {
+            written: Vec::new(),
+            tick: false,
+        };
+        write_response_bounded(
+            &mut sink,
+            200,
+            "{\"big\":true}",
+            true,
+            None,
+            &AtomicBool::new(false),
+            Some(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert!(sink.written.ends_with(b"{\"big\":true}"));
+        // Shutdown cuts a blocked write on the next tick.
+        let mut sink = TrickleSink {
+            written: Vec::new(),
+            tick: false,
+        };
+        let err = write_response_bounded(
+            &mut sink,
+            200,
+            "{}",
+            true,
+            None,
+            &AtomicBool::new(true),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
     }
 
     #[test]
@@ -433,5 +741,20 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        // 405 responses carry the Allow header (RFC 9110 §15.5.6).
+        let mut out = Vec::new();
+        write_response_bounded(
+            &mut out,
+            405,
+            "{}",
+            true,
+            Some("POST"),
+            &AtomicBool::new(false),
+            None,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: POST\r\n"));
     }
 }

@@ -33,7 +33,7 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sketch_index::engine;
@@ -65,6 +65,12 @@ pub struct ServerConfig {
     /// worker starvation by parked clients; active requests are never
     /// cut off.
     pub keep_alive_idle: Duration,
+    /// How long a single request may take to arrive in full once its
+    /// first byte has been read, and how long a response write may sit
+    /// with no progress. Bounds worker starvation by slow-loris clients
+    /// that trickle a partial head or body forever and by clients that
+    /// never drain their response; zero disables both deadlines.
+    pub request_timeout: Duration,
     /// Default ranking parameters for requests that omit them.
     pub defaults: QueryParams,
 }
@@ -72,7 +78,7 @@ pub struct ServerConfig {
 impl ServerConfig {
     /// Sensible defaults for serving `store`: ephemeral loopback port,
     /// 4 workers, 1024-entry cache, 200 ms manifest polling, 10 s
-    /// keep-alive idle reclaim.
+    /// keep-alive idle reclaim, 10 s per-request receive deadline.
     #[must_use]
     pub fn new(store: impl Into<PathBuf>) -> Self {
         Self {
@@ -83,6 +89,7 @@ impl ServerConfig {
             cache_capacity: 1024,
             poll_interval: Duration::from_millis(200),
             keep_alive_idle: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(10),
             defaults: QueryParams::default(),
         }
     }
@@ -132,9 +139,19 @@ struct Ctx {
     store: PathBuf,
     load_threads: usize,
     keep_alive_idle: Duration,
+    request_timeout: Duration,
     defaults: QueryParams,
     cell: SnapshotCell,
     cache: QueryCache,
+    poll_interval: Duration,
+    /// `/corpus` body cached per served generation, so polling
+    /// dashboards don't re-stat the store (manifest + every delta
+    /// shard) from a worker thread on each hit. Entries also expire
+    /// after `poll_interval`: the body embeds on-disk store stats, and
+    /// a generation-only key would freeze them for as long as a stuck
+    /// refresher pins the served generation — hiding exactly the
+    /// disk-vs-served divergence a dashboard needs to see.
+    corpus_info: Mutex<Option<(u64, Instant, Arc<str>)>>,
     stats: ServerStats,
     shutdown: AtomicBool,
 }
@@ -208,9 +225,12 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         store: config.store,
         load_threads: config.load_threads,
         keep_alive_idle: config.keep_alive_idle,
+        request_timeout: config.request_timeout,
         defaults: config.defaults,
         cell: SnapshotCell::new(snapshot),
         cache: QueryCache::new(config.cache_capacity),
+        poll_interval: config.poll_interval,
+        corpus_info: Mutex::new(None),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
     });
@@ -251,14 +271,24 @@ fn refresher_loop(ctx: &Ctx, interval: Duration) {
     while !ctx.shutdown.load(Ordering::Relaxed) {
         if Instant::now() >= next_poll {
             next_poll = Instant::now() + interval;
-            match refresh(&ctx.cell, &ctx.store, ctx.load_threads) {
-                Ok(RefreshOutcome::Unchanged) => {}
-                Ok(RefreshOutcome::Refreshed(_)) => ServerStats::bump(&ctx.stats.refreshes),
-                Ok(RefreshOutcome::Rebuilt) => ServerStats::bump(&ctx.stats.rebuilds),
-                Err(e) => {
+            // Contained like worker panics: an escaped panic here would
+            // silently kill generation tracking while the server keeps
+            // answering 200 from an ever-staler snapshot.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                refresh(&ctx.cell, &ctx.store, ctx.load_threads)
+            }));
+            match outcome {
+                Ok(Ok(RefreshOutcome::Unchanged)) => {}
+                Ok(Ok(RefreshOutcome::Refreshed(_))) => ServerStats::bump(&ctx.stats.refreshes),
+                Ok(Ok(RefreshOutcome::Rebuilt)) => ServerStats::bump(&ctx.stats.rebuilds),
+                Ok(Err(e)) => {
                     // Keep serving the old snapshot; a mutation that is
                     // mid-write will be complete by a later poll.
                     eprintln!("sketch-serve: refresh failed (will retry): {e}");
+                }
+                Err(_) => {
+                    ServerStats::bump(&ctx.stats.errors);
+                    eprintln!("sketch-serve: refresh panicked (will retry)");
                 }
             }
         }
@@ -267,11 +297,32 @@ fn refresher_loop(ctx: &Ctx, interval: Duration) {
 }
 
 fn worker_loop(listener: &TcpListener, ctx: &Ctx) {
+    // Idle accept polling backs off exponentially (1 ms → 25 ms) so a
+    // quiet daemon isn't waking thousands of times a second, while a
+    // burst after idle is still picked up within one tick; the cap also
+    // keeps shutdown latency well under 50 ms.
+    const IDLE_SLEEP_MIN: Duration = Duration::from_millis(1);
+    const IDLE_SLEEP_MAX: Duration = Duration::from_millis(25);
+    let mut idle_sleep = IDLE_SLEEP_MIN;
     while !ctx.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => serve_connection(stream, ctx),
+            Ok((stream, _peer)) => {
+                idle_sleep = IDLE_SLEEP_MIN;
+                // A panic while serving must not unwind the worker out
+                // of the pool — the fixed pool never respawns, so each
+                // escaped panic would permanently shrink capacity until
+                // the server silently stopped accepting.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(stream, ctx);
+                }));
+                if result.is_err() {
+                    ServerStats::bump(&ctx.stats.errors);
+                    eprintln!("sketch-serve: worker caught a panic while serving a connection");
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
+                std::thread::sleep(idle_sleep);
+                idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
@@ -279,9 +330,18 @@ fn worker_loop(listener: &TcpListener, ctx: &Ctx) {
 }
 
 fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let request_timeout = (!ctx.request_timeout.is_zero()).then_some(ctx.request_timeout);
+    // Short read *and* write timeouts turn blocking syscalls into
+    // ticks; `read_request` / `write_response_bounded` then apply the
+    // same progress-credited deadline in both directions, so neither a
+    // slow-loris sender nor a non-draining reader can pin the worker or
+    // wedge shutdown (which joins workers).
     if stream.set_nonblocking(false).is_err()
         || stream
             .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(50)))
             .is_err()
     {
         return;
@@ -290,14 +350,37 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
     let mut buf = Vec::new();
     loop {
         let idle_deadline = Some(Instant::now() + ctx.keep_alive_idle);
-        match http::read_request(&mut stream, &mut buf, &ctx.shutdown, idle_deadline) {
+        match http::read_request(
+            &mut stream,
+            &mut buf,
+            &ctx.shutdown,
+            idle_deadline,
+            request_timeout,
+        ) {
             Ok(req) => {
-                let (status, body) = route(ctx, &req);
+                let (status, body, allow) = route(ctx, &req);
                 ServerStats::bump(&ctx.stats.requests);
                 if status >= 300 {
                     ServerStats::bump(&ctx.stats.errors);
                 }
-                if http::write_response(&mut stream, status, body.as_str(), req.keep_alive).is_err()
+                // RFC 9110: a response to HEAD must not carry a body —
+                // a spec-compliant peer would leave the unread bytes in
+                // its buffer and desync the next keep-alive response.
+                let body_str = if req.method == "HEAD" {
+                    ""
+                } else {
+                    body.as_str()
+                };
+                if http::write_response_bounded(
+                    &mut stream,
+                    status,
+                    body_str,
+                    req.keep_alive,
+                    allow,
+                    &ctx.shutdown,
+                    request_timeout,
+                )
+                .is_err()
                     || !req.keep_alive
                 {
                     return;
@@ -307,17 +390,42 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
             Err(RecvError::Malformed(msg)) => {
                 ServerStats::bump(&ctx.stats.requests);
                 ServerStats::bump(&ctx.stats.errors);
-                let _ = http::write_response(&mut stream, 400, &api::render_error(&msg), false);
+                let _ = http::write_response_bounded(
+                    &mut stream,
+                    400,
+                    &api::render_error(&msg),
+                    false,
+                    None,
+                    &ctx.shutdown,
+                    request_timeout,
+                );
+                return;
+            }
+            Err(RecvError::TimedOut) => {
+                ServerStats::bump(&ctx.stats.requests);
+                ServerStats::bump(&ctx.stats.errors);
+                let _ = http::write_response_bounded(
+                    &mut stream,
+                    408,
+                    &api::render_error("request timed out"),
+                    false,
+                    None,
+                    &ctx.shutdown,
+                    request_timeout,
+                );
                 return;
             }
             Err(RecvError::TooLarge) => {
                 ServerStats::bump(&ctx.stats.requests);
                 ServerStats::bump(&ctx.stats.errors);
-                let _ = http::write_response(
+                let _ = http::write_response_bounded(
                     &mut stream,
                     413,
                     &api::render_error("request too large"),
                     false,
+                    None,
+                    &ctx.shutdown,
+                    request_timeout,
                 );
                 return;
             }
@@ -351,9 +459,26 @@ impl From<String> for Body {
     }
 }
 
-/// Dispatch one request. Returns `(status, body)`.
-fn route(ctx: &Ctx, req: &Request) -> (u16, Body) {
-    match (req.method.as_str(), req.path.as_str()) {
+/// Dispatch one request. Returns `(status, body, allow)` — `allow` is
+/// the `Allow` header value, set only on 405 (RFC 9110 §15.5.6
+/// requires it).
+fn route(ctx: &Ctx, req: &Request) -> (u16, Body, Option<&'static str>) {
+    // Probes and load balancers routinely append query parameters
+    // (`/healthz?probe=1`); routing only cares about the path.
+    let path = req
+        .path
+        .split_once('?')
+        .map_or(req.path.as_str(), |(path, _query)| path);
+    let (status, body) = route_path(ctx, req, path);
+    let allow = (status == 405).then_some(match path {
+        "/healthz" | "/stats" | "/corpus" => "GET",
+        _ => "POST",
+    });
+    (status, body, allow)
+}
+
+fn route_path(ctx: &Ctx, req: &Request, path: &str) -> (u16, Body) {
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             ServerStats::bump(&ctx.stats.healthz);
             let snap = ctx.cell.load();
@@ -377,18 +502,38 @@ fn route(ctx: &Ctx, req: &Request) -> (u16, Body) {
         ("GET", "/corpus") => {
             ServerStats::bump(&ctx.stats.corpus);
             let snap = ctx.cell.load();
+            let generation = snap.generation();
+            // Poison-tolerant: the slot only ever holds a complete
+            // `Some`, so state after a caught panic is still valid.
+            let cached = ctx
+                .corpus_info
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
+            if let Some((g, at, body)) = cached {
+                if g == generation && at.elapsed() < ctx.poll_interval {
+                    return (200, Body::Shared(body));
+                }
+            }
             match sketch_store::stat_corpus(&ctx.store) {
-                Ok(info) => (
-                    200,
-                    Body::Owned(format!(
-                        "{{\"served_generation\":{},\"serving_sketches\":{},\
-                         \"distinct_keys\":{},\"store\":{}}}",
-                        snap.generation(),
-                        snap.index().len(),
-                        snap.index().distinct_keys(),
-                        info.to_json()
-                    )),
-                ),
+                Ok(info) => {
+                    let body: Arc<str> = Arc::from(
+                        format!(
+                            "{{\"served_generation\":{},\"serving_sketches\":{},\
+                             \"distinct_keys\":{},\"store\":{}}}",
+                            generation,
+                            snap.index().len(),
+                            snap.index().distinct_keys(),
+                            info.to_json()
+                        )
+                        .as_str(),
+                    );
+                    *ctx.corpus_info
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some((generation, Instant::now(), Arc::clone(&body)));
+                    (200, Body::Shared(body))
+                }
                 // Transient: a compact can briefly race the stat read.
                 Err(e) => (503, Body::Owned(api::render_error(&e.to_string()))),
             }
@@ -397,21 +542,30 @@ fn route(ctx: &Ctx, req: &Request) -> (u16, Body) {
             ServerStats::bump(&ctx.stats.query);
             let t0 = Instant::now();
             let response = handle_query(ctx, &req.body);
-            ctx.stats
-                .latency
-                .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            // Only answered queries feed the histogram — microsecond
+            // 400 rejections would otherwise drag p50/p95 down and
+            // mask real served-query latency.
+            if response.0 < 300 {
+                ctx.stats
+                    .latency
+                    .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
             response
         }
         ("POST", "/query_batch") => {
             ServerStats::bump(&ctx.stats.query_batch);
             let t0 = Instant::now();
             let response = handle_batch(ctx, &req.body);
-            ctx.stats
-                .latency
-                .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            if response.0 < 300 {
+                ctx.stats
+                    .latency
+                    .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
             response
         }
-        ("POST", "/healthz" | "/stats" | "/corpus") | ("GET", "/query" | "/query_batch") => {
+        // Any other method on an endpoint that exists (HEAD, PUT,
+        // OPTIONS, …) is 405, not "no such endpoint".
+        (_, "/healthz" | "/stats" | "/corpus" | "/query" | "/query_batch") => {
             (405, Body::Owned(api::render_error("method not allowed")))
         }
         _ => (404, Body::Owned(api::render_error("no such endpoint"))),

@@ -40,6 +40,7 @@ mod imp {
 
     const SIGINT: c_int = 2;
     const SIGTERM: c_int = 15;
+    const SIG_DFL: usize = 0;
 
     extern "C" {
         /// POSIX `signal(2)`. The handler argument and return value are
@@ -48,7 +49,15 @@ mod imp {
         fn signal(signum: c_int, handler: usize) -> usize;
     }
 
-    extern "C" fn on_signal(_signum: c_int) {
+    extern "C" fn on_signal(signum: c_int) {
+        // First signal: request graceful shutdown. Restoring the
+        // default disposition here means a *second* signal terminates
+        // immediately — so a slow startup or a wedged drain can still
+        // be interrupted with a repeated Ctrl-C instead of SIGKILL.
+        // SAFETY: `signal` is async-signal-safe per POSIX.
+        unsafe {
+            signal(signum, SIG_DFL);
+        }
         super::request_termination();
     }
 

@@ -344,6 +344,12 @@ fn health_stats_corpus_and_error_paths() {
     assert_eq!(api::extract_u64(&health.body, "generation").unwrap(), 0);
     assert_eq!(api::extract_u64(&health.body, "sketches").unwrap(), 6);
 
+    // Load balancers append query parameters to probe URLs; routing
+    // must ignore everything after '?'.
+    let probed = client.get("/healthz?probe=1").unwrap();
+    assert_eq!(probed.status, 200);
+    assert_eq!(probed.body, health.body);
+
     let corpus_resp = client.get("/corpus").unwrap();
     assert_eq!(corpus_resp.status, 200);
     assert_eq!(
@@ -384,6 +390,13 @@ fn health_stats_corpus_and_error_paths() {
     let resp = client.post("/healthz", "{}").unwrap();
     assert_eq!(resp.status, 405);
     let resp = client.get("/query").unwrap();
+    assert_eq!(resp.status, 405);
+    // Any unsupported method on an endpoint that exists is 405, not
+    // 404 — an uptime probe issuing HEAD must not read "no such
+    // endpoint".
+    let resp = client.request_with_method("PUT", "/query").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client.request_with_method("HEAD", "/healthz").unwrap();
     assert_eq!(resp.status, 405);
 
     // The connection survived all of that (keep-alive).
