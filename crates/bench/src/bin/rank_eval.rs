@@ -1,0 +1,182 @@
+//! Recall@k of point-estimate vs confidence-aware ranking on a planted
+//! corpus with known ground truth — the paper's Section 5 comparison,
+//! run through the *live* engine path (retrieve → fused estimate + CI →
+//! `s1..s4` re-rank) rather than the offline evaluation harness.
+//!
+//! The planted corpus (`sketch_datagen::planted`) hides a few genuinely
+//! correlated partners per query among full-overlap noise and many
+//! small-overlap "trap" columns whose sketch-join estimates can land
+//! near ±1 purely by chance. Ground truth (exact joins over the full
+//! data) marks only the true partners relevant; recall@k then measures
+//! how many of them each scorer surfaces.
+//!
+//! ```text
+//! cargo run --release -p sketch-bench --bin rank_eval
+//! cargo run --release -p sketch-bench --bin rank_eval -- \
+//!     --queries 8 --traps 60 --sketch-size 128 --k 5 --seed 42 --assert
+//! ```
+//!
+//! With `--assert`, the process exits non-zero unless every CI-aware
+//! scorer's recall@k is at least the point-estimate recall AND at least
+//! one strictly beats it — the CI smoke gate.
+
+use correlation_sketches::{SketchBuilder, SketchConfig};
+use sketch_bench::args::Args;
+use sketch_datagen::{generate_planted, PlantedConfig};
+use sketch_index::{engine, QueryOptions, Scorer, SketchIndex};
+use sketch_stats::{mean, pearson, recall_at_k};
+use sketch_table::{exact_join, Aggregation, ColumnPair};
+
+/// Minimum exact-join size for a candidate to enter the ground truth at
+/// all; `relevant_ids` then applies the `--relevance` threshold to its
+/// full-data `|r|`. Matches the engine's default `min_sample`.
+const MIN_JOIN: usize = 3;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = PlantedConfig {
+        queries: args.get_or("queries", 8usize),
+        true_per_query: args.get_or("true-per-query", 3usize),
+        noise_per_query: args.get_or("noise-per-query", 6usize),
+        traps_per_query: args.get_or("traps", 60usize),
+        rows: args.get_or("rows", 1_200usize),
+        trap_keys: args.get_or("trap-keys", 40usize),
+        seed: args.get_or("seed", 42u64),
+    };
+    let sketch_size = args.get_or("sketch-size", 128usize);
+    let k = args.get_or("k", 5usize);
+    let relevance = args.get_or("relevance", 0.6f64);
+    let threads = args.get_or("threads", 2usize);
+
+    let planted = generate_planted(&cfg);
+    eprintln!(
+        "rank_eval: {} queries x {} candidates each ({} true, {} noise, {} traps), seed {}",
+        planted.queries.len(),
+        cfg.true_per_query + cfg.noise_per_query + cfg.traps_per_query,
+        cfg.true_per_query,
+        cfg.noise_per_query,
+        cfg.traps_per_query,
+        cfg.seed
+    );
+
+    // Ground truth: exact joins over the full planted data.
+    let relevant_sets: Vec<Vec<String>> = planted
+        .queries
+        .iter()
+        .map(|q| relevant_ids(q, &planted.corpus, relevance))
+        .collect();
+    for (q, rel) in planted.queries.iter().zip(&relevant_sets) {
+        assert!(
+            !rel.is_empty(),
+            "{}: planted corpus must contain relevant candidates",
+            q.id()
+        );
+    }
+
+    // The live path: sketch everything, index the corpus, rank with the
+    // engine under each scorer.
+    let config = SketchConfig::with_size(sketch_size);
+    let builder = SketchBuilder::new(config);
+    let index = SketchIndex::from_sketches(planted.corpus.iter().map(|p| builder.build(p)))
+        .expect("uniform hashers");
+    let query_sketches: Vec<_> = planted.queries.iter().map(|q| builder.build(q)).collect();
+
+    println!(
+        "scorer      recall@{k}   (mean over {} queries)",
+        planted.queries.len()
+    );
+    let mut recalls = Vec::new();
+    for scorer in Scorer::ALL {
+        let opts = QueryOptions {
+            k,
+            overlap_candidates: 200,
+            scorer,
+            threads,
+            ..QueryOptions::default()
+        };
+        let per_query: Vec<f64> = query_sketches
+            .iter()
+            .zip(&relevant_sets)
+            .map(|(q, relevant)| {
+                // Rank the whole retrieved list (k = the candidate cap),
+                // flag each position's relevance, and append any
+                // relevant candidate the retrieval missed entirely as a
+                // trailing non-hit so recall's denominator stays the
+                // ground-truth set, then cut at k.
+                let full = QueryOptions {
+                    k: opts.overlap_candidates,
+                    ..opts
+                };
+                let ranked = engine::top_k_join_correlation(&index, q, &full);
+                let mut flags: Vec<bool> =
+                    ranked.iter().map(|r| relevant.contains(&r.id)).collect();
+                let retrieved = flags.iter().filter(|&&f| f).count();
+                // Unretrieved relevant candidates must land beyond the
+                // cutoff, even when fewer than k candidates ranked.
+                flags.resize(flags.len().max(k), false);
+                flags.extend(std::iter::repeat_n(true, relevant.len() - retrieved));
+                recall_at_k(&flags, k).expect("relevant sets are non-empty")
+            })
+            .collect();
+        let recall = mean(&per_query);
+        let label = if scorer == Scorer::S1 {
+            "s1 (point)"
+        } else {
+            scorer.name()
+        };
+        println!("{label:<11} {recall:.3}");
+        recalls.push((scorer, recall));
+    }
+
+    let point = recalls[0].1;
+    let best = recalls
+        .iter()
+        .skip(1)
+        .map(|&(_, r)| r)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{{\"k\":{k},\"seed\":{},\"recall_point\":{point:.4},\"recall_s2\":{:.4},\
+         \"recall_s3\":{:.4},\"recall_s4\":{:.4}}}",
+        cfg.seed, recalls[1].1, recalls[2].1, recalls[3].1
+    );
+
+    if args.flag("assert") {
+        let mut ok = true;
+        for &(scorer, recall) in &recalls[1..] {
+            if recall + 1e-12 < point {
+                eprintln!("rank_eval: FAIL — {scorer} recall {recall:.3} below point {point:.3}");
+                ok = false;
+            }
+        }
+        if best <= point {
+            eprintln!(
+                "rank_eval: FAIL — no CI-aware scorer beats point-estimate \
+                 ranking (point {point:.3}, best {best:.3})"
+            );
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!(
+            "rank_eval: OK — s2..s4 >= point ({point:.3}) and best CI-aware \
+             scorer ({best:.3}) beats it"
+        );
+    }
+}
+
+/// Ids of the candidates whose ground-truth after-join correlation
+/// clears the relevance threshold.
+fn relevant_ids(query: &ColumnPair, corpus: &[ColumnPair], threshold: f64) -> Vec<String> {
+    corpus
+        .iter()
+        .filter_map(|c| {
+            let joined = exact_join(query, c, Aggregation::Mean);
+            if joined.len() < MIN_JOIN {
+                return None;
+            }
+            let r = pearson(&joined.x, &joined.y).map_or(0.0, f64::abs);
+            (r >= threshold).then(|| c.id())
+        })
+        .collect()
+}

@@ -171,7 +171,7 @@ fn main() {
                 );
                 assert_eq!(
                     resp.body,
-                    api::render_query_response(snap.generation(), &results),
+                    api::render_query_response(snap.generation(), &req.params, &results),
                     "served answer diverged from single-process engine"
                 );
             }

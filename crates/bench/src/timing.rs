@@ -10,13 +10,18 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
-/// The `p`-th percentile (0–100) of `values` by linear interpolation.
-/// Returns 0.0 for an empty slice.
+/// The `p`-th percentile of `values` by linear interpolation. `p` is
+/// clamped into `[0, 100]` (a request for p150 reports the maximum — the
+/// clamp — instead of indexing past the sorted data), and NaN `p` is
+/// treated as 0. Returns 0.0 for an empty slice; with 1–2 samples the
+/// interpolation degrades gracefully (single sample: that sample for
+/// every `p`; two samples: linear between them).
 #[must_use]
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
@@ -84,6 +89,36 @@ mod tests {
         assert!((percentile(&v, 75.0) - 75.25).abs() < 1e-9);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn one_and_two_sample_edge_cases() {
+        // One sample: every percentile is that sample — including the
+        // extreme tails the latency summaries request.
+        for p in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0, "p={p}");
+        }
+        // Two samples: linear interpolation between them, never beyond.
+        assert_eq!(percentile(&[10.0, 20.0], 0.0), 10.0);
+        assert_eq!(percentile(&[10.0, 20.0], 50.0), 15.0);
+        assert_eq!(percentile(&[10.0, 20.0], 100.0), 20.0);
+        let p999 = percentile(&[10.0, 20.0], 99.9);
+        assert!((19.0..=20.0).contains(&p999), "{p999}");
+        // And the full summary is finite + ordered on tiny inputs.
+        for v in [&[7.0][..], &[7.0, 9.0][..]] {
+            let s = LatencySummary::of(v);
+            assert!(s.mean.is_finite() && s.std_dev.is_finite());
+            assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
+            assert!(s.p999 <= 9.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_percentiles_clamp() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 150.0), 3.0, "beyond 100 clamps to max");
+        assert_eq!(percentile(&v, -20.0), 1.0, "below 0 clamps to min");
+        assert_eq!(percentile(&v, f64::NAN), 1.0, "NaN treated as p0");
     }
 
     #[test]

@@ -468,22 +468,12 @@ pub mod corpus {
     }
 }
 
-/// `corrsketch query` — top-k join-correlation query against an index.
+/// `corrsketch query` — top-k join-correlation query against an index,
+/// ranked by one of the confidence-aware `s1..s4` scorers through the
+/// same engine path the server uses.
 pub mod query {
     use super::*;
-    use sketch_index::SketchIndex;
-    use sketch_ranking::{features_from_sample, score_candidates, ScoringFunction};
-
-    fn parse_scorer(s: &str) -> Result<ScoringFunction, CliError> {
-        ScoringFunction::ALL
-            .into_iter()
-            .find(|f| f.name() == s)
-            .ok_or_else(|| {
-                CliError::Usage(format!(
-                    "unknown scorer '{s}' (expected one of rp, rp*sez, rb*cib, rp*cih, jc_est)"
-                ))
-            })
-    }
+    use sketch_index::{engine, QueryOptions, Scorer, SketchIndex};
 
     /// Run the subcommand.
     ///
@@ -503,13 +493,23 @@ pub mod query {
             .unwrap_or("pearson")
             .parse()
             .map_err(CliError::Usage)?;
-        // Default to the Fisher-z penalized scorer: the paper's rp*cih
-        // normalizes CI lengths *within the candidate list*, which is
-        // meaningful for the ~100-candidate lists of the evaluation but
-        // degenerate for tiny result sets (the longest-CI candidate is
-        // always zeroed). rp*sez penalizes by sample size alone and
-        // behaves well at any list size.
-        let scorer = parse_scorer(args.optional("scorer").unwrap_or("rp*sez"))?;
+        // Default to s2 (Fisher-z penalization): s4 normalizes CI
+        // lengths *within the candidate list*, which is meaningful for
+        // the ~100-candidate lists of the evaluation but degenerate for
+        // tiny result sets (the longest-CI candidate is always zeroed).
+        // s2 penalizes by sample size alone and behaves well at any
+        // list size.
+        let scorer: Scorer = args
+            .optional("scorer")
+            .unwrap_or("s2")
+            .parse()
+            .map_err(CliError::Usage)?;
+        let confidence = args.parse_or("confidence", 0.95f64)?;
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(CliError::Usage(format!(
+                "--confidence must be in (0, 1), got {confidence}"
+            )));
+        }
 
         // The corpus can come from the JSON index file or from a packed
         // binary store; both yield the same sketches in the same order,
@@ -550,52 +550,51 @@ pub mod query {
         })?;
         let q_sketch = SketchBuilder::new(config).build(&pair);
 
-        // Retrieve (joins fanned out over --threads workers), featurize,
-        // score as a list (ci_h normalization is list-level), then rank.
-        let cands = sketch_index::engine::retrieve_candidates_threaded(
-            &index, &q_sketch, candidates, threads,
-        );
-        let features: Vec<_> = cands
-            .iter()
-            .map(|c| features_from_sample(&q_sketch, c.sketch, &c.sample, None, 0x5eed))
-            .collect();
-        let scores = score_candidates(&features, scorer);
-        let mut order: Vec<usize> = (0..features.len()).collect();
-        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        // The live engine path: retrieve, fused estimate + CI (joins
+        // fanned out over --threads workers), re-rank by the scorer.
+        let opts = QueryOptions {
+            overlap_candidates: candidates,
+            k,
+            estimator,
+            threads,
+            scorer,
+            confidence,
+            ..QueryOptions::default()
+        };
+        let results = engine::top_k_join_correlation(&index, &q_sketch, &opts);
 
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "query {}/{}/{} against {} sketches (scorer {}, estimator {})",
+            "query {}/{}/{} against {} sketches (scorer {}, estimator {}, confidence {:.0}%)",
             pair.table,
             key,
             value,
             index.len(),
             scorer.name(),
-            estimator.name()
+            estimator.name(),
+            confidence * 100.0
         );
         let _ = writeln!(
             out,
-            "{:<40} {:>8} {:>6} {:>9} {:>8}",
-            "column", "overlap", "n", "estimate", "score"
+            "{:<40} {:>8} {:>6} {:>9} {:>17} {:>8}",
+            "column", "overlap", "n", "estimate", "ci", "score"
         );
-        for &i in order.iter().take(k) {
-            let cand = &cands[i];
-            let est = cand
-                .sample
-                .estimate(estimator)
-                .map_or_else(|_| "-".to_string(), |r| format!("{r:+.3}"));
+        for r in &results {
+            let est = r
+                .estimate
+                .map_or_else(|| "-".to_string(), |e| format!("{e:+.3}"));
+            let ci = match (r.ci_lo, r.ci_hi) {
+                (Some(lo), Some(hi)) => format!("[{lo:+.3}, {hi:+.3}]"),
+                _ => "-".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "{:<40} {:>8} {:>6} {:>9} {:>8.3}",
-                features[i].id,
-                cand.overlap,
-                cand.sample.len(),
-                est,
-                scores[i]
+                "{:<40} {:>8} {:>6} {:>9} {:>17} {:>8.3}",
+                r.id, r.overlap, r.sample_size, est, ci, r.score
             );
         }
-        if order.is_empty() {
+        if results.is_empty() {
             let _ = writeln!(out, "(no joinable columns found)");
         }
         Ok(out)
@@ -695,6 +694,23 @@ pub mod serve {
         config.poll_interval = Duration::from_millis(args.parse_or("poll-ms", 200u64)?);
         config.request_timeout =
             Duration::from_millis(args.parse_or("request-timeout-ms", 10_000u64)?);
+        // Corpus-level ranking defaults: requests that omit "scorer" /
+        // "confidence" resolve to these (and they participate in the
+        // cache fingerprint exactly like spelled-out values).
+        if let Some(scorer) = args.optional("scorer") {
+            config.defaults.scorer = scorer.parse().map_err(CliError::Usage)?;
+        }
+        if let Some(confidence) = args.optional("confidence") {
+            let confidence: f64 = confidence
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--confidence: {e}")))?;
+            if !(confidence > 0.0 && confidence < 1.0) {
+                return Err(CliError::Usage(format!(
+                    "--confidence must be in (0, 1), got {confidence}"
+                )));
+            }
+            config.defaults.confidence = confidence;
+        }
 
         // Handlers must be in place before the (possibly slow) store
         // load: a supervisor's SIGTERM during startup should still take

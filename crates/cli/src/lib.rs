@@ -91,9 +91,15 @@ USAGE:
   corrsketch query    (--index <file> | --store <store-dir>)
                       --table <csv> --key <col> --value <col>
                       [--k 10] [--candidates 100] [--estimator pearson]
-                      [--scorer rp*sez|rp|rp*cih|rb*cib|jc_est] [--threads 1]
+                      [--scorer s1|s2|s3|s4] [--confidence 0.95] [--threads 1]
+                      (s1 = raw point estimate; s2..s4 penalize by the
+                       confidence interval; paper aliases rp, rp*sez,
+                       rb*cib, rp*cih accepted. The jc/jc_est/random
+                       joinability baselines live in the sketch-ranking
+                       evaluation harness, not the query path)
   corrsketch serve    --store <store-dir> [--host 127.0.0.1] [--port 0]
                       [--threads 4] [--cache 1024] [--poll-ms 200]
+                      [--scorer s1] [--confidence 0.95]  (request defaults)
                       [--request-timeout-ms 10000]      (0 disables)
                       (HTTP: POST /query, POST /query_batch, GET /corpus,
                        GET /healthz, GET /stats; graceful stop on SIGTERM)

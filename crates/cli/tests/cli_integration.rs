@@ -95,6 +95,67 @@ fn index_query_roundtrip() {
 }
 
 #[test]
+fn query_scorer_and_confidence_flags() {
+    let dir = TempDir::new("scored-query");
+    write_lake(&dir);
+    let index_file = dir.path("lake.sketches");
+    sketch_cli::run(&argv(&[
+        "index",
+        "--dir",
+        &dir.path(""),
+        "--out",
+        &index_file,
+        "--sketch-size",
+        "128",
+    ]))
+    .unwrap();
+
+    let table = dir.path("taxi.csv");
+    let query_with = |extra: &[&str]| {
+        let mut a = vec![
+            "query",
+            "--index",
+            &index_file,
+            "--table",
+            &table,
+            "--key",
+            "day",
+            "--value",
+            "pickups",
+        ];
+        a.extend_from_slice(extra);
+        sketch_cli::run(&argv(&a))
+    };
+
+    // Every scorer answers, reports its name, and renders CI columns;
+    // the self-match stays on top for all of them (it has both the
+    // strongest estimate and the largest sample).
+    for scorer in ["s1", "s2", "s3", "s4"] {
+        let report = query_with(&["--scorer", scorer, "--confidence", "0.9"]).unwrap();
+        assert!(
+            report.contains(&format!("scorer {scorer}")),
+            "{scorer}: {report}"
+        );
+        assert!(report.contains("confidence 90%"), "{report}");
+        assert!(report.contains("ci"), "{report}");
+        let self_pos = report.find("taxi/day/pickups").expect("self match");
+        let noise_pos = report.find("noise/day/reading").expect("noise");
+        assert!(self_pos < noise_pos, "{scorer}: {report}");
+        // CI endpoints render as a bracketed pair.
+        assert!(report.contains('['), "{report}");
+    }
+    // Paper alias accepted.
+    let report = query_with(&["--scorer", "rp*cih"]).unwrap();
+    assert!(report.contains("scorer s4"), "{report}");
+
+    // Bad values are usage errors, not panics.
+    let err = query_with(&["--scorer", "s9"]).unwrap_err();
+    assert!(err.to_string().contains("scorer"), "{err}");
+    let err = query_with(&["--confidence", "1.5"]).unwrap_err();
+    assert!(err.to_string().contains("confidence"), "{err}");
+}
+
+#[test]
 fn estimate_between_two_files() {
     let dir = TempDir::new("estimate");
     write_lake(&dir);

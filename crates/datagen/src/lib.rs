@@ -18,6 +18,9 @@
 //!   per-key latent factors shared across tables.
 //! * [`workload`] — query/corpus splits for the ranking experiments
 //!   (Sections 5.4–5.5).
+//! * [`planted`] — corpora with *known* ground truth (true partners,
+//!   noise, and small-overlap trap columns) for the `rank_eval`
+//!   point-estimate vs confidence-aware ranking comparison.
 //!
 //! Everything is deterministic given the config seed.
 
@@ -26,10 +29,12 @@
 
 pub mod dist;
 pub mod opendata;
+pub mod planted;
 pub mod sbn;
 pub mod workload;
 
 pub use dist::Dist;
 pub use opendata::{generate_open_data, CorpusStyle, OpenDataConfig};
+pub use planted::{generate_planted, PlantedConfig, PlantedCorpus};
 pub use sbn::{generate_sbn, SbnConfig, SbnPair};
 pub use workload::{split_corpus, CorpusSplit};

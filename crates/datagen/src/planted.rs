@@ -1,0 +1,225 @@
+//! Planted ranking corpora with known ground truth — the input of the
+//! `rank_eval` bench (paper Section 5.4's comparison of point-estimate
+//! vs confidence-aware ranking, on data where the right answer is known
+//! by construction).
+//!
+//! Every query column gets three candidate populations, modelling the
+//! "false positives by chance" regime of paper Section 4:
+//!
+//! * **true partners** — full key overlap, genuinely correlated
+//!   (`|r| ≈ 0.75–0.9` via controlled noise on a shared signal): the
+//!   relevant answers.
+//! * **noise columns** — full key overlap, independent values: big join
+//!   samples whose estimates concentrate near 0; never competitive.
+//! * **trap columns** — independent values over a *small* random subset
+//!   of the keys. Their ground-truth correlation is ≈ 0, but a sketch
+//!   join sees only a handful of their rows, and across many traps some
+//!   estimates land near ±1 purely by chance. A point-estimate ranker
+//!   (`s1`) promotes those flukes above the true partners; the
+//!   CI-aware scorers (`s2`–`s4`) demote them — exactly the effect
+//!   `rank_eval` measures as recall@k.
+//!
+//! Queries use disjoint key namespaces (`q3-k17`), so each query's
+//! candidate pool is exactly its own planted tables and ground truth
+//! never leaks across queries. Everything is deterministic given the
+//! seed.
+
+use sketch_table::ColumnPair;
+
+use crate::dist::Dist;
+
+/// Shape of a planted ranking corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedConfig {
+    /// Number of query columns.
+    pub queries: usize,
+    /// Genuinely correlated partners per query (the relevant set).
+    pub true_per_query: usize,
+    /// Full-overlap uncorrelated columns per query.
+    pub noise_per_query: usize,
+    /// Small-overlap trap columns per query.
+    pub traps_per_query: usize,
+    /// Rows per query column (and per full-overlap candidate).
+    pub rows: usize,
+    /// Keys per trap column (small, so a sketch join sees only a few
+    /// rows of it).
+    pub trap_keys: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            queries: 8,
+            true_per_query: 3,
+            noise_per_query: 6,
+            traps_per_query: 60,
+            rows: 1_200,
+            trap_keys: 40,
+            seed: 42,
+        }
+    }
+}
+
+/// A planted corpus: query columns plus the candidate pool.
+#[derive(Debug, Clone)]
+pub struct PlantedCorpus {
+    /// The query columns, one per planted group.
+    pub queries: Vec<ColumnPair>,
+    /// All candidate columns (true partners, noise, traps, shuffled
+    /// within each query group's namespace).
+    pub corpus: Vec<ColumnPair>,
+}
+
+/// Generate a planted ranking corpus. Deterministic given
+/// `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if `cfg.trap_keys` exceeds `cfg.rows` or any population count
+/// is zero where the construction requires at least one query.
+#[must_use]
+pub fn generate_planted(cfg: &PlantedConfig) -> PlantedCorpus {
+    assert!(cfg.queries > 0, "need at least one query");
+    assert!(
+        cfg.trap_keys >= 2 && cfg.trap_keys <= cfg.rows,
+        "trap_keys must be in [2, rows]"
+    );
+    let mut d = Dist::seeded(cfg.seed);
+    let mut queries = Vec::with_capacity(cfg.queries);
+    let mut corpus = Vec::new();
+
+    for qi in 0..cfg.queries {
+        let keys: Vec<String> = (0..cfg.rows).map(|j| format!("q{qi}-k{j}")).collect();
+        // The shared latent signal: one normal draw per key.
+        let signal: Vec<f64> = (0..cfg.rows).map(|_| d.normal()).collect();
+        queries.push(ColumnPair::new(
+            format!("q{qi}"),
+            "k",
+            "v",
+            keys.clone(),
+            signal.clone(),
+        ));
+
+        for t in 0..cfg.true_per_query {
+            // y = ±x + σ·ε with σ ∈ [0.5, 0.8] ⇒ |r| = 1/√(1+σ²) ≈ 0.78–0.89.
+            let sigma = d.uniform_range(0.5, 0.8);
+            let slope = if d.coin(0.5) { 1.0 } else { -1.0 };
+            let values: Vec<f64> = signal
+                .iter()
+                .map(|&s| slope * s + sigma * d.normal())
+                .collect();
+            corpus.push(ColumnPair::new(
+                format!("q{qi}_true{t}"),
+                "k",
+                "v",
+                keys.clone(),
+                values,
+            ));
+        }
+
+        for t in 0..cfg.noise_per_query {
+            let values: Vec<f64> = (0..cfg.rows).map(|_| d.normal()).collect();
+            corpus.push(ColumnPair::new(
+                format!("q{qi}_noise{t}"),
+                "k",
+                "v",
+                keys.clone(),
+                values,
+            ));
+        }
+
+        for t in 0..cfg.traps_per_query {
+            // A small random subset of the query's keys, independent
+            // values: ground-truth correlation ≈ 0, sketch-join sample
+            // tiny.
+            let mut picked: Vec<usize> = (0..cfg.rows).collect();
+            d.shuffle(&mut picked);
+            picked.truncate(cfg.trap_keys);
+            picked.sort_unstable(); // deterministic column order
+            let trap_keys: Vec<String> = picked.iter().map(|&j| keys[j].clone()).collect();
+            let values: Vec<f64> = picked.iter().map(|_| d.normal()).collect();
+            corpus.push(ColumnPair::new(
+                format!("q{qi}_trap{t}"),
+                "k",
+                "v",
+                trap_keys,
+                values,
+            ));
+        }
+    }
+
+    PlantedCorpus { queries, corpus }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_stats::pearson;
+    use sketch_table::{exact_join, Aggregation};
+
+    fn small() -> PlantedConfig {
+        PlantedConfig {
+            queries: 2,
+            true_per_query: 2,
+            noise_per_query: 2,
+            traps_per_query: 5,
+            rows: 400,
+            trap_keys: 20,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = small();
+        let p = generate_planted(&cfg);
+        assert_eq!(p.queries.len(), 2);
+        assert_eq!(p.corpus.len(), 2 * (2 + 2 + 5));
+        for q in &p.queries {
+            assert_eq!(q.len(), cfg.rows);
+        }
+    }
+
+    #[test]
+    fn ground_truth_separates_the_populations() {
+        let p = generate_planted(&small());
+        let q = &p.queries[0];
+        for c in &p.corpus {
+            if !c.table.starts_with("q0_") {
+                // Other queries' candidates never join (disjoint keys).
+                assert_eq!(exact_join(q, c, Aggregation::Mean).len(), 0, "{}", c.table);
+                continue;
+            }
+            let joined = exact_join(q, c, Aggregation::Mean);
+            let r = pearson(&joined.x, &joined.y).unwrap().abs();
+            if c.table.contains("_true") {
+                assert!(joined.len() == q.len(), "{}", c.table);
+                assert!((0.6..=0.95).contains(&r), "{}: r={r}", c.table);
+            } else if c.table.contains("_noise") {
+                assert!(r < 0.3, "{}: r={r}", c.table);
+            } else {
+                assert_eq!(joined.len(), 20, "{}", c.table);
+                assert!(
+                    r < 0.6,
+                    "{}: trap ground truth must be weak, r={r}",
+                    c.table
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_planted(&small());
+        let b = generate_planted(&small());
+        assert_eq!(
+            a.corpus.iter().map(ColumnPair::id).collect::<Vec<_>>(),
+            b.corpus.iter().map(ColumnPair::id).collect::<Vec<_>>()
+        );
+        assert_eq!(a.queries[0].values, b.queries[0].values);
+        let c = generate_planted(&PlantedConfig { seed: 8, ..small() });
+        assert_ne!(a.queries[0].values, c.queries[0].values);
+    }
+}

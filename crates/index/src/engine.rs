@@ -1,16 +1,23 @@
-//! The query pipeline for approximate top-k join-correlation queries
-//! (paper Definition 3, evaluated in Section 5.5):
+//! The two-stage query planner for approximate top-k join-correlation
+//! queries (paper Definition 3 + Section 4, evaluated in Section 5.5):
 //!
-//! 1. retrieve the top-N candidates by key overlap from the inverted
-//!    index;
-//! 2. join each candidate's sketch with the query sketch (Theorem 1
-//!    sample);
-//! 3. estimate the after-join correlation;
-//! 4. re-rank with a scoring function (pluggable — the paper's `s1..s4`
-//!    scorers live in the `sketch-ranking` crate).
+//! **Stage 1 — retrieve.** The top-N candidates by key overlap come out
+//! of the inverted index (ties broken by sketch id, so the candidate set
+//! is insertion-order independent).
+//!
+//! **Stage 2 — estimate + rank.** One fused pass joins each candidate's
+//! sketch with the query sketch (Theorem 1 sample), estimates the
+//! after-join correlation, and attaches the estimator-matched confidence
+//! interval ([`sketch_stats::scored_estimate`]: Fisher z for Pearson,
+//! fixed-seed bootstrap for the robust estimators — per-worker scratch,
+//! bit-identical across thread counts). The list is then re-ranked by
+//! the [`QueryOptions::scorer`] (`s1..s4` of `sketch-ranking`) and
+//! truncated to `k` — NaN scores rank last deterministically, so a
+//! degenerate candidate can never poison the selection.
 
 use correlation_sketches::{join_sketches, CorrelationSketch, JoinSample};
-use sketch_stats::CorrelationEstimator;
+use sketch_ranking::{desc_score_nan_last, score_estimates, Scorer};
+use sketch_stats::{scored_estimate, BootstrapScratch, CorrelationEstimator, ScoredEstimate};
 
 use crate::inverted::{DocId, SketchIndex};
 
@@ -32,6 +39,13 @@ pub struct QueryOptions {
     /// fan-out uses deterministic contiguous chunking, like
     /// `correlation_sketches::build_sketches_parallel`).
     pub threads: usize,
+    /// Scoring function for the re-rank stage: `s1` ranks by the raw
+    /// point estimate (the pre-Section-4 baseline), `s2`–`s4` penalize
+    /// by the confidence interval (paper Section 4.4).
+    pub scorer: Scorer,
+    /// Confidence level of the per-candidate interval the scorers
+    /// consume (e.g. `0.95`).
+    pub confidence: f64,
 }
 
 impl Default for QueryOptions {
@@ -42,6 +56,8 @@ impl Default for QueryOptions {
             estimator: CorrelationEstimator::Pearson,
             min_sample: 3,
             threads: 1,
+            scorer: Scorer::S1,
+            confidence: 0.95,
         }
     }
 }
@@ -74,7 +90,16 @@ pub struct QueryResult {
     /// Correlation estimate, if the sample was large enough and
     /// non-degenerate.
     pub estimate: Option<f64>,
-    /// Final ranking score.
+    /// Lower endpoint of the estimator-matched confidence interval at
+    /// [`QueryOptions::confidence`]; present whenever `estimate` is on
+    /// the scored paths ([`top_k_join_correlation`],
+    /// [`top_k_with_reports`], the batch variants), absent on the
+    /// custom-closure path ([`top_k_with_scorer`]), which skips
+    /// interval computation.
+    pub ci_lo: Option<f64>,
+    /// Upper endpoint of the confidence interval.
+    pub ci_hi: Option<f64>,
+    /// Final ranking score under [`QueryOptions::scorer`].
     pub score: f64,
 }
 
@@ -102,78 +127,126 @@ pub fn retrieve_candidates_threaded<'a>(
     overlap_candidates: usize,
     threads: usize,
 ) -> Vec<Candidate<'a>> {
-    scored_candidates(
-        index,
-        query,
-        overlap_candidates,
-        threads,
-        // Estimation is skipped here (min_sample usize::MAX): callers of
-        // the candidate API (e.g. the CLI's list-level scorers) estimate
-        // themselves.
-        usize::MAX,
-        CorrelationEstimator::Pearson,
-    )
-    .into_iter()
-    .map(|(cand, _)| cand)
-    .collect()
+    let hits = index.overlap_candidates(query, overlap_candidates);
+    // Estimation is skipped (min_sample usize::MAX): callers of the
+    // candidate API estimate themselves.
+    join_map(index, query, &hits, threads, usize::MAX, |_, _| None::<f64>)
+        .into_iter()
+        .map(|(cand, _)| cand)
+        .collect()
 }
 
-/// Steps 1–3 of the pipeline: retrieve, join, estimate — the expensive,
-/// embarrassingly parallel part, fanned out over scoped threads with
-/// deterministic contiguous chunking.
+/// Stages 1–2 of the planner: retrieve, then the fused join, estimate,
+/// and CI pass — the expensive, embarrassingly parallel part, fanned
+/// out over scoped threads with deterministic contiguous chunking.
 fn scored_candidates<'a>(
     index: &'a SketchIndex,
     query: &CorrelationSketch,
-    overlap_candidates: usize,
-    threads: usize,
-    min_sample: usize,
-    estimator: CorrelationEstimator,
-) -> Vec<(Candidate<'a>, Option<f64>)> {
-    let hits = index.overlap_candidates(query, overlap_candidates);
-    join_and_estimate(index, query, &hits, threads, min_sample, estimator)
+    opts: &QueryOptions,
+) -> Vec<(Candidate<'a>, Option<ScoredEstimate>)> {
+    let hits = index.overlap_candidates(query, opts.overlap_candidates);
+    join_map(
+        index,
+        query,
+        &hits,
+        opts.threads,
+        opts.min_sample,
+        scored_kernel(opts),
+    )
 }
 
-/// Steps 2–3 for an already-retrieved hit list (shared by the per-query
-/// and batch paths).
-fn join_and_estimate<'a>(
+/// The estimate + CI kernel of the scored pipeline, as a [`join_map`]
+/// closure.
+fn scored_kernel(
+    opts: &QueryOptions,
+) -> impl Fn(&JoinSample, &mut BootstrapScratch) -> Option<ScoredEstimate> + Sync + use<'_> {
+    |sample, scratch| {
+        scored_estimate(
+            opts.estimator,
+            &sample.x,
+            &sample.y,
+            opts.confidence,
+            scratch,
+        )
+        .ok()
+    }
+}
+
+/// Join one contiguous chunk of the hit list and apply the `estimate`
+/// kernel to each materialized sample, reusing one bootstrap scratch
+/// for the whole chunk. Each candidate's output is a pure function of
+/// its own join sample, so chunking (and therefore the thread count)
+/// never changes a bit of the output.
+fn join_chunk<'a, E>(
     index: &'a SketchIndex,
     query: &CorrelationSketch,
-    hits: &[(crate::inverted::DocId, usize)],
+    chunk: &[(DocId, usize)],
+    min_sample: usize,
+    estimate: &(impl Fn(&JoinSample, &mut BootstrapScratch) -> Option<E> + Sync),
+    scratch: &mut BootstrapScratch,
+) -> Vec<(Candidate<'a>, Option<E>)> {
+    chunk
+        .iter()
+        .filter_map(|&(doc, overlap)| {
+            let sketch = index.get(doc)?;
+            // Hashers are uniform across an index; join cannot fail.
+            let sample = join_sketches(query, sketch).ok()?;
+            let est = (sample.len() >= min_sample)
+                .then(|| estimate(&sample, scratch))
+                .flatten();
+            Some((
+                Candidate {
+                    doc,
+                    sketch,
+                    overlap,
+                    sample,
+                },
+                est,
+            ))
+        })
+        .collect()
+}
+
+/// Stage 2 for an already-retrieved hit list, generic over the estimate
+/// kernel (the scored pipeline attaches `ScoredEstimate`s; the
+/// custom-closure and candidate APIs use cheaper kernels).
+fn join_map<'a, E: Send>(
+    index: &'a SketchIndex,
+    query: &CorrelationSketch,
+    hits: &[(DocId, usize)],
     threads: usize,
     min_sample: usize,
-    estimator: CorrelationEstimator,
-) -> Vec<(Candidate<'a>, Option<f64>)> {
-    let join_one = |&(doc, overlap): &(crate::inverted::DocId, usize)| {
-        let sketch = index.get(doc)?;
-        // Hashers are uniform across an index; join cannot fail.
-        let sample = join_sketches(query, sketch).ok()?;
-        let estimate = if sample.len() >= min_sample {
-            sample.estimate(estimator).ok()
-        } else {
-            None
-        };
-        Some((
-            Candidate {
-                doc,
-                sketch,
-                overlap,
-                sample,
-            },
-            estimate,
-        ))
-    };
-
+    estimate: impl Fn(&JoinSample, &mut BootstrapScratch) -> Option<E> + Sync,
+) -> Vec<(Candidate<'a>, Option<E>)> {
     let threads = threads.clamp(1, hits.len().max(1));
     if threads == 1 {
-        return hits.iter().filter_map(join_one).collect();
+        return join_chunk(
+            index,
+            query,
+            hits,
+            min_sample,
+            &estimate,
+            &mut BootstrapScratch::new(),
+        );
     }
     let chunk_len = hits.len().div_ceil(threads);
     let mut out = Vec::with_capacity(hits.len());
-    let join_one = &join_one;
+    let estimate = &estimate;
     std::thread::scope(|scope| {
         let handles: Vec<_> = hits
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter().filter_map(join_one).collect::<Vec<_>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    join_chunk(
+                        index,
+                        query,
+                        chunk,
+                        min_sample,
+                        estimate,
+                        &mut BootstrapScratch::new(),
+                    )
+                })
+            })
             .collect();
         for h in handles {
             out.extend(h.join().expect("query workers do not panic"));
@@ -182,13 +255,19 @@ fn join_and_estimate<'a>(
     out
 }
 
-/// Execute a top-k join-correlation query with a custom scorer.
+/// Execute a top-k join-correlation query with a custom scorer closure
+/// (bypassing [`QueryOptions::scorer`]).
 ///
 /// `scorer` maps a candidate and its (optional) correlation estimate to a
 /// ranking score; higher is better. Candidates are returned sorted by
-/// score (descending, ties broken by overlap then doc id), truncated to
-/// `opts.k` via bounded-heap selection (the scorer itself runs serially —
-/// join and estimation are what `opts.threads` parallelizes).
+/// score (descending, NaN deterministically last, ties broken by overlap
+/// then sketch id then doc id), truncated to `opts.k` via bounded-heap
+/// selection (the scorer itself runs serially — join and estimation are
+/// what `opts.threads` parallelizes).
+///
+/// The closure consumes only the point estimate, so this path skips the
+/// confidence-interval computation entirely (no bootstrap work for the
+/// robust estimators) and the returned results carry no CI fields.
 #[must_use]
 pub fn top_k_with_scorer(
     index: &SketchIndex,
@@ -196,73 +275,109 @@ pub fn top_k_with_scorer(
     opts: &QueryOptions,
     scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
 ) -> Vec<QueryResult> {
-    top_k_reported_candidates(index, query, opts, scorer)
-        .into_iter()
-        .map(|(result, _)| result)
-        .collect()
+    let hits = index.overlap_candidates(query, opts.overlap_candidates);
+    let joined = join_map(
+        index,
+        query,
+        &hits,
+        opts.threads,
+        opts.min_sample,
+        |s, _| s.estimate(opts.estimator).ok(),
+    );
+    let rows = joined.into_iter().map(|(cand, est)| {
+        let score = scorer(&cand, est);
+        QueryResult {
+            doc: cand.doc,
+            id: cand.sketch.id().to_string(),
+            overlap: cand.overlap,
+            sample_size: cand.sample.len(),
+            estimate: est,
+            ci_lo: None,
+            ci_hi: None,
+            score,
+        }
+    });
+    crate::select::top_k_by(rows, opts.k, result_order)
 }
 
-/// Shared core of [`top_k_with_scorer`] / [`top_k_with_reports`]: rank
-/// all candidates, keep the top `opts.k`, and hand each winner's
-/// already-materialized [`JoinSample`] back alongside its result so
-/// report construction never re-joins.
+/// Shared core of [`top_k_join_correlation`] / [`top_k_with_reports`]:
+/// estimate + CI for every candidate, score the list with
+/// [`QueryOptions::scorer`], keep the top `opts.k`, and hand each
+/// winner's already-materialized [`JoinSample`] back alongside its
+/// result so report construction never re-joins.
 fn top_k_reported_candidates(
     index: &SketchIndex,
     query: &CorrelationSketch,
     opts: &QueryOptions,
-    scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
 ) -> Vec<(QueryResult, JoinSample)> {
-    let scored = scored_candidates(
-        index,
-        query,
-        opts.overlap_candidates,
-        opts.threads,
-        opts.min_sample,
-        opts.estimator,
-    );
-    rank_candidates(scored, opts, scorer)
+    rank_scored(scored_candidates(index, query, opts), opts)
 }
 
-/// Step 4: score every candidate and keep the top `opts.k` via
-/// bounded-heap selection.
-fn rank_candidates(
-    scored: Vec<(Candidate<'_>, Option<f64>)>,
+/// The re-rank stage: score the whole candidate list with the configured
+/// scorer (list-level — `s4` normalizes CI lengths across the list) and
+/// keep the top `opts.k`.
+fn rank_scored(
+    scored: Vec<(Candidate<'_>, Option<ScoredEstimate>)>,
     opts: &QueryOptions,
-    scorer: impl Fn(&Candidate<'_>, Option<f64>) -> f64,
 ) -> Vec<(QueryResult, JoinSample)> {
-    let scored = scored.into_iter().map(|(cand, estimate)| {
-        let score = scorer(&cand, estimate);
+    let estimates: Vec<Option<ScoredEstimate>> = scored.iter().map(|(_, est)| *est).collect();
+    let scores = score_estimates(opts.scorer, &estimates);
+    rank_with_scores(scored, scores, opts)
+}
+
+/// The ranking's total order: descending score with NaN ranked last —
+/// a degenerate candidate (constant column → undefined correlation →
+/// NaN through a custom scorer) sorts deterministically to the bottom
+/// instead of poisoning the selection heap — then descending overlap,
+/// then ascending sketch id (insertion-order independent), then doc id
+/// (reachable only through duplicate ids).
+fn result_order(a: &QueryResult, b: &QueryResult) -> std::cmp::Ordering {
+    desc_score_nan_last(a.score, b.score)
+        .then(b.overlap.cmp(&a.overlap))
+        .then_with(|| a.id.cmp(&b.id))
+        .then(a.doc.cmp(&b.doc))
+}
+
+/// Select the top `opts.k` of pre-scored candidates via bounded-heap
+/// selection under [`result_order`].
+fn rank_with_scores(
+    scored: Vec<(Candidate<'_>, Option<ScoredEstimate>)>,
+    scores: Vec<f64>,
+    opts: &QueryOptions,
+) -> Vec<(QueryResult, JoinSample)> {
+    let items = scored.into_iter().zip(scores).map(|((cand, est), score)| {
         (
             QueryResult {
                 doc: cand.doc,
                 id: cand.sketch.id().to_string(),
                 overlap: cand.overlap,
                 sample_size: cand.sample.len(),
-                estimate,
+                estimate: est.map(|e| e.estimate),
+                ci_lo: est.map(|e| e.ci_lo),
+                ci_hi: est.map(|e| e.ci_hi),
                 score,
             },
             cand.sample,
         )
     });
-    crate::select::top_k_by(scored, opts.k, |(a, _), (b, _)| {
-        b.score
-            .total_cmp(&a.score)
-            .then(b.overlap.cmp(&a.overlap))
-            .then(a.doc.cmp(&b.doc))
-    })
+    crate::select::top_k_by(items, opts.k, |(a, _), (b, _)| result_order(a, b))
 }
 
-/// Execute a top-k join-correlation query ranked by the absolute
-/// correlation estimate (the paper's `s1` scoring; negative correlations
-/// count as much as positive ones). Candidates without an estimate score
-/// zero.
+/// Execute a top-k join-correlation query ranked by
+/// [`QueryOptions::scorer`] — by default `s1`, the absolute correlation
+/// estimate (negative correlations count as much as positive ones);
+/// `s2`–`s4` penalize uncertain estimates by their confidence interval.
+/// Candidates without an estimate score zero.
 #[must_use]
 pub fn top_k_join_correlation(
     index: &SketchIndex,
     query: &CorrelationSketch,
     opts: &QueryOptions,
 ) -> Vec<QueryResult> {
-    top_k_with_scorer(index, query, opts, |_cand, est| est.map_or(0.0, f64::abs))
+    top_k_reported_candidates(index, query, opts)
+        .into_iter()
+        .map(|(result, _)| result)
+        .collect()
 }
 
 /// A query result together with the full uncertainty report of
@@ -278,7 +393,9 @@ pub struct ReportedResult {
 
 /// As [`top_k_join_correlation`], but each answer carries the Section 4
 /// uncertainty report (Hoeffding interval, HFD length, Fisher SE) so a
-/// caller can display confidence alongside the estimate.
+/// caller can display confidence alongside the estimate — and, on the
+/// result itself, the `(estimate, ci_lo, ci_hi)` triple the ranking
+/// scorer consumed.
 ///
 /// Single pass: each winner's report is computed from the join sample
 /// already materialized during retrieval — the pre-fusion implementation
@@ -291,7 +408,7 @@ pub fn top_k_with_reports(
     opts: &QueryOptions,
     alpha: f64,
 ) -> Vec<ReportedResult> {
-    top_k_reported_candidates(index, query, opts, |_cand, est| est.map_or(0.0, f64::abs))
+    top_k_reported_candidates(index, query, opts)
         .into_iter()
         .map(|(result, sample)| attach_report(result, &sample, opts, alpha))
         .collect()
@@ -312,30 +429,46 @@ fn attach_report(
     ReportedResult { result, report }
 }
 
-/// One query of a batch, executed serially with a reusable retrieval
-/// scratch buffer, ranked by the default `|estimate|` scorer.
+/// Per-worker scratch for the batch path: the retrieval counter buffer
+/// plus the bootstrap-CI resample buffers, both reused across every
+/// query of the worker's chunk.
+#[derive(Default)]
+struct BatchScratch {
+    counts: Vec<u32>,
+    ci: BootstrapScratch,
+}
+
+/// One query of a batch, executed serially with reusable worker scratch,
+/// ranked by [`QueryOptions::scorer`].
 fn batch_one(
     index: &SketchIndex,
     query: &CorrelationSketch,
     opts: &QueryOptions,
-    scratch: &mut Vec<u32>,
+    scratch: &mut BatchScratch,
 ) -> Vec<(QueryResult, JoinSample)> {
-    let hits = index.overlap_candidates_with_scratch(query, opts.overlap_candidates, scratch);
-    let scored = join_and_estimate(index, query, &hits, 1, opts.min_sample, opts.estimator);
-    rank_candidates(scored, opts, |_cand, est| est.map_or(0.0, f64::abs))
+    let hits =
+        index.overlap_candidates_with_scratch(query, opts.overlap_candidates, &mut scratch.counts);
+    let scored = join_chunk(
+        index,
+        query,
+        &hits,
+        opts.min_sample,
+        &scored_kernel(opts),
+        &mut scratch.ci,
+    );
+    rank_scored(scored, opts)
 }
 
 /// Fan a per-query closure out over contiguous chunks of `queries` —
-/// deterministic for every thread count, with one retrieval scratch
-/// buffer per worker.
+/// deterministic for every thread count, with one scratch per worker.
 fn batch_map<T: Send>(
     queries: &[CorrelationSketch],
     threads: usize,
-    run_one: impl Fn(&CorrelationSketch, &mut Vec<u32>) -> T + Sync,
+    run_one: impl Fn(&CorrelationSketch, &mut BatchScratch) -> T + Sync,
 ) -> Vec<T> {
     let threads = threads.clamp(1, queries.len().max(1));
     if threads == 1 {
-        let mut scratch = Vec::new();
+        let mut scratch = BatchScratch::default();
         return queries.iter().map(|q| run_one(q, &mut scratch)).collect();
     }
     let chunk_len = queries.len().div_ceil(threads);
@@ -346,7 +479,7 @@ fn batch_map<T: Send>(
             .chunks(chunk_len)
             .map(|chunk| {
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
+                    let mut scratch = BatchScratch::default();
                     chunk
                         .iter()
                         .map(|q| run_one(q, &mut scratch))
@@ -668,5 +801,262 @@ mod tests {
         let q = b.build(&ColumnPair::new("q", "k", "v", vec!["a".into()], vec![1.0]));
         let idx = SketchIndex::new();
         assert!(top_k_join_correlation(&idx, &q, &QueryOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn ci_fields_accompany_estimates() {
+        let (idx, q) = fixture();
+        let results = top_k_join_correlation(&idx, &q, &QueryOptions::default());
+        assert!(!results.is_empty());
+        for r in &results {
+            let (est, lo, hi) = (r.estimate.unwrap(), r.ci_lo.unwrap(), r.ci_hi.unwrap());
+            assert!(lo <= est && est <= hi, "{r:?}");
+            assert!(lo >= -1.0 && hi <= 1.0, "{r:?}");
+        }
+        // Below min_sample the CI disappears along with the estimate.
+        let opts = QueryOptions {
+            min_sample: 10_000,
+            ..QueryOptions::default()
+        };
+        for r in top_k_join_correlation(&idx, &q, &opts) {
+            assert!(r.estimate.is_none() && r.ci_lo.is_none() && r.ci_hi.is_none());
+        }
+    }
+
+    #[test]
+    fn every_scorer_is_bit_identical_across_thread_counts() {
+        let (idx, q) = wide_fixture(30);
+        for scorer in Scorer::ALL {
+            for estimator in [
+                CorrelationEstimator::Pearson,
+                CorrelationEstimator::Spearman,
+            ] {
+                let serial = QueryOptions {
+                    k: 12,
+                    scorer,
+                    estimator,
+                    confidence: 0.9,
+                    threads: 1,
+                    ..QueryOptions::default()
+                };
+                let expected = top_k_with_reports(&idx, &q, &serial, 0.05);
+                assert!(!expected.is_empty());
+                for threads in [0usize, 2, 7, 16, 1000] {
+                    let opts = QueryOptions { threads, ..serial };
+                    assert_eq!(
+                        top_k_with_reports(&idx, &q, &opts, 0.05),
+                        expected,
+                        "scorer={scorer} estimator={estimator} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Section 4 story at engine level: a candidate whose tiny join
+    /// sample happens to look perfectly correlated outranks a genuinely
+    /// correlated candidate under the raw point estimate (`s1`), and the
+    /// CI-aware scorers demote it.
+    #[test]
+    fn ci_aware_scorers_demote_small_sample_flukes() {
+        let b = SketchBuilder::new(SketchConfig::with_size(256));
+        let n = 3_000usize;
+        let keys: Vec<String> = (0..n).map(|i| format!("key-{i}")).collect();
+        let signal: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.05).sin() * 10.0).collect();
+        let query = b.build(&ColumnPair::new(
+            "query",
+            "k",
+            "v",
+            keys.clone(),
+            signal.clone(),
+        ));
+
+        let mut idx = SketchIndex::new();
+        // Genuine: strong but imperfect correlation, large overlap.
+        idx.insert(
+            b.build(&ColumnPair::new(
+                "genuine",
+                "k",
+                "v",
+                keys.clone(),
+                signal
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| 2.0 * v + ((i as f64) * 1.7).cos() * 4.0)
+                    .collect(),
+            )),
+        )
+        .unwrap();
+        // Fluke: joins on only 4 keys, and on those 4 the values happen
+        // to be a perfect linear function of the query's. The keys are
+        // picked among the smallest unit hashes so the query sketch is
+        // guaranteed to have kept them (kmv keeps the m smallest).
+        use sketch_hashing::KeyHasher as _;
+        let hasher = SketchConfig::with_size(256).hasher;
+        let mut by_unit: Vec<(f64, usize)> = (0..n)
+            .map(|i| (hasher.g(keys[i].as_bytes()).1, i))
+            .collect();
+        by_unit.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let picked: Vec<usize> = by_unit[..4].iter().map(|&(_, i)| i).collect();
+        let fluke_keys: Vec<String> = picked.iter().map(|&i| keys[i].clone()).collect();
+        let fluke_vals: Vec<f64> = picked.iter().map(|&i| signal[i] * 5.0 + 1.0).collect();
+        idx.insert(b.build(&ColumnPair::new("fluke", "k", "v", fluke_keys, fluke_vals)))
+            .unwrap();
+
+        let run = |scorer| {
+            let opts = QueryOptions {
+                scorer,
+                ..QueryOptions::default()
+            };
+            top_k_join_correlation(&idx, &query, &opts)
+                .first()
+                .map(|r| r.id.clone())
+                .unwrap()
+        };
+        assert_eq!(run(Scorer::S1), "fluke/k/v", "s1 falls for the fluke");
+        for scorer in [Scorer::S2, Scorer::S3, Scorer::S4] {
+            assert_eq!(run(scorer), "genuine/k/v", "{scorer} must demote the fluke");
+        }
+    }
+
+    /// Regression for the NaN-poisoning bug class: constant-value
+    /// columns (undefined correlation) and a custom scorer that returns
+    /// NaN must rank last deterministically — never first, never a
+    /// panic.
+    #[test]
+    fn constant_columns_and_nan_scores_rank_last() {
+        let b = SketchBuilder::new(SketchConfig::with_size(128));
+        let n = 500usize;
+        let keys: Vec<String> = (0..n).map(|i| format!("key-{i}")).collect();
+        let signal: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.11).sin() * 3.0).collect();
+        let query = b.build(&ColumnPair::new(
+            "q",
+            "k",
+            "v",
+            keys.clone(),
+            signal.clone(),
+        ));
+
+        let mut idx = SketchIndex::new();
+        idx.insert(b.build(&ColumnPair::new(
+            "good",
+            "k",
+            "v",
+            keys.clone(),
+            signal.iter().map(|v| v * 2.0).collect(),
+        )))
+        .unwrap();
+        // Two constant columns: join succeeds, correlation is undefined.
+        for name in ["flat-a", "flat-b"] {
+            idx.insert(b.build(&ColumnPair::new(name, "k", "v", keys.clone(), vec![7.0; n])))
+                .unwrap();
+        }
+
+        for scorer in Scorer::ALL {
+            let opts = QueryOptions {
+                scorer,
+                ..QueryOptions::default()
+            };
+            let results = top_k_join_correlation(&idx, &query, &opts);
+            assert_eq!(results.len(), 3, "{scorer}");
+            assert_eq!(results[0].id, "good/k/v", "{scorer}: {results:?}");
+            for dead in &results[1..] {
+                assert!(dead.estimate.is_none(), "{scorer}: {dead:?}");
+                assert_eq!(dead.score, 0.0, "{scorer}: {dead:?}");
+            }
+            // Constant columns tie at score 0; the order among them must
+            // be the deterministic id tie-break.
+            assert_eq!(results[1].id, "flat-a/k/v");
+            assert_eq!(results[2].id, "flat-b/k/v");
+        }
+
+        // A hostile custom scorer that emits NaN for the healthy column:
+        // NaN ranks below every real score, results never panic.
+        let nan_for_good = |cand: &Candidate<'_>, est: Option<f64>| {
+            if cand.sketch.id().starts_with("good") {
+                f64::NAN
+            } else {
+                est.map_or(-1.0, f64::abs)
+            }
+        };
+        let results = top_k_with_scorer(&idx, &query, &QueryOptions::default(), nan_for_good);
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[2].id, "good/k/v",
+            "NaN score must sort last: {results:?}"
+        );
+        assert!(results[2].score.is_nan());
+    }
+
+    /// The truncation-boundary permutation test, end to end: build the
+    /// same corpus under several insertion orders, with more exact-tie
+    /// candidates than `overlap_candidates` admits, and assert the
+    /// ranked answers and reports are identical (doc ids are positional
+    /// by design, so results are compared by sketch id).
+    #[test]
+    fn answers_are_insertion_order_independent_at_the_cutoff() {
+        let b = SketchBuilder::new(SketchConfig::with_size(64));
+        let n = 200usize;
+        let keys: Vec<String> = (0..n).map(|i| format!("key-{i}")).collect();
+        let query = b.build(&ColumnPair::new(
+            "q",
+            "k",
+            "v",
+            keys.clone(),
+            (0..n).map(|i| ((i as f64) * 0.21).sin() * 4.0).collect(),
+        ));
+        // Ten sketches over the *same* key set (identical overlap with
+        // the query), distinct signals; the candidate cutoff admits 6.
+        let names: Vec<String> = (0..10).map(|t| format!("t{t}")).collect();
+        let build_one = |name: &str| {
+            let t: usize = name[1..].parse().unwrap();
+            b.build(&ColumnPair::new(
+                name,
+                "k",
+                "v",
+                keys.clone(),
+                (0..n)
+                    .map(|i| ((i as f64) * 0.21 + t as f64).sin() * (t + 1) as f64)
+                    .collect(),
+            ))
+        };
+        let opts = QueryOptions {
+            overlap_candidates: 6,
+            k: 6,
+            scorer: Scorer::S4,
+            ..QueryOptions::default()
+        };
+
+        let project =
+            |rep: Vec<ReportedResult>| -> Vec<(String, usize, usize, Option<f64>, f64, _)> {
+                rep.into_iter()
+                    .map(|r| {
+                        (
+                            r.result.id,
+                            r.result.overlap,
+                            r.result.sample_size,
+                            r.result.estimate,
+                            r.result.score,
+                            r.report,
+                        )
+                    })
+                    .collect()
+            };
+
+        let mut expected = None;
+        for rot in 0..names.len() {
+            let mut order = names.clone();
+            order.rotate_left(rot);
+            if rot % 3 == 1 {
+                order.reverse();
+            }
+            let idx = SketchIndex::from_sketches(order.iter().map(|name| build_one(name))).unwrap();
+            let got = project(top_k_with_reports(&idx, &query, &opts, 0.05));
+            assert_eq!(got.len(), 6);
+            match &expected {
+                None => expected = Some(got),
+                Some(want) => assert_eq!(&got, want, "insertion order {order:?}"),
+            }
+        }
     }
 }

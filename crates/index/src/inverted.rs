@@ -311,8 +311,12 @@ impl SketchIndex {
 
     /// Retrieve the `top_n` indexed sketches with the largest key overlap
     /// with `query`, as `(doc, overlap)` pairs sorted by descending
-    /// overlap (ties by ascending doc id for determinism). Documents with
-    /// zero overlap are never returned.
+    /// overlap. Ties — including ties exactly at the `top_n` truncation
+    /// boundary — break by ascending *sketch id*, which is stable across
+    /// insertion orders, so the retrieved set never depends on the order
+    /// the corpus was built in or on selection-heap internals (doc id is
+    /// the final tie-break, reachable only through duplicate ids in a
+    /// JSON corpus). Documents with zero overlap are never returned.
     ///
     /// Slots are dense, so overlap counts accumulate into a flat
     /// `Vec<u32>` indexed by slot — one cache-friendly increment per
@@ -360,7 +364,17 @@ impl SketchIndex {
             .enumerate()
             .filter(|&(_, &slot)| counts[slot as usize] > 0)
             .map(|(doc, &slot)| (doc as DocId, counts[slot as usize] as usize));
-        crate::select::top_k_by(hits, top_n, |a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
+        crate::select::top_k_by(hits, top_n, |a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| self.tie_break_id(a.0).cmp(self.tie_break_id(b.0)))
+                .then(a.0.cmp(&b.0))
+        })
+    }
+
+    /// The sketch id used to break retrieval ties; live docs always
+    /// resolve (the empty-string fallback keeps the comparator total).
+    fn tie_break_id(&self, doc: DocId) -> &str {
+        self.get(doc).map_or("", CorrelationSketch::id)
     }
 }
 
@@ -596,15 +610,61 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_by_doc_id() {
+    fn ties_break_by_sketch_id_not_insertion_order() {
+        // Two sketches with identical key sets, inserted in *reverse* id
+        // order: the tie must still resolve to the lexicographically
+        // smaller id, not to whichever was inserted first.
         let mut idx = SketchIndex::new();
         let b = builder();
-        idx.insert(b.build(&pair("t1", 0..60))).unwrap();
         idx.insert(b.build(&pair("t2", 0..60))).unwrap();
+        idx.insert(b.build(&pair("t1", 0..60))).unwrap();
         let q = b.build(&pair("q", 0..60));
         let hits = idx.overlap_candidates(&q, 10);
-        assert_eq!(hits[0].0, 0);
-        assert_eq!(hits[1].0, 1);
-        assert_eq!(hits[0].1, hits[1].1);
+        assert_eq!(hits[0].1, hits[1].1, "both must tie on overlap");
+        assert_eq!(idx.get(hits[0].0).unwrap().id(), "t1/k/v");
+        assert_eq!(idx.get(hits[1].0).unwrap().id(), "t2/k/v");
+    }
+
+    /// The truncation-boundary contract: when more candidates tie on
+    /// overlap than `top_n` admits, the retrieved *set* is the same for
+    /// every insertion order of the corpus.
+    #[test]
+    fn truncation_boundary_is_insertion_order_independent() {
+        let b = builder();
+        // Eight sketches with identical keys (all tie on overlap), ids
+        // t0..t7; top_n = 3 cuts through the tie group.
+        let names: Vec<String> = (0..8).map(|t| format!("t{t}")).collect();
+        let q = b.build(&pair("q", 0..60));
+        let mut expected: Option<Vec<(String, usize)>> = None;
+        // Several deterministic permutations of the insertion order.
+        for rot in 0..names.len() {
+            let mut order = names.clone();
+            order.rotate_left(rot);
+            if rot % 2 == 1 {
+                order.reverse();
+            }
+            let mut idx = SketchIndex::new();
+            for name in &order {
+                idx.insert(b.build(&pair(name, 0..60))).unwrap();
+            }
+            let hits: Vec<(String, usize)> = idx
+                .overlap_candidates(&q, 3)
+                .into_iter()
+                .map(|(doc, ov)| (idx.get(doc).unwrap().id().to_string(), ov))
+                .collect();
+            assert_eq!(hits.len(), 3);
+            match &expected {
+                None => expected = Some(hits),
+                Some(want) => assert_eq!(&hits, want, "insertion order {order:?}"),
+            }
+        }
+        // And the winners are the lexicographically smallest ids.
+        let ids: Vec<&str> = expected
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|(id, _)| id.as_str())
+            .collect();
+        assert_eq!(ids, vec!["t0/k/v", "t1/k/v", "t2/k/v"]);
     }
 }

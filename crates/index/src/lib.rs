@@ -9,10 +9,11 @@
 //!
 //! * [`SketchIndex`] — an in-memory inverted index mapping hashed keys to
 //!   the sketches containing them, with top-N retrieval by key overlap;
-//! * [`engine`] — the query pipeline of Section 5.5: retrieve the top-N
-//!   candidates by overlap, join each candidate sketch with the query
-//!   sketch, estimate correlations, and re-rank with a pluggable scoring
-//!   function (the concrete `s1..s4` scorers live in `sketch-ranking`).
+//! * [`engine`] — the two-stage query pipeline of Sections 4 and 5.5:
+//!   retrieve the top-N candidates by overlap, then join + estimate +
+//!   confidence interval in one fused pass, and re-rank with one of the
+//!   `s1..s4` scorers of `sketch-ranking`
+//!   ([`QueryOptions::scorer`]/[`QueryOptions::confidence`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,3 +26,4 @@ pub use engine::{
     top_k_batch, top_k_batch_with_reports, Candidate, QueryOptions, QueryResult, ReportedResult,
 };
 pub use inverted::{DocId, SketchIndex};
+pub use sketch_ranking::Scorer;

@@ -18,7 +18,7 @@ use correlation_sketches::{
     CorrelationSketch, DeltaRecord, SketchBuilder, SketchConfig, SketchError,
 };
 use proptest::prelude::*;
-use sketch_index::{engine, QueryOptions, SketchIndex};
+use sketch_index::{engine, QueryOptions, Scorer, SketchIndex};
 use sketch_store::{append_corpus, compact_corpus, pack_corpus, remove_from_corpus, PackOptions};
 use sketch_table::ColumnPair;
 
@@ -105,7 +105,9 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 /// Assert the three indices answer identically (reports and all) at
-/// every thread count in [`THREADS`].
+/// every thread count in [`THREADS`] — under the default options for
+/// every query, and under every `s1..s4` scorer for the first query
+/// (the full scorer × query sweep runs once per case, at the end).
 fn assert_equivalent(
     store_dir: &std::path::Path,
     inc: &SketchIndex,
@@ -123,31 +125,83 @@ fn assert_equivalent(
             ctx,
             threads
         );
-        let opts = QueryOptions {
+        let mut variants: Vec<QueryOptions> = vec![QueryOptions {
             k: 8,
             threads,
             ..QueryOptions::default()
-        };
-        for q in queries {
-            let from_inc = engine::top_k_with_reports(inc, q, &opts, 0.05);
-            let from_rebuilt = engine::top_k_with_reports(&rebuilt, q, &opts, 0.05);
-            prop_assert_eq!(
-                &from_inc,
-                &from_rebuilt,
-                "{}: incremental vs rebuild, threads={}, query={}",
-                ctx,
+        }];
+        variants.extend(Scorer::ALL.map(|scorer| QueryOptions {
+            k: 8,
+            threads,
+            scorer,
+            confidence: 0.9,
+            ..QueryOptions::default()
+        }));
+        for (vi, opts) in variants.iter().enumerate() {
+            // Default options run on every query; the per-scorer
+            // variants cover the first query here and the whole set in
+            // the end-of-case sweep.
+            let queries = if vi == 0 { queries } else { &queries[..1] };
+            for q in queries {
+                let from_inc = engine::top_k_with_reports(inc, q, opts, 0.05);
+                let from_rebuilt = engine::top_k_with_reports(&rebuilt, q, opts, 0.05);
+                prop_assert_eq!(
+                    &from_inc,
+                    &from_rebuilt,
+                    "{}: incremental vs rebuild, threads={}, scorer={}, query={}",
+                    ctx,
+                    threads,
+                    opts.scorer,
+                    q.id()
+                );
+                let from_refreshed = engine::top_k_with_reports(refreshed, q, opts, 0.05);
+                prop_assert_eq!(
+                    &from_inc,
+                    &from_refreshed,
+                    "{}: incremental vs refreshed, threads={}, scorer={}, query={}",
+                    ctx,
+                    threads,
+                    opts.scorer,
+                    q.id()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The full scored sweep: every scorer × every query × every thread
+/// count, incremental vs from-scratch rebuild. Run once per generated
+/// case (after the final operation) and after every step of the
+/// scripted interleaving.
+fn assert_scored_equivalent(
+    store_dir: &std::path::Path,
+    inc: &SketchIndex,
+    queries: &[CorrelationSketch],
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    for &threads in &THREADS {
+        let rebuilt = SketchIndex::from_store(store_dir, threads)
+            .map_err(|e| TestCaseError::fail(format!("{ctx}: rebuild failed: {e}")))?;
+        for scorer in Scorer::ALL {
+            let opts = QueryOptions {
+                k: 8,
                 threads,
-                q.id()
-            );
-            let from_refreshed = engine::top_k_with_reports(refreshed, q, &opts, 0.05);
-            prop_assert_eq!(
-                &from_inc,
-                &from_refreshed,
-                "{}: incremental vs refreshed, threads={}, query={}",
-                ctx,
-                threads,
-                q.id()
-            );
+                scorer,
+                confidence: 0.9,
+                ..QueryOptions::default()
+            };
+            for q in queries {
+                prop_assert_eq!(
+                    engine::top_k_with_reports(inc, q, &opts, 0.05),
+                    engine::top_k_with_reports(&rebuilt, q, &opts, 0.05),
+                    "{}: scored sweep, threads={}, scorer={}, query={}",
+                    ctx,
+                    threads,
+                    scorer,
+                    q.id()
+                );
+            }
         }
     }
     Ok(())
@@ -251,6 +305,10 @@ proptest! {
 
             assert_equivalent(store, &inc, &refreshed, &qs, &ctx)?;
         }
+
+        // Every scorer × every query × every thread count, once per
+        // case at the final corpus state.
+        assert_scored_equivalent(store, &inc, &qs, "final state")?;
     }
 }
 
@@ -294,6 +352,8 @@ fn scripted_interleaving_matches_rebuild_everywhere() {
                 );
             }
         }
+        // Scored paths must hold the same equivalence after every step.
+        assert_scored_equivalent(store, inc, &qs, tag).unwrap();
     };
 
     // Append two, remove one base + the first appended, re-append a

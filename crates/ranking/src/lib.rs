@@ -8,6 +8,10 @@
 //! standard error, a bootstrap confidence interval, or the new Hoeffding
 //! interval. This crate implements:
 //!
+//! * [`scored`] — the live query path's `s1..s4` scorers over
+//!   confidence-aware estimates ([`sketch_stats::ScoredEstimate`]:
+//!   estimate + estimator-matched CI), consumed by the
+//!   `sketch-index` engine, the server, and the CLI;
 //! * [`scoring`] — candidate feature extraction and the scoring functions
 //!   `s1 = r_p`, `s2 = r_p·se_z`, `s3 = r_b·ci_b`, `s4 = r_p·ci_h`, plus
 //!   the `jc` (exact Jaccard containment), `ĵc` (sketch-estimated
@@ -21,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod evaluation;
+pub mod scored;
 pub mod scoring;
 
 pub use evaluation::{run_ranking_experiment, QueryOutcome, RankingConfig, RankingReport};
+pub use scored::{score_estimates, Scorer};
 pub use scoring::{
-    extract_features, features_from_sample, rank_candidates, score_candidates, CandidateFeatures,
-    ScoringFunction,
+    desc_score_nan_last, extract_features, features_from_sample, rank_candidates, score_candidates,
+    CandidateFeatures, ScoringFunction,
 };

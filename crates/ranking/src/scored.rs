@@ -1,0 +1,235 @@
+//! The `s1`–`s4` scoring functions on the live query path (paper
+//! Section 4.4), operating on confidence-aware estimates
+//! ([`ScoredEstimate`]: point estimate + matched CI) instead of the
+//! evaluation harness's full feature vectors.
+//!
+//! ```text
+//! s1 = |r̂|                                      (no penalization)
+//! s2 = |r̂| · (1 − se_z)      se_z = 1/√(max(4,n) − 3)
+//! s3 = |r̂| · max(0, 1 − ci_len/2)               (absolute CI length)
+//! s4 = |r̂| · (1 − (ci_len − min)/(max − min))   (list-normalized CI length)
+//! ```
+//!
+//! The CI is the estimator-matched interval of
+//! [`sketch_stats::scored_estimate`] — Fisher z for Pearson, bootstrap
+//! for the robust estimators — so each scorer generalizes its paper
+//! counterpart (`s2 = rp·se_z`, `s3 = rb·ci_b`, `s4 = rp·ci_h`) to every
+//! estimator the engine supports.
+//!
+//! Scoring is **list-level** because `s4` normalizes CI lengths within
+//! the ranked candidate list; `score_estimates` therefore takes the
+//! whole list and returns one score per candidate. Candidates without a
+//! usable estimate (degenerate join sample) or with a non-finite CI
+//! score 0 — they sort behind every scorable candidate but ahead of
+//! nothing else, deterministically.
+
+use sketch_stats::{fisher_z_se, ScoredEstimate};
+
+/// The four scoring functions of the live query path, in ascending
+/// paper order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scorer {
+    /// `s1 = |r̂|` — the raw point estimate (the baseline the paper's
+    /// CI-aware scorers are measured against).
+    #[default]
+    S1,
+    /// `s2 = |r̂|·(1 − se_z)` — Fisher's z standard-error penalization.
+    S2,
+    /// `s3 = |r̂|·max(0, 1 − ci_len/2)` — absolute CI-length penalization
+    /// (the paper's bootstrap-CI scorer shape).
+    S3,
+    /// `s4 = |r̂|·(1 − normalized ci_len)` — CI length normalized over
+    /// the candidate list (the paper's best constant-time scorer shape).
+    S4,
+}
+
+impl Scorer {
+    /// All scorers, `s1..s4`.
+    pub const ALL: [Self; 4] = [Self::S1, Self::S2, Self::S3, Self::S4];
+
+    /// Canonical name (`"s1"`…`"s4"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::S1 => "s1",
+            Self::S2 => "s2",
+            Self::S3 => "s3",
+            Self::S4 => "s4",
+        }
+    }
+}
+
+impl std::fmt::Display for Scorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Scorer {
+    type Err = String;
+
+    /// Accepts the canonical `s1..s4` plus the paper-notation aliases
+    /// used by the evaluation harness (`rp`, `rp*sez`, `rb*cib`,
+    /// `rp*cih`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "s1" | "rp" | "point" => Ok(Self::S1),
+            "s2" | "rp*sez" | "sez" => Ok(Self::S2),
+            "s3" | "rb*cib" | "cib" => Ok(Self::S3),
+            "s4" | "rp*cih" | "cih" => Ok(Self::S4),
+            other => Err(format!(
+                "unknown scorer '{other}' (expected s1|s2|s3|s4; aliases rp, rp*sez, rb*cib, rp*cih)"
+            )),
+        }
+    }
+}
+
+/// Is this estimate usable for scoring? Non-finite estimates or interval
+/// endpoints (a degenerate candidate can surface NaN through the CI
+/// arithmetic) are treated exactly like a missing estimate: score 0,
+/// never a NaN that poisons the sort.
+fn usable(e: &ScoredEstimate) -> bool {
+    e.estimate.is_finite() && e.ci_lo.is_finite() && e.ci_hi.is_finite()
+}
+
+/// Score a candidate list under `scorer`; `estimates[i]` is `None` when
+/// candidate `i` had no usable estimate (too-small or degenerate join
+/// sample). Returns one finite score per candidate, aligned with the
+/// input. List-level because `s4` normalizes CI lengths within the list.
+#[must_use]
+pub fn score_estimates(scorer: Scorer, estimates: &[Option<ScoredEstimate>]) -> Vec<f64> {
+    let per_candidate = |f: &dyn Fn(&ScoredEstimate) -> f64| -> Vec<f64> {
+        estimates
+            .iter()
+            .map(|e| e.as_ref().filter(|e| usable(e)).map_or(0.0, f))
+            .collect()
+    };
+    match scorer {
+        Scorer::S1 => per_candidate(&|e| e.estimate.abs()),
+        Scorer::S2 => per_candidate(&|e| e.estimate.abs() * (1.0 - fisher_z_se(e.sample_size))),
+        Scorer::S3 => per_candidate(&|e| e.estimate.abs() * (1.0 - e.ci_length() / 2.0).max(0.0)),
+        Scorer::S4 => {
+            let (min_len, max_len) = estimates
+                .iter()
+                .flatten()
+                .filter(|e| usable(e))
+                .map(ScoredEstimate::ci_length)
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), l| {
+                    (lo.min(l), hi.max(l))
+                });
+            per_candidate(&|e| {
+                let cih = if max_len > min_len {
+                    1.0 - (e.ci_length() - min_len) / (max_len - min_len)
+                } else {
+                    // One usable candidate (or all-equal lengths): the
+                    // normalization carries no information.
+                    1.0
+                };
+                e.estimate.abs() * cih
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(estimate: f64, ci_len: f64, n: usize) -> Option<ScoredEstimate> {
+        Some(ScoredEstimate {
+            estimate,
+            ci_lo: estimate - ci_len / 2.0,
+            ci_hi: estimate + ci_len / 2.0,
+            sample_size: n,
+        })
+    }
+
+    #[test]
+    fn names_and_parsing_roundtrip() {
+        for s in Scorer::ALL {
+            assert_eq!(s.name().parse::<Scorer>().unwrap(), s);
+        }
+        assert_eq!("rp".parse::<Scorer>().unwrap(), Scorer::S1);
+        assert_eq!("rp*sez".parse::<Scorer>().unwrap(), Scorer::S2);
+        assert_eq!("rb*cib".parse::<Scorer>().unwrap(), Scorer::S3);
+        assert_eq!("rp*cih".parse::<Scorer>().unwrap(), Scorer::S4);
+        assert_eq!("S4".parse::<Scorer>().unwrap(), Scorer::S4);
+        assert!("s5".parse::<Scorer>().is_err());
+        assert_eq!(Scorer::default(), Scorer::S1);
+    }
+
+    #[test]
+    fn s1_is_the_absolute_estimate() {
+        let s = score_estimates(Scorer::S1, &[est(-0.9, 0.5, 100), est(0.4, 0.1, 10), None]);
+        assert_eq!(s, vec![0.9, 0.4, 0.0]);
+    }
+
+    #[test]
+    fn s2_penalizes_small_samples() {
+        let s = score_estimates(Scorer::S2, &[est(0.8, 0.2, 403), est(0.8, 0.2, 4)]);
+        assert!((s[0] - 0.8 * 0.95).abs() < 1e-12, "{s:?}");
+        assert_eq!(s[1], 0.0, "se_z = 1 at the n floor");
+    }
+
+    #[test]
+    fn s3_penalizes_absolute_interval_length() {
+        let s = score_estimates(
+            Scorer::S3,
+            &[est(0.6, 0.2, 50), est(0.6, 1.8, 50), est(0.6, 4.0, 50)],
+        );
+        assert!((s[0] - 0.6 * 0.9).abs() < 1e-12);
+        assert!((s[1] - 0.6 * 0.1).abs() < 1e-12);
+        assert_eq!(s[2], 0.0, "lengths past 2 clamp to zero, never negative");
+    }
+
+    #[test]
+    fn s4_normalizes_within_the_list() {
+        let s = score_estimates(Scorer::S4, &[est(0.7, 0.1, 500), est(0.9, 1.9, 10)]);
+        assert!((s[0] - 0.7).abs() < 1e-12, "sharpest CI keeps full score");
+        assert_eq!(s[1], 0.0, "widest CI is fully penalized");
+        // Single candidate: the normalization degrades to factor 1.
+        let s = score_estimates(Scorer::S4, &[est(0.7, 0.1, 500)]);
+        assert!((s[0] - 0.7).abs() < 1e-12);
+        // Missing estimates do not perturb the normalization bounds.
+        let s = score_estimates(Scorer::S4, &[None, est(0.5, 0.3, 20), None]);
+        assert_eq!(s, vec![0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_inputs_score_zero_for_every_scorer() {
+        let bad = [
+            Some(ScoredEstimate {
+                estimate: f64::NAN,
+                ci_lo: 0.0,
+                ci_hi: 1.0,
+                sample_size: 10,
+            }),
+            Some(ScoredEstimate {
+                estimate: 0.9,
+                ci_lo: f64::NEG_INFINITY,
+                ci_hi: 0.9,
+                sample_size: 10,
+            }),
+            est(0.5, 0.2, 100),
+        ];
+        for scorer in Scorer::ALL {
+            let s = score_estimates(scorer, &bad);
+            assert_eq!(s[0], 0.0, "{scorer}: NaN estimate must score 0");
+            assert_eq!(s[1], 0.0, "{scorer}: infinite CI must score 0");
+            assert!(s[2] > 0.0 && s[2].is_finite(), "{scorer}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn ci_aware_scorers_prefer_confident_candidates_on_ties() {
+        // Same |estimate|, very different uncertainty: s1 ties, s2–s4
+        // all rank the confident candidate first.
+        let list = [est(0.8, 0.1, 400), est(0.8, 1.5, 5)];
+        let s1 = score_estimates(Scorer::S1, &list);
+        assert_eq!(s1[0], s1[1]);
+        for scorer in [Scorer::S2, Scorer::S3, Scorer::S4] {
+            let s = score_estimates(scorer, &list);
+            assert!(s[0] > s[1], "{scorer}: {s:?}");
+        }
+    }
+}

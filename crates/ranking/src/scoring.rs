@@ -206,13 +206,27 @@ pub fn score_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> V
     }
 }
 
+/// Descending-score comparison that deterministically ranks NaN *last*.
+/// `f64::total_cmp` alone would put NaN above +∞ in a descending sort,
+/// so one degenerate candidate (constant column → undefined correlation)
+/// would float to the top of the ranking instead of the bottom.
+#[must_use]
+pub fn desc_score_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater, // a sorts after b
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Indices of `features` in descending score order under scorer `f`
-/// (stable: ties keep input order).
+/// (stable: ties keep input order; NaN scores rank last).
 #[must_use]
 pub fn rank_candidates(features: &[CandidateFeatures], f: ScoringFunction) -> Vec<usize> {
     let scores = score_candidates(features, f);
     let mut idx: Vec<usize> = (0..features.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    idx.sort_by(|&a, &b| desc_score_nan_last(scores[a], scores[b]));
     idx
 }
 
@@ -329,6 +343,30 @@ mod tests {
             feat("mid", 100, Some(0.5), Some(0.3), 0.0),
         ];
         assert_eq!(rank_candidates(&fs, ScoringFunction::Rp), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_deterministically() {
+        // A hand-built score vector with NaN, ±∞, and ordinary values:
+        // NaN must land at the very end, after −∞.
+        let scores = [0.5, f64::NAN, f64::INFINITY, -0.2, f64::NEG_INFINITY];
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| desc_score_nan_last(scores[a], scores[b]));
+        assert_eq!(idx, vec![2, 0, 3, 4, 1]);
+        // And the property holds through rank_candidates for every
+        // scorer even when a feature is fully degenerate.
+        let fs = vec![
+            feat("good", 100, Some(0.9), Some(0.2), 0.5),
+            feat("dead", 100, None, None, 0.0),
+        ];
+        for f in [
+            ScoringFunction::Rp,
+            ScoringFunction::RpSez,
+            ScoringFunction::RbCib,
+            ScoringFunction::RpCih,
+        ] {
+            assert_eq!(rank_candidates(&fs, f), vec![0, 1], "{f}");
+        }
     }
 
     #[test]

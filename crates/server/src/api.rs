@@ -12,7 +12,7 @@
 
 use correlation_sketches::json::{self, push_f64, push_string};
 use sketch_hashing::murmur3_x64_128;
-use sketch_index::{QueryOptions, ReportedResult};
+use sketch_index::{QueryOptions, ReportedResult, Scorer};
 use sketch_stats::CorrelationEstimator;
 
 /// Ranking parameters shared by `/query` and `/query_batch`, resolved
@@ -29,6 +29,11 @@ pub struct QueryParams {
     pub min_sample: usize,
     /// Hoeffding interval significance for the uncertainty reports.
     pub alpha: f64,
+    /// Ranking scorer (`s1..s4`).
+    pub scorer: Scorer,
+    /// Confidence level of the per-candidate interval the scorer
+    /// consumes.
+    pub confidence: f64,
 }
 
 impl Default for QueryParams {
@@ -40,6 +45,8 @@ impl Default for QueryParams {
             estimator: opts.estimator,
             min_sample: opts.min_sample,
             alpha: 0.05,
+            scorer: opts.scorer,
+            confidence: opts.confidence,
         }
     }
 }
@@ -56,6 +63,8 @@ impl QueryParams {
             estimator: self.estimator,
             min_sample: self.min_sample,
             threads: 1,
+            scorer: self.scorer,
+            confidence: self.confidence,
         }
     }
 }
@@ -132,6 +141,20 @@ fn parse_params(obj: json::Obj<'_>, defaults: &QueryParams) -> Result<QueryParam
             return Err(format!("alpha must be in (0, 1), got {alpha}"));
         }
         params.alpha = alpha;
+    }
+    if let Some(v) = obj.opt("scorer") {
+        params.scorer = v
+            .as_str("scorer")
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("scorer: {e}"))?;
+    }
+    if let Some(v) = obj.opt("confidence") {
+        let confidence = v.as_f64("confidence").map_err(|e| e.to_string())?;
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(format!("confidence must be in (0, 1), got {confidence}"));
+        }
+        params.confidence = confidence;
     }
     Ok(params)
 }
@@ -266,6 +289,9 @@ fn push_params(bytes: &mut Vec<u8>, p: &QueryParams) {
     bytes.push(0);
     bytes.extend_from_slice(&(p.min_sample as u64).to_le_bytes());
     bytes.extend_from_slice(&p.alpha.to_bits().to_le_bytes());
+    bytes.extend_from_slice(p.scorer.name().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&p.confidence.to_bits().to_le_bytes());
 }
 
 fn push_query(bytes: &mut Vec<u8>, q: &QueryBody) {
@@ -291,6 +317,16 @@ fn push_result(out: &mut String, r: &ReportedResult) {
     out.push_str(",\"estimate\":");
     match r.result.estimate {
         Some(e) => push_f64(out, e),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"ci_lo\":");
+    match r.result.ci_lo {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"ci_hi\":");
+    match r.result.ci_hi {
+        Some(v) => push_f64(out, v),
         None => out.push_str("null"),
     }
     out.push_str(",\"score\":");
@@ -330,13 +366,28 @@ fn push_results(out: &mut String, results: &[ReportedResult]) {
     out.push(']');
 }
 
-/// Render a `/query` response: deterministic bytes for a given
-/// `(results, generation)`.
-#[must_use]
-pub fn render_query_response(generation: u64, results: &[ReportedResult]) -> String {
-    let mut out = String::with_capacity(64 + 256 * results.len());
+/// The shared response preamble: generation plus the resolved ranking
+/// parameters (scorer and confidence), so a client can always tell
+/// which scorer produced an answer — defaults included.
+fn push_preamble(out: &mut String, generation: u64, params: &QueryParams) {
     out.push_str("{\"generation\":");
     out.push_str(&generation.to_string());
+    out.push_str(",\"scorer\":\"");
+    out.push_str(params.scorer.name());
+    out.push_str("\",\"confidence\":");
+    push_f64(out, params.confidence);
+}
+
+/// Render a `/query` response: deterministic bytes for a given
+/// `(results, generation, params)`.
+#[must_use]
+pub fn render_query_response(
+    generation: u64,
+    params: &QueryParams,
+    results: &[ReportedResult],
+) -> String {
+    let mut out = String::with_capacity(64 + 256 * results.len());
+    push_preamble(&mut out, generation, params);
     out.push_str(",\"count\":");
     out.push_str(&results.len().to_string());
     out.push_str(",\"results\":");
@@ -347,10 +398,13 @@ pub fn render_query_response(generation: u64, results: &[ReportedResult]) -> Str
 
 /// Render a `/query_batch` response; `answers[i]` answers `queries[i]`.
 #[must_use]
-pub fn render_batch_response(generation: u64, answers: &[Vec<ReportedResult>]) -> String {
+pub fn render_batch_response(
+    generation: u64,
+    params: &QueryParams,
+    answers: &[Vec<ReportedResult>],
+) -> String {
     let mut out = String::with_capacity(64 + 256 * answers.len());
-    out.push_str("{\"generation\":");
-    out.push_str(&generation.to_string());
+    push_preamble(&mut out, generation, params);
     out.push_str(",\"count\":");
     out.push_str(&answers.len().to_string());
     out.push_str(",\"answers\":[");
@@ -428,7 +482,8 @@ mod tests {
     fn parses_full_query_overrides() {
         let req = QueryRequest::parse(
             br#"{"id":"taxi","keys":["a"],"values":[1],"k":3,"candidates":7,
-                 "estimator":"spearman","min_sample":5,"alpha":0.1}"#,
+                 "estimator":"spearman","min_sample":5,"alpha":0.1,
+                 "scorer":"s4","confidence":0.9}"#,
             &defaults(),
         )
         .unwrap();
@@ -438,6 +493,15 @@ mod tests {
         assert_eq!(req.params.estimator.name(), "spearman");
         assert_eq!(req.params.min_sample, 5);
         assert_eq!(req.params.alpha, 0.1);
+        assert_eq!(req.params.scorer, Scorer::S4);
+        assert_eq!(req.params.confidence, 0.9);
+        // Paper-notation aliases resolve to the same scorer.
+        let req = QueryRequest::parse(
+            br#"{"keys":["a"],"values":[1],"scorer":"rp*cih"}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_eq!(req.params.scorer, Scorer::S4);
     }
 
     #[test]
@@ -450,6 +514,15 @@ mod tests {
             (
                 br#"{"keys":["a"],"values":[1],"estimator":"psychic"}"#,
                 "estimator",
+            ),
+            (br#"{"keys":["a"],"values":[1],"scorer":"s9"}"#, "scorer"),
+            (
+                br#"{"keys":["a"],"values":[1],"confidence":1.5}"#,
+                "confidence",
+            ),
+            (
+                br#"{"keys":["a"],"values":[1],"confidence":0}"#,
+                "confidence",
             ),
             (br#"not json"#, "unexpected"),
             (br#"[1,2]"#, "object"),
@@ -495,6 +568,8 @@ mod tests {
             br#"{"keys":["a"],"values":[1.5],"estimator":"spearman"}"#,
             br#"{"keys":["a"],"values":[1.5],"min_sample":4}"#,
             br#"{"keys":["a"],"values":[1.5],"alpha":0.01}"#,
+            br#"{"keys":["a"],"values":[1.5],"scorer":"s2"}"#,
+            br#"{"keys":["a"],"values":[1.5],"confidence":0.8}"#,
             br#"{"keys":["a"],"values":[1.5],"id":"other"}"#,
         ] {
             let req = QueryRequest::parse(other, &defaults()).unwrap();

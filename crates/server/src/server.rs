@@ -591,7 +591,7 @@ fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
         &req.params.to_options(),
         req.params.alpha,
     );
-    let rendered = api::render_query_response(snap.generation(), &results);
+    let rendered = api::render_query_response(snap.generation(), &req.params, &results);
     ctx.cache.put(key, Arc::from(rendered.as_str()));
     (200, Body::Owned(rendered))
 }
@@ -625,7 +625,7 @@ fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
         &req.params.to_options(),
         req.params.alpha,
     );
-    let rendered = api::render_batch_response(snap.generation(), &answers);
+    let rendered = api::render_batch_response(snap.generation(), &req.params, &answers);
     ctx.cache.put(key, Arc::from(rendered.as_str()));
     (200, Body::Owned(rendered))
 }

@@ -43,16 +43,24 @@ impl LatencyHistogram {
         out
     }
 
-    /// Estimate the `p`-th percentile (0–100) in milliseconds from a
-    /// snapshot: the geometric midpoint of the bucket containing the
-    /// rank. Returns 0.0 for an empty histogram.
+    /// Estimate the `p`-th percentile (0–100, clamped) in milliseconds
+    /// from a snapshot: the geometric midpoint of the bucket containing
+    /// the rank. Returns 0.0 for an empty histogram.
+    ///
+    /// The last bucket is the *saturation* bucket — every duration at or
+    /// beyond `2^(BUCKETS-2)` µs is clamped into it, so its upper edge
+    /// is unbounded. A percentile landing there reports the bucket's
+    /// lower bound (the clamp value, the largest latency the histogram
+    /// can resolve) rather than a fabricated midpoint above it.
     #[must_use]
     pub fn percentile_ms(counts: &[u64; BUCKETS], p: f64) -> f64 {
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0.0;
         }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * total as f64)
+            .ceil()
+            .max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
@@ -63,6 +71,9 @@ impl LatencyHistogram {
                 } else {
                     (1u64 << (i - 1)) as f64
                 };
+                if i == BUCKETS - 1 {
+                    return low / 1000.0;
+                }
                 let high = (1u64 << i) as f64;
                 return (low + high) / 2.0 / 1000.0;
             }
@@ -181,6 +192,32 @@ mod tests {
         assert!(p95 > 10.0, "p95={p95}");
         assert!(p50 <= p95 && p95 <= p99);
         assert_eq!(LatencyHistogram::percentile_ms(&[0; BUCKETS], 50.0), 0.0);
+    }
+
+    #[test]
+    fn saturated_bucket_reports_the_clamp_not_a_midpoint() {
+        // Every recorded duration is far beyond the last bucket's lower
+        // edge: the percentile must report the clamp value 2^38 µs
+        // (≈ 2.75e5 ms), not the fabricated midpoint (2^38 + 2^39)/2.
+        let h = LatencyHistogram::default();
+        for _ in 0..10 {
+            h.record_us(u64::MAX);
+        }
+        let counts = h.snapshot();
+        let clamp_ms = (1u64 << (BUCKETS - 2)) as f64 / 1000.0;
+        for p in [50.0, 99.0, 100.0] {
+            assert_eq!(LatencyHistogram::percentile_ms(&counts, p), clamp_ms);
+        }
+        // Out-of-range percentile requests clamp instead of scanning
+        // past the histogram.
+        assert_eq!(LatencyHistogram::percentile_ms(&counts, 150.0), clamp_ms);
+        let h2 = LatencyHistogram::default();
+        h2.record_us(100);
+        let c2 = h2.snapshot();
+        assert_eq!(
+            LatencyHistogram::percentile_ms(&c2, -5.0),
+            LatencyHistogram::percentile_ms(&c2, 0.0)
+        );
     }
 
     #[test]

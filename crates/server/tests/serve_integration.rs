@@ -48,25 +48,26 @@ fn corpus(n: usize) -> Vec<CorrelationSketch> {
         .collect()
 }
 
-/// The query every client issues: keys 0..80, a sine signal.
-fn query_json() -> String {
+/// A query over keys 0..80 with a sine signal; `extra` injects extra
+/// request fields (e.g. a scorer override), empty for the defaults.
+fn query_json(extra: &str) -> String {
     let keys: Vec<String> = (0..80).map(|i| format!("\"key-{i}\"")).collect();
     let values: Vec<String> = (0..80)
         .map(|i| format!("{:?}", ((i as f64) * 0.17).sin() * 3.0))
         .collect();
     format!(
-        "{{\"keys\":[{}],\"values\":[{}]}}",
+        "{{\"keys\":[{}],\"values\":[{}]{extra}}}",
         keys.join(","),
         values.join(",")
     )
 }
 
-/// What a fresh single process would answer for `query_json()` against
-/// the store as it is on disk right now, rendered exactly like the
-/// server renders it.
-fn expected_body(store: &Path) -> String {
+/// What a fresh single process would answer for this request body
+/// against the store as it is on disk right now, rendered exactly like
+/// the server renders it.
+fn expected_body(store: &Path, body: &str) -> String {
     let snap = IndexSnapshot::from_store(store, 2).unwrap();
-    let req = api::QueryRequest::parse(query_json().as_bytes(), &QueryParams::default()).unwrap();
+    let req = api::QueryRequest::parse(body.as_bytes(), &QueryParams::default()).unwrap();
     let sketch = snap.build_query(&req.body.id, req.body.keys.clone(), req.body.values.clone());
     let results = sketch_index::engine::top_k_with_reports(
         snap.index(),
@@ -74,7 +75,7 @@ fn expected_body(store: &Path) -> String {
         &req.params.to_options(),
         req.params.alpha,
     );
-    api::render_query_response(snap.generation(), &results)
+    api::render_query_response(snap.generation(), &req.params, &results)
 }
 
 fn wait_for_generation(handle: &sketch_server::ServerHandle, generation: u64) {
@@ -108,26 +109,49 @@ fn served_answers_stay_byte_identical_under_mutation() {
     let handle = sketch_server::start(config).unwrap();
     let addr = handle.addr();
 
-    // Authoritative per-generation answers, computed from a *fresh*
-    // single-process store load while the store sits at that generation.
-    let expected: Mutex<HashMap<u64, String>> = Mutex::new(HashMap::new());
-    expected.lock().unwrap().insert(0, expected_body(&dir.0));
+    // Two request bodies hammer the server throughout: the default
+    // point-estimate ranking and a CI-aware scored ranking — both must
+    // stay byte-identical to fresh single-process answers at every
+    // generation.
+    let bodies: [String; 2] = [
+        query_json(""),
+        query_json(",\"scorer\":\"s4\",\"confidence\":0.9"),
+    ];
 
-    // Background clients hammer the same query through every mutation;
+    // Authoritative per-(body, generation) answers, computed from a
+    // *fresh* single-process store load while the store sits at that
+    // generation.
+    let expected: Mutex<HashMap<(usize, u64), String>> = Mutex::new(HashMap::new());
+    let record = |generation: u64| {
+        let mut map = expected.lock().unwrap();
+        for (bi, body) in bodies.iter().enumerate() {
+            map.insert((bi, generation), expected_body(&dir.0, body));
+        }
+    };
+    record(0);
+
+    // Background clients hammer both queries through every mutation;
     // each observation must match the expected body of its generation.
     let stop = std::sync::atomic::AtomicBool::new(false);
-    let observations: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
-    let q = query_json();
+    let observations: Mutex<Vec<(usize, u64, String)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
-        for _ in 0..3 {
-            scope.spawn(|| {
+        for c in 0..4 {
+            let bodies = &bodies;
+            let observations = &observations;
+            let stop = &stop;
+            scope.spawn(move || {
                 let mut client = HttpClient::connect(addr).unwrap();
+                // Two clients per body; scored and unscored interleave.
+                let bi = c % bodies.len();
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    let resp = client.post("/query", &q).unwrap();
+                    let resp = client.post("/query", &bodies[bi]).unwrap();
                     assert_eq!(resp.status, 200, "{}", resp.body);
                     let generation = api::extract_u64(&resp.body, "generation").unwrap();
-                    observations.lock().unwrap().push((generation, resp.body));
+                    observations
+                        .lock()
+                        .unwrap()
+                        .push((bi, generation, resp.body));
                 }
             });
         }
@@ -145,14 +169,14 @@ fn served_answers_stay_byte_identical_under_mutation() {
             1,
         )
         .unwrap();
-        expected.lock().unwrap().insert(1, expected_body(&dir.0));
+        record(1);
         wait_for_generation(&handle, 1);
         std::thread::sleep(Duration::from_millis(60));
 
         // Mutation 2: tombstone two of the originals -> generation 2.
         sketch_store::remove_from_corpus(&dir.0, &["t0/k/v".to_string(), "t5/k/v".to_string()], 1)
             .unwrap();
-        expected.lock().unwrap().insert(2, expected_body(&dir.0));
+        record(2);
         wait_for_generation(&handle, 2);
         std::thread::sleep(Duration::from_millis(60));
 
@@ -165,15 +189,15 @@ fn served_answers_stay_byte_identical_under_mutation() {
             },
         )
         .unwrap();
-        expected.lock().unwrap().insert(3, expected_body(&dir.0));
+        record(3);
         wait_for_generation(&handle, 3);
         std::thread::sleep(Duration::from_millis(60));
 
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
     });
 
-    // Every observation, at every generation, cache hit or miss, must
-    // be byte-identical to the fresh single-process answer.
+    // Every observation, at every generation, cache hit or miss, scored
+    // or not, must be byte-identical to the fresh single-process answer.
     let expected = expected.into_inner().unwrap();
     let observations = observations.into_inner().unwrap();
     assert!(
@@ -182,9 +206,9 @@ fn served_answers_stay_byte_identical_under_mutation() {
         observations.len()
     );
     let mut seen_generations: Vec<u64> = Vec::new();
-    for (generation, body) in &observations {
+    for (bi, generation, body) in &observations {
         let want = expected
-            .get(generation)
+            .get(&(*bi, *generation))
             .unwrap_or_else(|| panic!("unexpected generation {generation}"));
         assert_eq!(&body, &want, "generation {generation} answer diverged");
         if !seen_generations.contains(generation) {
@@ -197,17 +221,25 @@ fn served_answers_stay_byte_identical_under_mutation() {
     assert!(seen_generations.contains(&0), "{seen_generations:?}");
     assert!(seen_generations.contains(&3), "{seen_generations:?}");
 
-    // The same query repeated at a settled generation is a cache hit
-    // and still byte-identical.
+    // The same queries repeated at a settled generation are cache hits
+    // and still byte-identical — for the scored request too, proving
+    // scorer and confidence are part of the cache identity.
     let hits_before = handle
         .stats()
         .cache_hits
         .load(std::sync::atomic::Ordering::Relaxed);
     let mut client = HttpClient::connect(addr).unwrap();
-    let a = client.post("/query", &q).unwrap();
-    let b = client.post("/query", &q).unwrap();
-    assert_eq!(a, b);
-    assert_eq!(a.body, expected[&3]);
+    for (bi, body) in bodies.iter().enumerate() {
+        let a = client.post("/query", body).unwrap();
+        let b = client.post("/query", body).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.body, expected[&(bi, 3)]);
+    }
+    assert_ne!(
+        expected[&(0, 3)],
+        expected[&(1, 3)],
+        "scored and unscored responses must not collide"
+    );
     let hits_after = handle
         .stats()
         .cache_hits
@@ -282,7 +314,7 @@ fn batch_answers_match_engine_and_cache() {
     );
     assert_eq!(
         resp.body,
-        api::render_batch_response(snap.generation(), &answers)
+        api::render_batch_response(snap.generation(), &req.params, &answers)
     );
 
     // And the batch is answered from cache on repeat, byte-identically.
@@ -317,7 +349,7 @@ fn batch_answers_match_engine_and_cache() {
         assert_eq!(resp.status, 200, "{}", resp.body);
         assert_eq!(
             resp.body,
-            api::render_query_response(snap.generation(), &answers[i])
+            api::render_query_response(snap.generation(), &req.params, &answers[i])
         );
     }
 

@@ -49,6 +49,37 @@ pub struct BootstrapResult {
     pub std_dev: f64,
 }
 
+/// Reusable buffers for the bootstrap estimators and intervals. One
+/// scratch per worker amortizes the per-candidate allocations away on
+/// the query hot path; results are identical to the allocating variants
+/// (the buffers are resized and overwritten before every use), so
+/// scratch reuse never affects determinism.
+#[derive(Debug, Default, Clone)]
+pub struct BootstrapScratch {
+    bx: Vec<f64>,
+    by: Vec<f64>,
+    rs: Vec<f64>,
+}
+
+impl BootstrapScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Fill `bx`/`by` with one resample (with replacement) of the paired
+/// sample.
+fn fill_resample(x: &[f64], y: &[f64], rng: &mut StdRng, bx: &mut [f64], by: &mut [f64]) {
+    let n = x.len();
+    for i in 0..n {
+        let j = rng.random_range(0..n);
+        bx[i] = x[j];
+        by[i] = y[j];
+    }
+}
+
 /// Draw one bootstrap resample (with replacement) of the paired sample and
 /// compute its Pearson correlation; `None` when the resample is degenerate
 /// (e.g. it picked a single index n times).
@@ -59,12 +90,7 @@ fn resample_pearson(
     bx: &mut [f64],
     by: &mut [f64],
 ) -> Option<f64> {
-    let n = x.len();
-    for i in 0..n {
-        let j = rng.random_range(0..n);
-        bx[i] = x[j];
-        by[i] = y[j];
-    }
+    fill_resample(x, y, rng, bx, by);
     pearson(bx, by).ok()
 }
 
@@ -86,13 +112,31 @@ pub fn pm1_bootstrap(
     y: &[f64],
     cfg: &BootstrapConfig,
 ) -> Result<BootstrapResult, StatsError> {
+    pm1_bootstrap_with_scratch(x, y, cfg, &mut BootstrapScratch::new())
+}
+
+/// As [`pm1_bootstrap`], reusing caller-owned resample buffers.
+/// Bit-identical to the allocating variant for every scratch state.
+///
+/// # Errors
+///
+/// Same failure modes as [`pm1_bootstrap`].
+pub fn pm1_bootstrap_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    cfg: &BootstrapConfig,
+    scratch: &mut BootstrapScratch,
+) -> Result<BootstrapResult, StatsError> {
     validate_pairs(x, y, 2)?;
     // Fail fast if the full sample is degenerate.
     pearson(x, y)?;
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut bx = vec![0.0; x.len()];
-    let mut by = vec![0.0; y.len()];
+    scratch.bx.clear();
+    scratch.bx.resize(x.len(), 0.0);
+    scratch.by.clear();
+    scratch.by.resize(y.len(), 0.0);
+    let (bx, by) = (&mut scratch.bx, &mut scratch.by);
 
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
@@ -102,7 +146,7 @@ pub fn pm1_bootstrap(
 
     while count < cfg.max_resamples && attempts < max_attempts {
         attempts += 1;
-        let Some(r) = resample_pearson(x, y, &mut rng, &mut bx, &mut by) else {
+        let Some(r) = resample_pearson(x, y, &mut rng, bx, by) else {
             continue;
         };
         count += 1;
@@ -166,30 +210,107 @@ fn pm1_ci_indices(n: usize) -> (usize, usize) {
 ///
 /// Same failure modes as [`pm1_bootstrap`].
 pub fn pm1_ci(x: &[f64], y: &[f64], seed: u64) -> Result<ConfidenceInterval, StatsError> {
-    validate_pairs(x, y, 2)?;
-    pearson(x, y)?;
+    pm1_ci_with_scratch(x, y, seed, &mut BootstrapScratch::new())
+}
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut bx = vec![0.0; x.len()];
-    let mut by = vec![0.0; y.len()];
-    let mut rs = Vec::with_capacity(PM1_CI_REPLICATES);
-    let mut attempts = 0usize;
-    while rs.len() < PM1_CI_REPLICATES && attempts < PM1_CI_REPLICATES * 4 {
-        attempts += 1;
-        if let Some(r) = resample_pearson(x, y, &mut rng, &mut bx, &mut by) {
-            rs.push(r);
-        }
-    }
-    if rs.len() < PM1_CI_REPLICATES / 2 {
-        return Err(StatsError::ZeroVariance);
-    }
-    rs.sort_by(f64::total_cmp);
+/// As [`pm1_ci`], reusing caller-owned resample buffers. Bit-identical
+/// to the allocating variant for every scratch state.
+///
+/// # Errors
+///
+/// Same failure modes as [`pm1_bootstrap`].
+pub fn pm1_ci_with_scratch(
+    x: &[f64],
+    y: &[f64],
+    seed: u64,
+    scratch: &mut BootstrapScratch,
+) -> Result<ConfidenceInterval, StatsError> {
+    let rs = collect_replicates(
+        &|a, b| pearson(a, b),
+        x,
+        y,
+        PM1_CI_REPLICATES,
+        seed,
+        scratch,
+    )?;
     let (a, c) = pm1_ci_indices(x.len());
     // Scale indices if we collected fewer than the nominal replicate count.
     let scale = rs.len() as f64 / PM1_CI_REPLICATES as f64;
     let lo_idx = (((a as f64) * scale).round() as usize).clamp(1, rs.len()) - 1;
     let hi_idx = (((c as f64) * scale).round() as usize).clamp(1, rs.len()) - 1;
     Ok(ConfidenceInterval::new(rs[lo_idx], rs[hi_idx]))
+}
+
+/// A paired-sample statistic as the generic bootstrap consumes it.
+pub type PairedStat<'a> = dyn Fn(&[f64], &[f64]) -> Result<f64, StatsError> + 'a;
+
+/// Resample `replicates` times, evaluate `stat` on each resample, and
+/// return the sorted successful replicate values in `scratch.rs`.
+/// Deterministic for a given `(stat, sample, seed)` — per-candidate
+/// seeding, never thread or iteration state, is what keeps scored
+/// queries bit-identical across thread counts.
+fn collect_replicates<'s>(
+    stat: &PairedStat<'_>,
+    x: &[f64],
+    y: &[f64],
+    replicates: usize,
+    seed: u64,
+    scratch: &'s mut BootstrapScratch,
+) -> Result<&'s [f64], StatsError> {
+    validate_pairs(x, y, 2)?;
+    // Fail fast if the full sample is degenerate.
+    stat(x, y)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    scratch.bx.clear();
+    scratch.bx.resize(x.len(), 0.0);
+    scratch.by.clear();
+    scratch.by.resize(y.len(), 0.0);
+    scratch.rs.clear();
+    let mut attempts = 0usize;
+    while scratch.rs.len() < replicates && attempts < replicates * 4 {
+        attempts += 1;
+        fill_resample(x, y, &mut rng, &mut scratch.bx, &mut scratch.by);
+        if let Ok(r) = stat(&scratch.bx, &scratch.by) {
+            scratch.rs.push(r);
+        }
+    }
+    if scratch.rs.len() < replicates / 2 {
+        return Err(StatsError::ZeroVariance);
+    }
+    scratch.rs.sort_by(f64::total_cmp);
+    Ok(&scratch.rs)
+}
+
+/// Plain percentile bootstrap confidence interval of an arbitrary paired
+/// statistic at level `confidence` — the CI source for the robust
+/// estimators (Spearman, RIN, Qn, Kendall, …) on the scored query path,
+/// where no closed-form interval exists.
+///
+/// Draws `replicates` resamples with a fixed `seed` (fully deterministic)
+/// and returns the empirical `(α/2, 1 − α/2)` order statistics of the
+/// successful replicate values.
+///
+/// # Errors
+///
+/// Validation errors of the statistic itself, or
+/// [`StatsError::ZeroVariance`] when more than half the resamples are
+/// degenerate.
+pub fn percentile_bootstrap_ci(
+    stat: &PairedStat<'_>,
+    x: &[f64],
+    y: &[f64],
+    replicates: usize,
+    confidence: f64,
+    seed: u64,
+    scratch: &mut BootstrapScratch,
+) -> Result<ConfidenceInterval, StatsError> {
+    let alpha = (1.0 - confidence).clamp(1e-9, 1.0);
+    let rs = collect_replicates(stat, x, y, replicates, seed, scratch)?;
+    let b = rs.len();
+    let lo_rank = ((alpha / 2.0 * b as f64).ceil() as usize).clamp(1, b);
+    let hi_rank = (b + 1 - lo_rank).clamp(1, b);
+    Ok(ConfidenceInterval::new(rs[lo_rank - 1], rs[hi_rank - 1]))
 }
 
 #[cfg(test)]

@@ -37,9 +37,13 @@ pub mod pearson;
 pub mod qn;
 pub mod rank;
 pub mod rin;
+pub mod scored;
 pub mod spearman;
 
-pub use bootstrap::{pm1_bootstrap, pm1_ci, BootstrapConfig, BootstrapResult};
+pub use bootstrap::{
+    percentile_bootstrap_ci, pm1_bootstrap, pm1_bootstrap_with_scratch, pm1_ci,
+    pm1_ci_with_scratch, BootstrapConfig, BootstrapResult, BootstrapScratch,
+};
 pub use ci::{
     bernstein_interval, fisher_z_interval, fisher_z_se, hfd_interval, hoeffding_interval,
     ConfidenceInterval, ValueBounds,
@@ -48,11 +52,12 @@ pub use distance::distance_correlation;
 pub use error::StatsError;
 pub use estimator::{estimate_correlation, CorrelationEstimator};
 pub use kendall::kendall_tau;
-pub use metrics::{average_precision, dcg_at_k, mean, ndcg_at_k, rmse};
+pub use metrics::{average_precision, dcg_at_k, mean, ndcg_at_k, recall_at_k, rmse};
 pub use moments::{Moments, SummaryStats};
 pub use normal::{inverse_normal_cdf, normal_cdf};
 pub use pearson::pearson;
 pub use qn::{qn_correlation, qn_scale};
 pub use rank::average_ranks;
 pub use rin::{rankit_transform, rin_correlation};
+pub use scored::{scored_estimate, ScoredEstimate, SCORED_CI_SEED};
 pub use spearman::spearman;

@@ -51,6 +51,18 @@ pub fn average_precision(relevant: &[bool]) -> Option<f64> {
     (hits > 0).then(|| sum_prec / hits as f64)
 }
 
+/// Recall at cutoff `k` of a ranked list with binary relevance
+/// judgments: the fraction of *all* relevant items that appear in the
+/// top `k` (`relevant[i]` says whether the item at rank `i`, 0-based and
+/// best-first, is relevant). Returns `None` when the list contains no
+/// relevant item, so such queries can be excluded from averages like the
+/// MAP/nDCG conventions above.
+#[must_use]
+pub fn recall_at_k(relevant: &[bool], k: usize) -> Option<f64> {
+    let total = relevant.iter().filter(|&&r| r).count();
+    (total > 0).then(|| relevant.iter().take(k).filter(|&&r| r).count() as f64 / total as f64)
+}
+
 /// Discounted cumulative gain at cutoff `k` for graded relevance `gains`
 /// (best-first ranked order): `Σ_{i<k} gain_i / log2(i + 2)`.
 #[must_use]
@@ -136,6 +148,18 @@ mod tests {
     fn ap_empty_or_no_relevant_is_none() {
         assert_eq!(average_precision(&[]), None);
         assert_eq!(average_precision(&[false, false]), None);
+    }
+
+    #[test]
+    fn recall_counts_relevant_in_prefix() {
+        let rel = [true, false, true, false, true];
+        assert_eq!(recall_at_k(&rel, 1), Some(1.0 / 3.0));
+        assert_eq!(recall_at_k(&rel, 3), Some(2.0 / 3.0));
+        assert_eq!(recall_at_k(&rel, 5), Some(1.0));
+        assert_eq!(recall_at_k(&rel, 100), Some(1.0));
+        assert_eq!(recall_at_k(&rel, 0), Some(0.0));
+        assert_eq!(recall_at_k(&[false, false], 2), None);
+        assert_eq!(recall_at_k(&[], 2), None);
     }
 
     #[test]

@@ -67,6 +67,16 @@ curl -sf -X POST --data-binary @"$WORK/query.json" "$BASE/query" > "$WORK/r2.jso
 cmp -s "$WORK/r1.json" "$WORK/r2.json" || fail "cached response not byte-identical"
 curl -sf "$BASE/stats" | grep -q '"cache_hits":0' && fail "repeat was not a cache hit"
 
+# Confidence-aware re-ranking: a scored request answers with the scorer
+# echoed, per-result CI endpoints, and a distinct cache identity.
+SCORED="${QUERY%\}},\"scorer\":\"s4\",\"confidence\":0.9}"
+echo "$SCORED" > "$WORK/scored.json"
+curl -sf -X POST --data-binary @"$WORK/scored.json" "$BASE/query" > "$WORK/r_scored.json"
+grep -q '"scorer":"s4"' "$WORK/r_scored.json" || fail "scored query did not echo the scorer"
+grep -q '"confidence":0.9' "$WORK/r_scored.json" || fail "scored query did not echo the confidence"
+grep -q '"ci_lo":' "$WORK/r_scored.json" || fail "scored query missing CI fields"
+cmp -s "$WORK/r1.json" "$WORK/r_scored.json" && fail "scored and default responses must differ"
+
 # --- 4. Mutate the corpus under the live server. ------------------------
 "$CORRSKETCH" corpus append --store "$WORK/store" --dir "$WORK/more"
 for _ in $(seq 1 100); do
