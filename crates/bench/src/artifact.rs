@@ -1,0 +1,81 @@
+//! Machine-readable bench artifacts: `BENCH_<name>.json` files that
+//! capture one run's workload parameters and headline numbers, so the
+//! perf trajectory can be tracked mechanically across PRs (diff the
+//! artifact, not a scraped stdout line).
+//!
+//! Every experiment binary that reports latency or throughput accepts
+//! `--out <path>`: the same JSON object it prints under `--json true` is
+//! also written to `<path>`. `--out auto` expands to `BENCH_<bench>.json`
+//! in the current directory — the canonical artifact name CI and scripts
+//! look for.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Resolve an `--out` spec: `"auto"` (or the bare-flag value `"true"`)
+/// expands to `BENCH_<bench>.json` in the current directory; anything
+/// else is taken as a literal path.
+#[must_use]
+pub fn artifact_path(spec: &str, bench: &str) -> PathBuf {
+    if spec == "auto" || spec == "true" {
+        PathBuf::from(format!("BENCH_{bench}.json"))
+    } else {
+        PathBuf::from(spec)
+    }
+}
+
+/// Write one bench-JSON object to the artifact path named by `spec`
+/// (see [`artifact_path`]), creating parent directories as needed and
+/// ensuring a trailing newline. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or the write.
+pub fn write_artifact(spec: &str, bench: &str, json: &str) -> std::io::Result<PathBuf> {
+    let path = artifact_path(spec, bench);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(json.as_bytes())?;
+    if !json.ends_with('\n') {
+        file.write_all(b"\n")?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_spec_uses_canonical_name() {
+        assert_eq!(
+            artifact_path("auto", "serve_load"),
+            PathBuf::from("BENCH_serve_load.json")
+        );
+        assert_eq!(
+            artifact_path("true", "rank_eval"),
+            PathBuf::from("BENCH_rank_eval.json")
+        );
+        assert_eq!(
+            artifact_path("/tmp/x.json", "serve_load"),
+            PathBuf::from("/tmp/x.json")
+        );
+    }
+
+    #[test]
+    fn writes_object_with_trailing_newline_and_parents() {
+        let dir = std::env::temp_dir().join(format!("bench-artifact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = dir.join("nested/out.json");
+        let written =
+            write_artifact(spec.to_str().unwrap(), "demo", "{\"bench\":\"demo\"}").unwrap();
+        assert_eq!(written, spec);
+        let body = std::fs::read_to_string(&written).unwrap();
+        assert_eq!(body, "{\"bench\":\"demo\"}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

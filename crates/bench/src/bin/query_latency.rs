@@ -37,7 +37,7 @@
 //! equivalence contract the `prop_mutable` battery proves.
 
 use correlation_sketches::{CorrelationSketch, SketchBuilder, SketchConfig};
-use sketch_bench::{time_ms, Args, LatencySummary};
+use sketch_bench::{artifact, time_ms, Args, LatencySummary};
 use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
 use sketch_index::{engine, QueryOptions, SketchIndex};
 
@@ -256,32 +256,38 @@ fn main() {
     };
     let mean_results = total_results as f64 / latencies.len().max(1) as f64;
 
+    // One machine-readable object: printed on stdout under `--json true`
+    // and/or written as a `BENCH_query_latency.json` artifact under
+    // `--out`, so CI / scripts can diff the perf trajectory across PRs.
+    let obj = format!(
+        "{{\"bench\":\"query_latency\",\"tables\":{tables},\
+         \"sketches\":{},\"distinct_keys\":{},\"sketch_size\":{sketch_size},\
+         \"candidates\":{candidates},\"k\":{k},\"query_threads\":{query_threads},\
+         \"with_reports\":{with_reports},\"queries\":{},\
+         \"index_build_ms\":{t_index:.3},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\
+         \"p75_ms\":{:.4},\"p90_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\
+         \"p999_ms\":{:.4},\
+         \"under_100ms_pct\":{:.2},\"under_200ms_pct\":{:.2},\
+         \"mean_results_per_query\":{mean_results:.2}{extra}}}",
+        index.len(),
+        index.distinct_keys(),
+        latencies.len(),
+        s.mean,
+        s.p50,
+        s.p75,
+        s.p90,
+        s.p95,
+        s.p99,
+        s.p999,
+        under(100.0),
+        under(200.0),
+    );
+    if let Some(out) = args.get("out") {
+        let path = artifact::write_artifact(out, "query_latency", &obj).expect("write artifact");
+        eprintln!("query_latency: wrote {}", path.display());
+    }
     if json {
-        // One machine-readable object on stdout so CI / scripts can diff
-        // the perf trajectory across PRs.
-        println!(
-            "{{\"bench\":\"query_latency\",\"tables\":{tables},\
-             \"sketches\":{},\"distinct_keys\":{},\"sketch_size\":{sketch_size},\
-             \"candidates\":{candidates},\"k\":{k},\"query_threads\":{query_threads},\
-             \"with_reports\":{with_reports},\"queries\":{},\
-             \"index_build_ms\":{t_index:.3},\"mean_ms\":{:.4},\"p50_ms\":{:.4},\
-             \"p75_ms\":{:.4},\"p90_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\
-             \"p999_ms\":{:.4},\
-             \"under_100ms_pct\":{:.2},\"under_200ms_pct\":{:.2},\
-             \"mean_results_per_query\":{mean_results:.2}{extra}}}",
-            index.len(),
-            index.distinct_keys(),
-            latencies.len(),
-            s.mean,
-            s.p50,
-            s.p75,
-            s.p90,
-            s.p95,
-            s.p99,
-            s.p999,
-            under(100.0),
-            under(200.0),
-        );
+        println!("{obj}");
         return;
     }
 

@@ -22,6 +22,7 @@
 
 use correlation_sketches::{SketchBuilder, SketchConfig};
 use sketch_bench::args::Args;
+use sketch_bench::{artifact, time_ms};
 use sketch_datagen::{generate_planted, PlantedConfig};
 use sketch_index::{engine, QueryOptions, Scorer, SketchIndex};
 use sketch_stats::{mean, pearson, recall_at_k};
@@ -82,10 +83,11 @@ fn main() {
     let query_sketches: Vec<_> = planted.queries.iter().map(|q| builder.build(q)).collect();
 
     println!(
-        "scorer      recall@{k}   (mean over {} queries)",
+        "scorer      recall@{k}   cost/query   (mean over {} queries)",
         planted.queries.len()
     );
     let mut recalls = Vec::new();
+    let mut costs_ms = Vec::new();
     for scorer in Scorer::ALL {
         let opts = QueryOptions {
             k,
@@ -94,38 +96,46 @@ fn main() {
             threads,
             ..QueryOptions::default()
         };
-        let per_query: Vec<f64> = query_sketches
-            .iter()
-            .zip(&relevant_sets)
-            .map(|(q, relevant)| {
-                // Rank the whole retrieved list (k = the candidate cap),
-                // flag each position's relevance, and append any
-                // relevant candidate the retrieval missed entirely as a
-                // trailing non-hit so recall's denominator stays the
-                // ground-truth set, then cut at k.
-                let full = QueryOptions {
-                    k: opts.overlap_candidates,
-                    ..opts
-                };
-                let ranked = engine::top_k_join_correlation(&index, q, &full);
-                let mut flags: Vec<bool> =
-                    ranked.iter().map(|r| relevant.contains(&r.id)).collect();
-                let retrieved = flags.iter().filter(|&&f| f).count();
-                // Unretrieved relevant candidates must land beyond the
-                // cutoff, even when fewer than k candidates ranked.
-                flags.resize(flags.len().max(k), false);
-                flags.extend(std::iter::repeat_n(true, relevant.len() - retrieved));
-                recall_at_k(&flags, k).expect("relevant sets are non-empty")
-            })
-            .collect();
+        let (per_query, t_scorer): (Vec<f64>, f64) = time_ms(|| {
+            query_sketches
+                .iter()
+                .zip(&relevant_sets)
+                .map(|(q, relevant)| {
+                    // Rank the whole retrieved list (k = the candidate cap),
+                    // flag each position's relevance, and append any
+                    // relevant candidate the retrieval missed entirely as a
+                    // trailing non-hit so recall's denominator stays the
+                    // ground-truth set, then cut at k.
+                    let full = QueryOptions {
+                        k: opts.overlap_candidates,
+                        ..opts
+                    };
+                    let ranked = engine::top_k_join_correlation(&index, q, &full);
+                    let mut flags: Vec<bool> =
+                        ranked.iter().map(|r| relevant.contains(&r.id)).collect();
+                    let retrieved = flags.iter().filter(|&&f| f).count();
+                    // Unretrieved relevant candidates must land beyond the
+                    // cutoff, even when fewer than k candidates ranked.
+                    flags.resize(flags.len().max(k), false);
+                    flags.extend(std::iter::repeat_n(true, relevant.len() - retrieved));
+                    recall_at_k(&flags, k).expect("relevant sets are non-empty")
+                })
+                .collect()
+        });
         let recall = mean(&per_query);
+        // Ranking wall time per query under this scorer. The fused
+        // stage 2 computes estimate + CI for every scorer, so the costs
+        // mostly track each other — the column makes that (and any
+        // future scorer-specific work) visible in the artifact.
+        let cost = t_scorer / per_query.len().max(1) as f64;
         let label = if scorer == Scorer::S1 {
             "s1 (point)"
         } else {
             scorer.name()
         };
-        println!("{label:<11} {recall:.3}");
+        println!("{label:<11} {recall:.3}      {cost:>7.2} ms");
         recalls.push((scorer, recall));
+        costs_ms.push(cost);
     }
 
     let point = recalls[0].1;
@@ -134,11 +144,29 @@ fn main() {
         .skip(1)
         .map(|&(_, r)| r)
         .fold(f64::NEG_INFINITY, f64::max);
-    println!(
-        "{{\"k\":{k},\"seed\":{},\"recall_point\":{point:.4},\"recall_s2\":{:.4},\
-         \"recall_s3\":{:.4},\"recall_s4\":{:.4}}}",
-        cfg.seed, recalls[1].1, recalls[2].1, recalls[3].1
+    let obj = format!(
+        "{{\"bench\":\"rank_eval\",\"k\":{k},\"seed\":{},\"queries\":{},\
+         \"traps_per_query\":{},\"sketch_size\":{sketch_size},\"threads\":{threads},\
+         \"recall_point\":{point:.4},\"recall_s2\":{:.4},\
+         \"recall_s3\":{:.4},\"recall_s4\":{:.4},\
+         \"cost_s1_ms\":{:.3},\"cost_s2_ms\":{:.3},\"cost_s3_ms\":{:.3},\
+         \"cost_s4_ms\":{:.3}}}",
+        cfg.seed,
+        planted.queries.len(),
+        cfg.traps_per_query,
+        recalls[1].1,
+        recalls[2].1,
+        recalls[3].1,
+        costs_ms[0],
+        costs_ms[1],
+        costs_ms[2],
+        costs_ms[3],
     );
+    println!("{obj}");
+    if let Some(out) = args.get("out") {
+        let path = artifact::write_artifact(out, "rank_eval", &obj).expect("write artifact");
+        eprintln!("rank_eval: wrote {}", path.display());
+    }
 
     if args.flag("assert") {
         let mut ok = true;

@@ -35,12 +35,12 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use correlation_sketches::SketchConfig;
-use sketch_bench::{time_ms, Args, LatencySummary};
+use sketch_bench::{artifact, time_ms, Args, LatencySummary};
 use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
 use sketch_server::{api, HttpClient, IndexSnapshot, QueryParams, ServerConfig};
 use sketch_table::ColumnPair;
 
-fn query_body(pair: &ColumnPair, k: usize, candidates: usize) -> String {
+fn query_body(pair: &ColumnPair, k: usize, candidates: usize, scorer: Option<&str>) -> String {
     let mut out = String::with_capacity(32 * pair.len());
     out.push_str("{\"id\":");
     correlation_sketches::json::push_string(&mut out, &pair.id());
@@ -48,6 +48,10 @@ fn query_body(pair: &ColumnPair, k: usize, candidates: usize) -> String {
     out.push_str(&k.to_string());
     out.push_str(",\"candidates\":");
     out.push_str(&candidates.to_string());
+    if let Some(name) = scorer {
+        out.push_str(",\"scorer\":");
+        correlation_sketches::json::push_string(&mut out, name);
+    }
     out.push_str(",\"keys\":[");
     for (i, key) in pair.keys.iter().enumerate() {
         if i > 0 {
@@ -83,6 +87,10 @@ fn main() {
     let warm = args.get_or("warm", true);
     let verify = args.get_or("verify", true);
     let json = args.get_or("json", false);
+    // `--scorer s2..s4` puts a confidence-aware (bootstrap-CI) scorer in
+    // every request body; combine with `--cache 0 --warm false` to make
+    // each request pay the full estimate+CI compute path.
+    let scorer = args.get("scorer");
 
     // Deterministic workload bodies, derived from the same seeded corpus
     // split as `query_latency`.
@@ -95,7 +103,7 @@ fn main() {
     let bodies: Vec<String> = split
         .queries
         .iter()
-        .map(|q| query_body(q, k, candidates))
+        .map(|q| query_body(q, k, candidates, scorer))
         .collect();
     assert!(!bodies.is_empty(), "no query bodies; raise --tables");
 
@@ -264,24 +272,31 @@ fn main() {
         }
     }
 
+    let scorer_name = scorer.unwrap_or("s1");
+    let obj = format!(
+        "{{\"bench\":\"serve_load\",\"sketches\":{sketches},\
+         \"scorer\":\"{scorer_name}\",\
+         \"sketch_size\":{sketch_size},\"tables\":{tables},\
+         \"distinct_queries\":{},\"requests\":{total},\
+         \"clients\":{clients},\"server_threads\":{server_threads},\
+         \"warm\":{warm},\"verified\":{},\"generation\":{generation},\
+         \"total_ms\":{wall_ms:.1},\"qps\":{qps:.1},\
+         \"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\
+         \"p99_ms\":{:.4},\"cache_hits\":{cache_hits},\
+         \"cache_misses\":{cache_misses}}}",
+        bodies.len(),
+        verify && external.is_none(),
+        s.mean,
+        s.p50,
+        s.p95,
+        s.p99,
+    );
+    if let Some(out) = args.get("out") {
+        let path = artifact::write_artifact(out, "serve_load", &obj).expect("write artifact");
+        eprintln!("serve_load: wrote {}", path.display());
+    }
     if json {
-        println!(
-            "{{\"bench\":\"serve_load\",\"sketches\":{sketches},\
-             \"sketch_size\":{sketch_size},\"tables\":{tables},\
-             \"distinct_queries\":{},\"requests\":{total},\
-             \"clients\":{clients},\"server_threads\":{server_threads},\
-             \"warm\":{warm},\"verified\":{},\"generation\":{generation},\
-             \"total_ms\":{wall_ms:.1},\"qps\":{qps:.1},\
-             \"mean_ms\":{:.4},\"p50_ms\":{:.4},\"p95_ms\":{:.4},\
-             \"p99_ms\":{:.4},\"cache_hits\":{cache_hits},\
-             \"cache_misses\":{cache_misses}}}",
-            bodies.len(),
-            verify && external.is_none(),
-            s.mean,
-            s.p50,
-            s.p95,
-            s.p99,
-        );
+        println!("{obj}");
     } else {
         println!(
             "\nserve_load — {total} requests, {clients} clients, {server_threads} server threads"

@@ -6,9 +6,11 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod artifact;
 pub mod corpus;
 pub mod timing;
 
 pub use args::Args;
+pub use artifact::write_artifact;
 pub use corpus::{corpus_pairs, CorpusChoice};
 pub use timing::{percentile, time_ms, LatencySummary};

@@ -17,7 +17,12 @@ use crate::sketch::CorrelationSketch;
 /// By Theorem 1 the pairs `(x[i], y[i])` form a uniform random sample of
 /// the full joined table `T_{X⨝Y}`, so any sample statistic computed on
 /// them is a valid estimator.
-#[derive(Debug, Clone, PartialEq)]
+/// The columns are stored structure-of-arrays: `x`/`y` are contiguous
+/// `f64` slices the estimator kernels (`sketch_stats::kernel`) consume
+/// directly, with no row-wise intermediary. [`join_sketches_into`]
+/// refills an existing sample in place so the query hot path can reuse
+/// one buffer per worker across candidates.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JoinSample {
     /// Hashed keys of the joined rows, ascending by unit hash.
     pub key_hashes: Vec<KeyHash>,
@@ -166,6 +171,30 @@ pub fn join_sketches(
     a: &CorrelationSketch,
     b: &CorrelationSketch,
 ) -> Result<JoinSample, SketchError> {
+    let mut out = JoinSample::default();
+    join_sketches_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// As [`join_sketches`], refilling a caller-owned [`JoinSample`] instead
+/// of allocating one. `out` is cleared and overwritten unconditionally
+/// (its capacity is reused), so the result is identical to
+/// [`join_sketches`] for every prior state of `out` — the engine's
+/// stage-2 pass runs one buffer per worker across all candidates.
+///
+/// # Errors
+///
+/// [`SketchError::HasherMismatch`] when the sketches were built with
+/// different hasher configurations.
+pub fn join_sketches_into(
+    a: &CorrelationSketch,
+    b: &CorrelationSketch,
+    out: &mut JoinSample,
+) -> Result<(), SketchError> {
+    out.key_hashes.clear();
+    out.x.clear();
+    out.y.clear();
+    out.bounds = None;
     if a.hasher() != b.hasher() {
         return Err(SketchError::HasherMismatch);
     }
@@ -178,9 +207,9 @@ pub fn join_sketches(
     // The intersection is at most the smaller side; reserving it up
     // front keeps the hot loop free of reallocation.
     let cap = ea.len().min(eb.len());
-    let mut key_hashes = Vec::with_capacity(cap);
-    let mut x = Vec::with_capacity(cap);
-    let mut y = Vec::with_capacity(cap);
+    out.key_hashes.reserve(cap);
+    out.x.reserve(cap);
+    out.y.reserve(cap);
 
     let (mut i, mut j) = (0usize, 0usize);
     while i < ea.len() && j < eb.len() {
@@ -188,9 +217,9 @@ pub fn join_sketches(
         let kb = eb[j].key;
         match ua_all[i].total_cmp(&ub_all[j]).then(ka.cmp(&kb)) {
             std::cmp::Ordering::Equal => {
-                key_hashes.push(ka);
-                x.push(ea[i].value);
-                y.push(eb[j].value);
+                out.key_hashes.push(ka);
+                out.x.push(ea[i].value);
+                out.y.push(eb[j].value);
                 i += 1;
                 j += 1;
             }
@@ -199,17 +228,11 @@ pub fn join_sketches(
         }
     }
 
-    let bounds = match (a.value_bounds(), b.value_bounds()) {
+    out.bounds = match (a.value_bounds(), b.value_bounds()) {
         (Some(ba), Some(bb)) => Some(ValueBounds::union(ba, bb)),
         _ => None,
     };
-
-    Ok(JoinSample {
-        key_hashes,
-        x,
-        y,
-        bounds,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -402,6 +425,36 @@ mod tests {
         assert!(rep.hfd_length > 0.0);
         assert!(rep.fisher_se < 0.1);
         assert_eq!(rep.estimator.name(), "pearson");
+    }
+
+    #[test]
+    fn join_into_reused_buffer_is_identical_to_fresh_join() {
+        let tx = pair_with("tx", 3_000, |i| i as f64);
+        let ty = pair_with("ty", 2_000, |i| (i as f64) * 0.5);
+        let tz = ColumnPair::new(
+            "tz",
+            "k",
+            "v",
+            (500..1_500).map(|i| format!("key-{i}")).collect(),
+            (500..1_500).map(|i| -(i as f64)).collect(),
+        );
+        let b = SketchBuilder::new(SketchConfig::with_size(64));
+        let (sa, sb, sc) = (b.build(&tx), b.build(&ty), b.build(&tz));
+
+        // Pollute the buffer with a larger unrelated join first: the
+        // refill must clear every field, including `bounds`.
+        let mut reused = join_sketches(&sa, &sb).unwrap();
+        join_sketches_into(&sa, &sc, &mut reused).unwrap();
+        assert_eq!(reused, join_sketches(&sa, &sc).unwrap());
+
+        // A hasher mismatch must leave the buffer empty, not stale.
+        let other = SketchBuilder::new(SketchConfig::with_size(16).hasher(TupleHasher::new_64(99)))
+            .build(&tx);
+        assert_eq!(
+            join_sketches_into(&sa, &other, &mut reused),
+            Err(SketchError::HasherMismatch)
+        );
+        assert!(reused.is_empty() && reused.bounds.is_none());
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub use binary::{
 pub use builder::{SelectionStrategy, SketchBuilder, SketchConfig};
 pub use error::SketchError;
 pub use hll::HyperLogLog;
-pub use join::{join_sketches, EstimateReport, JoinSample};
+pub use join::{join_sketches, join_sketches_into, EstimateReport, JoinSample};
 pub use kmv::{
     containment_estimate, distinct_value_estimate, intersection_estimate, jaccard_estimate,
     union_estimate,

@@ -14,8 +14,16 @@
 //! the [`QueryOptions::scorer`] (`s1..s4` of `sketch-ranking`) and
 //! truncated to `k` — NaN scores rank last deterministically, so a
 //! degenerate candidate can never poison the selection.
+//!
+//! Stage 2 is structure-of-arrays end to end: each worker refills one
+//! [`JoinSample`] buffer per candidate ([`join_sketches_into`]) and the
+//! estimators consume its contiguous `x[]`/`y[]` columns directly
+//! through the chunked kernels of `sketch_stats::kernel` — no
+//! per-candidate sample allocation, no row-wise intermediary. Only the
+//! `k` winners' samples are rebuilt afterwards (for reports), so the
+//! ~`overlap_candidates` losers never materialize anything.
 
-use correlation_sketches::{join_sketches, CorrelationSketch, JoinSample};
+use correlation_sketches::{join_sketches, join_sketches_into, CorrelationSketch, JoinSample};
 use sketch_ranking::{desc_score_nan_last, score_estimates, Scorer};
 use sketch_stats::{scored_estimate, BootstrapScratch, CorrelationEstimator, ScoredEstimate};
 
@@ -136,40 +144,95 @@ pub fn retrieve_candidates_threaded<'a>(
         .collect()
 }
 
-/// Stages 1–2 of the planner: retrieve, then the fused join, estimate,
-/// and CI pass — the expensive, embarrassingly parallel part, fanned
-/// out over scoped threads with deterministic contiguous chunking.
-fn scored_candidates<'a>(
-    index: &'a SketchIndex,
-    query: &CorrelationSketch,
-    opts: &QueryOptions,
-) -> Vec<(Candidate<'a>, Option<ScoredEstimate>)> {
-    let hits = index.overlap_candidates(query, opts.overlap_candidates);
-    join_map(
-        index,
-        query,
-        &hits,
-        opts.threads,
-        opts.min_sample,
-        scored_kernel(opts),
-    )
+/// Per-worker scratch for the scored stage-2 pass: one [`JoinSample`]
+/// buffer refilled per candidate plus the bootstrap resample buffers.
+/// Every candidate's output is a pure function of its own join sample,
+/// so buffer reuse (and the thread count) never changes a bit of it.
+#[derive(Default)]
+struct StageScratch {
+    sample: JoinSample,
+    ci: BootstrapScratch,
 }
 
-/// The estimate + CI kernel of the scored pipeline, as a [`join_map`]
-/// closure.
-fn scored_kernel(
+/// One candidate's stage-2 output: retrieval metadata and the scored
+/// estimate — everything ranking needs, with no join sample attached.
+#[derive(Debug, Clone, Copy)]
+struct ScoredRow {
+    doc: DocId,
+    overlap: usize,
+    sample_size: usize,
+    est: Option<ScoredEstimate>,
+}
+
+/// Join one contiguous chunk of the hit list into the worker's scratch
+/// buffer and estimate + CI each candidate from the buffer's contiguous
+/// `x[]`/`y[]` columns.
+fn scored_chunk(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    chunk: &[(DocId, usize)],
     opts: &QueryOptions,
-) -> impl Fn(&JoinSample, &mut BootstrapScratch) -> Option<ScoredEstimate> + Sync + use<'_> {
-    |sample, scratch| {
-        scored_estimate(
-            opts.estimator,
-            &sample.x,
-            &sample.y,
-            opts.confidence,
-            scratch,
-        )
-        .ok()
+    scratch: &mut StageScratch,
+) -> Vec<ScoredRow> {
+    chunk
+        .iter()
+        .filter_map(|&(doc, overlap)| {
+            let sketch = index.get(doc)?;
+            // Hashers are uniform across an index; join cannot fail.
+            join_sketches_into(query, sketch, &mut scratch.sample).ok()?;
+            let sample = &scratch.sample;
+            let est = (sample.len() >= opts.min_sample)
+                .then(|| {
+                    scored_estimate(
+                        opts.estimator,
+                        &sample.x,
+                        &sample.y,
+                        opts.confidence,
+                        &mut scratch.ci,
+                    )
+                    .ok()
+                })
+                .flatten();
+            Some(ScoredRow {
+                doc,
+                overlap,
+                sample_size: scratch.sample.len(),
+                est,
+            })
+        })
+        .collect()
+}
+
+/// Stages 1–2 of the planner: retrieve, then the fused join, estimate,
+/// and CI pass — the expensive, embarrassingly parallel part, fanned
+/// out over scoped threads with deterministic contiguous chunking and
+/// one [`StageScratch`] per worker.
+fn scored_rows(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+) -> Vec<ScoredRow> {
+    let hits = index.overlap_candidates(query, opts.overlap_candidates);
+    let threads = opts.threads.clamp(1, hits.len().max(1));
+    if threads == 1 {
+        return scored_chunk(index, query, &hits, opts, &mut StageScratch::default());
     }
+    let chunk_len = hits.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(hits.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = hits
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    scored_chunk(index, query, chunk, opts, &mut StageScratch::default())
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("query workers do not panic"));
+        }
+    });
+    out
 }
 
 /// Join one contiguous chunk of the hit list and apply the `estimate`
@@ -300,29 +363,31 @@ pub fn top_k_with_scorer(
     crate::select::top_k_by(rows, opts.k, result_order)
 }
 
-/// Shared core of [`top_k_join_correlation`] / [`top_k_with_reports`]:
-/// estimate + CI for every candidate, score the list with
-/// [`QueryOptions::scorer`], keep the top `opts.k`, and hand each
-/// winner's already-materialized [`JoinSample`] back alongside its
-/// result so report construction never re-joins.
-fn top_k_reported_candidates(
-    index: &SketchIndex,
-    query: &CorrelationSketch,
-    opts: &QueryOptions,
-) -> Vec<(QueryResult, JoinSample)> {
-    rank_scored(scored_candidates(index, query, opts), opts)
-}
-
-/// The re-rank stage: score the whole candidate list with the configured
+/// The re-rank stage: score the whole row list with the configured
 /// scorer (list-level — `s4` normalizes CI lengths across the list) and
-/// keep the top `opts.k`.
-fn rank_scored(
-    scored: Vec<(Candidate<'_>, Option<ScoredEstimate>)>,
-    opts: &QueryOptions,
-) -> Vec<(QueryResult, JoinSample)> {
-    let estimates: Vec<Option<ScoredEstimate>> = scored.iter().map(|(_, est)| *est).collect();
+/// keep the top `opts.k` via bounded-heap selection. Sketch ids are
+/// resolved here, for ranking's tie-break and the returned results.
+fn rank_rows(index: &SketchIndex, rows: Vec<ScoredRow>, opts: &QueryOptions) -> Vec<QueryResult> {
+    let estimates: Vec<Option<ScoredEstimate>> = rows.iter().map(|r| r.est).collect();
     let scores = score_estimates(opts.scorer, &estimates);
-    rank_with_scores(scored, scores, opts)
+    let items = rows
+        .into_iter()
+        .zip(scores)
+        .map(|(row, score)| QueryResult {
+            doc: row.doc,
+            // `scored_chunk` only emits rows for live docs.
+            id: index
+                .get(row.doc)
+                .map(|s| s.id().to_string())
+                .unwrap_or_default(),
+            overlap: row.overlap,
+            sample_size: row.sample_size,
+            estimate: row.est.map(|e| e.estimate),
+            ci_lo: row.est.map(|e| e.ci_lo),
+            ci_hi: row.est.map(|e| e.ci_hi),
+            score,
+        });
+    crate::select::top_k_by(items, opts.k, result_order)
 }
 
 /// The ranking's total order: descending score with NaN ranked last —
@@ -338,31 +403,6 @@ fn result_order(a: &QueryResult, b: &QueryResult) -> std::cmp::Ordering {
         .then(a.doc.cmp(&b.doc))
 }
 
-/// Select the top `opts.k` of pre-scored candidates via bounded-heap
-/// selection under [`result_order`].
-fn rank_with_scores(
-    scored: Vec<(Candidate<'_>, Option<ScoredEstimate>)>,
-    scores: Vec<f64>,
-    opts: &QueryOptions,
-) -> Vec<(QueryResult, JoinSample)> {
-    let items = scored.into_iter().zip(scores).map(|((cand, est), score)| {
-        (
-            QueryResult {
-                doc: cand.doc,
-                id: cand.sketch.id().to_string(),
-                overlap: cand.overlap,
-                sample_size: cand.sample.len(),
-                estimate: est.map(|e| e.estimate),
-                ci_lo: est.map(|e| e.ci_lo),
-                ci_hi: est.map(|e| e.ci_hi),
-                score,
-            },
-            cand.sample,
-        )
-    });
-    crate::select::top_k_by(items, opts.k, |(a, _), (b, _)| result_order(a, b))
-}
-
 /// Execute a top-k join-correlation query ranked by
 /// [`QueryOptions::scorer`] — by default `s1`, the absolute correlation
 /// estimate (negative correlations count as much as positive ones);
@@ -374,10 +414,7 @@ pub fn top_k_join_correlation(
     query: &CorrelationSketch,
     opts: &QueryOptions,
 ) -> Vec<QueryResult> {
-    top_k_reported_candidates(index, query, opts)
-        .into_iter()
-        .map(|(result, _)| result)
-        .collect()
+    rank_rows(index, scored_rows(index, query, opts), opts)
 }
 
 /// A query result together with the full uncertainty report of
@@ -397,10 +434,11 @@ pub struct ReportedResult {
 /// result itself, the `(estimate, ci_lo, ci_hi)` triple the ranking
 /// scorer consumed.
 ///
-/// Single pass: each winner's report is computed from the join sample
-/// already materialized during retrieval — the pre-fusion implementation
-/// re-joined and re-estimated every winner, doubling the join work for
-/// the exact same numbers.
+/// The stage-2 pass never materializes per-candidate samples, so report
+/// construction re-joins just the `opts.k` winners into one reused
+/// buffer — `k` extra merge walks instead of `overlap_candidates` sample
+/// allocations, the cheaper side of the trade at every realistic
+/// `k ≪ overlap_candidates`.
 #[must_use]
 pub fn top_k_with_reports(
     index: &SketchIndex,
@@ -408,34 +446,44 @@ pub fn top_k_with_reports(
     opts: &QueryOptions,
     alpha: f64,
 ) -> Vec<ReportedResult> {
-    top_k_reported_candidates(index, query, opts)
+    let results = rank_rows(index, scored_rows(index, query, opts), opts);
+    let mut sample = JoinSample::default();
+    results
         .into_iter()
-        .map(|(result, sample)| attach_report(result, &sample, opts, alpha))
+        .map(|result| attach_report(index, query, result, opts, alpha, &mut sample))
         .collect()
 }
 
-/// Attach the Section 4 uncertainty report to a ranked result — the one
-/// place the report gate (`min_sample`, degenerate-sample `ok()`) lives,
-/// so the single-query and batch paths can never drift apart.
+/// Attach the Section 4 uncertainty report to a ranked result, re-joining
+/// the winner's sketch into the reused `sample` buffer — the one place
+/// the report gate (`min_sample`, degenerate-sample `ok()`) lives, so the
+/// single-query and batch paths can never drift apart.
 fn attach_report(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
     result: QueryResult,
-    sample: &JoinSample,
     opts: &QueryOptions,
     alpha: f64,
+    sample: &mut JoinSample,
 ) -> ReportedResult {
-    let report = (sample.len() >= opts.min_sample)
-        .then(|| sample.report(opts.estimator, alpha).ok())
-        .flatten();
+    let report = index
+        .get(result.doc)
+        .and_then(|sketch| join_sketches_into(query, sketch, sample).ok())
+        .and_then(|()| {
+            (sample.len() >= opts.min_sample)
+                .then(|| sample.report(opts.estimator, alpha).ok())
+                .flatten()
+        });
     ReportedResult { result, report }
 }
 
 /// Per-worker scratch for the batch path: the retrieval counter buffer
-/// plus the bootstrap-CI resample buffers, both reused across every
+/// plus the stage-2 join + bootstrap buffers, all reused across every
 /// query of the worker's chunk.
 #[derive(Default)]
 struct BatchScratch {
     counts: Vec<u32>,
-    ci: BootstrapScratch,
+    stage: StageScratch,
 }
 
 /// One query of a batch, executed serially with reusable worker scratch,
@@ -445,18 +493,11 @@ fn batch_one(
     query: &CorrelationSketch,
     opts: &QueryOptions,
     scratch: &mut BatchScratch,
-) -> Vec<(QueryResult, JoinSample)> {
+) -> Vec<QueryResult> {
     let hits =
         index.overlap_candidates_with_scratch(query, opts.overlap_candidates, &mut scratch.counts);
-    let scored = join_chunk(
-        index,
-        query,
-        &hits,
-        opts.min_sample,
-        &scored_kernel(opts),
-        &mut scratch.ci,
-    );
-    rank_scored(scored, opts)
+    let rows = scored_chunk(index, query, &hits, opts, &mut scratch.stage);
+    rank_rows(index, rows, opts)
 }
 
 /// Fan a per-query closure out over contiguous chunks of `queries` —
@@ -511,9 +552,6 @@ pub fn top_k_batch(
 ) -> Vec<Vec<QueryResult>> {
     batch_map(queries, opts.threads, |query, scratch| {
         batch_one(index, query, opts, scratch)
-            .into_iter()
-            .map(|(result, _)| result)
-            .collect()
     })
 }
 
@@ -530,7 +568,9 @@ pub fn top_k_batch_with_reports(
     batch_map(queries, opts.threads, |query, scratch| {
         batch_one(index, query, opts, scratch)
             .into_iter()
-            .map(|(result, sample)| attach_report(result, &sample, opts, alpha))
+            .map(|result| {
+                attach_report(index, query, result, opts, alpha, &mut scratch.stage.sample)
+            })
             .collect()
     })
 }

@@ -1,12 +1,34 @@
 //! `PM1` bootstrap correlation estimator and the modified percentile
 //! bootstrap confidence interval (paper Section 5.3, estimator 5, and the
 //! `ci_b` risk factor of Section 4.4; Wilcox 1996).
+//!
+//! # Kernel layout (PR 6)
+//!
+//! The Pearson-backed resample loops run on the fused SoA kernel of
+//! [`crate::kernel`]: the columns are centered once at their full-sample
+//! means, each resample draws an index block into [`BootstrapScratch`],
+//! and [`kernel::gather_sums`] accumulates the five Pearson sums in one
+//! chunked pass — no `bx`/`by` materialization, no second pass, no
+//! per-resample validation (the full columns are validated once; every
+//! resample is a multiset of validated rows). The RNG index stream is
+//! unchanged from the pre-kernel implementation, so resample *identity*
+//! is preserved exactly; replicate values differ from the old two-pass
+//! path only by float reassociation (property-tested tolerance in
+//! `tests/prop_kernel.rs`). The generic robust-estimator path (Spearman,
+//! Qn, …) still materializes resamples — those statistics need the
+//! actual values — but shares the same draw/attempt semantics.
+//!
+//! Quantile steps select order statistics with `select_nth_unstable_by`
+//! instead of sorting all replicates; the k-th element under the
+//! `total_cmp` total order is the same multiset element either way, so
+//! interval endpoints are bit-identical to the sorting implementation.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::ci::ConfidenceInterval;
 use crate::error::{validate_pairs, StatsError};
+use crate::kernel;
 use crate::normal::normal_cdf;
 use crate::pearson::pearson;
 
@@ -54,11 +76,18 @@ pub struct BootstrapResult {
 /// the query hot path; results are identical to the allocating variants
 /// (the buffers are resized and overwritten before every use), so
 /// scratch reuse never affects determinism.
+///
+/// `idx`/`cx`/`cy` serve the fused Pearson kernel (index blocks and
+/// mean-centered columns); `bx`/`by` serve the generic robust-estimator
+/// path, which must materialize each resample.
 #[derive(Debug, Default, Clone)]
 pub struct BootstrapScratch {
     bx: Vec<f64>,
     by: Vec<f64>,
     rs: Vec<f64>,
+    idx: Vec<u32>,
+    cx: Vec<f64>,
+    cy: Vec<f64>,
 }
 
 impl BootstrapScratch {
@@ -80,18 +109,33 @@ fn fill_resample(x: &[f64], y: &[f64], rng: &mut StdRng, bx: &mut [f64], by: &mu
     }
 }
 
-/// Draw one bootstrap resample (with replacement) of the paired sample and
-/// compute its Pearson correlation; `None` when the resample is degenerate
-/// (e.g. it picked a single index n times).
-fn resample_pearson(
-    x: &[f64],
-    y: &[f64],
-    rng: &mut StdRng,
-    bx: &mut [f64],
-    by: &mut [f64],
-) -> Option<f64> {
-    fill_resample(x, y, rng, bx, by);
-    pearson(bx, by).ok()
+/// Fill `idx` with one resample's index block. Draws the *same* RNG
+/// stream as [`fill_resample`] (`n` calls of `random_range(0..n)`), so
+/// the fused and materializing paths visit identical resamples.
+fn fill_indices(n: usize, rng: &mut StdRng, idx: &mut [u32]) {
+    for slot in idx.iter_mut() {
+        *slot = rng.random_range(0..n) as u32;
+    }
+}
+
+/// Center both columns at their full-sample means into `cx`/`cy`. The
+/// corrected-sums finisher ([`kernel::pearson_from_gather`]) removes the
+/// per-resample mean exactly, so centering here is purely for numerical
+/// conditioning — it keeps the `Σx²`-style raw sums small relative to
+/// the centered spread (the same reason `pearson` is two-pass).
+fn center_columns(x: &[f64], y: &[f64], cx: &mut Vec<f64>, cy: &mut Vec<f64>) {
+    let (mx, my) = kernel::column_means(x, y);
+    cx.clear();
+    cx.extend(x.iter().map(|v| v - mx));
+    cy.clear();
+    cy.extend(y.iter().map(|v| v - my));
+}
+
+/// Whether the fused u32-index kernel can address this sample. Columns
+/// beyond `u32::MAX` rows (32 GiB per column) fall back to the
+/// materializing path rather than truncate indices.
+fn fits_u32(n: usize) -> bool {
+    u32::try_from(n).is_ok()
 }
 
 /// PM1 bootstrap estimate of Pearson's correlation.
@@ -131,13 +175,37 @@ pub fn pm1_bootstrap_with_scratch(
     // Fail fast if the full sample is degenerate.
     pearson(x, y)?;
 
+    let n = x.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    scratch.bx.clear();
-    scratch.bx.resize(x.len(), 0.0);
-    scratch.by.clear();
-    scratch.by.resize(y.len(), 0.0);
-    let (bx, by) = (&mut scratch.bx, &mut scratch.by);
+    if fits_u32(n) {
+        let BootstrapScratch { idx, cx, cy, .. } = scratch;
+        center_columns(x, y, cx, cy);
+        idx.clear();
+        idx.resize(n, 0);
+        adaptive_mean_loop(cfg, || {
+            fill_indices(n, &mut rng, idx);
+            kernel::pearson_from_gather(n, &kernel::gather_sums(cx, cy, idx))
+        })
+    } else {
+        let BootstrapScratch { bx, by, .. } = scratch;
+        bx.clear();
+        bx.resize(n, 0.0);
+        by.clear();
+        by.resize(n, 0.0);
+        adaptive_mean_loop(cfg, || {
+            fill_resample(x, y, &mut rng, bx, by);
+            pearson(bx, by).ok()
+        })
+    }
+}
 
+/// The adaptive-stopping running-mean loop shared by the fused and
+/// materializing PM1 paths. `draw` produces one resample's correlation
+/// (`None` for a degenerate resample).
+fn adaptive_mean_loop(
+    cfg: &BootstrapConfig,
+    mut draw: impl FnMut() -> Option<f64>,
+) -> Result<BootstrapResult, StatsError> {
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     let mut count = 0usize;
@@ -146,7 +214,7 @@ pub fn pm1_bootstrap_with_scratch(
 
     while count < cfg.max_resamples && attempts < max_attempts {
         attempts += 1;
-        let Some(r) = resample_pearson(x, y, &mut rng, bx, by) else {
+        let Some(r) = draw() else {
             continue;
         };
         count += 1;
@@ -225,61 +293,140 @@ pub fn pm1_ci_with_scratch(
     seed: u64,
     scratch: &mut BootstrapScratch,
 ) -> Result<ConfidenceInterval, StatsError> {
-    let rs = collect_replicates(
-        &|a, b| pearson(a, b),
-        x,
-        y,
-        PM1_CI_REPLICATES,
-        seed,
-        scratch,
-    )?;
+    collect_pearson_replicates(x, y, PM1_CI_REPLICATES, seed, scratch)?;
     let (a, c) = pm1_ci_indices(x.len());
+    let b = scratch.rs.len();
     // Scale indices if we collected fewer than the nominal replicate count.
-    let scale = rs.len() as f64 / PM1_CI_REPLICATES as f64;
-    let lo_idx = (((a as f64) * scale).round() as usize).clamp(1, rs.len()) - 1;
-    let hi_idx = (((c as f64) * scale).round() as usize).clamp(1, rs.len()) - 1;
-    Ok(ConfidenceInterval::new(rs[lo_idx], rs[hi_idx]))
+    let scale = b as f64 / PM1_CI_REPLICATES as f64;
+    let lo_idx = (((a as f64) * scale).round() as usize).clamp(1, b) - 1;
+    let hi_idx = (((c as f64) * scale).round() as usize).clamp(1, b) - 1;
+    let (lo, hi) = order_stat_pair(&mut scratch.rs, lo_idx.min(hi_idx), lo_idx.max(hi_idx));
+    Ok(ConfidenceInterval::new(lo, hi))
 }
 
 /// A paired-sample statistic as the generic bootstrap consumes it.
 pub type PairedStat<'a> = dyn Fn(&[f64], &[f64]) -> Result<f64, StatsError> + 'a;
 
-/// Resample `replicates` times, evaluate `stat` on each resample, and
-/// return the sorted successful replicate values in `scratch.rs`.
-/// Deterministic for a given `(stat, sample, seed)` — per-candidate
-/// seeding, never thread or iteration state, is what keeps scored
-/// queries bit-identical across thread counts.
-fn collect_replicates<'s>(
+/// Draw/attempt loop shared by every replicate collector: push successful
+/// replicate values into `rs` until `replicates` are collected or the
+/// attempt budget (4× the target) runs out. Deterministic for a given
+/// draw closure — per-candidate seeding, never thread or iteration
+/// state, is what keeps scored queries bit-identical across thread
+/// counts.
+fn collect_replicates_with(
+    replicates: usize,
+    rs: &mut Vec<f64>,
+    mut draw: impl FnMut() -> Option<f64>,
+) -> Result<(), StatsError> {
+    rs.clear();
+    let mut attempts = 0usize;
+    while rs.len() < replicates && attempts < replicates * 4 {
+        attempts += 1;
+        if let Some(r) = draw() {
+            rs.push(r);
+        }
+    }
+    if rs.len() < replicates / 2 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(())
+}
+
+/// Collect Pearson replicate values on the fused kernel path into
+/// `scratch.rs` (unsorted; quantile steps select order statistics
+/// directly).
+fn collect_pearson_replicates(
+    x: &[f64],
+    y: &[f64],
+    replicates: usize,
+    seed: u64,
+    scratch: &mut BootstrapScratch,
+) -> Result<(), StatsError> {
+    validate_pairs(x, y, 2)?;
+    // Fail fast if the full sample is degenerate.
+    pearson(x, y)?;
+
+    let n = x.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    if fits_u32(n) {
+        let BootstrapScratch {
+            rs, idx, cx, cy, ..
+        } = scratch;
+        center_columns(x, y, cx, cy);
+        idx.clear();
+        idx.resize(n, 0);
+        collect_replicates_with(replicates, rs, || {
+            fill_indices(n, &mut rng, idx);
+            kernel::pearson_from_gather(n, &kernel::gather_sums(cx, cy, idx))
+        })
+    } else {
+        let BootstrapScratch { bx, by, rs, .. } = scratch;
+        bx.clear();
+        bx.resize(n, 0.0);
+        by.clear();
+        by.resize(n, 0.0);
+        collect_replicates_with(replicates, rs, || {
+            fill_resample(x, y, &mut rng, bx, by);
+            pearson(bx, by).ok()
+        })
+    }
+}
+
+/// Collect replicate values of an arbitrary paired statistic into
+/// `scratch.rs` (unsorted). The statistic needs materialized resample
+/// values, so this path gathers into `bx`/`by`; the RNG stream matches
+/// the fused path draw for draw.
+fn collect_stat_replicates(
     stat: &PairedStat<'_>,
     x: &[f64],
     y: &[f64],
     replicates: usize,
     seed: u64,
-    scratch: &'s mut BootstrapScratch,
-) -> Result<&'s [f64], StatsError> {
+    scratch: &mut BootstrapScratch,
+) -> Result<(), StatsError> {
     validate_pairs(x, y, 2)?;
     // Fail fast if the full sample is degenerate.
     stat(x, y)?;
 
     let mut rng = StdRng::seed_from_u64(seed);
-    scratch.bx.clear();
-    scratch.bx.resize(x.len(), 0.0);
-    scratch.by.clear();
-    scratch.by.resize(y.len(), 0.0);
-    scratch.rs.clear();
-    let mut attempts = 0usize;
-    while scratch.rs.len() < replicates && attempts < replicates * 4 {
-        attempts += 1;
-        fill_resample(x, y, &mut rng, &mut scratch.bx, &mut scratch.by);
-        if let Ok(r) = stat(&scratch.bx, &scratch.by) {
-            scratch.rs.push(r);
-        }
-    }
-    if scratch.rs.len() < replicates / 2 {
-        return Err(StatsError::ZeroVariance);
-    }
-    scratch.rs.sort_by(f64::total_cmp);
-    Ok(&scratch.rs)
+    let BootstrapScratch { bx, by, rs, .. } = scratch;
+    bx.clear();
+    bx.resize(x.len(), 0.0);
+    by.clear();
+    by.resize(y.len(), 0.0);
+    collect_replicates_with(replicates, rs, || {
+        fill_resample(x, y, &mut rng, bx, by);
+        stat(bx, by).ok()
+    })
+}
+
+/// Select the `(lo, hi)` order statistics (0-based, `lo <= hi`) of `rs`
+/// under the `total_cmp` total order without sorting the whole buffer:
+/// one `select_nth_unstable` for `lo`, a second over the right partition
+/// for `hi`. The k-th element of a multiset under a total order is
+/// unique, so the endpoints are bit-identical to
+/// `sort_by(total_cmp)` + indexing (regression-tested below).
+fn order_stat_pair(rs: &mut [f64], lo: usize, hi: usize) -> (f64, f64) {
+    debug_assert!(lo <= hi && hi < rs.len());
+    let (_, lo_v, rest) = rs.select_nth_unstable_by(lo, f64::total_cmp);
+    let lo_v = *lo_v;
+    let hi_v = if hi == lo {
+        lo_v
+    } else {
+        *rest.select_nth_unstable_by(hi - lo - 1, f64::total_cmp).1
+    };
+    (lo_v, hi_v)
+}
+
+/// The empirical `(α/2, 1 − α/2)` interval of the replicate values in
+/// `rs` at level `confidence`.
+fn percentile_interval(rs: &mut [f64], confidence: f64) -> ConfidenceInterval {
+    let alpha = (1.0 - confidence).clamp(1e-9, 1.0);
+    let b = rs.len();
+    let lo_rank = ((alpha / 2.0 * b as f64).ceil() as usize).clamp(1, b);
+    let hi_rank = (b + 1 - lo_rank).clamp(1, b);
+    let (lo, hi) = order_stat_pair(rs, lo_rank.min(hi_rank) - 1, lo_rank.max(hi_rank) - 1);
+    ConfidenceInterval::new(lo, hi)
 }
 
 /// Plain percentile bootstrap confidence interval of an arbitrary paired
@@ -305,12 +452,28 @@ pub fn percentile_bootstrap_ci(
     seed: u64,
     scratch: &mut BootstrapScratch,
 ) -> Result<ConfidenceInterval, StatsError> {
-    let alpha = (1.0 - confidence).clamp(1e-9, 1.0);
-    let rs = collect_replicates(stat, x, y, replicates, seed, scratch)?;
-    let b = rs.len();
-    let lo_rank = ((alpha / 2.0 * b as f64).ceil() as usize).clamp(1, b);
-    let hi_rank = (b + 1 - lo_rank).clamp(1, b);
-    Ok(ConfidenceInterval::new(rs[lo_rank - 1], rs[hi_rank - 1]))
+    collect_stat_replicates(stat, x, y, replicates, seed, scratch)?;
+    Ok(percentile_interval(&mut scratch.rs, confidence))
+}
+
+/// As [`percentile_bootstrap_ci`] specialized to Pearson's `r` on the
+/// fused kernel path: no resample materialization, no per-replicate
+/// validation. Used by the scored pipeline for PM1 intervals at
+/// non-tabulated confidence levels.
+///
+/// # Errors
+///
+/// Same failure modes as [`pm1_bootstrap`].
+pub fn pearson_percentile_ci(
+    x: &[f64],
+    y: &[f64],
+    replicates: usize,
+    confidence: f64,
+    seed: u64,
+    scratch: &mut BootstrapScratch,
+) -> Result<ConfidenceInterval, StatsError> {
+    collect_pearson_replicates(x, y, replicates, seed, scratch)?;
+    Ok(percentile_interval(&mut scratch.rs, confidence))
 }
 
 #[cfg(test)]
@@ -434,5 +597,78 @@ mod tests {
             assert!(cur.1 <= prev.1);
             prev = cur;
         }
+    }
+
+    #[test]
+    fn order_stat_pair_matches_full_sort() {
+        // The select_nth quantile step must be bit-identical to the old
+        // sort-then-index implementation, including ties, ±0.0, and
+        // adversarial orderings.
+        let fixtures: Vec<Vec<f64>> = vec![
+            vec![3.0, 1.0, 2.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![-0.0, 0.0, -1.0, 1.0, 0.5, -0.5],
+            (0..599).map(|i| ((i * 37 % 599) as f64).sin()).collect(),
+            vec![1.0, f64::MIN_POSITIVE, -f64::MIN_POSITIVE, 0.0, -0.0],
+        ];
+        for v in fixtures {
+            let mut sorted = v.clone();
+            sorted.sort_by(f64::total_cmp);
+            for (lo, hi) in [(0, v.len() - 1), (0, 0), (v.len() / 3, 2 * v.len() / 3)] {
+                let mut work = v.clone();
+                let (a, b) = order_stat_pair(&mut work, lo, hi);
+                assert_eq!(a.to_bits(), sorted[lo].to_bits(), "{v:?} lo={lo}");
+                assert_eq!(b.to_bits(), sorted[hi].to_bits(), "{v:?} hi={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_interval_matches_sorted_rank_formula() {
+        // Regression for the select_nth refactor: endpoints must equal
+        // the rank formula applied to a fully sorted buffer.
+        let rs: Vec<f64> = (0..199)
+            .map(|i| ((i * 83 % 199) as f64 * 0.01).tan())
+            .collect();
+        for confidence in [0.5f64, 0.8, 0.9, 0.95, 0.99] {
+            let mut sorted = rs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let alpha = (1.0 - confidence).clamp(1e-9, 1.0);
+            let b = sorted.len();
+            let lo_rank = ((alpha / 2.0 * b as f64).ceil() as usize).clamp(1, b);
+            let hi_rank = (b + 1 - lo_rank).clamp(1, b);
+            let mut work = rs.clone();
+            let ci = percentile_interval(&mut work, confidence);
+            assert_eq!(ci.low.to_bits(), sorted[lo_rank - 1].to_bits());
+            assert_eq!(ci.high.to_bits(), sorted[hi_rank - 1].to_bits());
+        }
+    }
+
+    #[test]
+    fn pearson_percentile_ci_close_to_generic_stat_path() {
+        // Fused Pearson replicates visit the same resamples as the
+        // generic materializing path (same RNG stream), so the intervals
+        // differ only by kernel float reassociation.
+        let (x, y) = linear_data(90);
+        let fused =
+            pearson_percentile_ci(&x, &y, 599, 0.9, 17, &mut BootstrapScratch::new()).unwrap();
+        let generic = percentile_bootstrap_ci(
+            &|a, b| pearson(a, b),
+            &x,
+            &y,
+            599,
+            0.9,
+            17,
+            &mut BootstrapScratch::new(),
+        )
+        .unwrap();
+        assert!(
+            (fused.low - generic.low).abs() < 1e-9,
+            "{fused:?} {generic:?}"
+        );
+        assert!(
+            (fused.high - generic.high).abs() < 1e-9,
+            "{fused:?} {generic:?}"
+        );
     }
 }

@@ -30,6 +30,7 @@ pub mod distance;
 pub mod error;
 pub mod estimator;
 pub mod kendall;
+pub mod kernel;
 pub mod metrics;
 pub mod moments;
 pub mod normal;
@@ -41,8 +42,8 @@ pub mod scored;
 pub mod spearman;
 
 pub use bootstrap::{
-    percentile_bootstrap_ci, pm1_bootstrap, pm1_bootstrap_with_scratch, pm1_ci,
-    pm1_ci_with_scratch, BootstrapConfig, BootstrapResult, BootstrapScratch,
+    pearson_percentile_ci, percentile_bootstrap_ci, pm1_bootstrap, pm1_bootstrap_with_scratch,
+    pm1_ci, pm1_ci_with_scratch, BootstrapConfig, BootstrapResult, BootstrapScratch,
 };
 pub use ci::{
     bernstein_interval, fisher_z_interval, fisher_z_se, hfd_interval, hoeffding_interval,

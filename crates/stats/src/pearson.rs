@@ -1,6 +1,7 @@
 //! Pearson's sample correlation coefficient `r` (paper Eq. 3).
 
 use crate::error::{validate_pairs, StatsError};
+use crate::kernel::{centered_sums, column_means};
 
 /// Pearson's sample correlation between paired samples `x` and `y`.
 ///
@@ -15,6 +16,16 @@ use crate::error::{validate_pairs, StatsError};
 /// when means are large relative to the spread, which is common for
 /// monetary columns). The result is clamped to `[−1, 1]` to absorb
 /// last-bit rounding.
+///
+/// Both passes run on the chunked lane kernels of [`crate::kernel`]
+/// (means, then the three centered sums fused in one loop), so the
+/// moment accumulation autovectorizes. Lane-splitting reassociates the
+/// float additions, which can move the result by a few ulps relative to
+/// a single-accumulator loop for `n >` [`crate::kernel::LANES`]; for
+/// shorter inputs the kernels degenerate to the plain left-to-right sum
+/// and the result is bit-identical to the textbook implementation. The
+/// result remains a pure function of `(x, y)` — see the determinism
+/// contract in [`crate::kernel`].
 ///
 /// ```
 /// let x = [1.0, 2.0, 3.0, 4.0, 5.0];
@@ -31,24 +42,12 @@ use crate::error::{validate_pairs, StatsError};
 /// * [`StatsError::NonFiniteInput`] on NaN/∞ inputs.
 pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
     validate_pairs(x, y, 2)?;
-    let n = x.len() as f64;
-    let mean_x = x.iter().sum::<f64>() / n;
-    let mean_y = y.iter().sum::<f64>() / n;
-
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (&xi, &yi) in x.iter().zip(y) {
-        let dx = xi - mean_x;
-        let dy = yi - mean_y;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
-    }
-    if sxx <= 0.0 || syy <= 0.0 {
+    let (mean_x, mean_y) = column_means(x, y);
+    let s = centered_sums(x, y, mean_x, mean_y);
+    if s.sxx <= 0.0 || s.syy <= 0.0 {
         return Err(StatsError::ZeroVariance);
     }
-    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+    Ok((s.sxy / (s.sxx.sqrt() * s.syy.sqrt())).clamp(-1.0, 1.0))
 }
 
 #[cfg(test)]

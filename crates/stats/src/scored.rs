@@ -20,8 +20,8 @@
 //! thread counts and allocation-free on the hot path.
 
 use crate::bootstrap::{
-    percentile_bootstrap_ci, pm1_bootstrap_with_scratch, pm1_ci_with_scratch, BootstrapConfig,
-    BootstrapScratch,
+    pearson_percentile_ci, percentile_bootstrap_ci, pm1_bootstrap_with_scratch,
+    pm1_ci_with_scratch, BootstrapConfig, BootstrapScratch,
 };
 use crate::ci::{fisher_z_interval, ConfidenceInterval};
 use crate::error::StatsError;
@@ -121,15 +121,7 @@ pub fn scored_estimate(
             let ci = if (confidence - 0.95).abs() < 1e-12 {
                 pm1_ci_with_scratch(x, y, seed, scratch)?
             } else {
-                percentile_bootstrap_ci(
-                    &|a, b| pearson(a, b),
-                    x,
-                    y,
-                    599,
-                    confidence,
-                    seed,
-                    scratch,
-                )?
+                pearson_percentile_ci(x, y, 599, confidence, seed, scratch)?
             };
             (est, ci)
         }
