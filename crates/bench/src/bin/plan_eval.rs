@@ -1,0 +1,261 @@
+//! Latency and estimator-invocation cost of the two-pass query planner
+//! vs exhaustive estimation, per expensive estimator, on the planted
+//! ranking corpus — the planner's headline bench gate.
+//!
+//! For each estimator (default `pm1` and `qn`) the harness answers every
+//! query under both plans through the live engine path and reports
+//! recall@k, expensive-estimator invocations, and wall time per query.
+//! The planner is lossless by contract, so recall columns must be
+//! identical; the win is the invocation (and latency) column.
+//!
+//! ```text
+//! cargo run --release -p sketch-bench --bin plan_eval
+//! cargo run --release -p sketch-bench --bin plan_eval -- \
+//!     --queries 8 --traps 60 --k 5 --seed 42 --min-ratio 2.0 --assert
+//! ```
+//!
+//! With `--assert`, the process exits non-zero unless, for every
+//! estimator, two-pass results are identical to exhaustive AND the
+//! `pm1` invocation count drops by at least `--min-ratio` (default 2x).
+//! Latency is reported but not hard-gated — invocation counts are
+//! deterministic, wall time on shared CI runners is not.
+
+use correlation_sketches::{SketchBuilder, SketchConfig};
+use sketch_bench::args::Args;
+use sketch_bench::{artifact, time_ms};
+use sketch_datagen::{generate_planted, PlantedConfig};
+use sketch_index::{engine, PlanMode, QueryOptions, Scorer, SketchIndex};
+use sketch_stats::{mean, pearson, recall_at_k, CorrelationEstimator};
+use sketch_table::{exact_join, Aggregation, ColumnPair};
+
+/// Minimum exact-join size for ground-truth membership (matches
+/// `rank_eval`).
+const MIN_JOIN: usize = 3;
+
+/// One plan's aggregate numbers for one estimator.
+struct PlanRun {
+    recall: f64,
+    invocations: usize,
+    pruned: usize,
+    ms_per_query: f64,
+    answers: Vec<Vec<engine::QueryResult>>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = PlantedConfig {
+        queries: args.get_or("queries", 8usize),
+        true_per_query: args.get_or("true-per-query", 6usize),
+        noise_per_query: args.get_or("noise-per-query", 12usize),
+        traps_per_query: args.get_or("traps", 60usize),
+        rows: args.get_or("rows", 1_200usize),
+        trap_keys: args.get_or("trap-keys", 40usize),
+        seed: args.get_or("seed", 42u64),
+    };
+    let sketch_size = args.get_or("sketch-size", 128usize);
+    let k = args.get_or("k", 5usize);
+    let relevance = args.get_or("relevance", 0.6f64);
+    let threads = args.get_or("threads", 2usize);
+    let scorer: Scorer = args
+        .get("scorer")
+        .unwrap_or("s2")
+        .parse()
+        .expect("--scorer");
+    let min_ratio = args.get_or("min-ratio", 2.0f64);
+
+    let planted = generate_planted(&cfg);
+    eprintln!(
+        "plan_eval: {} queries x {} candidates each ({} true, {} noise, {} traps), \
+         scorer {}, seed {}",
+        planted.queries.len(),
+        cfg.true_per_query + cfg.noise_per_query + cfg.traps_per_query,
+        cfg.true_per_query,
+        cfg.noise_per_query,
+        cfg.traps_per_query,
+        scorer.name(),
+        cfg.seed
+    );
+
+    let relevant_sets: Vec<Vec<String>> = planted
+        .queries
+        .iter()
+        .map(|q| relevant_ids(q, &planted.corpus, relevance))
+        .collect();
+    let config = SketchConfig::with_size(sketch_size);
+    let builder = SketchBuilder::new(config);
+    let index = SketchIndex::from_sketches(planted.corpus.iter().map(|p| builder.build(p)))
+        .expect("uniform hashers");
+    let query_sketches: Vec<_> = planted.queries.iter().map(|q| builder.build(q)).collect();
+
+    let estimators: Vec<CorrelationEstimator> = args
+        .get("estimators")
+        .unwrap_or("pm1,qn")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--estimators"))
+        .collect();
+
+    println!("estimator  plan        recall@{k}  calls/query  pruned/query  cost/query");
+    let mut ok = true;
+    let mut json_rows = Vec::new();
+    for estimator in &estimators {
+        let mut runs = Vec::new();
+        for plan in [PlanMode::Exhaustive, PlanMode::two_pass()] {
+            let opts = QueryOptions {
+                k,
+                overlap_candidates: 200,
+                scorer,
+                estimator: *estimator,
+                threads,
+                plan,
+                ..QueryOptions::default()
+            };
+            let (run, t_plan) =
+                time_ms(|| run_plan(&index, &query_sketches, &relevant_sets, &opts, k));
+            let n = query_sketches.len().max(1) as f64;
+            let run = PlanRun {
+                ms_per_query: t_plan / n,
+                ..run
+            };
+            println!(
+                "{:<10} {:<11} {:.3}     {:>8.1}     {:>8.1}      {:>7.2} ms",
+                estimator.name(),
+                plan.name(),
+                run.recall,
+                run.invocations as f64 / n,
+                run.pruned as f64 / n,
+                run.ms_per_query
+            );
+            runs.push(run);
+        }
+        let (ex, tp) = (&runs[0], &runs[1]);
+        let ratio = ex.invocations as f64 / (tp.invocations.max(1)) as f64;
+        let speedup = ex.ms_per_query / tp.ms_per_query.max(1e-9);
+        println!(
+            "{:<10} two-pass spends {:.1}x fewer {} calls ({} vs {}), {:.1}x wall",
+            estimator.name(),
+            ratio,
+            estimator.name(),
+            tp.invocations,
+            ex.invocations,
+            speedup
+        );
+        if tp.answers != ex.answers {
+            eprintln!(
+                "plan_eval: FAIL — {} two-pass results differ from exhaustive",
+                estimator.name()
+            );
+            ok = false;
+        }
+        if (tp.recall - ex.recall).abs() > 1e-12 {
+            eprintln!(
+                "plan_eval: FAIL — {} recall moved: {:.4} vs {:.4}",
+                estimator.name(),
+                tp.recall,
+                ex.recall
+            );
+            ok = false;
+        }
+        // The hard invocation gate applies to pm1 (the costliest
+        // estimator, where the planner matters most); every estimator
+        // must still strictly reduce invocations.
+        let required = if matches!(estimator, CorrelationEstimator::Pm1Bootstrap { .. }) {
+            min_ratio
+        } else {
+            1.0 + 1e-9
+        };
+        if ratio < required {
+            eprintln!(
+                "plan_eval: FAIL — {} invocation ratio {ratio:.2} below required {required:.2}",
+                estimator.name()
+            );
+            ok = false;
+        }
+        json_rows.push(format!(
+            "\"{}\":{{\"recall\":{:.4},\"invocations_exhaustive\":{},\
+             \"invocations_two_pass\":{},\"ratio\":{:.3},\
+             \"ms_exhaustive\":{:.3},\"ms_two_pass\":{:.3}}}",
+            estimator.name(),
+            tp.recall,
+            ex.invocations,
+            tp.invocations,
+            ratio,
+            ex.ms_per_query,
+            tp.ms_per_query
+        ));
+    }
+
+    let obj = format!(
+        "{{\"bench\":\"plan_eval\",\"k\":{k},\"seed\":{},\"queries\":{},\
+         \"traps_per_query\":{},\"sketch_size\":{sketch_size},\"threads\":{threads},\
+         \"scorer\":\"{}\",{}}}",
+        cfg.seed,
+        planted.queries.len(),
+        cfg.traps_per_query,
+        scorer.name(),
+        json_rows.join(",")
+    );
+    println!("{obj}");
+    if let Some(out) = args.get("out") {
+        let path = artifact::write_artifact(out, "plan_eval", &obj).expect("write artifact");
+        eprintln!("plan_eval: wrote {}", path.display());
+    }
+
+    if args.flag("assert") {
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("plan_eval: OK — two-pass lossless with fewer expensive invocations");
+    }
+}
+
+fn run_plan(
+    index: &SketchIndex,
+    queries: &[correlation_sketches::CorrelationSketch],
+    relevant_sets: &[Vec<String>],
+    opts: &QueryOptions,
+    k: usize,
+) -> PlanRun {
+    let mut invocations = 0usize;
+    let mut pruned = 0usize;
+    let mut answers = Vec::new();
+    let per_query: Vec<f64> = queries
+        .iter()
+        .zip(relevant_sets)
+        .map(|(q, relevant)| {
+            let (ranked, stats) = engine::top_k_with_plan_stats(index, q, opts);
+            invocations += stats.expensive_invocations;
+            pruned += stats.pruned;
+            let mut flags: Vec<bool> = ranked.iter().map(|r| relevant.contains(&r.id)).collect();
+            let found = flags.iter().filter(|&&f| f).count();
+            answers.push(ranked);
+            // Relevant candidates outside the top-k land beyond the
+            // cutoff so recall's denominator stays the ground-truth set.
+            flags.resize(flags.len().max(k), false);
+            flags.extend(std::iter::repeat_n(true, relevant.len() - found));
+            recall_at_k(&flags, k).expect("relevant sets are non-empty")
+        })
+        .collect();
+    PlanRun {
+        recall: mean(&per_query),
+        invocations,
+        pruned,
+        ms_per_query: 0.0,
+        answers,
+    }
+}
+
+/// Ids of the candidates whose ground-truth after-join correlation
+/// clears the relevance threshold (same protocol as `rank_eval`).
+fn relevant_ids(query: &ColumnPair, corpus: &[ColumnPair], threshold: f64) -> Vec<String> {
+    corpus
+        .iter()
+        .filter_map(|c| {
+            let joined = exact_join(query, c, Aggregation::Mean);
+            if joined.len() < MIN_JOIN {
+                return None;
+            }
+            let r = pearson(&joined.x, &joined.y).map_or(0.0, f64::abs);
+            (r >= threshold).then(|| c.id())
+        })
+        .collect()
+}

@@ -24,8 +24,8 @@ use correlation_sketches::{SketchBuilder, SketchConfig};
 use sketch_bench::args::Args;
 use sketch_bench::{artifact, time_ms};
 use sketch_datagen::{generate_planted, PlantedConfig};
-use sketch_index::{engine, QueryOptions, Scorer, SketchIndex};
-use sketch_stats::{mean, pearson, recall_at_k};
+use sketch_index::{engine, PlanMode, QueryOptions, Scorer, SketchIndex};
+use sketch_stats::{mean, pearson, recall_at_k, CorrelationEstimator};
 use sketch_table::{exact_join, Aggregation, ColumnPair};
 
 /// Minimum exact-join size for a candidate to enter the ground truth at
@@ -138,6 +138,74 @@ fn main() {
         costs_ms.push(cost);
     }
 
+    // Plan-mode comparison: the same corpus under an expensive
+    // estimator, exhaustive vs the two-pass planner. The planner's
+    // losslessness contract means recall must be *identical*; what
+    // changes is how many times the expensive estimator runs.
+    let plan_estimator: CorrelationEstimator = args
+        .get("plan-estimator")
+        .unwrap_or("qn")
+        .parse()
+        .expect("--plan-estimator");
+    let plan_scorer: Scorer = args
+        .get("plan-scorer")
+        .unwrap_or("s2")
+        .parse()
+        .expect("--plan-scorer");
+    // Pruning needs the k-th best pass-1 lower bound to sit above the
+    // trap herd, so the plan section queries at a k within the planted
+    // strong-partner count (the scorer section above keeps its own k).
+    let plan_k = args.get_or("plan-k", cfg.true_per_query.min(k));
+    println!(
+        "plan ({}/{})  recall@{plan_k}  {} calls/query  cost/query",
+        plan_scorer.name(),
+        plan_estimator.name(),
+        plan_estimator.name()
+    );
+    let mut plan_rows = Vec::new();
+    for plan in [PlanMode::Exhaustive, PlanMode::two_pass()] {
+        let opts = QueryOptions {
+            k: plan_k,
+            overlap_candidates: 200,
+            scorer: plan_scorer,
+            estimator: plan_estimator,
+            threads,
+            plan,
+            ..QueryOptions::default()
+        };
+        let ((per_query, answers, invocations), t_plan) = time_ms(|| {
+            let mut answers = Vec::new();
+            let mut invocations = 0usize;
+            let per_query: Vec<f64> = query_sketches
+                .iter()
+                .zip(&relevant_sets)
+                .map(|(q, relevant)| {
+                    let (ranked, stats) = engine::top_k_with_plan_stats(&index, q, &opts);
+                    invocations += stats.expensive_invocations;
+                    let mut flags: Vec<bool> =
+                        ranked.iter().map(|r| relevant.contains(&r.id)).collect();
+                    let found = flags.iter().filter(|&&f| f).count();
+                    answers.push(ranked);
+                    // Relevant candidates outside the top-k land beyond
+                    // the cutoff so recall's denominator stays the
+                    // ground-truth set.
+                    flags.resize(flags.len().max(plan_k), false);
+                    flags.extend(std::iter::repeat_n(true, relevant.len() - found));
+                    recall_at_k(&flags, plan_k).expect("relevant sets are non-empty")
+                })
+                .collect();
+            (per_query, answers, invocations)
+        });
+        let recall = mean(&per_query);
+        let calls = invocations as f64 / per_query.len().max(1) as f64;
+        let cost = t_plan / per_query.len().max(1) as f64;
+        println!(
+            "{:<12} {recall:.3}     {calls:>8.1}        {cost:>7.2} ms",
+            plan.name()
+        );
+        plan_rows.push((plan, recall, invocations, answers, cost));
+    }
+
     let point = recalls[0].1;
     let best = recalls
         .iter()
@@ -150,7 +218,10 @@ fn main() {
          \"recall_point\":{point:.4},\"recall_s2\":{:.4},\
          \"recall_s3\":{:.4},\"recall_s4\":{:.4},\
          \"cost_s1_ms\":{:.3},\"cost_s2_ms\":{:.3},\"cost_s3_ms\":{:.3},\
-         \"cost_s4_ms\":{:.3}}}",
+         \"cost_s4_ms\":{:.3},\"plan_estimator\":\"{}\",\
+         \"recall_plan_exhaustive\":{:.4},\"recall_plan_two_pass\":{:.4},\
+         \"plan_invocations_exhaustive\":{},\"plan_invocations_two_pass\":{},\
+         \"plan_cost_exhaustive_ms\":{:.3},\"plan_cost_two_pass_ms\":{:.3}}}",
         cfg.seed,
         planted.queries.len(),
         cfg.traps_per_query,
@@ -161,6 +232,13 @@ fn main() {
         costs_ms[1],
         costs_ms[2],
         costs_ms[3],
+        plan_estimator.name(),
+        plan_rows[0].1,
+        plan_rows[1].1,
+        plan_rows[0].2,
+        plan_rows[1].2,
+        plan_rows[0].4,
+        plan_rows[1].4,
     );
     println!("{obj}");
     if let Some(out) = args.get("out") {
@@ -183,12 +261,34 @@ fn main() {
             );
             ok = false;
         }
+        // The planner gate: two-pass must answer *identically* (so
+        // recall is equal by construction) while invoking the expensive
+        // estimator strictly fewer times.
+        if plan_rows[0].3 != plan_rows[1].3 {
+            eprintln!("rank_eval: FAIL — two-pass results differ from exhaustive");
+            ok = false;
+        }
+        if plan_rows[1].2 >= plan_rows[0].2 {
+            eprintln!(
+                "rank_eval: FAIL — two-pass spent {} {} calls vs {} exhaustive",
+                plan_rows[1].2,
+                plan_estimator.name(),
+                plan_rows[0].2
+            );
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
         println!(
             "rank_eval: OK — s2..s4 >= point ({point:.3}) and best CI-aware \
              scorer ({best:.3}) beats it"
+        );
+        println!(
+            "rank_eval: OK — two-pass matches exhaustive with {} vs {} {} calls",
+            plan_rows[1].2,
+            plan_rows[0].2,
+            plan_estimator.name()
         );
     }
 }

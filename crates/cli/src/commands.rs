@@ -473,7 +473,7 @@ pub mod corpus {
 /// same engine path the server uses.
 pub mod query {
     use super::*;
-    use sketch_index::{engine, QueryOptions, Scorer, SketchIndex};
+    use sketch_index::{engine, PlanMode, QueryOptions, Scorer, SketchIndex};
 
     /// Run the subcommand.
     ///
@@ -510,6 +510,14 @@ pub mod query {
                 "--confidence must be in (0, 1), got {confidence}"
             )));
         }
+        // `--plan two-pass[@conf]` prunes on cheap Pearson CIs and
+        // spends --estimator only on the contested band; results are
+        // identical to exhaustive (the engine's losslessness contract).
+        let plan: PlanMode = args
+            .optional("plan")
+            .unwrap_or("exhaustive")
+            .parse()
+            .map_err(CliError::Usage)?;
 
         // The corpus can come from the JSON index file or from a packed
         // binary store; both yield the same sketches in the same order,
@@ -559,22 +567,36 @@ pub mod query {
             threads,
             scorer,
             confidence,
+            plan,
             ..QueryOptions::default()
         };
-        let results = engine::top_k_join_correlation(&index, &q_sketch, &opts);
+        let (results, stats) = engine::top_k_with_plan_stats(&index, &q_sketch, &opts);
 
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "query {}/{}/{} against {} sketches (scorer {}, estimator {}, confidence {:.0}%)",
+            "query {}/{}/{} against {} sketches (scorer {}, estimator {}, confidence {:.0}%, plan {})",
             pair.table,
             key,
             value,
             index.len(),
             scorer.name(),
             estimator.name(),
-            confidence * 100.0
+            confidence * 100.0,
+            plan
         );
+        if stats.two_pass {
+            let _ = writeln!(
+                out,
+                "plan: {} candidates, {} cheap CIs, {} pruned, {} {} calls, {} promotion round(s)",
+                stats.candidates,
+                stats.cheap_invocations,
+                stats.pruned,
+                stats.expensive_invocations,
+                estimator.name(),
+                stats.promotion_rounds
+            );
+        }
         let _ = writeln!(
             out,
             "{:<40} {:>8} {:>6} {:>9} {:>17} {:>8}",
@@ -710,6 +732,9 @@ pub mod serve {
                 )));
             }
             config.defaults.confidence = confidence;
+        }
+        if let Some(plan) = args.optional("plan") {
+            config.defaults.plan = plan.parse().map_err(CliError::Usage)?;
         }
 
         // Handlers must be in place before the (possibly slow) store

@@ -24,10 +24,11 @@
 //! ~`overlap_candidates` losers never materialize anything.
 
 use correlation_sketches::{join_sketches, join_sketches_into, CorrelationSketch, JoinSample};
-use sketch_ranking::{desc_score_nan_last, score_estimates, Scorer};
+use sketch_ranking::{desc_score_nan_last, score_bounds, score_estimates, Scorer};
 use sketch_stats::{scored_estimate, BootstrapScratch, CorrelationEstimator, ScoredEstimate};
 
 use crate::inverted::{DocId, SketchIndex};
+use crate::plan::{kth_largest, PlanMode, PlanStats};
 
 /// Options for a top-k join-correlation query.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +55,11 @@ pub struct QueryOptions {
     /// Confidence level of the per-candidate interval the scorers
     /// consume (e.g. `0.95`).
     pub confidence: f64,
+    /// How estimator budget is spent: exhaustively, or via the two-pass
+    /// planner that prunes candidates on cheap Pearson CIs and spends
+    /// the requested estimator only on the contested band
+    /// ([`crate::plan`] documents the losslessness contract).
+    pub plan: PlanMode,
 }
 
 impl Default for QueryOptions {
@@ -66,6 +72,7 @@ impl Default for QueryOptions {
             threads: 1,
             scorer: Scorer::S1,
             confidence: 0.95,
+            plan: PlanMode::Exhaustive,
         }
     }
 }
@@ -174,6 +181,11 @@ fn scored_chunk(
     opts: &QueryOptions,
     scratch: &mut StageScratch,
 ) -> Vec<ScoredRow> {
+    // The admission gate folds in the estimator's honest minimum: a call
+    // below it is guaranteed to error, so skipping it changes no output,
+    // only spares the doomed invocation — which keeps the planner's
+    // invocation accounting honest on both plans.
+    let min_sample = opts.min_sample.max(opts.estimator.min_samples());
     chunk
         .iter()
         .filter_map(|&(doc, overlap)| {
@@ -181,7 +193,7 @@ fn scored_chunk(
             // Hashers are uniform across an index; join cannot fail.
             join_sketches_into(query, sketch, &mut scratch.sample).ok()?;
             let sample = &scratch.sample;
-            let est = (sample.len() >= opts.min_sample)
+            let est = (sample.len() >= min_sample)
                 .then(|| {
                     scored_estimate(
                         opts.estimator,
@@ -203,19 +215,21 @@ fn scored_chunk(
         .collect()
 }
 
-/// Stages 1–2 of the planner: retrieve, then the fused join, estimate,
-/// and CI pass — the expensive, embarrassingly parallel part, fanned
-/// out over scoped threads with deterministic contiguous chunking and
-/// one [`StageScratch`] per worker.
-fn scored_rows(
+/// The fused join + estimate + CI pass over a hit list — the expensive,
+/// embarrassingly parallel part, fanned out over scoped threads with
+/// deterministic contiguous chunking and one [`StageScratch`] per
+/// worker (`scratch` is used directly when the pass runs serially).
+fn estimate_hits(
     index: &SketchIndex,
     query: &CorrelationSketch,
+    hits: &[(DocId, usize)],
     opts: &QueryOptions,
+    threads: usize,
+    scratch: &mut StageScratch,
 ) -> Vec<ScoredRow> {
-    let hits = index.overlap_candidates(query, opts.overlap_candidates);
-    let threads = opts.threads.clamp(1, hits.len().max(1));
+    let threads = threads.clamp(1, hits.len().max(1));
     if threads == 1 {
-        return scored_chunk(index, query, &hits, opts, &mut StageScratch::default());
+        return scored_chunk(index, query, hits, opts, scratch);
     }
     let chunk_len = hits.len().div_ceil(threads);
     let mut out = Vec::with_capacity(hits.len());
@@ -233,6 +247,172 @@ fn scored_rows(
         }
     });
     out
+}
+
+/// Stage 2 under the configured plan: either one exhaustive pass with
+/// the requested estimator, or the two-pass prune-then-spend pipeline
+/// of [`crate::plan`]. Returns the scored rows (in retrieval order,
+/// exactly as the exhaustive pass would) plus the plan's execution
+/// statistics.
+///
+/// Two-pass losslessness (module docs of [`crate::plan`] give the full
+/// argument): survivors are re-estimated by the same pure function the
+/// exhaustive plan runs, and a candidate stays pruned only while its
+/// score upper bound is strictly below the k-th best *actual* band
+/// score `τ*` — so its exhaustive score (bounded by `ub` at the plan's
+/// confidence level) can never reach the top-k. Pruned rows surface
+/// with `est: None`; their exhaustive scores lie in `[0, τ*)`, and
+/// score 0 keeps them in that range, below every survivor.
+fn plan_rows(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    hits: &[(DocId, usize)],
+    opts: &QueryOptions,
+    threads: usize,
+    scratch: &mut StageScratch,
+) -> (Vec<ScoredRow>, PlanStats) {
+    let effective_min = opts.min_sample.max(opts.estimator.min_samples());
+    let exhaustive = |scratch: &mut StageScratch| {
+        let rows = estimate_hits(index, query, hits, opts, threads, scratch);
+        let stats = PlanStats {
+            candidates: rows.len(),
+            expensive_invocations: rows
+                .iter()
+                .filter(|r| r.sample_size >= effective_min)
+                .count(),
+            ..PlanStats::default()
+        };
+        (rows, stats)
+    };
+    let Some(pass1_confidence) = opts.plan.pruning_confidence(opts.scorer, opts.estimator) else {
+        return exhaustive(scratch);
+    };
+    // With every candidate in the top-k nothing can be pruned; skip the
+    // cheap pass instead of paying for it.
+    if hits.len() <= opts.k {
+        return exhaustive(scratch);
+    }
+
+    // Pass 1: Pearson + Fisher-z CI over every candidate, at the plan's
+    // pruning confidence.
+    let cheap_opts = QueryOptions {
+        estimator: CorrelationEstimator::Pearson,
+        confidence: pass1_confidence,
+        ..*opts
+    };
+    let cheap = estimate_hits(index, query, hits, &cheap_opts, threads, scratch);
+    let cheap_min = opts
+        .min_sample
+        .max(CorrelationEstimator::Pearson.min_samples());
+    let cheap_invocations = cheap.iter().filter(|r| r.sample_size >= cheap_min).count();
+
+    // Map each candidate's cheap CI through the scorer: `None` marks a
+    // candidate below the expensive admission gate (its estimate is
+    // `None` on both plans — settled, no bound needed); a candidate the
+    // cheap estimator couldn't score gets `(0, ∞)` and stays contested,
+    // so pass 2 treats it exactly as the exhaustive plan would.
+    let score_bound = |row: &ScoredRow| -> Option<(f64, f64)> {
+        if row.sample_size < effective_min {
+            return None;
+        }
+        Some(
+            row.est
+                .map_or((0.0, f64::INFINITY), |e| score_bounds(opts.scorer, &e)),
+        )
+    };
+    let bounds: Vec<Option<(f64, f64)>> = cheap.iter().map(score_bound).collect();
+
+    // Seed the band with everyone whose upper bound reaches the k-th
+    // best lower bound. Each row's ub ≥ its own lb, so the band starts
+    // with at least k admissible candidates (or all of them).
+    let lbs: Vec<f64> = bounds.iter().flatten().map(|&(lb, _)| lb).collect();
+    let tau_seed = kth_largest(&lbs, opts.k);
+    let mut in_band = vec![false; cheap.len()];
+    let mut est: Vec<Option<ScoredEstimate>> = vec![None; cheap.len()];
+    let mut to_estimate: Vec<usize> = bounds
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.is_some_and(|(_, ub)| ub >= tau_seed))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Pass 2 + promotion fixed point: estimate the band with the
+    // requested estimator, recompute the k-th best actual band score
+    // τ*, and promote every pruned candidate whose upper bound still
+    // reaches it. τ* never decreases as the band grows, so the loop
+    // terminates (each round promotes at least one candidate or stops).
+    let mut rounds = 0usize;
+    let tau = loop {
+        if !to_estimate.is_empty() {
+            let sub_hits: Vec<(DocId, usize)> = to_estimate
+                .iter()
+                .map(|&i| (cheap[i].doc, cheap[i].overlap))
+                .collect();
+            let rows = estimate_hits(index, query, &sub_hits, opts, threads, scratch);
+            debug_assert_eq!(rows.len(), to_estimate.len(), "band docs are live");
+            for (&slot, row) in to_estimate.iter().zip(rows) {
+                est[slot] = row.est;
+                in_band[slot] = true;
+            }
+            rounds += 1;
+        }
+        let band_est: Vec<Option<ScoredEstimate>> = in_band
+            .iter()
+            .zip(&est)
+            .filter(|(&b, _)| b)
+            .map(|(_, e)| *e)
+            .collect();
+        let band_scores = score_estimates(opts.scorer, &band_est);
+        let tau = kth_largest(&band_scores, opts.k);
+        to_estimate = bounds
+            .iter()
+            .enumerate()
+            .filter(|&(i, b)| !in_band[i] && b.is_some_and(|(_, ub)| ub >= tau))
+            .map(|(i, _)| i)
+            .collect();
+        if to_estimate.is_empty() {
+            break tau;
+        }
+    };
+
+    let band = in_band.iter().filter(|&&b| b).count();
+    let admitted = bounds.iter().flatten().count();
+    let stats = PlanStats {
+        two_pass: true,
+        candidates: cheap.len(),
+        cheap_invocations,
+        expensive_invocations: band,
+        pruned: admitted - band,
+        promotion_rounds: rounds,
+        threshold: tau,
+    };
+    let rows = cheap
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| ScoredRow {
+            est: if in_band[i] { est[i] } else { None },
+            ..row
+        })
+        .collect();
+    (rows, stats)
+}
+
+/// Stages 1–2 of the pipeline: retrieve, then estimate under the
+/// configured plan.
+fn scored_rows(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+) -> (Vec<ScoredRow>, PlanStats) {
+    let hits = index.overlap_candidates(query, opts.overlap_candidates);
+    plan_rows(
+        index,
+        query,
+        &hits,
+        opts,
+        opts.threads,
+        &mut StageScratch::default(),
+    )
 }
 
 /// Join one contiguous chunk of the hit list and apply the `estimate`
@@ -414,7 +594,22 @@ pub fn top_k_join_correlation(
     query: &CorrelationSketch,
     opts: &QueryOptions,
 ) -> Vec<QueryResult> {
-    rank_rows(index, scored_rows(index, query, opts), opts)
+    top_k_with_plan_stats(index, query, opts).0
+}
+
+/// As [`top_k_join_correlation`], also returning the plan's execution
+/// statistics (estimator invocations per pass, pruned candidates,
+/// promotion rounds) — the observability hook the planner benches and
+/// the lossless-pruning oracle are built on. The ranked results are
+/// bit-identical to [`top_k_join_correlation`] under the same options.
+#[must_use]
+pub fn top_k_with_plan_stats(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+) -> (Vec<QueryResult>, PlanStats) {
+    let (rows, stats) = scored_rows(index, query, opts);
+    (rank_rows(index, rows, opts), stats)
 }
 
 /// A query result together with the full uncertainty report of
@@ -446,7 +641,8 @@ pub fn top_k_with_reports(
     opts: &QueryOptions,
     alpha: f64,
 ) -> Vec<ReportedResult> {
-    let results = rank_rows(index, scored_rows(index, query, opts), opts);
+    let (rows, _) = scored_rows(index, query, opts);
+    let results = rank_rows(index, rows, opts);
     let mut sample = JoinSample::default();
     results
         .into_iter()
@@ -496,7 +692,10 @@ fn batch_one(
 ) -> Vec<QueryResult> {
     let hits =
         index.overlap_candidates_with_scratch(query, opts.overlap_candidates, &mut scratch.counts);
-    let rows = scored_chunk(index, query, &hits, opts, &mut scratch.stage);
+    // Joins run serial within a batched query (the batch fans out over
+    // queries); plan_rows is thread-count invariant, so the answer is
+    // still bit-identical to the single-query path.
+    let (rows, _) = plan_rows(index, query, &hits, opts, 1, &mut scratch.stage);
     rank_rows(index, rows, opts)
 }
 
@@ -1026,6 +1225,131 @@ mod tests {
             "NaN score must sort last: {results:?}"
         );
         assert!(results[2].score.is_nan());
+    }
+
+    /// The planner's headline contract on a deterministic corpus:
+    /// two-pass answers are bit-identical to exhaustive for every
+    /// prunable scorer × surrogate estimator, while invoking the
+    /// expensive estimator on strictly fewer candidates.
+    #[test]
+    fn two_pass_plan_is_lossless_and_cheaper() {
+        let (idx, q) = wide_fixture(40);
+        for scorer in [Scorer::S1, Scorer::S2, Scorer::S3] {
+            for estimator in [
+                CorrelationEstimator::Qn,
+                CorrelationEstimator::Pm1Bootstrap { seed: 0x5eed },
+            ] {
+                let base = QueryOptions {
+                    k: 5,
+                    scorer,
+                    estimator,
+                    ..QueryOptions::default()
+                };
+                let (expected, ex_stats) = top_k_with_plan_stats(&idx, &q, &base);
+                let two = QueryOptions {
+                    plan: PlanMode::two_pass(),
+                    ..base
+                };
+                let (got, stats) = top_k_with_plan_stats(&idx, &q, &two);
+                assert_eq!(got, expected, "{scorer}/{estimator}");
+                assert!(stats.two_pass, "{scorer}/{estimator}");
+                assert!(
+                    stats.expensive_invocations < ex_stats.expensive_invocations,
+                    "{scorer}/{estimator}: {stats:?} vs exhaustive {ex_stats:?}"
+                );
+                assert_eq!(
+                    stats.pruned + stats.expensive_invocations,
+                    ex_stats.expensive_invocations,
+                    "{scorer}/{estimator}: every admitted candidate is banded or pruned"
+                );
+                assert!(stats.threshold > 0.0, "{scorer}/{estimator}: {stats:?}");
+                // Reports ride the same plan.
+                assert_eq!(
+                    top_k_with_reports(&idx, &q, &two, 0.05),
+                    top_k_with_reports(&idx, &q, &base, 0.05),
+                    "{scorer}/{estimator}: reports"
+                );
+            }
+        }
+    }
+
+    /// The fallback cases run exhaustively — and say so in the stats.
+    #[test]
+    fn two_pass_falls_back_where_pruning_cannot_be_lossless() {
+        let (idx, q) = wide_fixture(25);
+        let cases = [
+            (Scorer::S4, CorrelationEstimator::Qn), // list-level normalization
+            (Scorer::S1, CorrelationEstimator::DistanceCorrelation), // no surrogate
+            (Scorer::S1, CorrelationEstimator::Pearson), // cheap == expensive
+        ];
+        for (scorer, estimator) in cases {
+            let base = QueryOptions {
+                k: 5,
+                scorer,
+                estimator,
+                ..QueryOptions::default()
+            };
+            let two = QueryOptions {
+                plan: PlanMode::two_pass(),
+                ..base
+            };
+            let (got, stats) = top_k_with_plan_stats(&idx, &q, &two);
+            assert_eq!(
+                got,
+                top_k_join_correlation(&idx, &q, &base),
+                "{scorer}/{estimator}"
+            );
+            assert!(!stats.two_pass, "{scorer}/{estimator}: {stats:?}");
+            assert_eq!(stats.cheap_invocations, 0);
+            assert_eq!(stats.pruned, 0);
+        }
+    }
+
+    /// Thread-count invariance extends to the planner: the two-pass
+    /// answer and its statistics are bit-identical for every thread
+    /// count, and the batch path matches the single-query path.
+    #[test]
+    fn two_pass_plan_is_thread_count_invariant() {
+        let (idx, q) = wide_fixture(40);
+        let serial = QueryOptions {
+            k: 6,
+            scorer: Scorer::S2,
+            estimator: CorrelationEstimator::Qn,
+            plan: PlanMode::two_pass(),
+            threads: 1,
+            ..QueryOptions::default()
+        };
+        let (expected, expected_stats) = top_k_with_plan_stats(&idx, &q, &serial);
+        assert!(expected_stats.pruned > 0, "{expected_stats:?}");
+        for threads in [0usize, 2, 7, 16, 1000] {
+            let opts = QueryOptions { threads, ..serial };
+            let (got, stats) = top_k_with_plan_stats(&idx, &q, &opts);
+            assert_eq!(got, expected, "threads={threads}");
+            assert_eq!(stats, expected_stats, "threads={threads}");
+            let batch = top_k_batch(&idx, std::slice::from_ref(&q), &opts);
+            assert_eq!(batch, vec![expected.clone()], "batch, threads={threads}");
+        }
+    }
+
+    /// k at (or above) the candidate count leaves nothing to prune: the
+    /// planner must skip the cheap pass instead of paying for it.
+    #[test]
+    fn two_pass_with_k_covering_all_candidates_skips_pass_one() {
+        let (idx, q) = fixture();
+        let opts = QueryOptions {
+            k: 50,
+            estimator: CorrelationEstimator::Qn,
+            plan: PlanMode::two_pass(),
+            ..QueryOptions::default()
+        };
+        let (got, stats) = top_k_with_plan_stats(&idx, &q, &opts);
+        let base = QueryOptions {
+            plan: PlanMode::Exhaustive,
+            ..opts
+        };
+        assert_eq!(got, top_k_join_correlation(&idx, &q, &base));
+        assert!(!stats.two_pass);
+        assert_eq!(stats.cheap_invocations, 0);
     }
 
     /// The truncation-boundary permutation test, end to end: build the

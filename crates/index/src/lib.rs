@@ -20,10 +20,12 @@
 
 pub mod engine;
 pub mod inverted;
+pub mod plan;
 mod select;
 
 pub use engine::{
     top_k_batch, top_k_batch_with_reports, Candidate, QueryOptions, QueryResult, ReportedResult,
 };
 pub use inverted::{DocId, SketchIndex};
+pub use plan::{PlanMode, PlanStats};
 pub use sketch_ranking::Scorer;

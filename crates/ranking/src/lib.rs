@@ -29,7 +29,7 @@ pub mod scored;
 pub mod scoring;
 
 pub use evaluation::{run_ranking_experiment, QueryOutcome, RankingConfig, RankingReport};
-pub use scored::{score_estimates, Scorer};
+pub use scored::{score_bounds, score_estimates, Scorer};
 pub use scoring::{
     desc_score_nan_last, extract_features, features_from_sample, rank_candidates, score_candidates,
     CandidateFeatures, ScoringFunction,

@@ -57,6 +57,21 @@ impl Scorer {
             Self::S4 => "s4",
         }
     }
+
+    /// Can a two-pass planner prune candidates under this scorer from
+    /// per-candidate score bounds alone?
+    ///
+    /// `s1`–`s3` are per-candidate functions of `(estimate, n, ci_len)`,
+    /// so a candidate's score bound is independent of who else is in the
+    /// list. `s4` normalizes CI lengths *across the list*: removing a
+    /// candidate with an extreme CI length shifts `(min, max)` and can
+    /// reorder — or re-tie — the survivors, so no survivor-only
+    /// evaluation reproduces the exhaustive ranking and pruning cannot
+    /// be lossless. Planners must fall back to exhaustive for `s4`.
+    #[must_use]
+    pub fn prunable(&self) -> bool {
+        !matches!(self, Self::S4)
+    }
 }
 
 impl std::fmt::Display for Scorer {
@@ -128,6 +143,52 @@ pub fn score_estimates(scorer: Scorer, estimates: &[Option<ScoredEstimate>]) -> 
                 e.estimate.abs() * cih
             })
         }
+    }
+}
+
+/// Bounds `[lb, ub]` on the score `scorer` could assign to a candidate
+/// whose final estimate lies anywhere in the candidate's confidence
+/// interval — the pruning primitive of the two-pass query planner.
+///
+/// `est` is the *cheap-pass* estimate (Pearson + Fisher-z CI): the upper
+/// bound is sound for any estimator whose estimate falls inside
+/// `[ci_lo, ci_hi]`, which is exactly the planner's configured-confidence
+/// contract. Per scorer:
+///
+/// * `s1` — `|r̂|` over the interval: `ub = max(|lo|, |hi|)`, `lb = 0` if
+///   the interval straddles zero, else `min(|lo|, |hi|)`.
+/// * `s2` — both bounds scale by `(1 − se_z(n))`, which depends only on
+///   the join-sample size `n` (identical in both passes), so the mapping
+///   is exact.
+/// * `s3` — the CI-length penalty is in `[0, 1]`, so `ub` is the raw
+///   magnitude bound (sound without knowing the expensive estimator's
+///   interval); the lower bound applies the *cheap* interval's penalty
+///   as a heuristic (lower bounds only seed the initial band — planner
+///   correctness never depends on them).
+/// * `s4` — not prunable (see [`Scorer::prunable`]); returns
+///   `(0, ∞)` so a defensive caller never prunes on it.
+///
+/// A non-finite estimate or endpoint also yields `(0, ∞)`: no
+/// information, never prune.
+#[must_use]
+pub fn score_bounds(scorer: Scorer, est: &ScoredEstimate) -> (f64, f64) {
+    if !usable(est) || !scorer.prunable() {
+        return (0.0, f64::INFINITY);
+    }
+    let mag_ub = est.ci_lo.abs().max(est.ci_hi.abs());
+    let mag_lb = if est.ci_lo <= 0.0 && 0.0 <= est.ci_hi {
+        0.0
+    } else {
+        est.ci_lo.abs().min(est.ci_hi.abs())
+    };
+    match scorer {
+        Scorer::S1 => (mag_lb, mag_ub),
+        Scorer::S2 => {
+            let f = 1.0 - fisher_z_se(est.sample_size);
+            (mag_lb * f, mag_ub * f)
+        }
+        Scorer::S3 => (mag_lb * (1.0 - est.ci_length() / 2.0).max(0.0), mag_ub),
+        Scorer::S4 => unreachable!("s4 is not prunable"),
     }
 }
 
@@ -217,6 +278,71 @@ mod tests {
             assert_eq!(s[0], 0.0, "{scorer}: NaN estimate must score 0");
             assert_eq!(s[1], 0.0, "{scorer}: infinite CI must score 0");
             assert!(s[2] > 0.0 && s[2].is_finite(), "{scorer}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn score_bounds_contain_the_actual_score_for_any_estimate_in_the_ci() {
+        // For every prunable scorer: sweep estimates across the interval
+        // and check each resulting score lands inside the bounds (the
+        // upper bound is the planner's soundness contract; for s1/s2 the
+        // lower bound is tight too).
+        let cases = [est(0.6, 0.5, 40).unwrap(), est(-0.2, 0.9, 7).unwrap()];
+        for cheap in &cases {
+            for scorer in [Scorer::S1, Scorer::S2] {
+                let (lb, ub) = score_bounds(scorer, cheap);
+                assert!(lb <= ub, "{scorer}: ({lb}, {ub})");
+                for step in 0..=20 {
+                    let r = cheap.ci_lo + cheap.ci_length() * f64::from(step) / 20.0;
+                    let moved = ScoredEstimate {
+                        estimate: r,
+                        ..*cheap
+                    };
+                    let s = score_estimates(scorer, &[Some(moved)])[0];
+                    assert!(
+                        lb - 1e-12 <= s && s <= ub + 1e-12,
+                        "{scorer}: score {s} outside [{lb}, {ub}] at r={r}"
+                    );
+                }
+            }
+            // s3's upper bound must hold for ANY expensive interval
+            // (penalty ≤ 1), including one much sharper than the cheap CI.
+            let (_, ub) = score_bounds(Scorer::S3, cheap);
+            let sharp = ScoredEstimate {
+                estimate: cheap.ci_hi,
+                ci_lo: cheap.ci_hi - 0.01,
+                ci_hi: cheap.ci_hi,
+                sample_size: cheap.sample_size,
+            };
+            let s = score_estimates(Scorer::S3, &[Some(sharp)])[0];
+            assert!(s <= ub + 1e-12, "s3: score {s} above ub {ub}");
+        }
+    }
+
+    #[test]
+    fn score_bounds_straddling_zero_has_zero_lower_bound() {
+        let cheap = est(0.1, 0.6, 50).unwrap(); // CI [-0.2, 0.4]
+        let (lb, ub) = score_bounds(Scorer::S1, &cheap);
+        assert_eq!(lb, 0.0);
+        assert!((ub - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s4_and_unusable_estimates_are_never_prunable() {
+        assert!(Scorer::S1.prunable() && Scorer::S2.prunable() && Scorer::S3.prunable());
+        assert!(!Scorer::S4.prunable());
+        let cheap = est(0.9, 0.1, 100).unwrap();
+        assert_eq!(score_bounds(Scorer::S4, &cheap), (0.0, f64::INFINITY));
+        let nan = ScoredEstimate {
+            estimate: f64::NAN,
+            ..cheap
+        };
+        for scorer in Scorer::ALL {
+            assert_eq!(
+                score_bounds(scorer, &nan),
+                (0.0, f64::INFINITY),
+                "{scorer}: NaN estimate must be unprunable"
+            );
         }
     }
 

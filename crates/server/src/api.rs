@@ -12,7 +12,7 @@
 
 use correlation_sketches::json::{self, push_f64, push_string};
 use sketch_hashing::murmur3_x64_128;
-use sketch_index::{QueryOptions, ReportedResult, Scorer};
+use sketch_index::{PlanMode, QueryOptions, ReportedResult, Scorer};
 use sketch_stats::CorrelationEstimator;
 
 /// Ranking parameters shared by `/query` and `/query_batch`, resolved
@@ -34,6 +34,8 @@ pub struct QueryParams {
     /// Confidence level of the per-candidate interval the scorer
     /// consumes.
     pub confidence: f64,
+    /// Query plan: exhaustive, or the two-pass pruning planner.
+    pub plan: PlanMode,
 }
 
 impl Default for QueryParams {
@@ -47,6 +49,7 @@ impl Default for QueryParams {
             alpha: 0.05,
             scorer: opts.scorer,
             confidence: opts.confidence,
+            plan: opts.plan,
         }
     }
 }
@@ -65,6 +68,7 @@ impl QueryParams {
             threads: 1,
             scorer: self.scorer,
             confidence: self.confidence,
+            plan: self.plan,
         }
     }
 }
@@ -155,6 +159,13 @@ fn parse_params(obj: json::Obj<'_>, defaults: &QueryParams) -> Result<QueryParam
             return Err(format!("confidence must be in (0, 1), got {confidence}"));
         }
         params.confidence = confidence;
+    }
+    if let Some(v) = obj.opt("plan") {
+        params.plan = v
+            .as_str("plan")
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("plan: {e}"))?;
     }
     Ok(params)
 }
@@ -292,6 +303,13 @@ fn push_params(bytes: &mut Vec<u8>, p: &QueryParams) {
     bytes.extend_from_slice(p.scorer.name().as_bytes());
     bytes.push(0);
     bytes.extend_from_slice(&p.confidence.to_bits().to_le_bytes());
+    bytes.extend_from_slice(p.plan.name().as_bytes());
+    bytes.push(0);
+    let plan_confidence = match p.plan {
+        PlanMode::Exhaustive => 0.0,
+        PlanMode::TwoPass { confidence } => confidence,
+    };
+    bytes.extend_from_slice(&plan_confidence.to_bits().to_le_bytes());
 }
 
 fn push_query(bytes: &mut Vec<u8>, q: &QueryBody) {
@@ -483,7 +501,7 @@ mod tests {
         let req = QueryRequest::parse(
             br#"{"id":"taxi","keys":["a"],"values":[1],"k":3,"candidates":7,
                  "estimator":"spearman","min_sample":5,"alpha":0.1,
-                 "scorer":"s4","confidence":0.9}"#,
+                 "scorer":"s4","confidence":0.9,"plan":"two-pass@0.995"}"#,
             &defaults(),
         )
         .unwrap();
@@ -495,6 +513,8 @@ mod tests {
         assert_eq!(req.params.alpha, 0.1);
         assert_eq!(req.params.scorer, Scorer::S4);
         assert_eq!(req.params.confidence, 0.9);
+        assert_eq!(req.params.plan, PlanMode::TwoPass { confidence: 0.995 });
+        assert_eq!(req.params.to_options().plan, req.params.plan);
         // Paper-notation aliases resolve to the same scorer.
         let req = QueryRequest::parse(
             br#"{"keys":["a"],"values":[1],"scorer":"rp*cih"}"#,
@@ -523,6 +543,11 @@ mod tests {
             (
                 br#"{"keys":["a"],"values":[1],"confidence":0}"#,
                 "confidence",
+            ),
+            (br#"{"keys":["a"],"values":[1],"plan":"psychic"}"#, "plan"),
+            (
+                br#"{"keys":["a"],"values":[1],"plan":"two-pass@1.5"}"#,
+                "plan",
             ),
             (br#"not json"#, "unexpected"),
             (br#"[1,2]"#, "object"),
@@ -570,6 +595,7 @@ mod tests {
             br#"{"keys":["a"],"values":[1.5],"alpha":0.01}"#,
             br#"{"keys":["a"],"values":[1.5],"scorer":"s2"}"#,
             br#"{"keys":["a"],"values":[1.5],"confidence":0.8}"#,
+            br#"{"keys":["a"],"values":[1.5],"plan":"two-pass"}"#,
             br#"{"keys":["a"],"values":[1.5],"id":"other"}"#,
         ] {
             let req = QueryRequest::parse(other, &defaults()).unwrap();
@@ -580,6 +606,19 @@ mod tests {
                 String::from_utf8_lossy(other)
             );
         }
+        // Two two-pass plans differing only in pruning confidence must
+        // not share a cache entry either.
+        let tp99 = QueryRequest::parse(
+            br#"{"keys":["a"],"values":[1.5],"plan":"two-pass@0.99"}"#,
+            &defaults(),
+        )
+        .unwrap();
+        let tp95 = QueryRequest::parse(
+            br#"{"keys":["a"],"values":[1.5],"plan":"two-pass@0.95"}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert_ne!(tp99.fingerprint(), tp95.fingerprint());
     }
 
     #[test]

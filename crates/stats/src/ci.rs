@@ -33,9 +33,14 @@ pub struct ConfidenceInterval {
 
 impl ConfidenceInterval {
     /// Create an interval; endpoints are swapped if given out of order.
+    /// A NaN endpoint carries no information, so it yields the vacuous
+    /// interval — never an interval whose `contains`/`length` lie (and
+    /// never a bound a pruning planner could act on).
     #[must_use]
     pub fn new(low: f64, high: f64) -> Self {
-        if low <= high {
+        if low.is_nan() || high.is_nan() {
+            Self::vacuous()
+        } else if low <= high {
             Self { low, high }
         } else {
             Self {
@@ -90,12 +95,26 @@ pub fn fisher_z_se(n: usize) -> f64 {
 /// Fisher z 95%-style confidence interval at level `alpha` around estimate
 /// `r` for sample size `n`: transform to z-space, add ±`z_{α/2}`·SE, and
 /// transform back with `tanh`.
+///
+/// `atanh` diverges at |r| = 1, which would collapse the interval to a
+/// zero-width `[±1, ±1]` — false certainty for exactly the perfect-fit
+/// small samples where uncertainty is largest. The transform therefore
+/// bounds |r| away from 1 by `1/(2n)` (a continuity-correction-style
+/// guard that tightens as evidence accumulates) and re-widens the result
+/// to contain the (unit-clamped) point estimate, so the interval is
+/// never degenerate at |r| = 1 and tolerates r marginally outside
+/// `[−1, 1]` from float error.
 #[must_use]
 pub fn fisher_z_interval(r: f64, n: usize, alpha: f64) -> ConfidenceInterval {
-    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln(); // atanh(r)
+    let guard = 1.0 - 1.0 / (2.0 * n.max(2) as f64);
+    let bounded = r.clamp(-guard, guard);
+    let z = 0.5 * ((1.0 + bounded) / (1.0 - bounded)).ln(); // atanh(bounded)
     let zcrit = crate::normal::inverse_normal_cdf(1.0 - alpha / 2.0);
     let se = fisher_z_se(n);
-    ConfidenceInterval::new((z - zcrit * se).tanh(), (z + zcrit * se).tanh()).clamped_to_unit()
+    let ci =
+        ConfidenceInterval::new((z - zcrit * se).tanh(), (z + zcrit * se).tanh()).clamped_to_unit();
+    let r_unit = r.clamp(-1.0, 1.0);
+    ConfidenceInterval::new(ci.low.min(r_unit), ci.high.max(r_unit))
 }
 
 /// Global value bounds of the two *full* columns, `C_low = min{x∈X, y∈Y}`
@@ -450,6 +469,50 @@ mod tests {
         let ci = fisher_z_interval(0.6, 50, 0.05);
         assert!(ci.contains(0.6));
         assert!(ci.low > 0.0 && ci.high < 1.0);
+    }
+
+    #[test]
+    fn nan_endpoints_yield_vacuous_interval() {
+        // NaN fails every comparison, so the old swap-sort path built an
+        // interval whose contains/length lied. A planner pruning on such
+        // a bound would silently drop candidates.
+        for (lo, hi) in [(f64::NAN, 0.5), (0.5, f64::NAN), (f64::NAN, f64::NAN)] {
+            let ci = ConfidenceInterval::new(lo, hi);
+            assert_eq!(ci, ConfidenceInterval::vacuous(), "({lo}, {hi})");
+            assert!(ci.contains(0.0));
+            assert_eq!(ci.length(), 2.0);
+        }
+    }
+
+    #[test]
+    fn fisher_interval_guarded_at_perfect_correlation() {
+        // |r| = 1 used to collapse to zero-width [±1, ±1] via atanh(±1)
+        // = ±inf — falsely certain exactly where uncertainty is largest.
+        for n in [4usize, 10, 100] {
+            for r in [1.0, -1.0] {
+                let ci = fisher_z_interval(r, n, 0.05);
+                assert!(ci.length() > 0.0, "n={n} r={r} degenerate {ci:?}");
+                assert!(ci.contains(r), "n={n} r={r} {ci:?}");
+                assert!(ci.low >= -1.0 && ci.high <= 1.0, "n={n} r={r} {ci:?}");
+            }
+        }
+        // More evidence at the same perfect fit ⇒ a tighter interval.
+        let small = fisher_z_interval(1.0, 5, 0.05);
+        let large = fisher_z_interval(1.0, 500, 0.05);
+        assert!(large.length() < small.length(), "{large:?} vs {small:?}");
+    }
+
+    #[test]
+    fn fisher_interval_tolerates_float_error_outside_unit_range() {
+        // Accumulated float error can push a computed r marginally past
+        // ±1; the guard must absorb it instead of producing NaN bounds.
+        for r in [1.0 + 1e-12, -(1.0 + 1e-12), 1.0 + 1e-6, -1.000001] {
+            let ci = fisher_z_interval(r, 12, 0.05);
+            assert!(ci.low.is_finite() && ci.high.is_finite(), "r={r} {ci:?}");
+            assert!(ci.low >= -1.0 && ci.high <= 1.0, "r={r} {ci:?}");
+            assert!(ci.length() > 0.0, "r={r} degenerate {ci:?}");
+            assert!(ci.contains(r.clamp(-1.0, 1.0)), "r={r} {ci:?}");
+        }
     }
 
     #[test]

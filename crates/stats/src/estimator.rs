@@ -72,18 +72,34 @@ impl CorrelationEstimator {
         }
     }
 
-    /// Minimum paired-sample size this estimator needs to produce output.
+    /// Minimum paired-sample size this estimator needs to produce
+    /// *meaningful* output — enforced by [`Self::estimate`], so "n below
+    /// the minimum ⇒ always `Err`" is a contract admission checks (like
+    /// the query planner's pass-2 gate) can rely on.
+    ///
+    /// The moment/rank estimators are honest at `n = 2` (two distinct
+    /// points carry sign information). The two resampling-free composites
+    /// need one more row: at `n = 2` every nondegenerate PM1 resample is
+    /// the full sample (the bootstrap mean degenerates to plain Pearson),
+    /// and the distance-correlation centering algebra returns exactly 1
+    /// for *any* two distinct points — no information about the data.
     #[must_use]
     pub fn min_samples(&self) -> usize {
-        2
+        match self {
+            Self::Pearson | Self::Spearman | Self::Rin | Self::Qn | Self::Kendall => 2,
+            Self::Pm1Bootstrap { .. } | Self::DistanceCorrelation => 3,
+        }
     }
 
     /// Estimate the correlation of the paired sample.
     ///
     /// # Errors
     ///
-    /// Propagates the underlying estimator's [`StatsError`]s.
+    /// Propagates the underlying estimator's [`StatsError`]s; any sample
+    /// smaller than [`Self::min_samples`] is a
+    /// [`StatsError::TooFewSamples`].
     pub fn estimate(&self, x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+        crate::error::validate_pairs(x, y, self.min_samples())?;
         match self {
             Self::Pearson => pearson(x, y),
             Self::Spearman => spearman(x, y),
@@ -223,8 +239,27 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        for est in CorrelationEstimator::ALL {
-            assert!(est.estimate(&[1.0], &[1.0]).is_err(), "{est}");
+        // Non-collinear, non-constant data so nothing but the sample-size
+        // gate can reject: every n below the estimator's honest minimum
+        // must be a typed error, and the minimum itself must succeed.
+        let x = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0];
+        let y = [2.0, 5.0, 7.0, 12.0, 18.0, 25.0];
+        for est in CorrelationEstimator::EXTENDED {
+            let min = est.min_samples();
+            for n in 0..min {
+                assert!(
+                    matches!(
+                        est.estimate(&x[..n], &y[..n]),
+                        Err(StatsError::TooFewSamples { needed, got })
+                            if needed == min && got == n
+                    ),
+                    "{est}: n={n} below min={min} must be TooFewSamples"
+                );
+            }
+            assert!(
+                est.estimate(&x[..min], &y[..min]).is_ok(),
+                "{est}: n={min} (the minimum) must succeed"
+            );
         }
     }
 }

@@ -88,26 +88,19 @@ pub fn scored_estimate(
     confidence: f64,
     scratch: &mut BootstrapScratch,
 ) -> Result<ScoredEstimate, StatsError> {
+    crate::error::validate_pairs(x, y, estimator.min_samples())?;
     let confidence = confidence.clamp(1e-6, 1.0 - 1e-6);
     let alpha = 1.0 - confidence;
     let (estimate, ci) = match estimator {
         CorrelationEstimator::Pearson => {
             let r = pearson(x, y)?;
-            // The Fisher transform is degenerate at |r| = 1: atanh → ∞
-            // and the interval collapses to zero width, which would hand
-            // a 4-row perfect-fit fluke a *sharper* interval than a
-            // genuine large-sample candidate (and a few ulps past ±1,
-            // NaN). A sample of n rows resolves correlation only to
-            // ~1/n, so |r| is bounded away from ±1 by 1/(2n) for the
-            // transform, and the interval is then widened back to
-            // contain the point estimate.
-            let guard = 1.0 - 1.0 / (2.0 * x.len().max(2) as f64);
-            let ci = fisher_z_interval(r.clamp(-guard, guard), x.len(), alpha);
-            let r_unit = r.clamp(-1.0, 1.0);
-            (
-                r,
-                ConfidenceInterval::new(ci.low.min(r_unit), ci.high.max(r_unit)),
-            )
+            // The |r| → 1 degeneracy guard lives inside
+            // [`fisher_z_interval`] now: |r| is bounded away from ±1 by
+            // 1/(2n) for the transform and the interval re-widened to
+            // contain the point estimate, so a 4-row perfect-fit fluke
+            // never gets a sharper interval than a genuine large-sample
+            // candidate.
+            (r, fisher_z_interval(r, x.len(), alpha))
         }
         CorrelationEstimator::Pm1Bootstrap { seed } => {
             let cfg = BootstrapConfig {
