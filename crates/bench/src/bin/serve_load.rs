@@ -7,7 +7,7 @@
 //! cargo run --release -p sketch-bench --bin serve_load -- \
 //!     [--tables 400] [--sketch-size 1024] [--queries 64] \
 //!     [--requests 20000] [--clients <server-threads>] [--server-threads 4] \
-//!     [--warm true] [--verify true] [--json true] \
+//!     [--shards 0] [--warm true] [--verify true] [--json true] \
 //!     [--store <dir>] [--addr <host:port>]
 //! ```
 //!
@@ -29,6 +29,16 @@
 //! server). With `--verify true` every warm-up response is asserted
 //! byte-identical to a fresh single-process `top_k_with_reports`
 //! rendering before any timing is trusted.
+//!
+//! `--shards N` (N ≥ 1) drives the scatter-gather topology instead:
+//! the packed corpus is partitioned into N worker stores, N worker
+//! servers plus a coordinator boot in-process, and the load runs
+//! against the coordinator. Verification generalizes accordingly —
+//! every warm-up response is asserted byte-identical to the public-API
+//! shard-merge replay (per-shard candidates, lossless bound merge,
+//! reports for survivors only), and a `--warm false` run restarts the
+//! coordinator after verifying so its merged-response cache starts
+//! cold.
 
 use std::net::SocketAddr;
 use std::sync::Barrier;
@@ -81,6 +91,8 @@ fn main() {
     // workers just serializes into waves; default to a 1:1 match.
     let clients = args.get_or("clients", server_threads).max(1);
     let cache = args.get_or("cache", 1024usize);
+    // 0 = single server (the default); N ≥ 1 = N-shard scatter-gather.
+    let shards = args.get_or("shards", 0usize);
     let k = args.get_or("k", 10usize);
     let candidates = args.get_or("candidates", 100usize);
     let seed = args.get_or("seed", 0x55_5eedu64);
@@ -113,7 +125,9 @@ fn main() {
         .get("addr")
         .map(|a| a.parse().expect("--addr must be host:port"));
     let mut _tmp_store: Option<std::path::PathBuf> = None;
+    let mut _tmp_parts: Option<std::path::PathBuf> = None;
     let mut handle = None;
+    let mut cluster: Option<sketch_bench::ShardCluster> = None;
     let addr = if let Some(addr) = external {
         addr
     } else {
@@ -148,57 +162,103 @@ fn main() {
                 sketches.len()
             );
         }
-        let mut config = ServerConfig::new(&store_dir);
-        config.threads = server_threads;
-        config.load_threads = server_threads;
-        config.cache_capacity = cache;
-        let mut h = sketch_server::start(config.clone()).expect("server starts");
-        eprintln!(
-            "serve_load: serving {} sketches at {} with {server_threads} workers",
-            h.sketches(),
-            h.addr()
-        );
-        // Verification needs the store on disk; only meaningful when we
-        // own the server.
-        if verify {
-            let snap = IndexSnapshot::from_store(&store_dir, server_threads)
-                .expect("load store for verification");
-            let defaults = QueryParams::default();
-            let mut client = HttpClient::connect(h.addr()).expect("connect");
-            for body in &bodies {
-                let resp = client.post("/query", body).expect("verify request");
-                assert_eq!(resp.status, 200, "{}", resp.body);
-                let req = api::QueryRequest::parse(body.as_bytes(), &defaults).expect("own body");
-                let sketch =
-                    snap.build_query(&req.body.id, req.body.keys.clone(), req.body.values.clone());
-                let results = sketch_index::engine::top_k_with_reports(
-                    snap.index(),
-                    &sketch,
-                    &req.params.to_options(),
-                    req.params.alpha,
-                );
-                assert_eq!(
-                    resp.body,
-                    api::render_query_response(snap.generation(), &req.params, &results),
-                    "served answer diverged from single-process engine"
+        if shards > 0 {
+            let parts =
+                std::env::temp_dir().join(format!("serve-load-parts-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&parts);
+            _tmp_parts = Some(parts.clone());
+            let mut cl =
+                sketch_bench::ShardCluster::boot(&store_dir, &parts, shards, server_threads, cache);
+            eprintln!(
+                "serve_load: coordinating {} shard workers ({} sketches) at {}",
+                cl.workers.len(),
+                cl.manifest.total,
+                cl.addr()
+            );
+            if verify {
+                let replay = sketch_bench::ShardReplay::load(&cl.worker_dirs, server_threads);
+                let defaults = QueryParams::default();
+                let mut client = HttpClient::connect(cl.addr()).expect("connect");
+                for body in &bodies {
+                    let resp = client.post("/query", body).expect("verify request");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    assert_eq!(
+                        resp.body,
+                        replay.expected_response(body, &defaults),
+                        "coordinator answer diverged from the shard-merge replay"
+                    );
+                }
+                eprintln!(
+                    "serve_load: verified {} coordinator responses against the shard-merge replay",
+                    bodies.len()
                 );
             }
+            if verify && !warm {
+                // Same cold-path discipline as single-server mode: the
+                // verification pass warmed the coordinator's cache.
+                cl.restart_coordinator();
+                eprintln!("serve_load: restarted coordinator so the timed run starts cold");
+            }
+            let addr = cl.addr();
+            cluster = Some(cl);
+            addr
+        } else {
+            let mut config = ServerConfig::new(&store_dir);
+            config.threads = server_threads;
+            config.load_threads = server_threads;
+            config.cache_capacity = cache;
+            let mut h = sketch_server::start(config.clone()).expect("server starts");
             eprintln!(
-                "serve_load: verified {} responses byte-identical to the engine",
-                bodies.len()
+                "serve_load: serving {} sketches at {} with {server_threads} workers",
+                h.sketches(),
+                h.addr()
             );
+            // Verification needs the store on disk; only meaningful when we
+            // own the server.
+            if verify {
+                let snap = IndexSnapshot::from_store(&store_dir, server_threads)
+                    .expect("load store for verification");
+                let defaults = QueryParams::default();
+                let mut client = HttpClient::connect(h.addr()).expect("connect");
+                for body in &bodies {
+                    let resp = client.post("/query", body).expect("verify request");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    let req =
+                        api::QueryRequest::parse(body.as_bytes(), &defaults).expect("own body");
+                    let sketch = snap.build_query(
+                        &req.body.id,
+                        req.body.keys.clone(),
+                        req.body.values.clone(),
+                    );
+                    let results = sketch_index::engine::top_k_with_reports(
+                        snap.index(),
+                        &sketch,
+                        &req.params.to_options(),
+                        req.params.alpha,
+                    );
+                    assert_eq!(
+                        resp.body,
+                        api::render_query_response(snap.generation(), &req.params, &results),
+                        "served answer diverged from single-process engine"
+                    );
+                }
+                eprintln!(
+                    "serve_load: verified {} responses byte-identical to the engine",
+                    bodies.len()
+                );
+            }
+            if verify && !warm {
+                // The verification pass populated the response cache; a
+                // cold-cache run timed against it would silently measure
+                // the hit path. Restart for a genuinely cold server.
+                let _ = h.shutdown();
+                h = sketch_server::start(config).expect("server restarts");
+                eprintln!("serve_load: restarted server so the timed run starts cold");
+            }
+            let addr = h.addr();
+            handle = Some(h);
+            addr
         }
-        if verify && !warm {
-            // The verification pass populated the response cache; a
-            // cold-cache run timed against it would silently measure
-            // the hit path. Restart for a genuinely cold server.
-            let _ = h.shutdown();
-            h = sketch_server::start(config).expect("server restarts");
-            eprintln!("serve_load: restarted server so the timed run starts cold");
-        }
-        let addr = h.addr();
-        handle = Some(h);
-        addr
     };
 
     // Warm the cache: every distinct body once.
@@ -271,11 +331,16 @@ fn main() {
             sketches = api::extract_u64(&resp.body, "sketches").unwrap_or(0);
         }
     }
+    if let Some(cl) = &cluster {
+        // The coordinator's healthz reports per-shard counts; the
+        // corpus size is the partition total.
+        sketches = cl.manifest.total;
+    }
 
     let scorer_name = scorer.unwrap_or("s1");
     let obj = format!(
         "{{\"bench\":\"serve_load\",\"sketches\":{sketches},\
-         \"scorer\":\"{scorer_name}\",\
+         \"scorer\":\"{scorer_name}\",\"shards\":{shards},\
          \"sketch_size\":{sketch_size},\"tables\":{tables},\
          \"distinct_queries\":{},\"requests\":{total},\
          \"clients\":{clients},\"server_threads\":{server_threads},\
@@ -311,6 +376,12 @@ fn main() {
 
     if let Some(h) = handle {
         let _ = h.shutdown();
+    }
+    if let Some(cl) = cluster {
+        cl.shutdown();
+    }
+    if let Some(dir) = _tmp_parts {
+        let _ = std::fs::remove_dir_all(dir);
     }
     if let Some(dir) = _tmp_store {
         let _ = std::fs::remove_dir_all(dir);

@@ -1,0 +1,230 @@
+//! **shard_eval** — quantify what the coordinator's bound-based early
+//! termination saves over a naive scatter-gather, at provably identical
+//! answers.
+//!
+//! ```text
+//! cargo run --release -p sketch-bench --bin shard_eval -- \
+//!     [--tables 200] [--sketch-size 256] [--queries 32] [--shards 3] \
+//!     [--k 3] [--candidates 100] [--scorer s2] [--assert false] \
+//!     [--json true] [--out results/]
+//! ```
+//!
+//! The harness packs a seeded corpus, partitions it into `--shards`
+//! worker stores, boots the full in-process cluster, and answers every
+//! query two ways, conceptually:
+//!
+//! * **coordinator** — the real scatter-gather: lightweight per-shard
+//!   candidate rows, the lossless score-bound merge, then full
+//!   uncertainty reports fetched only for the global winners. The
+//!   bound is what makes winners-only fetching provably lossless: a
+//!   candidate whose clamped score upper bound cannot reach the global
+//!   k-th lower bound (`terminated` in the response accounting) is
+//!   excluded from the top-k by its bound alone, so its report never
+//!   crosses the wire.
+//! * **naive k-per-shard gather** — the baseline every
+//!   shard-per-server system starts with: each worker answers the
+//!   public `/query` with its complete local top-k *including full
+//!   reports*, merged client-side. Its transfer cost is the sum of
+//!   per-shard result counts (`shards × k` when every shard is rich
+//!   enough) — and under the list-normalized `s4` scorer it is not
+//!   even guaranteed to produce the right answer.
+//!
+//! Every coordinator response is asserted byte-identical to the
+//! public-API shard-merge replay, and its result list byte-identical to
+//! a single process over the union store — the savings are measured at
+//! *identical answers*, not approximated ones. `--assert true`
+//! additionally requires (the PR's acceptance gate) that the
+//! coordinator shipped strictly fewer full reports than the naive
+//! gather in aggregate, and that the termination bound demonstrably
+//! engaged (`terminated > 0` over the run).
+
+use correlation_sketches::SketchConfig;
+use sketch_bench::{artifact, Args, ShardCluster, ShardReplay};
+use sketch_datagen::{generate_open_data, split_corpus, OpenDataConfig};
+use sketch_server::{api, HttpClient, IndexSnapshot, QueryParams};
+use sketch_table::ColumnPair;
+
+fn query_body(pair: &ColumnPair, k: usize, candidates: usize, scorer: &str) -> String {
+    let mut out = String::with_capacity(32 * pair.len());
+    out.push_str("{\"id\":");
+    correlation_sketches::json::push_string(&mut out, &pair.id());
+    out.push_str(",\"k\":");
+    out.push_str(&k.to_string());
+    out.push_str(",\"candidates\":");
+    out.push_str(&candidates.to_string());
+    out.push_str(",\"scorer\":");
+    correlation_sketches::json::push_string(&mut out, scorer);
+    out.push_str(",\"keys\":[");
+    for (i, key) in pair.keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        correlation_sketches::json::push_string(&mut out, key);
+    }
+    out.push_str("],\"values\":[");
+    for (i, v) in pair.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        correlation_sketches::json::push_f64(&mut out, *v);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `"results":[…]}` suffix of a response — the answer itself,
+/// independent of the topology-specific preamble around it.
+fn results_field(body: &str) -> &str {
+    let start = body.find("\"results\":").expect("response carries results");
+    &body[start..]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let tables = args.get_or("tables", 200usize);
+    let sketch_size = args.get_or("sketch-size", 256usize);
+    let n_queries = args.get_or("queries", 32usize);
+    let shards = args.get_or("shards", 3usize).max(1);
+    // k = 3 keeps the termination threshold τ (the k-th best score
+    // lower bound) high enough on this corpus that the bound visibly
+    // terminates candidates; raise k to stress the merge instead.
+    let k = args.get_or("k", 3usize);
+    let candidates = args.get_or("candidates", 100usize);
+    let seed = args.get_or("seed", 0x55_5eedu64);
+    let scorer = args.get("scorer").unwrap_or("s2");
+    let must_save = args.get_or("assert", false);
+    let json = args.get_or("json", false);
+    let server_threads = args.get_or("server-threads", 4usize);
+
+    let corpus_tables = generate_open_data(&OpenDataConfig {
+        tables,
+        ..OpenDataConfig::nyc(seed)
+    });
+    let mut split = split_corpus(&corpus_tables, 0.3, seed);
+    split.queries.truncate(n_queries);
+    let bodies: Vec<String> = split
+        .queries
+        .iter()
+        .map(|q| query_body(q, k, candidates, scorer))
+        .collect();
+    assert!(!bodies.is_empty(), "no query bodies; raise --tables");
+
+    let tmp = std::env::temp_dir().join(format!("shard-eval-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let store_dir = tmp.join("union");
+    let config = SketchConfig::with_size(sketch_size);
+    let sketches =
+        correlation_sketches::build_sketches_parallel(&split.corpus, config, server_threads);
+    sketch_store::pack_corpus(
+        &store_dir,
+        &sketches,
+        &sketch_store::PackOptions {
+            shards: 8,
+            threads: server_threads,
+        },
+    )
+    .expect("pack corpus");
+
+    let cluster = ShardCluster::boot(&store_dir, &tmp.join("parts"), shards, server_threads, 1024);
+    eprintln!(
+        "shard_eval: {} sketches over {} workers, scorer {scorer}, k {k}",
+        cluster.manifest.total,
+        cluster.workers.len()
+    );
+    let replay = ShardReplay::load(&cluster.worker_dirs, server_threads);
+    let union_snap = IndexSnapshot::from_store(&store_dir, server_threads).expect("load union");
+    let defaults = QueryParams::default();
+
+    let mut client = HttpClient::connect(cluster.addr()).expect("connect");
+    let (mut total_merged, mut total_survivors, mut total_reports, mut total_naive) =
+        (0u64, 0u64, 0u64, 0u64);
+    for body in &bodies {
+        let resp = client.post("/query", body).expect("query");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(
+            resp.body,
+            replay.expected_response(body, &defaults),
+            "coordinator answer diverged from the shard-merge replay"
+        );
+        // Identical answers: the sharded result list is byte-equal to a
+        // single process over the union corpus.
+        let req = api::QueryRequest::parse(body.as_bytes(), &defaults).expect("own body");
+        let sketch =
+            union_snap.build_query(&req.body.id, req.body.keys.clone(), req.body.values.clone());
+        let single = sketch_index::engine::top_k_with_reports(
+            union_snap.index(),
+            &sketch,
+            &req.params.to_options(),
+            req.params.alpha,
+        );
+        let single_render = api::render_query_response(0, &req.params, &single);
+        assert_eq!(
+            results_field(&resp.body),
+            results_field(&single_render),
+            "sharded answer diverged from the single-process union"
+        );
+
+        total_merged += api::extract_u64(&resp.body, "merged").expect("merged field");
+        total_survivors += api::extract_u64(&resp.body, "shipped").expect("shipped field");
+        // What phase 2 actually transferred: one full report per
+        // winner (the response's result count).
+        total_reports += api::extract_u64(&resp.body, "count").expect("count field");
+        total_naive += replay.naive_shipped(body, &defaults) as u64;
+    }
+    let total_terminated = total_merged - total_survivors;
+
+    let savings = if total_naive > 0 {
+        100.0 * (1.0 - total_reports as f64 / total_naive as f64)
+    } else {
+        0.0
+    };
+    let obj = format!(
+        "{{\"bench\":\"shard_eval\",\"sketches\":{},\"shards\":{shards},\
+         \"scorer\":\"{scorer}\",\"k\":{k},\"queries\":{},\
+         \"merged\":{total_merged},\"survivors\":{total_survivors},\
+         \"terminated\":{total_terminated},\
+         \"reports_shipped\":{total_reports},\
+         \"naive_shipped\":{total_naive},\"savings_pct\":{savings:.1},\
+         \"identical\":true}}",
+        cluster.manifest.total,
+        bodies.len(),
+    );
+    if let Some(out) = args.get("out") {
+        let path = artifact::write_artifact(out, "shard_eval", &obj).expect("write artifact");
+        eprintln!("shard_eval: wrote {}", path.display());
+    }
+    if json {
+        println!("{obj}");
+    } else {
+        println!(
+            "\nshard_eval — {} queries over {shards} shards (scorer {scorer}, k {k})",
+            bodies.len()
+        );
+        println!("merged candidate rows : {total_merged:>8}");
+        println!("bound survivors       : {total_survivors:>8}  (terminated {total_terminated})");
+        println!("reports shipped       : {total_reports:>8}");
+        println!("reports shipped naive : {total_naive:>8}");
+        println!("transfer savings      : {savings:>7.1}%  at byte-identical answers");
+    }
+
+    if must_save {
+        assert!(
+            total_reports < total_naive,
+            "coordinator shipped {total_reports} full reports, naive k-per-shard gather \
+             {total_naive} — no transfer win"
+        );
+        assert!(
+            total_terminated > 0,
+            "the termination bound never engaged over {total_merged} merged rows \
+             (τ excluded nothing) — lower --k or check score_bounds"
+        );
+        eprintln!(
+            "shard_eval: ASSERT ok — {total_reports} < {total_naive} reports shipped at \
+             identical answers; bound terminated {total_terminated}/{total_merged} candidates"
+        );
+    }
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+}

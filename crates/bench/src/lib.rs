@@ -8,9 +8,11 @@
 pub mod args;
 pub mod artifact;
 pub mod corpus;
+pub mod shard;
 pub mod timing;
 
 pub use args::Args;
 pub use artifact::write_artifact;
 pub use corpus::{corpus_pairs, CorpusChoice};
+pub use shard::{ShardCluster, ShardReplay};
 pub use timing::{percentile, time_ms, LatencySummary};

@@ -1,0 +1,222 @@
+//! Scatter-gather plumbing for the serving benchmarks: partition a
+//! packed store, boot one worker server per partition plus a
+//! coordinator over them (all in-process), and rebuild the
+//! coordinator's expected response bytes from the public API so load
+//! runs can verify answers before timing them.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use correlation_sketches::JoinSample;
+use sketch_index::{engine, merge_shard_candidates, ReportedResult, ShardCandidate, ShardRows};
+use sketch_server::{
+    api, CoordinatorConfig, CoordinatorHandle, IndexSnapshot, QueryParams, ServerConfig,
+    ServerHandle,
+};
+
+/// A booted scatter-gather cluster over one partitioned corpus.
+pub struct ShardCluster {
+    /// Worker servers, in partition order.
+    pub workers: Vec<ServerHandle>,
+    /// Worker store directories, in partition order.
+    pub worker_dirs: Vec<PathBuf>,
+    /// The partition manifest `shard_corpus` wrote.
+    pub manifest: sketch_store::PartitionManifest,
+    coordinator: Option<CoordinatorHandle>,
+    coordinator_config: CoordinatorConfig,
+}
+
+impl ShardCluster {
+    /// Partition `store` into (at most) `shards` worker stores under
+    /// `out` and boot the full cluster. Worker servers get
+    /// `server_threads + 2` connection threads: each coordinator
+    /// front-end thread plus the health poller can hold a keep-alive
+    /// connection, and one pinned connection must never read as a dead
+    /// shard.
+    ///
+    /// # Panics
+    ///
+    /// On any partitioning or boot failure — benches fail loudly.
+    #[must_use]
+    pub fn boot(
+        store: &Path,
+        out: &Path,
+        shards: usize,
+        server_threads: usize,
+        cache: usize,
+    ) -> Self {
+        let manifest =
+            sketch_store::shard_corpus(store, out, shards, server_threads).expect("shard corpus");
+        let mut workers = Vec::new();
+        let mut worker_dirs = Vec::new();
+        let mut addrs = Vec::new();
+        for shard in &manifest.shards {
+            let dir = out.join(&shard.dir);
+            let mut config = ServerConfig::new(&dir);
+            config.threads = server_threads + 2;
+            config.load_threads = server_threads;
+            let handle = sketch_server::start(config).expect("worker starts");
+            addrs.push(handle.addr().to_string());
+            workers.push(handle);
+            worker_dirs.push(dir);
+        }
+        let mut coordinator_config = CoordinatorConfig::new(addrs);
+        coordinator_config.threads = server_threads;
+        coordinator_config.cache_capacity = cache;
+        let coordinator = sketch_server::start_coordinator(coordinator_config.clone())
+            .expect("coordinator starts");
+        Self {
+            workers,
+            worker_dirs,
+            manifest,
+            coordinator: Some(coordinator),
+            coordinator_config,
+        }
+    }
+
+    /// The coordinator's public address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.coordinator
+            .as_ref()
+            .expect("coordinator is running")
+            .addr()
+    }
+
+    /// Replace the coordinator with a fresh one (empty response cache)
+    /// over the same workers — for cold-path timing after a
+    /// verification pass warmed the cache.
+    pub fn restart_coordinator(&mut self) {
+        if let Some(c) = self.coordinator.take() {
+            let _ = c.shutdown();
+        }
+        self.coordinator = Some(
+            sketch_server::start_coordinator(self.coordinator_config.clone())
+                .expect("coordinator restarts"),
+        );
+    }
+
+    /// Graceful full-cluster stop.
+    pub fn shutdown(mut self) {
+        if let Some(c) = self.coordinator.take() {
+            let _ = c.shutdown();
+        }
+        for w in self.workers {
+            let _ = w.shutdown();
+        }
+    }
+}
+
+/// Per-worker snapshots for replaying the coordinator's merge from the
+/// public API (loaded once, reused across queries).
+pub struct ShardReplay {
+    snaps: Vec<IndexSnapshot>,
+}
+
+impl ShardReplay {
+    /// Load every worker store.
+    ///
+    /// # Panics
+    ///
+    /// When a worker store cannot be loaded.
+    #[must_use]
+    pub fn load(worker_dirs: &[PathBuf], threads: usize) -> Self {
+        let snaps = worker_dirs
+            .iter()
+            .map(|d| IndexSnapshot::from_store(d, threads).expect("load worker store"))
+            .collect();
+        Self { snaps }
+    }
+
+    /// The exact bytes the coordinator must serve for `body` when every
+    /// shard is healthy: per-shard candidate rows, the lossless bound
+    /// merge, then reports for the surviving winners only — the same
+    /// two phases the coordinator runs, rebuilt from the public API.
+    ///
+    /// # Panics
+    ///
+    /// When `body` is not a valid query.
+    #[must_use]
+    pub fn expected_response(&self, body: &str, defaults: &QueryParams) -> String {
+        let req = api::QueryRequest::parse(body.as_bytes(), defaults).expect("valid query body");
+        let opts = req.params.to_options();
+        let sketches: Vec<_> = self
+            .snaps
+            .iter()
+            .map(|snap| {
+                snap.build_query(&req.body.id, req.body.keys.clone(), req.body.values.clone())
+            })
+            .collect();
+        let rows: Vec<Vec<ShardCandidate>> = self
+            .snaps
+            .iter()
+            .zip(&sketches)
+            .map(|(snap, sketch)| engine::shard_candidates(snap.index(), sketch, &opts))
+            .collect();
+        let shard_rows: Vec<ShardRows<'_>> = rows
+            .iter()
+            .zip(&self.snaps)
+            .map(|(r, snap)| ShardRows {
+                rows: r,
+                sketches: snap.index().len(),
+            })
+            .collect();
+        let outcome = merge_shard_candidates(&shard_rows, &opts);
+        let mut sample = JoinSample::default();
+        let results: Vec<ReportedResult> = outcome
+            .winners
+            .into_iter()
+            .map(|w| {
+                let report = engine::report_for_doc(
+                    self.snaps[w.shard].index(),
+                    &sketches[w.shard],
+                    w.local_doc,
+                    &opts,
+                    req.params.alpha,
+                    &mut sample,
+                );
+                ReportedResult {
+                    result: w.result,
+                    report,
+                }
+            })
+            .collect();
+        let states: Vec<api::ShardState> = self
+            .snaps
+            .iter()
+            .map(|snap| api::ShardState {
+                generation: snap.generation(),
+                degraded: false,
+            })
+            .collect();
+        api::render_coordinator_response(
+            &states,
+            &req.params,
+            outcome.merged,
+            outcome.shipped,
+            &results,
+        )
+    }
+
+    /// How many full results a naive gather would ship for `body`: each
+    /// shard returns its complete local top-k with reports, merged
+    /// client-side. This is the transfer baseline `shard_eval` compares
+    /// the bound-based early termination against.
+    ///
+    /// # Panics
+    ///
+    /// When `body` is not a valid query.
+    #[must_use]
+    pub fn naive_shipped(&self, body: &str, defaults: &QueryParams) -> usize {
+        let req = api::QueryRequest::parse(body.as_bytes(), defaults).expect("valid query body");
+        let opts = req.params.to_options();
+        self.snaps
+            .iter()
+            .map(|snap| {
+                let sketch =
+                    snap.build_query(&req.body.id, req.body.keys.clone(), req.body.values.clone());
+                engine::top_k_with_reports(snap.index(), &sketch, &opts, req.params.alpha).len()
+            })
+            .sum()
+    }
+}

@@ -438,6 +438,47 @@ pub mod corpus {
         ))
     }
 
+    /// `corrsketch corpus shard` — partition a packed store's live view
+    /// into `--workers` per-worker stores (deterministic contiguous
+    /// slices, in live-view order) plus a `partition.cskp` manifest, for
+    /// scatter-gather serving: boot one `corrsketch serve` per worker
+    /// directory, then a `serve --coordinator` over them. Worker order
+    /// in the manifest is the shard order the coordinator must use.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError`] on missing flags, a zero worker count, unreadable
+    /// stores, or write failures.
+    pub fn shard(args: &CliArgs) -> Result<String, CliError> {
+        let store = args.required("store")?;
+        let out = args.required("out")?;
+        let workers: usize = args
+            .required("workers")?
+            .parse()
+            .map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
+        if workers == 0 {
+            return Err(CliError::Usage("--workers must be at least 1".into()));
+        }
+        let threads = args.parse_or("threads", 1usize)?;
+        let manifest =
+            sketch_store::shard_corpus(Path::new(store), Path::new(out), workers, threads)
+                .map_err(store_err)?;
+        let mut report = format!(
+            "partitioned {} live sketches of {store} (generation {}) into {} worker stores under {out}:\n",
+            manifest.total,
+            manifest.source_generation,
+            manifest.shards.len()
+        );
+        for (i, s) in manifest.shards.iter().enumerate() {
+            let _ = writeln!(
+                report,
+                "  shard {i}: {}/{} ({} sketches)",
+                out, s.dir, s.count
+            );
+        }
+        Ok(report)
+    }
+
     /// `corrsketch corpus compact` — fold every delta shard back into
     /// freshly packed base shards, reclaiming tombstoned records. Query
     /// results over the store are unchanged; only the layout is.
@@ -696,13 +737,18 @@ pub mod serve {
 
     /// Run the subcommand. Blocks until a termination signal; the bound
     /// address is printed to stdout immediately so scripts can wait for
-    /// readiness.
+    /// readiness. With `--workers` (or `--coordinator true`) it boots
+    /// the scatter-gather coordinator over already-running worker
+    /// servers instead of serving a store directly.
     ///
     /// # Errors
     ///
-    /// [`CliError`] on missing flags, unreadable stores, or unbindable
-    /// addresses.
+    /// [`CliError`] on missing flags, unreadable stores, unreachable
+    /// workers, or unbindable addresses.
     pub fn run(args: &CliArgs) -> Result<String, CliError> {
+        if args.parse_or("coordinator", false)? || args.optional("workers").is_some() {
+            return run_coordinator(args);
+        }
         let store = args.required("store")?;
         let mut config = sketch_server::ServerConfig::new(store);
         config.addr = format!(
@@ -750,6 +796,75 @@ pub mod serve {
             handle.addr(),
             handle.sketches(),
             handle.generation()
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        while !sketch_server::signal::termination_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let summary = handle.shutdown();
+        Ok(format!("graceful shutdown; final stats: {summary}"))
+    }
+
+    /// The coordinator mode: fan `/query` and `/query_batch` out over
+    /// `--workers` (comma-separated `host:port`, **in partition order**
+    /// — the order `corpus shard` wrote them) and merge losslessly.
+    fn run_coordinator(args: &CliArgs) -> Result<String, CliError> {
+        let workers: Vec<String> = args
+            .required("workers")?
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if workers.is_empty() {
+            return Err(CliError::Usage(
+                "--workers needs at least one host:port address".into(),
+            ));
+        }
+        let mut config = sketch_server::CoordinatorConfig::new(workers);
+        config.addr = format!(
+            "{}:{}",
+            args.optional("host").unwrap_or("127.0.0.1"),
+            args.parse_or("port", 0u16)?
+        );
+        config.threads = args.parse_or("threads", 4usize)?;
+        config.cache_capacity = args.parse_or("cache", 1024usize)?;
+        config.poll_interval = Duration::from_millis(args.parse_or("poll-ms", 200u64)?);
+        config.request_timeout =
+            Duration::from_millis(args.parse_or("request-timeout-ms", 10_000u64)?);
+        config.worker_timeout =
+            Duration::from_millis(args.parse_or("worker-timeout-ms", 2_000u64)?);
+        config.startup_timeout =
+            Duration::from_millis(args.parse_or("startup-timeout-ms", 10_000u64)?);
+        if let Some(scorer) = args.optional("scorer") {
+            config.defaults.scorer = scorer.parse().map_err(CliError::Usage)?;
+        }
+        if let Some(confidence) = args.optional("confidence") {
+            let confidence: f64 = confidence
+                .parse()
+                .map_err(|e| CliError::Usage(format!("--confidence: {e}")))?;
+            if !(confidence > 0.0 && confidence < 1.0) {
+                return Err(CliError::Usage(format!(
+                    "--confidence must be in (0, 1), got {confidence}"
+                )));
+            }
+            config.defaults.confidence = confidence;
+        }
+        if let Some(plan) = args.optional("plan") {
+            config.defaults.plan = plan.parse().map_err(CliError::Usage)?;
+        }
+
+        sketch_server::signal::install();
+        let worker_count = config.workers.len();
+        let handle =
+            sketch_server::start_coordinator(config).map_err(|e| CliError::Data(e.to_string()))?;
+
+        println!(
+            "coordinating {worker_count} workers at http://{} (generations {:?})",
+            handle.addr(),
+            handle.generations()
         );
         use std::io::Write as _;
         let _ = std::io::stdout().flush();

@@ -41,7 +41,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // `corpus` is a command group: its subcommand precedes the flags.
     if command == "corpus" {
         let (sub, rest) = rest.split_first().ok_or_else(|| {
-            CliError::Usage("corpus needs a subcommand: pack | info | append | rm | compact".into())
+            CliError::Usage(
+                "corpus needs a subcommand: pack | info | append | rm | compact | shard".into(),
+            )
         })?;
         let args = CliArgs::parse(rest)?;
         return match sub.as_str() {
@@ -50,9 +52,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             "append" => corpus::append(&args),
             "rm" => corpus::rm(&args),
             "compact" => corpus::compact(&args),
+            "shard" => corpus::shard(&args),
             other => Err(CliError::Usage(format!(
                 "unknown corpus subcommand '{other}' \
-                 (expected pack | info | append | rm | compact)\n{USAGE}"
+                 (expected pack | info | append | rm | compact | shard)\n{USAGE}"
             ))),
         };
     }
@@ -88,6 +91,9 @@ USAGE:
                       [--threads 1]                     (tombstones live ids)
   corrsketch corpus compact --store <store-dir> [--shards 8] [--threads 1]
                       (folds deltas + tombstones back into base shards)
+  corrsketch corpus shard --store <store-dir> --out <dir> --workers <n>
+                      [--threads 1]  (partitions the live view into n
+                       worker stores + partition.cskp, for sharded serving)
   corrsketch query    (--index <file> | --store <store-dir>)
                       --table <csv> --key <col> --value <col>
                       [--k 10] [--candidates 100] [--estimator pearson]
@@ -103,6 +109,12 @@ USAGE:
                       [--request-timeout-ms 10000]      (0 disables)
                       (HTTP: POST /query, POST /query_batch, GET /corpus,
                        GET /healthz, GET /stats; graceful stop on SIGTERM)
+  corrsketch serve    --coordinator true --workers <host:port>[,<host:port>…]
+                      [--worker-timeout-ms 2000] [--startup-timeout-ms 10000]
+                      (scatter-gather over worker servers, one per
+                       `corpus shard` partition in manifest order; merged
+                       answers are bit-identical to a single server over
+                       the union corpus, minus degraded shards)
   corrsketch estimate --left <csv> --left-key <col> --left-value <col>
                       --right <csv> --right-key <col> --right-value <col>
                       [--sketch-size 1024] [--aggregation mean]

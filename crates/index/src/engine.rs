@@ -543,6 +543,77 @@ pub fn top_k_with_scorer(
     crate::select::top_k_by(rows, opts.k, result_order)
 }
 
+/// One shard-local candidate row for scatter-gather serving: stage-2
+/// output (retrieval metadata + scored estimate) with the sketch id
+/// resolved, in retrieval order — what a worker ships to the
+/// coordinator so [`crate::merge`] can re-rank globally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCandidate {
+    /// Shard-local document id (positional in the shard's live view).
+    pub doc: DocId,
+    /// Sketch identifier (`table/key/value`), globally unique across a
+    /// partitioned corpus.
+    pub id: String,
+    /// Sketch-key overlap with the query.
+    pub overlap: usize,
+    /// Join-sample size.
+    pub sample_size: usize,
+    /// The scored estimate (point estimate + matched CI), `None` below
+    /// the admission gate or for a degenerate sample.
+    pub est: Option<ScoredEstimate>,
+}
+
+/// The shard-local half of a scatter-gather query: retrieve this
+/// shard's top `overlap_candidates` by overlap and estimate **every**
+/// one of them with the requested estimator, returning rows in
+/// retrieval order (overlap desc, sketch id asc, doc asc).
+///
+/// This path deliberately ignores [`QueryOptions::plan`] and always
+/// estimates exhaustively: shard-local two-pass pruning is *unsound*.
+/// Retrieval cuts by overlap but ranking cuts by score, so a shard's
+/// candidate list can contain high-score rows that do not survive the
+/// global overlap re-cut — those rows inflate the shard's local
+/// pruning threshold `τ*` above the global one, and a row another
+/// query needs (low score, but globally in the top-k after the re-cut
+/// drops the inflated rows) would come back unestimated. Concretely:
+/// with `overlap_candidates = 3, k = 1`, a shard holding two
+/// high-score/low-overlap rows plus one low-score/high-overlap row
+/// prunes the latter locally, yet the global overlap re-cut keeps
+/// *only* that row from the shard — the coordinator would then score
+/// it 0 and answer wrongly. Early termination instead happens on the
+/// coordinator, from score bounds over the merged list
+/// ([`crate::merge::merge_shard_candidates`]), where it is
+/// unconditionally lossless.
+#[must_use]
+pub fn shard_candidates(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+) -> Vec<ShardCandidate> {
+    let hits = index.overlap_candidates(query, opts.overlap_candidates);
+    estimate_hits(
+        index,
+        query,
+        &hits,
+        opts,
+        opts.threads,
+        &mut StageScratch::default(),
+    )
+    .into_iter()
+    .map(|row| ShardCandidate {
+        doc: row.doc,
+        // `scored_chunk` only emits rows for live docs.
+        id: index
+            .get(row.doc)
+            .map(|s| s.id().to_string())
+            .unwrap_or_default(),
+        overlap: row.overlap,
+        sample_size: row.sample_size,
+        est: row.est,
+    })
+    .collect()
+}
+
 /// The re-rank stage: score the whole row list with the configured
 /// scorer (list-level — `s4` normalizes CI lengths across the list) and
 /// keep the top `opts.k` via bounded-heap selection. Sketch ids are
@@ -576,7 +647,7 @@ fn rank_rows(index: &SketchIndex, rows: Vec<ScoredRow>, opts: &QueryOptions) -> 
 /// instead of poisoning the selection heap — then descending overlap,
 /// then ascending sketch id (insertion-order independent), then doc id
 /// (reachable only through duplicate ids).
-fn result_order(a: &QueryResult, b: &QueryResult) -> std::cmp::Ordering {
+pub(crate) fn result_order(a: &QueryResult, b: &QueryResult) -> std::cmp::Ordering {
     desc_score_nan_last(a.score, b.score)
         .then(b.overlap.cmp(&a.overlap))
         .then_with(|| a.id.cmp(&b.id))
@@ -662,15 +733,33 @@ fn attach_report(
     alpha: f64,
     sample: &mut JoinSample,
 ) -> ReportedResult {
-    let report = index
-        .get(result.doc)
+    let report = report_for_doc(index, query, result.doc, opts, alpha, sample);
+    ReportedResult { result, report }
+}
+
+/// The Section 4 uncertainty report for one document: re-join its
+/// sketch with the query into the reused `sample` buffer and build the
+/// report, under exactly the gate the ranked paths apply (`min_sample`,
+/// degenerate-sample `ok()`). Public so a sharded worker can answer
+/// report fetches for coordinator-chosen winners with bytes identical
+/// to what [`top_k_with_reports`] would attach single-process.
+#[must_use]
+pub fn report_for_doc(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    doc: DocId,
+    opts: &QueryOptions,
+    alpha: f64,
+    sample: &mut JoinSample,
+) -> Option<correlation_sketches::EstimateReport> {
+    index
+        .get(doc)
         .and_then(|sketch| join_sketches_into(query, sketch, sample).ok())
         .and_then(|()| {
             (sample.len() >= opts.min_sample)
                 .then(|| sample.report(opts.estimator, alpha).ok())
                 .flatten()
-        });
-    ReportedResult { result, report }
+        })
 }
 
 /// Per-worker scratch for the batch path: the retrieval counter buffer

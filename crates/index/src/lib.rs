@@ -20,12 +20,15 @@
 
 pub mod engine;
 pub mod inverted;
+pub mod merge;
 pub mod plan;
 mod select;
 
 pub use engine::{
     top_k_batch, top_k_batch_with_reports, Candidate, QueryOptions, QueryResult, ReportedResult,
+    ShardCandidate,
 };
 pub use inverted::{DocId, SketchIndex};
+pub use merge::{merge_shard_candidates, MergeOutcome, MergedWinner, ShardRows};
 pub use plan::{PlanMode, PlanStats};
 pub use sketch_ranking::Scorer;

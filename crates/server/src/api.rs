@@ -11,9 +11,10 @@
 //! [`engine::top_k_with_reports`]: sketch_index::engine::top_k_with_reports
 
 use correlation_sketches::json::{self, push_f64, push_string};
+use correlation_sketches::EstimateReport;
 use sketch_hashing::murmur3_x64_128;
-use sketch_index::{PlanMode, QueryOptions, ReportedResult, Scorer};
-use sketch_stats::CorrelationEstimator;
+use sketch_index::{DocId, PlanMode, QueryOptions, ReportedResult, Scorer, ShardCandidate};
+use sketch_stats::{ConfidenceInterval, CorrelationEstimator, ScoredEstimate};
 
 /// Ranking parameters shared by `/query` and `/query_batch`, resolved
 /// against the server's defaults when a field is absent.
@@ -293,6 +294,16 @@ fn fingerprint_of(bytes: &[u8]) -> u128 {
     (u128::from(h1) << 64) | u128::from(h2)
 }
 
+/// Hash of the raw request-body bytes, keying the parse-skipping memo
+/// in front of the response cache ([`crate::cache::ParseMemo`]). Unlike
+/// [`QueryRequest::fingerprint`] this is *not* canonical — bodies that
+/// differ only in JSON field order hash differently — which is exactly
+/// why it is only ever a memo key, never a cache key.
+#[must_use]
+pub fn raw_fingerprint(bytes: &[u8]) -> u128 {
+    fingerprint_of(bytes)
+}
+
 fn push_params(bytes: &mut Vec<u8>, p: &QueryParams) {
     bytes.extend_from_slice(&(p.k as u64).to_le_bytes());
     bytes.extend_from_slice(&(p.candidates as u64).to_le_bytes());
@@ -459,6 +470,574 @@ pub fn extract_u64(body: &str, field: &str) -> Result<u64, String> {
     obj.get(field)
         .and_then(|v| v.as_u64(field))
         .map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// The internal shard wire: coordinator ↔ worker.
+//
+// Floats cross this boundary as `f64::to_bits()` rendered as decimal
+// u64 — bit-exact round-trip for every value, non-finite included,
+// which the decimal float writer (`push_f64`, `{v:?}`) cannot encode.
+// That is what lets the coordinator's merged response be *byte*-equal
+// to a single-process render, and the oracle battery assert it.
+// ---------------------------------------------------------------------
+
+fn push_bits(out: &mut String, v: f64) {
+    out.push_str(&v.to_bits().to_string());
+}
+
+fn bits_field(obj: json::Obj<'_>, field: &str) -> Result<f64, String> {
+    Ok(f64::from_bits(
+        obj.get(field)
+            .and_then(|v| v.as_u64(field))
+            .map_err(|e| e.to_string())?,
+    ))
+}
+
+fn usize_field(obj: json::Obj<'_>, field: &str) -> Result<usize, String> {
+    usize::try_from(
+        obj.get(field)
+            .and_then(|v| v.as_u64(field))
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("{field}: {e}"))
+}
+
+/// Render one query body's fields (no braces), canonical form.
+fn push_body_fields(out: &mut String, body: &QueryBody) {
+    out.push_str("\"id\":");
+    push_string(out, &body.id);
+    out.push_str(",\"keys\":[");
+    for (i, k) in body.keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_string(out, k);
+    }
+    out.push_str("],\"values\":[");
+    for (i, v) in body.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push(']');
+}
+
+/// Render every resolved parameter (no braces, leading comma): the
+/// coordinator spells the full parameter set out so the workers'
+/// *local* defaults can never influence a scattered query. The plan is
+/// forwarded for fingerprint fidelity even though the shard path
+/// estimates exhaustively; the estimator travels by name (the same
+/// resolution path `/query` clients use).
+fn push_param_fields(out: &mut String, p: &QueryParams) {
+    out.push_str(",\"k\":");
+    out.push_str(&p.k.to_string());
+    out.push_str(",\"candidates\":");
+    out.push_str(&p.candidates.to_string());
+    out.push_str(",\"estimator\":\"");
+    out.push_str(p.estimator.name());
+    out.push_str("\",\"min_sample\":");
+    out.push_str(&p.min_sample.to_string());
+    out.push_str(",\"alpha\":");
+    push_f64(out, p.alpha);
+    out.push_str(",\"scorer\":\"");
+    out.push_str(p.scorer.name());
+    out.push_str("\",\"confidence\":");
+    push_f64(out, p.confidence);
+    out.push_str(",\"plan\":\"");
+    out.push_str(&p.plan.to_string());
+    out.push('"');
+}
+
+/// Render the canonical `POST /shard_query` request the coordinator
+/// sends each worker. Parses back through [`QueryRequest::parse`] to
+/// exactly `(body, params)` on any worker, whatever its defaults.
+#[must_use]
+pub fn render_shard_query_request(body: &QueryBody, params: &QueryParams) -> String {
+    let mut out = String::with_capacity(64 + body.keys.len() * 24);
+    out.push('{');
+    push_body_fields(&mut out, body);
+    push_param_fields(&mut out, params);
+    out.push('}');
+    out
+}
+
+/// Render the canonical `POST /shard_query_batch` request.
+#[must_use]
+pub fn render_shard_batch_request(queries: &[QueryBody], params: &QueryParams) -> String {
+    let mut out = String::with_capacity(64 + queries.len() * 128);
+    out.push_str("{\"queries\":[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_body_fields(&mut out, q);
+        out.push('}');
+    }
+    out.push(']');
+    push_param_fields(&mut out, params);
+    out.push('}');
+    out
+}
+
+/// Render the canonical `POST /shard_reports` request: the query and
+/// parameters again (the worker re-derives the join) plus the
+/// shard-local doc ids whose reports the merge shipped.
+#[must_use]
+pub fn render_shard_reports_request(
+    body: &QueryBody,
+    params: &QueryParams,
+    docs: &[DocId],
+) -> String {
+    let mut out = String::with_capacity(96 + body.keys.len() * 24 + docs.len() * 8);
+    out.push('{');
+    push_body_fields(&mut out, body);
+    push_param_fields(&mut out, params);
+    out.push_str(",\"docs\":[");
+    for (i, d) in docs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_string());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Extract the `docs` array of a `/shard_reports` request (the rest of
+/// the body parses through [`QueryRequest::parse`], which tolerates
+/// the extra field).
+///
+/// # Errors
+///
+/// A human-readable reason, safe to echo in a 400 response.
+pub fn extract_docs(body: &[u8]) -> Result<Vec<DocId>, String> {
+    let text = std::str::from_utf8(body).map_err(|e| format!("non-utf8 body: {e}"))?;
+    let value = json::parse(text)?;
+    let obj = value.as_object("request").map_err(|e| e.to_string())?;
+    obj.get("docs")
+        .and_then(|v| v.as_array("docs"))
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(|v| {
+            v.as_u64("docs[]")
+                .map_err(|e| e.to_string())
+                .and_then(|d| DocId::try_from(d).map_err(|e| format!("docs[]: {e}")))
+        })
+        .collect()
+}
+
+fn push_shard_row(out: &mut String, row: &ShardCandidate) {
+    out.push_str("{\"doc\":");
+    out.push_str(&row.doc.to_string());
+    out.push_str(",\"id\":");
+    push_string(out, &row.id);
+    out.push_str(",\"overlap\":");
+    out.push_str(&row.overlap.to_string());
+    out.push_str(",\"n\":");
+    out.push_str(&row.sample_size.to_string());
+    out.push_str(",\"est\":");
+    match &row.est {
+        Some(e) => {
+            out.push_str("{\"e\":");
+            push_bits(out, e.estimate);
+            out.push_str(",\"lo\":");
+            push_bits(out, e.ci_lo);
+            out.push_str(",\"hi\":");
+            push_bits(out, e.ci_hi);
+            out.push_str(",\"n\":");
+            out.push_str(&e.sample_size.to_string());
+            out.push('}');
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn push_shard_rows(out: &mut String, rows: &[ShardCandidate]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_shard_row(out, row);
+    }
+    out.push(']');
+}
+
+/// Render a worker's `/shard_query` response: its generation, live
+/// sketch count (the coordinator's doc-offset unit), and candidate
+/// rows with bit-encoded estimates.
+#[must_use]
+pub fn render_shard_query_response(
+    generation: u64,
+    sketches: usize,
+    rows: &[ShardCandidate],
+) -> String {
+    let mut out = String::with_capacity(64 + 128 * rows.len());
+    out.push_str("{\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"sketches\":");
+    out.push_str(&sketches.to_string());
+    out.push_str(",\"rows\":");
+    push_shard_rows(&mut out, rows);
+    out.push('}');
+    out
+}
+
+/// Render a worker's `/shard_query_batch` response: one row list per
+/// query, all from one snapshot.
+#[must_use]
+pub fn render_shard_batch_response(
+    generation: u64,
+    sketches: usize,
+    queries: &[Vec<ShardCandidate>],
+) -> String {
+    let mut out = String::with_capacity(64 + queries.iter().map(|q| 128 * q.len()).sum::<usize>());
+    out.push_str("{\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"sketches\":");
+    out.push_str(&sketches.to_string());
+    out.push_str(",\"queries\":[");
+    for (i, rows) in queries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_shard_rows(&mut out, rows);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A worker's parsed `/shard_query` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardQueryResponse {
+    /// Worker store generation the rows were computed against.
+    pub generation: u64,
+    /// The worker's live sketch count (its doc-id space).
+    pub sketches: usize,
+    /// Shard-local candidate rows, in retrieval order.
+    pub rows: Vec<ShardCandidate>,
+}
+
+/// A worker's parsed `/shard_query_batch` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBatchResponse {
+    /// Worker store generation the rows were computed against.
+    pub generation: u64,
+    /// The worker's live sketch count.
+    pub sketches: usize,
+    /// One candidate-row list per query, in request order.
+    pub queries: Vec<Vec<ShardCandidate>>,
+}
+
+fn parse_shard_row(v: &json::Value) -> Result<ShardCandidate, String> {
+    let obj = v.as_object("rows[]").map_err(|e| e.to_string())?;
+    let est = match obj.get("est").map_err(|e| e.to_string())? {
+        json::Value::Null => None,
+        est => {
+            let eo = est.as_object("est").map_err(|e| e.to_string())?;
+            Some(ScoredEstimate {
+                estimate: bits_field(eo, "e")?,
+                ci_lo: bits_field(eo, "lo")?,
+                ci_hi: bits_field(eo, "hi")?,
+                sample_size: usize_field(eo, "n")?,
+            })
+        }
+    };
+    Ok(ShardCandidate {
+        doc: DocId::try_from(
+            obj.get("doc")
+                .and_then(|v| v.as_u64("doc"))
+                .map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("doc: {e}"))?,
+        id: obj
+            .get("id")
+            .and_then(|v| v.as_str("id"))
+            .map_err(|e| e.to_string())?
+            .to_string(),
+        overlap: usize_field(obj, "overlap")?,
+        sample_size: usize_field(obj, "n")?,
+        est,
+    })
+}
+
+fn parse_shard_rows(v: &json::Value) -> Result<Vec<ShardCandidate>, String> {
+    v.as_array("rows")
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(parse_shard_row)
+        .collect()
+}
+
+/// Parse a `/shard_query` response body.
+///
+/// # Errors
+///
+/// A human-readable reason (malformed worker reply).
+pub fn parse_shard_query_response(body: &str) -> Result<ShardQueryResponse, String> {
+    let value = json::parse(body)?;
+    let obj = value.as_object("response").map_err(|e| e.to_string())?;
+    Ok(ShardQueryResponse {
+        generation: obj
+            .get("generation")
+            .and_then(|v| v.as_u64("generation"))
+            .map_err(|e| e.to_string())?,
+        sketches: usize_field(obj, "sketches")?,
+        rows: parse_shard_rows(obj.get("rows").map_err(|e| e.to_string())?)?,
+    })
+}
+
+/// Parse a `/shard_query_batch` response body.
+///
+/// # Errors
+///
+/// A human-readable reason (malformed worker reply).
+pub fn parse_shard_batch_response(body: &str) -> Result<ShardBatchResponse, String> {
+    let value = json::parse(body)?;
+    let obj = value.as_object("response").map_err(|e| e.to_string())?;
+    Ok(ShardBatchResponse {
+        generation: obj
+            .get("generation")
+            .and_then(|v| v.as_u64("generation"))
+            .map_err(|e| e.to_string())?,
+        sketches: usize_field(obj, "sketches")?,
+        queries: obj
+            .get("queries")
+            .and_then(|v| v.as_array("queries"))
+            .map_err(|e| e.to_string())?
+            .iter()
+            .map(parse_shard_rows)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Render a worker's `/shard_reports` response: one report (or null)
+/// per requested doc, in request order, floats bit-encoded.
+#[must_use]
+pub fn render_shard_reports_response(
+    generation: u64,
+    reports: &[Option<EstimateReport>],
+) -> String {
+    let mut out = String::with_capacity(64 + 128 * reports.len());
+    out.push_str("{\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"reports\":[");
+    for (i, rep) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match rep {
+            Some(r) => {
+                out.push_str("{\"e\":");
+                push_bits(&mut out, r.estimate);
+                out.push_str(",\"n\":");
+                out.push_str(&r.sample_size.to_string());
+                out.push_str(",\"lo\":");
+                push_bits(&mut out, r.hoeffding.low);
+                out.push_str(",\"hi\":");
+                push_bits(&mut out, r.hoeffding.high);
+                out.push_str(",\"hfd\":");
+                push_bits(&mut out, r.hfd_length);
+                out.push_str(",\"se\":");
+                push_bits(&mut out, r.fisher_se);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A worker's parsed `/shard_reports` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReportsResponse {
+    /// Worker store generation the reports were computed against.
+    pub generation: u64,
+    /// One report (or `None`) per requested doc, in request order.
+    pub reports: Vec<Option<EstimateReport>>,
+}
+
+/// Parse a `/shard_reports` response body. The estimator is not on the
+/// wire (it is pinned by the request parameters the coordinator sent),
+/// so the caller passes it back in to reconstruct full
+/// [`EstimateReport`] values.
+///
+/// # Errors
+///
+/// A human-readable reason (malformed worker reply).
+pub fn parse_shard_reports_response(
+    body: &str,
+    estimator: CorrelationEstimator,
+) -> Result<ShardReportsResponse, String> {
+    let value = json::parse(body)?;
+    let obj = value.as_object("response").map_err(|e| e.to_string())?;
+    let reports = obj
+        .get("reports")
+        .and_then(|v| v.as_array("reports"))
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(|v| match v {
+            json::Value::Null => Ok(None),
+            rep => {
+                let ro = rep.as_object("reports[]").map_err(|e| e.to_string())?;
+                Ok(Some(EstimateReport {
+                    estimate: bits_field(ro, "e")?,
+                    estimator,
+                    sample_size: usize_field(ro, "n")?,
+                    hoeffding: ConfidenceInterval {
+                        low: bits_field(ro, "lo")?,
+                        high: bits_field(ro, "hi")?,
+                    },
+                    hfd_length: bits_field(ro, "hfd")?,
+                    fisher_se: bits_field(ro, "se")?,
+                }))
+            }
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(ShardReportsResponse {
+        generation: obj
+            .get("generation")
+            .and_then(|v| v.as_u64("generation"))
+            .map_err(|e| e.to_string())?,
+        reports,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The coordinator's public responses.
+// ---------------------------------------------------------------------
+
+/// One shard's state as reported in a coordinator response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardState {
+    /// The shard's store generation: the generation its rows were
+    /// computed against, or (for a degraded shard) the last generation
+    /// the coordinator observed before the worker stopped answering.
+    pub generation: u64,
+    /// Whether the shard failed to answer this request — its
+    /// candidates are missing from the merged results.
+    pub degraded: bool,
+}
+
+/// Hash a shard-generation vector `(generation, sketches)` per shard
+/// into the coordinator's cache key. Length-prefixed so vectors like
+/// `[(1,n),(0,m)]` and `[(0,n),(1,m)]` (or differing worker counts)
+/// can never alias — a mixed-generation response must never be served
+/// for a different mixture.
+#[must_use]
+pub fn generation_hash(shards: &[(u64, u64)]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + shards.len() * 16);
+    bytes.extend_from_slice(b"gens\x00");
+    bytes.extend_from_slice(&(shards.len() as u64).to_le_bytes());
+    for (generation, sketches) in shards {
+        bytes.extend_from_slice(&generation.to_le_bytes());
+        bytes.extend_from_slice(&sketches.to_le_bytes());
+    }
+    murmur3_x64_128(&bytes, FINGERPRINT_SEED).0
+}
+
+/// The coordinator preamble: per-shard generations, the typed
+/// `degraded` list (always present; empty when every shard answered),
+/// and the resolved scorer/confidence — the sharded analogue of the
+/// single-server preamble.
+fn push_coordinator_preamble(out: &mut String, shards: &[ShardState], params: &QueryParams) {
+    out.push_str("{\"generations\":[");
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.generation.to_string());
+    }
+    out.push_str("],\"degraded\":[");
+    let mut first = true;
+    for (i, s) in shards.iter().enumerate() {
+        if s.degraded {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"shard\":");
+            out.push_str(&i.to_string());
+            out.push_str(",\"generation\":");
+            out.push_str(&s.generation.to_string());
+            out.push('}');
+        }
+    }
+    out.push_str("],\"scorer\":\"");
+    out.push_str(params.scorer.name());
+    out.push_str("\",\"confidence\":");
+    push_f64(out, params.confidence);
+}
+
+/// Render a coordinator `/query` response. The `results` array is
+/// rendered by the same writer as the single-server response, so a
+/// healthy coordinator answer's results bytes are directly comparable
+/// to (and, by the merge guarantee, identical to) a single-process
+/// answer over the union corpus.
+#[must_use]
+pub fn render_coordinator_response(
+    shards: &[ShardState],
+    params: &QueryParams,
+    merged: usize,
+    shipped: usize,
+    results: &[ReportedResult],
+) -> String {
+    let mut out = String::with_capacity(128 + 256 * results.len());
+    push_coordinator_preamble(&mut out, shards, params);
+    out.push_str(",\"merged\":");
+    out.push_str(&merged.to_string());
+    out.push_str(",\"shipped\":");
+    out.push_str(&shipped.to_string());
+    out.push_str(",\"count\":");
+    out.push_str(&results.len().to_string());
+    out.push_str(",\"results\":");
+    push_results(&mut out, results);
+    out.push('}');
+    out
+}
+
+/// Render a coordinator `/query_batch` response; `answers[i]`,
+/// `merged[i]`, `shipped[i]` describe `queries[i]`.
+#[must_use]
+pub fn render_coordinator_batch_response(
+    shards: &[ShardState],
+    params: &QueryParams,
+    merged: &[usize],
+    shipped: &[usize],
+    answers: &[Vec<ReportedResult>],
+) -> String {
+    let mut out = String::with_capacity(128 + 256 * answers.len());
+    push_coordinator_preamble(&mut out, shards, params);
+    out.push_str(",\"merged\":[");
+    for (i, m) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&m.to_string());
+    }
+    out.push_str("],\"shipped\":[");
+    for (i, s) in shipped.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_string());
+    }
+    out.push_str("],\"count\":");
+    out.push_str(&answers.len().to_string());
+    out.push_str(",\"answers\":[");
+    for (i, results) in answers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_results(&mut out, results);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Does this parsed response value look like `{"error": ...}`?
@@ -676,6 +1255,186 @@ mod tests {
                 .unwrap(),
             "bad \"thing\"\nhappened"
         );
+    }
+
+    #[test]
+    fn shard_row_wire_roundtrips_bit_exactly() {
+        let rows = vec![
+            ShardCandidate {
+                doc: 7,
+                id: "t/k/v".into(),
+                overlap: 31,
+                sample_size: 12,
+                est: Some(ScoredEstimate {
+                    estimate: -0.0,
+                    ci_lo: f64::from_bits(0x0000_0000_0000_0001), // subnormal
+                    ci_hi: 0.123_456_789_012_345_67,
+                    sample_size: 12,
+                }),
+            },
+            ShardCandidate {
+                doc: 0,
+                id: "weird \"id\"\n".into(),
+                overlap: 2,
+                sample_size: 2,
+                est: None,
+            },
+        ];
+        let body = render_shard_query_response(5, 1000, &rows);
+        let parsed = parse_shard_query_response(&body).unwrap();
+        assert_eq!(parsed.generation, 5);
+        assert_eq!(parsed.sketches, 1000);
+        assert_eq!(parsed.rows, rows);
+        // -0.0 must survive as -0.0 (PartialEq can't see the sign).
+        assert_eq!(
+            parsed.rows[0].est.unwrap().estimate.to_bits(),
+            (-0.0f64).to_bits()
+        );
+
+        // Non-finite values — which the decimal float writer cannot
+        // encode at all — cross the bits wire exactly.
+        let odd = vec![ShardCandidate {
+            doc: 1,
+            id: "x".into(),
+            overlap: 1,
+            sample_size: 4,
+            est: Some(ScoredEstimate {
+                estimate: f64::NAN,
+                ci_lo: f64::NEG_INFINITY,
+                ci_hi: f64::INFINITY,
+                sample_size: 4,
+            }),
+        }];
+        let parsed = parse_shard_query_response(&render_shard_query_response(0, 1, &odd)).unwrap();
+        let est = parsed.rows[0].est.unwrap();
+        assert_eq!(est.estimate.to_bits(), f64::NAN.to_bits());
+        assert_eq!(est.ci_lo, f64::NEG_INFINITY);
+        assert_eq!(est.ci_hi, f64::INFINITY);
+
+        let batch = render_shard_batch_response(3, 50, &[rows.clone(), vec![]]);
+        let parsed = parse_shard_batch_response(&batch).unwrap();
+        assert_eq!(parsed.queries, vec![rows, vec![]]);
+    }
+
+    #[test]
+    fn canonical_shard_request_overrides_any_worker_defaults() {
+        // A coordinator resolved these params against ITS defaults; the
+        // rendered request must reparse to the same params on a worker
+        // configured with completely different defaults.
+        let req = QueryRequest::parse(
+            br#"{"id":"q","keys":["a","b"],"values":[1.5,-2.25],
+                 "k":3,"estimator":"spearman","scorer":"s3","plan":"two-pass@0.995"}"#,
+            &defaults(),
+        )
+        .unwrap();
+        let wire = render_shard_query_request(&req.body, &req.params);
+        let hostile_defaults = QueryParams {
+            k: 1,
+            candidates: 7,
+            estimator: CorrelationEstimator::Qn,
+            min_sample: 9,
+            alpha: 0.2,
+            scorer: Scorer::S4,
+            confidence: 0.5,
+            plan: PlanMode::two_pass(),
+        };
+        let reparsed = QueryRequest::parse(wire.as_bytes(), &hostile_defaults).unwrap();
+        assert_eq!(reparsed, req);
+        assert_eq!(reparsed.fingerprint(), req.fingerprint());
+
+        // Same for the batch and reports forms.
+        let batch = BatchRequest {
+            queries: vec![req.body.clone(), req.body.clone()],
+            params: req.params,
+        };
+        let wire = render_shard_batch_request(&batch.queries, &batch.params);
+        let reparsed = BatchRequest::parse(wire.as_bytes(), &hostile_defaults).unwrap();
+        assert_eq!(reparsed, batch);
+
+        let wire = render_shard_reports_request(&req.body, &req.params, &[4, 0, 9]);
+        let reparsed = QueryRequest::parse(wire.as_bytes(), &hostile_defaults).unwrap();
+        assert_eq!(reparsed, req);
+        assert_eq!(extract_docs(wire.as_bytes()).unwrap(), vec![4, 0, 9]);
+    }
+
+    #[test]
+    fn shard_reports_roundtrip_reconstructs_reports() {
+        let reports = vec![
+            Some(EstimateReport {
+                estimate: 0.875,
+                estimator: CorrelationEstimator::Spearman,
+                sample_size: 40,
+                hoeffding: ConfidenceInterval {
+                    low: -1.0,
+                    high: 0.999,
+                },
+                hfd_length: 2.5,
+                fisher_se: 0.164,
+            }),
+            None,
+        ];
+        let body = render_shard_reports_response(9, &reports);
+        let parsed = parse_shard_reports_response(&body, CorrelationEstimator::Spearman).unwrap();
+        assert_eq!(parsed.generation, 9);
+        assert_eq!(parsed.reports, reports);
+    }
+
+    #[test]
+    fn generation_hash_never_aliases_mixtures() {
+        // The anti-alias battery: permuted generation vectors, split
+        // shifts at equal totals, and length tricks must all differ.
+        let base = generation_hash(&[(1, 10), (0, 10)]);
+        for other in [
+            &[(0u64, 10u64), (1, 10)][..],
+            &[(1, 10), (0, 10), (0, 0)],
+            &[(1, 20), (0, 0)],
+            &[(1, 10)],
+            &[(2, 10), (0, 10)],
+            &[(1, 11), (0, 9)],
+        ] {
+            assert_ne!(base, generation_hash(other), "{other:?}");
+        }
+        // Stable across calls (it keys a cache).
+        assert_eq!(base, generation_hash(&[(1, 10), (0, 10)]));
+    }
+
+    #[test]
+    fn coordinator_render_carries_typed_degraded_entries() {
+        let shards = [
+            ShardState {
+                generation: 4,
+                degraded: false,
+            },
+            ShardState {
+                generation: 7,
+                degraded: true,
+            },
+        ];
+        let body = render_coordinator_response(&shards, &defaults(), 12, 5, &[]);
+        let v = json::parse(&body).unwrap();
+        let obj = v.as_object("resp").unwrap();
+        let gens = obj.get("generations").unwrap().as_array("g").unwrap();
+        assert_eq!(gens.len(), 2);
+        let degraded = obj.get("degraded").unwrap().as_array("d").unwrap();
+        assert_eq!(degraded.len(), 1);
+        let d0 = degraded[0].as_object("d0").unwrap();
+        assert_eq!(d0.get("shard").unwrap().as_u64("s").unwrap(), 1);
+        assert_eq!(d0.get("generation").unwrap().as_u64("g").unwrap(), 7);
+        assert_eq!(obj.get("merged").unwrap().as_u64("m").unwrap(), 12);
+        assert_eq!(obj.get("shipped").unwrap().as_u64("s").unwrap(), 5);
+        // Healthy responses still carry the (empty) degraded field —
+        // the absence of degradation is explicit, not implied.
+        let healthy = render_coordinator_response(
+            &[ShardState {
+                generation: 4,
+                degraded: false,
+            }],
+            &defaults(),
+            3,
+            3,
+            &[],
+        );
+        assert!(healthy.contains("\"degraded\":[]"), "{healthy}");
     }
 
     #[test]

@@ -107,6 +107,77 @@ pub struct QueryCache {
     inner: Mutex<Lru>,
 }
 
+/// Memo capacity for a front end whose response cache holds
+/// `cache_capacity` entries: several raw spellings can map onto one
+/// cached response, so the memo runs larger than the cache — but
+/// entries are ~32 bytes, so even the ceiling is small. 0 stays 0:
+/// with caching disabled a memo could never produce a hit.
+#[must_use]
+pub fn memo_capacity(cache_capacity: usize) -> usize {
+    if cache_capacity == 0 {
+        0
+    } else {
+        cache_capacity.saturating_mul(4).clamp(1024, 1 << 16)
+    }
+}
+
+/// A bounded memo from a *raw request-body* hash to values derived by a
+/// pure function of those bytes — the canonical fingerprint, plus
+/// whatever per-request accounting the cache-hit path needs.
+///
+/// Equal bytes parse equally, so a memo hit legitimately skips the full
+/// JSON parse in front of the response cache — on large query bodies
+/// the parse dominates the warm path. Bodies that differ only in field
+/// order or whitespace miss *here* but converge on the same canonical
+/// fingerprint through the parse path, so cache semantics are
+/// unchanged; the memo is an accelerator, never a source of truth.
+pub struct ParseMemo<V> {
+    inner: Mutex<HashMap<u128, V>>,
+    capacity: usize,
+}
+
+impl<V: Copy> ParseMemo<V> {
+    /// An empty memo holding at most `capacity` entries (0 disables it).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::with_capacity(capacity.min(1 << 16))),
+            capacity,
+        }
+    }
+
+    /// Survive poisoning the same way [`QueryCache`] does: it is only a
+    /// memo, so a map interrupted mid-insert is simply dumped.
+    fn lock(&self) -> MutexGuard<'_, HashMap<u128, V>> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            let mut map = poisoned.into_inner();
+            map.clear();
+            self.inner.clear_poison();
+            map
+        })
+    }
+
+    /// The memoized value for these exact body bytes, if any.
+    #[must_use]
+    pub fn get(&self, raw: u128) -> Option<V> {
+        self.lock().get(&raw).copied()
+    }
+
+    /// Memoize `value` for `raw`. At capacity the whole map is dumped
+    /// rather than tracking recency — a memo refills in one miss per
+    /// body, so LRU bookkeeping on the hot path buys nothing.
+    pub fn put(&self, raw: u128, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.lock();
+        if map.len() >= self.capacity && !map.contains_key(&raw) {
+            map.clear();
+        }
+        map.insert(raw, value);
+    }
+}
+
 impl QueryCache {
     /// An empty cache holding at most `capacity` responses totalling at
     /// most [`BYTE_BUDGET`] bytes.
@@ -314,6 +385,45 @@ mod tests {
         assert!(c.get(&key(1, 0)).is_none());
         c.put(key(2, 0), val("y"));
         assert_eq!(c.get(&key(2, 0)).as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn parse_memo_roundtrips_and_dumps_at_capacity() {
+        let m: ParseMemo<u128> = ParseMemo::new(2);
+        assert!(m.get(1).is_none());
+        m.put(1, 10);
+        m.put(2, 20);
+        assert_eq!(m.get(1), Some(10));
+        assert_eq!(m.get(2), Some(20));
+        // Refreshing an existing key at capacity must not dump.
+        m.put(2, 21);
+        assert_eq!(m.get(1), Some(10));
+        assert_eq!(m.get(2), Some(21));
+        // A new key at capacity dumps the map, then inserts.
+        m.put(3, 30);
+        assert!(m.get(1).is_none());
+        assert_eq!(m.get(3), Some(30));
+    }
+
+    #[test]
+    fn parse_memo_zero_capacity_disables() {
+        let m: ParseMemo<u128> = ParseMemo::new(0);
+        m.put(1, 10);
+        assert!(m.get(1).is_none());
+    }
+
+    #[test]
+    fn parse_memo_poisoned_lock_recovers_by_dumping() {
+        let m: ParseMemo<u128> = ParseMemo::new(8);
+        m.put(1, 10);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.inner.lock().unwrap();
+            panic!("poison the memo lock");
+        }));
+        assert!(result.is_err());
+        assert!(m.get(1).is_none());
+        m.put(2, 20);
+        assert_eq!(m.get(2), Some(20));
     }
 
     #[test]

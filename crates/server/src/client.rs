@@ -37,6 +37,24 @@ impl HttpClient {
         })
     }
 
+    /// Connect with a hard deadline on the connect itself *and* on every
+    /// subsequent read/write. The coordinator uses this so a stalled or
+    /// dead worker costs one bounded timeout, never a 30 s hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including timeout).
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
     /// Issue a `GET`.
     ///
     /// # Errors

@@ -1,0 +1,204 @@
+//! The connection-serving loop shared by the single-store server and
+//! the scatter-gather coordinator: accept on a shared non-blocking
+//! listener, serve keep-alive requests through a caller-supplied
+//! router, and apply the idle/slow-loris/shutdown discipline of
+//! [`crate::http`] uniformly. Both front ends get byte-identical HTTP
+//! behavior (timeouts, 400/408/413 handling, HEAD body suppression,
+//! panic containment) because it is literally the same loop.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::http::{self, RecvError, Request};
+use crate::stats::ServerStats;
+
+/// A response body: freshly rendered, or shared straight out of the
+/// cache (no copy on the hit path).
+pub(crate) enum Body {
+    Owned(String),
+    Shared(Arc<str>),
+}
+
+impl Body {
+    pub(crate) fn as_str(&self) -> &str {
+        match self {
+            Self::Owned(s) => s,
+            Self::Shared(s) => s,
+        }
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Self::Owned(s)
+    }
+}
+
+/// Per-connection deadlines, taken from the front end's config.
+#[derive(Clone, Copy)]
+pub(crate) struct ConnLimits {
+    pub keep_alive_idle: Duration,
+    pub request_timeout: Duration,
+}
+
+/// One worker's accept loop: `accept → serve connection (keep-alive) →
+/// accept`, with exponential idle backoff and per-connection panic
+/// containment. `route` dispatches one request to `(status, body,
+/// allow-header)`; `requests`/`errors` are the front end's counters.
+pub(crate) fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+    errors: &AtomicU64,
+    limits: ConnLimits,
+    route: impl Fn(&Request) -> (u16, Body, Option<&'static str>),
+) {
+    // Idle accept polling backs off exponentially (1 ms → 25 ms) so a
+    // quiet daemon isn't waking thousands of times a second, while a
+    // burst after idle is still picked up within one tick; the cap also
+    // keeps shutdown latency well under 50 ms.
+    const IDLE_SLEEP_MIN: Duration = Duration::from_millis(1);
+    const IDLE_SLEEP_MAX: Duration = Duration::from_millis(25);
+    let mut idle_sleep = IDLE_SLEEP_MIN;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                idle_sleep = IDLE_SLEEP_MIN;
+                // A panic while serving must not unwind the worker out
+                // of the pool — the fixed pool never respawns, so each
+                // escaped panic would permanently shrink capacity until
+                // the server silently stopped accepting.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(stream, shutdown, requests, errors, limits, &route);
+                }));
+                if result.is_err() {
+                    ServerStats::bump(errors);
+                    eprintln!("sketch-serve: worker caught a panic while serving a connection");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(idle_sleep);
+                idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+    errors: &AtomicU64,
+    limits: ConnLimits,
+    route: &impl Fn(&Request) -> (u16, Body, Option<&'static str>),
+) {
+    let request_timeout = (!limits.request_timeout.is_zero()).then_some(limits.request_timeout);
+    // Short read *and* write timeouts turn blocking syscalls into
+    // ticks; `read_request` / `write_response_bounded` then apply the
+    // same progress-credited deadline in both directions, so neither a
+    // slow-loris sender nor a non-draining reader can pin the worker or
+    // wedge shutdown (which joins workers).
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    loop {
+        let idle_deadline = Some(Instant::now() + limits.keep_alive_idle);
+        match http::read_request(
+            &mut stream,
+            &mut buf,
+            shutdown,
+            idle_deadline,
+            request_timeout,
+        ) {
+            Ok(req) => {
+                let (status, body, allow) = route(&req);
+                ServerStats::bump(requests);
+                if status >= 300 {
+                    ServerStats::bump(errors);
+                }
+                // RFC 9110: a response to HEAD must not carry a body —
+                // a spec-compliant peer would leave the unread bytes in
+                // its buffer and desync the next keep-alive response.
+                let body_str = if req.method == "HEAD" {
+                    ""
+                } else {
+                    body.as_str()
+                };
+                if http::write_response_bounded(
+                    &mut stream,
+                    status,
+                    body_str,
+                    req.keep_alive,
+                    allow,
+                    shutdown,
+                    request_timeout,
+                )
+                .is_err()
+                    || !req.keep_alive
+                {
+                    return;
+                }
+            }
+            Err(RecvError::Closed | RecvError::Shutdown | RecvError::Io(_)) => return,
+            Err(RecvError::Malformed(msg)) => {
+                ServerStats::bump(requests);
+                ServerStats::bump(errors);
+                let _ = http::write_response_bounded(
+                    &mut stream,
+                    400,
+                    &api::render_error(&msg),
+                    false,
+                    None,
+                    shutdown,
+                    request_timeout,
+                );
+                return;
+            }
+            Err(RecvError::TimedOut) => {
+                ServerStats::bump(requests);
+                ServerStats::bump(errors);
+                let _ = http::write_response_bounded(
+                    &mut stream,
+                    408,
+                    &api::render_error("request timed out"),
+                    false,
+                    None,
+                    shutdown,
+                    request_timeout,
+                );
+                return;
+            }
+            Err(RecvError::TooLarge) => {
+                ServerStats::bump(requests);
+                ServerStats::bump(errors);
+                let _ = http::write_response_bounded(
+                    &mut stream,
+                    413,
+                    &api::render_error("request too large"),
+                    false,
+                    None,
+                    shutdown,
+                    request_timeout,
+                );
+                return;
+            }
+        }
+        // Finish the in-flight request, then honor shutdown.
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}

@@ -43,6 +43,8 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+mod conn;
+pub mod coordinator;
 pub mod http;
 pub mod server;
 pub mod signal;
@@ -52,6 +54,7 @@ pub mod stats;
 pub use api::{render_batch_response, render_query_response, QueryParams};
 pub use cache::QueryCache;
 pub use client::{HttpClient, Response};
+pub use coordinator::{start_coordinator, CoordinatorConfig, CoordinatorHandle};
 pub use server::{start, ServerConfig, ServerError, ServerHandle};
 pub use snapshot::{IndexSnapshot, SnapshotCell};
 pub use stats::ServerStats;

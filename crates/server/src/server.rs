@@ -30,7 +30,7 @@
 //! * **The cache** is keyed by `(query fingerprint, generation)`; see
 //!   [`crate::cache`].
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,8 +40,9 @@ use sketch_index::engine;
 use sketch_store::StoreError;
 
 use crate::api::{self, BatchRequest, QueryParams, QueryRequest};
-use crate::cache::QueryCache;
-use crate::http::{self, RecvError, Request};
+use crate::cache::{self, ParseMemo, QueryCache};
+use crate::conn::{self, Body, ConnLimits};
+use crate::http::Request;
 use crate::snapshot::{refresh, IndexSnapshot, RefreshOutcome, SnapshotCell};
 use crate::stats::ServerStats;
 
@@ -138,11 +139,15 @@ impl From<std::io::Error> for ServerError {
 struct Ctx {
     store: PathBuf,
     load_threads: usize,
-    keep_alive_idle: Duration,
-    request_timeout: Duration,
     defaults: QueryParams,
     cell: SnapshotCell,
     cache: QueryCache,
+    /// Raw-body-hash → canonical fingerprint memos, so a repeated
+    /// byte-identical body skips the JSON parse in front of the cache
+    /// (the parse dominates the warm path on large queries). The batch
+    /// memo also carries the query count the hit path must account.
+    memo_query: ParseMemo<u128>,
+    memo_batch: ParseMemo<(u128, u64)>,
     poll_interval: Duration,
     /// `/corpus` body cached per served generation, so polling
     /// dashboards don't re-stat the store (manifest + every delta
@@ -224,24 +229,39 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     let ctx = Arc::new(Ctx {
         store: config.store,
         load_threads: config.load_threads,
-        keep_alive_idle: config.keep_alive_idle,
-        request_timeout: config.request_timeout,
         defaults: config.defaults,
         cell: SnapshotCell::new(snapshot),
         cache: QueryCache::new(config.cache_capacity),
+        // With caching disabled the memo could never produce a hit, so
+        // disable it too rather than pay its insert on every miss.
+        memo_query: ParseMemo::new(cache::memo_capacity(config.cache_capacity)),
+        memo_batch: ParseMemo::new(cache::memo_capacity(config.cache_capacity)),
         poll_interval: config.poll_interval,
         corpus_info: Mutex::new(None),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
     });
 
+    let limits = ConnLimits {
+        keep_alive_idle: config.keep_alive_idle,
+        request_timeout: config.request_timeout,
+    };
     let workers = (0..config.threads.max(1))
         .map(|i| {
             let listener = listener.try_clone()?;
             let ctx = Arc::clone(&ctx);
             Ok(std::thread::Builder::new()
                 .name(format!("sketch-serve-{i}"))
-                .spawn(move || worker_loop(&listener, &ctx))
+                .spawn(move || {
+                    conn::accept_loop(
+                        &listener,
+                        &ctx.shutdown,
+                        &ctx.stats.requests,
+                        &ctx.stats.errors,
+                        limits,
+                        |req| route(&ctx, req),
+                    );
+                })
                 .expect("spawning a worker thread succeeds"))
         })
         .collect::<Result<Vec<_>, std::io::Error>>()?;
@@ -293,169 +313,6 @@ fn refresher_loop(ctx: &Ctx, interval: Duration) {
             }
         }
         std::thread::sleep(tick);
-    }
-}
-
-fn worker_loop(listener: &TcpListener, ctx: &Ctx) {
-    // Idle accept polling backs off exponentially (1 ms → 25 ms) so a
-    // quiet daemon isn't waking thousands of times a second, while a
-    // burst after idle is still picked up within one tick; the cap also
-    // keeps shutdown latency well under 50 ms.
-    const IDLE_SLEEP_MIN: Duration = Duration::from_millis(1);
-    const IDLE_SLEEP_MAX: Duration = Duration::from_millis(25);
-    let mut idle_sleep = IDLE_SLEEP_MIN;
-    while !ctx.shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                idle_sleep = IDLE_SLEEP_MIN;
-                // A panic while serving must not unwind the worker out
-                // of the pool — the fixed pool never respawns, so each
-                // escaped panic would permanently shrink capacity until
-                // the server silently stopped accepting.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    serve_connection(stream, ctx);
-                }));
-                if result.is_err() {
-                    ServerStats::bump(&ctx.stats.errors);
-                    eprintln!("sketch-serve: worker caught a panic while serving a connection");
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(idle_sleep);
-                idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
-    let request_timeout = (!ctx.request_timeout.is_zero()).then_some(ctx.request_timeout);
-    // Short read *and* write timeouts turn blocking syscalls into
-    // ticks; `read_request` / `write_response_bounded` then apply the
-    // same progress-credited deadline in both directions, so neither a
-    // slow-loris sender nor a non-draining reader can pin the worker or
-    // wedge shutdown (which joins workers).
-    if stream.set_nonblocking(false).is_err()
-        || stream
-            .set_read_timeout(Some(Duration::from_millis(50)))
-            .is_err()
-        || stream
-            .set_write_timeout(Some(Duration::from_millis(50)))
-            .is_err()
-    {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    let mut buf = Vec::new();
-    loop {
-        let idle_deadline = Some(Instant::now() + ctx.keep_alive_idle);
-        match http::read_request(
-            &mut stream,
-            &mut buf,
-            &ctx.shutdown,
-            idle_deadline,
-            request_timeout,
-        ) {
-            Ok(req) => {
-                let (status, body, allow) = route(ctx, &req);
-                ServerStats::bump(&ctx.stats.requests);
-                if status >= 300 {
-                    ServerStats::bump(&ctx.stats.errors);
-                }
-                // RFC 9110: a response to HEAD must not carry a body —
-                // a spec-compliant peer would leave the unread bytes in
-                // its buffer and desync the next keep-alive response.
-                let body_str = if req.method == "HEAD" {
-                    ""
-                } else {
-                    body.as_str()
-                };
-                if http::write_response_bounded(
-                    &mut stream,
-                    status,
-                    body_str,
-                    req.keep_alive,
-                    allow,
-                    &ctx.shutdown,
-                    request_timeout,
-                )
-                .is_err()
-                    || !req.keep_alive
-                {
-                    return;
-                }
-            }
-            Err(RecvError::Closed | RecvError::Shutdown | RecvError::Io(_)) => return,
-            Err(RecvError::Malformed(msg)) => {
-                ServerStats::bump(&ctx.stats.requests);
-                ServerStats::bump(&ctx.stats.errors);
-                let _ = http::write_response_bounded(
-                    &mut stream,
-                    400,
-                    &api::render_error(&msg),
-                    false,
-                    None,
-                    &ctx.shutdown,
-                    request_timeout,
-                );
-                return;
-            }
-            Err(RecvError::TimedOut) => {
-                ServerStats::bump(&ctx.stats.requests);
-                ServerStats::bump(&ctx.stats.errors);
-                let _ = http::write_response_bounded(
-                    &mut stream,
-                    408,
-                    &api::render_error("request timed out"),
-                    false,
-                    None,
-                    &ctx.shutdown,
-                    request_timeout,
-                );
-                return;
-            }
-            Err(RecvError::TooLarge) => {
-                ServerStats::bump(&ctx.stats.requests);
-                ServerStats::bump(&ctx.stats.errors);
-                let _ = http::write_response_bounded(
-                    &mut stream,
-                    413,
-                    &api::render_error("request too large"),
-                    false,
-                    None,
-                    &ctx.shutdown,
-                    request_timeout,
-                );
-                return;
-            }
-        }
-        // Finish the in-flight request, then honor shutdown.
-        if ctx.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-    }
-}
-
-/// A response body: freshly rendered, or shared straight out of the
-/// cache (no copy on the hit path).
-enum Body {
-    Owned(String),
-    Shared(Arc<str>),
-}
-
-impl Body {
-    fn as_str(&self) -> &str {
-        match self {
-            Self::Owned(s) => s,
-            Self::Shared(s) => s,
-        }
-    }
-}
-
-impl From<String> for Body {
-    fn from(s: String) -> Self {
-        Self::Owned(s)
     }
 }
 
@@ -563,22 +420,52 @@ fn route_path(ctx: &Ctx, req: &Request, path: &str) -> (u16, Body) {
             }
             response
         }
+        // The internal scatter-gather endpoints a coordinator fans out
+        // to. They answer from the same snapshot as `/query` but ship
+        // bit-exact candidate rows / reports instead of ranked JSON,
+        // and are deliberately uncached — the coordinator caches merged
+        // responses under the shard-generation vector.
+        ("POST", "/shard_query") => {
+            ServerStats::bump(&ctx.stats.shard);
+            handle_shard_query(ctx, &req.body)
+        }
+        ("POST", "/shard_query_batch") => {
+            ServerStats::bump(&ctx.stats.shard);
+            handle_shard_batch(ctx, &req.body)
+        }
+        ("POST", "/shard_reports") => {
+            ServerStats::bump(&ctx.stats.shard);
+            handle_shard_reports(ctx, &req.body)
+        }
         // Any other method on an endpoint that exists (HEAD, PUT,
         // OPTIONS, …) is 405, not "no such endpoint".
-        (_, "/healthz" | "/stats" | "/corpus" | "/query" | "/query_batch") => {
-            (405, Body::Owned(api::render_error("method not allowed")))
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/corpus" | "/query" | "/query_batch" | "/shard_query"
+            | "/shard_query_batch" | "/shard_reports",
+        ) => (405, Body::Owned(api::render_error("method not allowed"))),
         _ => (404, Body::Owned(api::render_error("no such endpoint"))),
     }
 }
 
 fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let raw = api::raw_fingerprint(body);
+    let snap = ctx.cell.load();
+    // A memo hit proves these exact bytes parsed to this canonical
+    // fingerprint before — skip the parse when the answer is cached.
+    if let Some(fp) = ctx.memo_query.get(raw) {
+        if let Some(cached) = ctx.cache.get(&(fp, snap.generation())) {
+            ServerStats::bump(&ctx.stats.cache_hits);
+            return (200, Body::Shared(cached));
+        }
+    }
     let req = match QueryRequest::parse(body, &ctx.defaults) {
         Ok(req) => req,
         Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
     };
-    let snap = ctx.cell.load();
-    let key = (req.fingerprint(), snap.generation());
+    let fp = req.fingerprint();
+    ctx.memo_query.put(raw, fp);
+    let key = (fp, snap.generation());
     if let Some(cached) = ctx.cache.get(&key) {
         ServerStats::bump(&ctx.stats.cache_hits);
         return (200, Body::Shared(cached));
@@ -597,12 +484,24 @@ fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
 }
 
 fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let raw = api::raw_fingerprint(body);
+    let snap = ctx.cell.load();
+    if let Some((fp, batched)) = ctx.memo_batch.get(raw) {
+        if let Some(cached) = ctx.cache.get(&(fp, snap.generation())) {
+            ServerStats::bump(&ctx.stats.cache_hits);
+            ctx.stats
+                .batched_queries
+                .fetch_add(batched, Ordering::Relaxed);
+            return (200, Body::Shared(cached));
+        }
+    }
     let req = match BatchRequest::parse(body, &ctx.defaults) {
         Ok(req) => req,
         Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
     };
-    let snap = ctx.cell.load();
-    let key = (req.fingerprint(), snap.generation());
+    let fp = req.fingerprint();
+    ctx.memo_batch.put(raw, (fp, req.queries.len() as u64));
+    let key = (fp, snap.generation());
     if let Some(cached) = ctx.cache.get(&key) {
         ServerStats::bump(&ctx.stats.cache_hits);
         ctx.stats
@@ -628,4 +527,90 @@ fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
     let rendered = api::render_batch_response(snap.generation(), &req.params, &answers);
     ctx.cache.put(key, Arc::from(rendered.as_str()));
     (200, Body::Owned(rendered))
+}
+
+/// `POST /shard_query`: this worker's half of a scattered `/query` —
+/// the shard-local candidate rows (estimated exhaustively; see
+/// [`engine::shard_candidates`]), bit-exact on the wire.
+fn handle_shard_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let req = match QueryRequest::parse(body, &ctx.defaults) {
+        Ok(req) => req,
+        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+    };
+    let snap = ctx.cell.load();
+    let sketch = snap.build_query(&req.body.id, req.body.keys, req.body.values);
+    let rows = engine::shard_candidates(snap.index(), &sketch, &req.params.to_options());
+    (
+        200,
+        Body::Owned(api::render_shard_query_response(
+            snap.generation(),
+            snap.index().len(),
+            &rows,
+        )),
+    )
+}
+
+/// `POST /shard_query_batch`: the scattered `/query_batch` half — one
+/// candidate-row list per query, all from one snapshot.
+fn handle_shard_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let req = match BatchRequest::parse(body, &ctx.defaults) {
+        Ok(req) => req,
+        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+    };
+    let snap = ctx.cell.load();
+    let opts = req.params.to_options();
+    let queries: Vec<_> = req
+        .queries
+        .into_iter()
+        .map(|q| {
+            let sketch = snap.build_query(&q.id, q.keys, q.values);
+            engine::shard_candidates(snap.index(), &sketch, &opts)
+        })
+        .collect();
+    (
+        200,
+        Body::Owned(api::render_shard_batch_response(
+            snap.generation(),
+            snap.index().len(),
+            &queries,
+        )),
+    )
+}
+
+/// `POST /shard_reports`: full uncertainty reports for the shard-local
+/// docs the coordinator's merge actually shipped — the fetch that
+/// early termination avoids for everything else.
+fn handle_shard_reports(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
+    let req = match QueryRequest::parse(body, &ctx.defaults) {
+        Ok(req) => req,
+        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+    };
+    let docs = match api::extract_docs(body) {
+        Ok(docs) => docs,
+        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+    };
+    let snap = ctx.cell.load();
+    let opts = req.params.to_options();
+    let sketch = snap.build_query(&req.body.id, req.body.keys, req.body.values);
+    let mut sample = correlation_sketches::JoinSample::default();
+    let reports: Vec<_> = docs
+        .into_iter()
+        .map(|doc| {
+            engine::report_for_doc(
+                snap.index(),
+                &sketch,
+                doc,
+                &opts,
+                req.params.alpha,
+                &mut sample,
+            )
+        })
+        .collect();
+    (
+        200,
+        Body::Owned(api::render_shard_reports_response(
+            snap.generation(),
+            &reports,
+        )),
+    )
 }

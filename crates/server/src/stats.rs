@@ -94,6 +94,9 @@ pub struct ServerStats {
     pub query_batch: AtomicU64,
     /// Individual queries inside batch requests.
     pub batched_queries: AtomicU64,
+    /// Internal shard endpoints (`/shard_query`, `/shard_query_batch`,
+    /// `/shard_reports`) served for a coordinator.
+    pub shard: AtomicU64,
     /// `GET /corpus` requests.
     pub corpus: AtomicU64,
     /// `GET /healthz` requests.
@@ -102,6 +105,9 @@ pub struct ServerStats {
     pub stats: AtomicU64,
     /// Responses with a non-2xx status.
     pub errors: AtomicU64,
+    /// Coordinator responses served with at least one degraded shard
+    /// (always 0 on a single-store server).
+    pub degraded: AtomicU64,
     /// Query-cache hits.
     pub cache_hits: AtomicU64,
     /// Query-cache misses.
@@ -131,8 +137,8 @@ impl ServerStats {
         let served: u64 = counts.iter().sum();
         format!(
             "{{\"generation\":{generation},\"requests\":{},\"query\":{},\
-             \"query_batch\":{},\"batched_queries\":{},\"corpus\":{},\
-             \"healthz\":{},\"stats\":{},\"errors\":{},\
+             \"query_batch\":{},\"batched_queries\":{},\"shard\":{},\"corpus\":{},\
+             \"healthz\":{},\"stats\":{},\"errors\":{},\"degraded\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{cached},\
              \"refreshes\":{},\"rebuilds\":{},\"latency\":{{\"count\":{served},\
              \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4}}}}}",
@@ -140,10 +146,12 @@ impl ServerStats {
             load(&self.query),
             load(&self.query_batch),
             load(&self.batched_queries),
+            load(&self.shard),
             load(&self.corpus),
             load(&self.healthz),
             load(&self.stats),
             load(&self.errors),
+            load(&self.degraded),
             load(&self.cache_hits),
             load(&self.cache_misses),
             load(&self.refreshes),

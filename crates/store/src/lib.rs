@@ -123,6 +123,7 @@ pub mod corpus;
 pub mod error;
 pub mod info;
 pub mod manifest;
+pub mod partition;
 pub mod shard;
 
 pub use corpus::{
@@ -133,6 +134,10 @@ pub use correlation_sketches::{DeltaRecord, SketchError};
 pub use error::StoreError;
 pub use info::{stat_corpus, DeltaInfo, ShardInfo, StoreInfo};
 pub use manifest::{DeltaMeta, Manifest, ShardMeta, MANIFEST_NAME, MANIFEST_VERSION};
+pub use partition::{
+    read_partition, shard_corpus, worker_dir_name, PartitionManifest, PartitionShard,
+    PARTITION_NAME, PARTITION_VERSION,
+};
 pub use shard::{
     read_delta_shard, read_shard, write_delta_shard, write_shard, FORMAT_VERSION, KIND_BASE,
     KIND_DELTA, MAGIC,

@@ -2,7 +2,10 @@
 # Smoke test for `corrsketch serve`: pack a small corpus, boot the
 # server in the background, run scripted requests (fresh, cached,
 # post-append, post-compact), and assert a clean graceful shutdown on
-# SIGTERM (exit code 0).
+# SIGTERM (exit code 0). Then reruns the lifecycle in scatter-gather
+# mode: `corpus shard` the store, boot 3 workers plus a coordinator,
+# and drive fresh / cached / post-append / degraded (killed worker)
+# requests before a clean coordinator SIGTERM.
 #
 # Used by CI (.github/workflows/ci.yml, `serve-smoke` job) and runnable
 # locally:  bash scripts/serve_smoke.sh [target/release]
@@ -14,9 +17,15 @@ WORK="$(mktemp -d)"
 PORT="${SERVE_SMOKE_PORT:-7351}"
 BASE="http://127.0.0.1:$PORT"
 SERVER_PID=""
+COORD_PID=""
+WORKER_PIDS=()
 
 cleanup() {
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  [ -n "$COORD_PID" ] && kill -9 "$COORD_PID" 2>/dev/null || true
+  for pid in ${WORKER_PIDS[@]+"${WORKER_PIDS[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -113,4 +122,100 @@ grep -q "graceful shutdown" "$WORK/server.log" || { cat "$WORK/server.log"; fail
 # Nothing must be listening any more.
 curl -sf --max-time 2 "$BASE/healthz" > /dev/null 2>&1 && fail "server still listening after SIGTERM"
 
-echo "serve_smoke: OK (fresh, cached, post-append, post-compact, SIGTERM all clean)"
+# --- 6. Scatter-gather: shard the store, boot 3 workers + coordinator. --
+"$CORRSKETCH" corpus shard --store "$WORK/store" --out "$WORK/parts" --workers 3
+[ -f "$WORK/parts/partition.cskp" ] || fail "corpus shard wrote no partition manifest"
+
+WORKER_ADDRS=""
+for i in 0 1 2; do
+  WPORT=$((PORT + 1 + i))
+  # The coordinator holds pooled keep-alive connections per worker
+  # (scatter, report fetch, health poller) and one worker thread serves
+  # one connection — give workers headroom so a pinned connection never
+  # reads as a dead shard.
+  "$CORRSKETCH" serve --store "$WORK/parts/worker-000$i" --port "$WPORT" \
+    --threads 4 --poll-ms 100 > "$WORK/worker$i.log" 2>&1 &
+  WORKER_PIDS+=("$!")
+  WORKER_ADDRS="$WORKER_ADDRS${WORKER_ADDRS:+,}127.0.0.1:$WPORT"
+done
+for i in 0 1 2; do
+  WPORT=$((PORT + 1 + i))
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$WPORT/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -sf "http://127.0.0.1:$WPORT/healthz" | grep -q '"status":"ok"' \
+    || { cat "$WORK/worker$i.log"; fail "worker $i never became healthy"; }
+done
+
+CPORT=$((PORT + 4))
+CBASE="http://127.0.0.1:$CPORT"
+"$CORRSKETCH" serve --coordinator true --workers "$WORKER_ADDRS" --port "$CPORT" \
+  --threads 2 --poll-ms 100 > "$WORK/coordinator.log" 2>&1 &
+COORD_PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$CBASE/healthz" > /dev/null 2>&1; then break; fi
+  kill -0 "$COORD_PID" 2>/dev/null || { cat "$WORK/coordinator.log"; fail "coordinator died during startup"; }
+  sleep 0.1
+done
+curl -sf "$CBASE/healthz" | grep -q '"status":"ok"' || fail "coordinator healthz not ok"
+
+# --- 7. Fresh scatter-gather answer, then cached repeat. ----------------
+curl -sf -X POST --data-binary @"$WORK/query.json" "$CBASE/query" > "$WORK/c1.json"
+grep -q '"degraded":\[\]' "$WORK/c1.json" || fail "healthy coordinator answer lists degraded shards"
+grep -q '"results":\[{' "$WORK/c1.json" || fail "coordinator returned no results"
+
+curl -sf -X POST --data-binary @"$WORK/query.json" "$CBASE/query" > "$WORK/c2.json"
+cmp -s "$WORK/c1.json" "$WORK/c2.json" || fail "cached coordinator response not byte-identical"
+curl -sf "$CBASE/stats" | grep -q '"cache_hits":0' && fail "coordinator repeat was not a cache hit"
+
+# --- 8. Append to one worker's store under the live cluster. ------------
+mkdir -p "$WORK/extra"
+{
+  echo "day,humidity"
+  for i in $(seq 0 199); do echo "d$i,$(( (i * 37) % 100 + 1 ))"; done
+} > "$WORK/extra/humidity.csv"
+"$CORRSKETCH" corpus append --store "$WORK/parts/worker-0000" --dir "$WORK/extra"
+for _ in $(seq 1 100); do
+  curl -sf "$CBASE/healthz" | grep -q '"generation":1' && break
+  sleep 0.1
+done
+curl -sf "$CBASE/healthz" | grep -q '"generation":1' || fail "coordinator never saw the worker append"
+
+curl -sf -X POST --data-binary @"$WORK/query.json" "$CBASE/query" > "$WORK/c3.json"
+grep -q 'humidity/day/humidity' "$WORK/c3.json" || fail "appended column not served through the coordinator"
+grep -q '"degraded":\[\]' "$WORK/c3.json" || fail "post-append answer lists degraded shards"
+cmp -s "$WORK/c1.json" "$WORK/c3.json" && fail "post-append answer must differ from the pre-append one"
+
+# --- 9. Kill a worker: typed degraded partial result, never a hang. -----
+kill -9 "${WORKER_PIDS[2]}"
+wait "${WORKER_PIDS[2]}" 2>/dev/null || true
+for _ in $(seq 1 100); do
+  curl -sf "$CBASE/healthz" | grep -q '"status":"degraded"' && break
+  sleep 0.1
+done
+curl -sf "$CBASE/healthz" | grep -q '"status":"degraded"' || fail "coordinator never marked the dead shard"
+
+curl -sf --max-time 10 -X POST --data-binary @"$WORK/scored.json" "$CBASE/query" > "$WORK/c4.json"
+grep -q '"degraded":\[{"shard":2' "$WORK/c4.json" || fail "degraded answer does not name the dead shard"
+grep -q '"results":' "$WORK/c4.json" || fail "degraded answer carries no results field"
+
+# --- 10. Clean SIGTERM: coordinator first, then the live workers. -------
+kill -TERM "$COORD_PID"
+EXIT_CODE=0
+wait "$COORD_PID" || EXIT_CODE=$?
+COORD_PID=""
+[ "$EXIT_CODE" -eq 0 ] || { cat "$WORK/coordinator.log"; fail "coordinator exited $EXIT_CODE on SIGTERM"; }
+grep -q "graceful shutdown" "$WORK/coordinator.log" \
+  || { cat "$WORK/coordinator.log"; fail "no coordinator graceful shutdown report"; }
+curl -sf --max-time 2 "$CBASE/healthz" > /dev/null 2>&1 && fail "coordinator still listening after SIGTERM"
+
+for i in 0 1; do
+  kill -TERM "${WORKER_PIDS[$i]}"
+  EXIT_CODE=0
+  wait "${WORKER_PIDS[$i]}" || EXIT_CODE=$?
+  [ "$EXIT_CODE" -eq 0 ] || { cat "$WORK/worker$i.log"; fail "worker $i exited $EXIT_CODE on SIGTERM"; }
+done
+WORKER_PIDS=()
+
+echo "serve_smoke: OK (single server + sharded cluster: fresh, cached, post-append, post-compact, degraded, SIGTERM all clean)"
