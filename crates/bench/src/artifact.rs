@@ -53,15 +53,15 @@ mod tests {
     #[test]
     fn auto_spec_uses_canonical_name() {
         assert_eq!(
-            artifact_path("auto", "serve_load"),
-            PathBuf::from("BENCH_serve_load.json")
+            artifact_path("auto", "serve"),
+            PathBuf::from("BENCH_serve.json")
         );
         assert_eq!(
             artifact_path("true", "rank_eval"),
             PathBuf::from("BENCH_rank_eval.json")
         );
         assert_eq!(
-            artifact_path("/tmp/x.json", "serve_load"),
+            artifact_path("/tmp/x.json", "serve"),
             PathBuf::from("/tmp/x.json")
         );
     }

@@ -196,7 +196,7 @@ fn main() {
     );
     println!("{obj}");
     if let Some(out) = args.get("out") {
-        let path = artifact::write_artifact(out, "plan_eval", &obj).expect("write artifact");
+        let path = artifact::write_artifact(out, "plan", &obj).expect("write artifact");
         eprintln!("plan_eval: wrote {}", path.display());
     }
 

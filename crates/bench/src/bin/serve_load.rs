@@ -8,8 +8,13 @@
 //!     [--tables 400] [--sketch-size 1024] [--queries 64] \
 //!     [--requests 20000] [--clients <server-threads>] [--server-threads 4] \
 //!     [--shards 0] [--warm true] [--verify true] [--json true] \
-//!     [--store <dir>] [--addr <host:port>]
+//!     [--profile true] [--out auto] [--store <dir>] [--addr <host:port>]
 //! ```
+//!
+//! `--out auto` writes a machine-readable `BENCH_serve.json` artifact;
+//! `--profile true` replays the workload once more with `"trace":true`
+//! under fresh ids and prints per-stage duration percentiles from the
+//! returned span trees.
 //!
 //! By default the harness generates the ~5k-sketch NYC-style corpus
 //! (the `query_latency` protocol), packs it into a temp store, boots an
@@ -51,9 +56,27 @@ use sketch_server::{api, HttpClient, IndexSnapshot, QueryParams, ServerConfig};
 use sketch_table::ColumnPair;
 
 fn query_body(pair: &ColumnPair, k: usize, candidates: usize, scorer: Option<&str>) -> String {
+    query_body_as(&pair.id(), pair, k, candidates, scorer, false)
+}
+
+/// `query_body` with an explicit id and an optional `"trace":true` —
+/// the profile pass uses fresh ids so its traced requests miss the
+/// cache and exercise (and time) the full pipeline.
+fn query_body_as(
+    id: &str,
+    pair: &ColumnPair,
+    k: usize,
+    candidates: usize,
+    scorer: Option<&str>,
+    trace: bool,
+) -> String {
     let mut out = String::with_capacity(32 * pair.len());
-    out.push_str("{\"id\":");
-    correlation_sketches::json::push_string(&mut out, &pair.id());
+    out.push('{');
+    if trace {
+        out.push_str("\"trace\":true,");
+    }
+    out.push_str("\"id\":");
+    correlation_sketches::json::push_string(&mut out, id);
     out.push_str(",\"k\":");
     out.push_str(&k.to_string());
     out.push_str(",\"candidates\":");
@@ -99,6 +122,9 @@ fn main() {
     let warm = args.get_or("warm", true);
     let verify = args.get_or("verify", true);
     let json = args.get_or("json", false);
+    // After the timed run, replay the workload with `"trace":true` and
+    // fresh ids (cache misses) and print per-stage percentiles.
+    let profile = args.get_or("profile", false);
     // `--scorer s2..s4` puts a confidence-aware (bootstrap-CI) scorer in
     // every request body; combine with `--cache 0 --warm false` to make
     // each request pay the full estimate+CI compute path.
@@ -357,7 +383,7 @@ fn main() {
         s.p99,
     );
     if let Some(out) = args.get("out") {
-        let path = artifact::write_artifact(out, "serve_load", &obj).expect("write artifact");
+        let path = artifact::write_artifact(out, "serve", &obj).expect("write artifact");
         eprintln!("serve_load: wrote {}", path.display());
     }
     if json {
@@ -374,6 +400,10 @@ fn main() {
         println!("cache     : {cache_hits} hits / {cache_misses} misses (generation {generation})");
     }
 
+    if profile {
+        profile_stages(addr, &split.queries, k, candidates, scorer);
+    }
+
     if let Some(h) = handle {
         let _ = h.shutdown();
     }
@@ -386,4 +416,100 @@ fn main() {
     if let Some(dir) = _tmp_store {
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+/// Extract `(name, dur_us)` for every span in a rendered trace object.
+/// Spans render as `{"name":"…",…,"dur_us":N}`, so pairing each
+/// `"name"` with the next `"dur_us"` is exact.
+fn span_durs(trace: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = trace;
+    while let Some(pos) = rest.find("\"name\":\"") {
+        let after = &rest[pos + 8..];
+        let Some(end) = after.find('"') else { break };
+        let name = &after[..end];
+        rest = &after[end..];
+        if let Some(dpos) = rest.find("\"dur_us\":") {
+            let digits: String = rest[dpos + 9..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(dur) = digits.parse() {
+                out.push((name.to_string(), dur));
+            }
+            rest = &rest[dpos + 9..];
+        }
+    }
+    out
+}
+
+/// The `--profile` pass: replay the workload with `"trace":true` under
+/// fresh ids (every request misses the cache, so the whole pipeline is
+/// timed), then print per-stage duration percentiles. Works identically
+/// against a single server and a coordinator — the stage names just
+/// differ (engine stages vs scatter/gather).
+fn profile_stages(
+    addr: SocketAddr,
+    queries: &[ColumnPair],
+    k: usize,
+    candidates: usize,
+    scorer: Option<&str>,
+) {
+    const ROUNDS: usize = 5;
+    let mut client = HttpClient::connect(addr).expect("connect for profile");
+    let mut stages: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut totals: Vec<f64> = Vec::new();
+    for round in 0..ROUNDS {
+        for (qi, pair) in queries.iter().enumerate() {
+            let id = format!("{}::profile-{round}-{qi}", pair.id());
+            let body = query_body_as(&id, pair, k, candidates, scorer, true);
+            let resp = client.post("/query", &body).expect("profile request");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let trace_at = resp
+                .body
+                .find("\"trace\":{")
+                .expect("traced response carries a trace object");
+            let trace = &resp.body[trace_at..];
+            // `api::extract_u64` parses whole response bodies, not
+            // fragments, so scan the trace object's total directly.
+            let total: String = trace[trace.find("\"total_us\":").expect("total_us") + 11..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            totals.push(total.parse::<u64>().expect("total_us digits") as f64 / 1000.0);
+            for (name, dur_us) in span_durs(trace) {
+                stages.entry(name).or_default().push(dur_us as f64 / 1000.0);
+            }
+        }
+    }
+    println!(
+        "\nprofile — {} traced cache-missing requests, per-stage ms",
+        totals.len()
+    );
+    println!(
+        "{:<16} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "count", "mean", "p50", "p95", "p99"
+    );
+    for (name, durs) in &stages {
+        let s = LatencySummary::of(durs);
+        println!(
+            "{name:<16} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            durs.len(),
+            s.mean,
+            s.p50,
+            s.p95,
+            s.p99
+        );
+    }
+    let t = LatencySummary::of(&totals);
+    println!(
+        "{:<16} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+        "total",
+        totals.len(),
+        t.mean,
+        t.p50,
+        t.p95,
+        t.p99
+    );
 }

@@ -762,6 +762,11 @@ pub mod serve {
         config.poll_interval = Duration::from_millis(args.parse_or("poll-ms", 200u64)?);
         config.request_timeout =
             Duration::from_millis(args.parse_or("request-timeout-ms", 10_000u64)?);
+        // 0 keeps the slow-query log off (the default); any other value
+        // arms always-on internal tracing plus one structured stderr
+        // line per request at or over the threshold.
+        let slow_ms = args.parse_or("slow-query-ms", 0u64)?;
+        config.slow_query = (slow_ms > 0).then(|| Duration::from_millis(slow_ms));
         // Corpus-level ranking defaults: requests that omit "scorer" /
         // "confidence" resolve to these (and they participate in the
         // cache fingerprint exactly like spelled-out values).
@@ -838,6 +843,8 @@ pub mod serve {
             Duration::from_millis(args.parse_or("worker-timeout-ms", 2_000u64)?);
         config.startup_timeout =
             Duration::from_millis(args.parse_or("startup-timeout-ms", 10_000u64)?);
+        let slow_ms = args.parse_or("slow-query-ms", 0u64)?;
+        config.slow_query = (slow_ms > 0).then(|| Duration::from_millis(slow_ms));
         if let Some(scorer) = args.optional("scorer") {
             config.defaults.scorer = scorer.parse().map_err(CliError::Usage)?;
         }

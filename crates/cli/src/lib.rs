@@ -107,8 +107,11 @@ USAGE:
                       [--threads 4] [--cache 1024] [--poll-ms 200]
                       [--scorer s1] [--confidence 0.95]  (request defaults)
                       [--request-timeout-ms 10000]      (0 disables)
+                      [--slow-query-ms 0]  (0 off; else trace internally
+                       and log requests at/over the threshold to stderr)
                       (HTTP: POST /query, POST /query_batch, GET /corpus,
-                       GET /healthz, GET /stats; graceful stop on SIGTERM)
+                       GET /healthz, GET /stats, GET /metrics — Prometheus
+                       text; graceful stop on SIGTERM)
   corrsketch serve    --coordinator true --workers <host:port>[,<host:port>…]
                       [--worker-timeout-ms 2000] [--startup-timeout-ms 10000]
                       (scatter-gather over worker servers, one per

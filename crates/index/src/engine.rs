@@ -24,6 +24,7 @@
 //! ~`overlap_candidates` losers never materialize anything.
 
 use correlation_sketches::{join_sketches, join_sketches_into, CorrelationSketch, JoinSample};
+use sketch_obs::Trace;
 use sketch_ranking::{desc_score_nan_last, score_bounds, score_estimates, Scorer};
 use sketch_stats::{scored_estimate, BootstrapScratch, CorrelationEstimator, ScoredEstimate};
 
@@ -270,10 +271,13 @@ fn plan_rows(
     opts: &QueryOptions,
     threads: usize,
     scratch: &mut StageScratch,
+    trace: &mut Trace,
 ) -> (Vec<ScoredRow>, PlanStats) {
     let effective_min = opts.min_sample.max(opts.estimator.min_samples());
-    let exhaustive = |scratch: &mut StageScratch| {
+    let exhaustive = |scratch: &mut StageScratch, trace: &mut Trace| {
+        let guard = trace.begin("estimate");
         let rows = estimate_hits(index, query, hits, opts, threads, scratch);
+        trace.end(guard);
         let stats = PlanStats {
             candidates: rows.len(),
             expensive_invocations: rows
@@ -285,12 +289,12 @@ fn plan_rows(
         (rows, stats)
     };
     let Some(pass1_confidence) = opts.plan.pruning_confidence(opts.scorer, opts.estimator) else {
-        return exhaustive(scratch);
+        return exhaustive(scratch, trace);
     };
     // With every candidate in the top-k nothing can be pruned; skip the
     // cheap pass instead of paying for it.
     if hits.len() <= opts.k {
-        return exhaustive(scratch);
+        return exhaustive(scratch, trace);
     }
 
     // Pass 1: Pearson + Fisher-z CI over every candidate, at the plan's
@@ -300,7 +304,9 @@ fn plan_rows(
         confidence: pass1_confidence,
         ..*opts
     };
+    let cheap_guard = trace.begin("cheap_pass");
     let cheap = estimate_hits(index, query, hits, &cheap_opts, threads, scratch);
+    trace.end(cheap_guard);
     let cheap_min = opts
         .min_sample
         .max(CorrelationEstimator::Pearson.min_samples());
@@ -341,6 +347,7 @@ fn plan_rows(
     // τ*, and promote every pruned candidate whose upper bound still
     // reaches it. τ* never decreases as the band grows, so the loop
     // terminates (each round promotes at least one candidate or stops).
+    let band_guard = trace.begin("band_estimate");
     let mut rounds = 0usize;
     let tau = loop {
         if !to_estimate.is_empty() {
@@ -374,6 +381,7 @@ fn plan_rows(
             break tau;
         }
     };
+    trace.end(band_guard);
 
     let band = in_band.iter().filter(|&&b| b).count();
     let admitted = bounds.iter().flatten().count();
@@ -403,8 +411,11 @@ fn scored_rows(
     index: &SketchIndex,
     query: &CorrelationSketch,
     opts: &QueryOptions,
+    trace: &mut Trace,
 ) -> (Vec<ScoredRow>, PlanStats) {
+    let guard = trace.begin("retrieval");
     let hits = index.overlap_candidates(query, opts.overlap_candidates);
+    trace.end(guard);
     plan_rows(
         index,
         query,
@@ -412,6 +423,7 @@ fn scored_rows(
         opts,
         opts.threads,
         &mut StageScratch::default(),
+        trace,
     )
 }
 
@@ -679,7 +691,7 @@ pub fn top_k_with_plan_stats(
     query: &CorrelationSketch,
     opts: &QueryOptions,
 ) -> (Vec<QueryResult>, PlanStats) {
-    let (rows, stats) = scored_rows(index, query, opts);
+    let (rows, stats) = scored_rows(index, query, opts, &mut Trace::disabled());
     (rank_rows(index, rows, opts), stats)
 }
 
@@ -712,13 +724,53 @@ pub fn top_k_with_reports(
     opts: &QueryOptions,
     alpha: f64,
 ) -> Vec<ReportedResult> {
-    let (rows, _) = scored_rows(index, query, opts);
+    top_k_with_reports_traced(index, query, opts, alpha, &mut Trace::disabled()).0
+}
+
+/// As [`top_k_with_reports`], recording stage spans (`retrieval`, then
+/// `estimate` or `cheap_pass`/`band_estimate` depending on the plan,
+/// `rank`, `reports`) and the [`PlanStats`] notes into `trace`, and
+/// returning the plan statistics alongside the answers. With a
+/// disabled trace this is exactly [`top_k_with_reports`] — the ranked
+/// bytes are bit-identical either way, which is what lets a server
+/// answer traced and untraced requests from one cache entry.
+#[must_use]
+pub fn top_k_with_reports_traced(
+    index: &SketchIndex,
+    query: &CorrelationSketch,
+    opts: &QueryOptions,
+    alpha: f64,
+    trace: &mut Trace,
+) -> (Vec<ReportedResult>, PlanStats) {
+    let (rows, stats) = scored_rows(index, query, opts, trace);
+    note_plan_stats(trace, &stats);
+    let rank_guard = trace.begin("rank");
     let results = rank_rows(index, rows, opts);
+    trace.end(rank_guard);
+    let report_guard = trace.begin("reports");
     let mut sample = JoinSample::default();
-    results
+    let reported = results
         .into_iter()
         .map(|result| attach_report(index, query, result, opts, alpha, &mut sample))
-        .collect()
+        .collect();
+    trace.end(report_guard);
+    (reported, stats)
+}
+
+/// Fold the planner's execution statistics into a trace's notes.
+fn note_plan_stats(trace: &mut Trace, stats: &PlanStats) {
+    if !trace.is_enabled() {
+        return;
+    }
+    trace.note("plan_two_pass", u64::from(stats.two_pass));
+    trace.note("plan_candidates", stats.candidates as u64);
+    trace.note("plan_cheap_invocations", stats.cheap_invocations as u64);
+    trace.note(
+        "plan_expensive_invocations",
+        stats.expensive_invocations as u64,
+    );
+    trace.note("plan_pruned", stats.pruned as u64);
+    trace.note("plan_promotion_rounds", stats.promotion_rounds as u64);
 }
 
 /// Attach the Section 4 uncertainty report to a ranked result, re-joining
@@ -778,14 +830,25 @@ fn batch_one(
     query: &CorrelationSketch,
     opts: &QueryOptions,
     scratch: &mut BatchScratch,
-) -> Vec<QueryResult> {
+) -> (Vec<QueryResult>, PlanStats) {
     let hits =
         index.overlap_candidates_with_scratch(query, opts.overlap_candidates, &mut scratch.counts);
     // Joins run serial within a batched query (the batch fans out over
     // queries); plan_rows is thread-count invariant, so the answer is
-    // still bit-identical to the single-query path.
-    let (rows, _) = plan_rows(index, query, &hits, opts, 1, &mut scratch.stage);
-    rank_rows(index, rows, opts)
+    // still bit-identical to the single-query path. Per-query tracing is
+    // off here — batch workers run concurrently and a trace records from
+    // one thread; the batch entry points record batch-level spans and
+    // fold the per-query plan stats instead.
+    let (rows, stats) = plan_rows(
+        index,
+        query,
+        &hits,
+        opts,
+        1,
+        &mut scratch.stage,
+        &mut Trace::disabled(),
+    );
+    (rank_rows(index, rows, opts), stats)
 }
 
 /// Fan a per-query closure out over contiguous chunks of `queries` —
@@ -839,7 +902,7 @@ pub fn top_k_batch(
     opts: &QueryOptions,
 ) -> Vec<Vec<QueryResult>> {
     batch_map(queries, opts.threads, |query, scratch| {
-        batch_one(index, query, opts, scratch)
+        batch_one(index, query, opts, scratch).0
     })
 }
 
@@ -853,14 +916,44 @@ pub fn top_k_batch_with_reports(
     opts: &QueryOptions,
     alpha: f64,
 ) -> Vec<Vec<ReportedResult>> {
-    batch_map(queries, opts.threads, |query, scratch| {
-        batch_one(index, query, opts, scratch)
+    top_k_batch_with_reports_traced(index, queries, opts, alpha, &mut Trace::disabled()).0
+}
+
+/// As [`top_k_batch_with_reports`], recording one `batch_execute` span
+/// plus the batch's *summed* [`PlanStats`] notes into `trace` (batch
+/// workers run concurrently, so per-query spans are not recorded), and
+/// returning those summed statistics. The answers are bit-identical to
+/// [`top_k_batch_with_reports`].
+#[must_use]
+pub fn top_k_batch_with_reports_traced(
+    index: &SketchIndex,
+    queries: &[CorrelationSketch],
+    opts: &QueryOptions,
+    alpha: f64,
+    trace: &mut Trace,
+) -> (Vec<Vec<ReportedResult>>, PlanStats) {
+    let guard = trace.begin("batch_execute");
+    let per_query = batch_map(queries, opts.threads, |query, scratch| {
+        let (results, stats) = batch_one(index, query, opts, scratch);
+        let reported: Vec<ReportedResult> = results
             .into_iter()
             .map(|result| {
                 attach_report(index, query, result, opts, alpha, &mut scratch.stage.sample)
             })
-            .collect()
-    })
+            .collect();
+        (reported, stats)
+    });
+    trace.end(guard);
+    let mut total = PlanStats::default();
+    let answers = per_query
+        .into_iter()
+        .map(|(reported, stats)| {
+            total.absorb(&stats);
+            reported
+        })
+        .collect();
+    note_plan_stats(trace, &total);
+    (answers, total)
 }
 
 #[cfg(test)]

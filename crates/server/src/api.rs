@@ -94,6 +94,11 @@ pub struct QueryRequest {
     pub body: QueryBody,
     /// Resolved ranking parameters.
     pub params: QueryParams,
+    /// `"trace": true` — return a per-request span tree alongside the
+    /// results. Deliberately *not* part of the fingerprint: tracing
+    /// must never change what answer is computed or cached, only
+    /// whether its timing breakdown is attached.
+    pub trace: bool,
 }
 
 /// A parsed `POST /query_batch` request: many query columns ranked
@@ -104,6 +109,9 @@ pub struct BatchRequest {
     pub queries: Vec<QueryBody>,
     /// Resolved ranking parameters (shared by every query).
     pub params: QueryParams,
+    /// `"trace": true` — attach the span tree (excluded from the
+    /// fingerprint, like [`QueryRequest::trace`]).
+    pub trace: bool,
 }
 
 /// Ceiling on request-supplied `k` and `candidates`. Both size
@@ -171,6 +179,24 @@ fn parse_params(obj: json::Obj<'_>, defaults: &QueryParams) -> Result<QueryParam
     Ok(params)
 }
 
+fn parse_trace(obj: json::Obj<'_>) -> Result<bool, String> {
+    match obj.opt("trace") {
+        Some(v) => v.as_bool("trace").map_err(|e| e.to_string()),
+        None => Ok(false),
+    }
+}
+
+/// Cheap pre-parse screen: a request can only have asked for a trace if
+/// the literal key `"trace"` appears in its bytes. The handlers use it
+/// on the memo-miss path (where a full parse is imminent anyway) to
+/// start the trace *before* the parse, so the parse span is captured. A
+/// false positive merely records spans that are never rendered; a false
+/// negative is impossible.
+#[must_use]
+pub(crate) fn wants_trace_hint(body: &[u8]) -> bool {
+    body.windows(7).any(|w| w == b"\"trace\"")
+}
+
 fn parse_body(obj: json::Obj<'_>) -> Result<QueryBody, String> {
     let id = match obj.opt("id") {
         Some(v) => v.as_str("id").map_err(|e| e.to_string())?.to_string(),
@@ -222,6 +248,7 @@ impl QueryRequest {
         Ok(Self {
             body: parse_body(obj)?,
             params: parse_params(obj, defaults)?,
+            trace: parse_trace(obj)?,
         })
     }
 
@@ -268,7 +295,11 @@ impl BatchRequest {
         if queries.is_empty() {
             return Err("queries must be non-empty".into());
         }
-        Ok(Self { queries, params })
+        Ok(Self {
+            queries,
+            params,
+            trace: parse_trace(obj)?,
+        })
     }
 
     /// Canonical fingerprint of the whole batch, for cache keying.
@@ -444,6 +475,30 @@ pub fn render_batch_response(
         push_results(&mut out, results);
     }
     out.push_str("]}");
+    out
+}
+
+/// Splice a rendered trace object into a finished response body:
+/// `{...}` becomes `{...,"trace":{...}}`.
+///
+/// The cache only ever stores the *untraced* body, and a traced
+/// response is produced by splicing into a copy — so the result payload
+/// of a traced answer is byte-identical to the untraced answer for the
+/// same request, whether either was a cache hit or a miss.
+#[must_use]
+pub fn attach_trace(body: &str, trace_json: &str) -> String {
+    let mut out = String::with_capacity(body.len() + trace_json.len() + 16);
+    match body.strip_suffix('}') {
+        Some(head) => {
+            out.push_str(head);
+            out.push_str(",\"trace\":");
+            out.push_str(trace_json);
+            out.push('}');
+        }
+        // Not an object (never happens for our own renders): return the
+        // body unchanged rather than corrupt it.
+        None => out.push_str(body),
+    }
     out
 }
 
@@ -1209,6 +1264,53 @@ mod tests {
     }
 
     #[test]
+    fn trace_flag_parses_but_never_touches_the_fingerprint() {
+        let plain = QueryRequest::parse(br#"{"keys":["a"],"values":[1]}"#, &defaults()).unwrap();
+        assert!(!plain.trace);
+        let traced =
+            QueryRequest::parse(br#"{"keys":["a"],"values":[1],"trace":true}"#, &defaults())
+                .unwrap();
+        assert!(traced.trace);
+        // Same cached answer serves both spellings.
+        assert_eq!(plain.fingerprint(), traced.fingerprint());
+        assert!(
+            QueryRequest::parse(br#"{"keys":["a"],"values":[1],"trace":"yes"}"#, &defaults())
+                .is_err()
+        );
+        let batch = BatchRequest::parse(
+            br#"{"queries":[{"keys":["a"],"values":[1]}],"trace":true}"#,
+            &defaults(),
+        )
+        .unwrap();
+        assert!(batch.trace);
+        let plain_batch =
+            BatchRequest::parse(br#"{"queries":[{"keys":["a"],"values":[1]}]}"#, &defaults())
+                .unwrap();
+        assert_eq!(batch.fingerprint(), plain_batch.fingerprint());
+    }
+
+    #[test]
+    fn attach_trace_splices_before_the_closing_brace() {
+        let body = "{\"generation\":3,\"results\":[]}";
+        let traced = attach_trace(body, "{\"total_us\":7,\"spans\":[]}");
+        assert_eq!(
+            traced,
+            "{\"generation\":3,\"results\":[],\"trace\":{\"total_us\":7,\"spans\":[]}}"
+        );
+        // Still valid JSON with the original fields intact.
+        let v = json::parse(&traced).unwrap();
+        let obj = v.as_object("r").unwrap();
+        assert_eq!(obj.get("generation").unwrap().as_u64("g").unwrap(), 3);
+        assert!(obj.opt("trace").is_some());
+        // Stripping the spliced suffix recovers the original bytes.
+        let suffix = ",\"trace\":{\"total_us\":7,\"spans\":[]}}";
+        assert_eq!(
+            traced.strip_suffix(suffix).unwrap(),
+            &body[..body.len() - 1]
+        );
+    }
+
+    #[test]
     fn batch_parses_and_fingerprints() {
         let batch = BatchRequest::parse(
             br#"{"queries":[{"keys":["a"],"values":[1]},{"id":"q2","keys":["b"],"values":[2]}],"k":5}"#,
@@ -1346,6 +1448,7 @@ mod tests {
         let batch = BatchRequest {
             queries: vec![req.body.clone(), req.body.clone()],
             params: req.params,
+            trace: false,
         };
         let wire = render_shard_batch_request(&batch.queries, &batch.params);
         let reparsed = BatchRequest::parse(wire.as_bytes(), &hostile_defaults).unwrap();

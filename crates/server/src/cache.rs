@@ -46,6 +46,10 @@ struct Lru {
     /// Summed `value.len()` of live entries.
     bytes: usize,
     byte_budget: usize,
+    /// Entries removed by capacity/byte-budget pressure over the cache's
+    /// lifetime (survives the poisoning dump — it is an odometer, not
+    /// cache state).
+    evictions: u64,
 }
 
 impl Lru {
@@ -59,6 +63,7 @@ impl Lru {
             capacity,
             bytes: 0,
             byte_budget,
+            evictions: 0,
         }
     }
 
@@ -98,6 +103,7 @@ impl Lru {
         self.bytes -= self.entries[i].value.len();
         self.entries[i].value = Arc::from("");
         self.free.push(i);
+        self.evictions += 1;
     }
 }
 
@@ -203,7 +209,9 @@ impl QueryCache {
     fn lock(&self) -> MutexGuard<'_, Lru> {
         self.inner.lock().unwrap_or_else(|poisoned| {
             let mut lru = poisoned.into_inner();
+            let evictions = lru.evictions;
             *lru = Lru::empty(lru.capacity, lru.byte_budget);
+            lru.evictions = evictions;
             self.inner.clear_poison();
             lru
         })
@@ -268,6 +276,13 @@ impl QueryCache {
     #[must_use]
     pub fn len(&self) -> usize {
         self.lock().map.len()
+    }
+
+    /// Entries evicted by capacity or byte-budget pressure since the
+    /// cache was created.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
     }
 
     /// True when nothing is cached.
@@ -348,6 +363,24 @@ mod tests {
             c.put(key(i, 0), val("small"));
         }
         assert!(c.len() <= 20);
+    }
+
+    #[test]
+    fn evictions_count_both_pressure_kinds() {
+        let c = QueryCache::with_byte_budget(2, 100);
+        assert_eq!(c.evictions(), 0);
+        c.put(key(1, 0), val("a"));
+        c.put(key(2, 0), val("b"));
+        assert_eq!(c.evictions(), 0, "within capacity: nothing evicted");
+        c.put(key(3, 0), val("c"));
+        assert_eq!(c.evictions(), 1, "count-capacity eviction");
+        // A budget-sized value: the third entry trips a count eviction
+        // first, then the remaining 1-byte survivor goes out by bytes.
+        c.put(key(4, 0), val(&"x".repeat(100)));
+        assert_eq!(c.evictions(), 3, "count then byte-budget eviction");
+        // Refreshing an existing key evicts nothing.
+        c.put(key(4, 0), val("small"));
+        assert_eq!(c.evictions(), 3);
     }
 
     #[test]

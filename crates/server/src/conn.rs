@@ -11,22 +11,33 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sketch_obs::Trace;
+
 use crate::api;
 use crate::http::{self, RecvError, Request};
 use crate::stats::ServerStats;
 
-/// A response body: freshly rendered, or shared straight out of the
-/// cache (no copy on the hit path).
+/// A response body: freshly rendered JSON, JSON shared straight out of
+/// the cache (no copy on the hit path), or a plain-text payload with an
+/// explicit content type (the `/metrics` exposition).
 pub(crate) enum Body {
     Owned(String),
     Shared(Arc<str>),
+    Text(String, &'static str),
 }
 
 impl Body {
     pub(crate) fn as_str(&self) -> &str {
         match self {
-            Self::Owned(s) => s,
+            Self::Owned(s) | Self::Text(s, _) => s,
             Self::Shared(s) => s,
+        }
+    }
+
+    pub(crate) fn content_type(&self) -> &'static str {
+        match self {
+            Self::Owned(_) | Self::Shared(_) => http::CONTENT_TYPE_JSON,
+            Self::Text(_, ct) => ct,
         }
     }
 }
@@ -35,6 +46,49 @@ impl From<String> for Body {
     fn from(s: String) -> Self {
         Self::Owned(s)
     }
+}
+
+/// Close out a traced request, shared by both front ends: log it when
+/// it crossed the slow-query threshold, then splice the span tree into
+/// the response when the request asked for it. A disabled trace returns
+/// `(status, body)` untouched — the zero-cost path every normal request
+/// takes.
+///
+/// Callers must cache the *untraced* body before calling this: the
+/// splice happens last, so a traced request never changes what any
+/// other request (or its untraced twin) reads back.
+pub(crate) fn finish_traced(
+    stats: &ServerStats,
+    slow_query: Option<Duration>,
+    log_tag: &str,
+    trace: &Trace,
+    want_trace: bool,
+    status: u16,
+    body: Body,
+) -> (u16, Body) {
+    if !trace.is_enabled() {
+        return (status, body);
+    }
+    if let Some(threshold) = slow_query {
+        let total_us = trace.total_us();
+        let threshold_us = u64::try_from(threshold.as_micros()).unwrap_or(u64::MAX);
+        if total_us >= threshold_us {
+            ServerStats::bump(&stats.slow_queries);
+            eprintln!(
+                "{log_tag}: slow-query status={status} total_us={total_us} \
+                 threshold_us={threshold_us} trace={}",
+                trace.render_json()
+            );
+        }
+    }
+    if want_trace {
+        ServerStats::bump(&stats.traced);
+        if status < 300 {
+            let spliced = api::attach_trace(body.as_str(), &trace.render_json());
+            return (status, Body::Owned(spliced));
+        }
+    }
+    (status, body)
 }
 
 /// Per-connection deadlines, taken from the front end's config.
@@ -139,10 +193,13 @@ fn serve_connection(
                 };
                 if http::write_response_bounded(
                     &mut stream,
-                    status,
-                    body_str,
-                    req.keep_alive,
-                    allow,
+                    &http::ResponsePayload {
+                        status,
+                        body: body_str,
+                        keep_alive: req.keep_alive,
+                        allow,
+                        content_type: body.content_type(),
+                    },
                     shutdown,
                     request_timeout,
                 )
@@ -158,10 +215,13 @@ fn serve_connection(
                 ServerStats::bump(errors);
                 let _ = http::write_response_bounded(
                     &mut stream,
-                    400,
-                    &api::render_error(&msg),
-                    false,
-                    None,
+                    &http::ResponsePayload {
+                        status: 400,
+                        body: &api::render_error(&msg),
+                        keep_alive: false,
+                        allow: None,
+                        content_type: http::CONTENT_TYPE_JSON,
+                    },
                     shutdown,
                     request_timeout,
                 );
@@ -172,10 +232,13 @@ fn serve_connection(
                 ServerStats::bump(errors);
                 let _ = http::write_response_bounded(
                     &mut stream,
-                    408,
-                    &api::render_error("request timed out"),
-                    false,
-                    None,
+                    &http::ResponsePayload {
+                        status: 408,
+                        body: &api::render_error("request timed out"),
+                        keep_alive: false,
+                        allow: None,
+                        content_type: http::CONTENT_TYPE_JSON,
+                    },
                     shutdown,
                     request_timeout,
                 );
@@ -186,10 +249,13 @@ fn serve_connection(
                 ServerStats::bump(errors);
                 let _ = http::write_response_bounded(
                     &mut stream,
-                    413,
-                    &api::render_error("request too large"),
-                    false,
-                    None,
+                    &http::ResponsePayload {
+                        status: 413,
+                        body: &api::render_error("request too large"),
+                        keep_alive: false,
+                        allow: None,
+                        content_type: http::CONTENT_TYPE_JSON,
+                    },
                     shutdown,
                     request_timeout,
                 );
@@ -200,5 +266,74 @@ fn serve_connection(
         if shutdown.load(Ordering::Relaxed) {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_passes_the_body_through_untouched() {
+        let stats = ServerStats::default();
+        let trace = Trace::disabled();
+        let (status, body) = finish_traced(
+            &stats,
+            Some(Duration::ZERO),
+            "test",
+            &trace,
+            false,
+            200,
+            Body::Owned("{\"a\":1}".to_string()),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body.as_str(), "{\"a\":1}");
+        assert_eq!(stats.slow_queries.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.traced.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn traced_success_gets_the_span_tree_spliced_in() {
+        let stats = ServerStats::default();
+        let mut trace = Trace::enabled();
+        let g = trace.begin("parse");
+        trace.end(g);
+        let (status, body) = finish_traced(
+            &stats,
+            None,
+            "test",
+            &trace,
+            true,
+            200,
+            Body::Owned("{\"a\":1}".to_string()),
+        );
+        assert_eq!(status, 200);
+        assert!(
+            body.as_str().starts_with("{\"a\":1,\"trace\":{"),
+            "{}",
+            body.as_str()
+        );
+        assert!(body.as_str().contains("\"name\":\"parse\""));
+        assert_eq!(stats.traced.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn traced_errors_count_but_keep_the_error_body() {
+        let stats = ServerStats::default();
+        let trace = Trace::enabled();
+        let (status, body) = finish_traced(
+            &stats,
+            Some(Duration::ZERO),
+            "test",
+            &trace,
+            true,
+            400,
+            Body::Owned("{\"error\":\"x\"}".to_string()),
+        );
+        assert_eq!(status, 400);
+        assert_eq!(body.as_str(), "{\"error\":\"x\"}");
+        assert_eq!(stats.traced.load(Ordering::Relaxed), 1);
+        // A zero threshold marks every traced request slow.
+        assert_eq!(stats.slow_queries.load(Ordering::Relaxed), 1);
     }
 }

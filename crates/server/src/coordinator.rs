@@ -54,12 +54,14 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use sketch_index::{merge_shard_candidates, DocId, ReportedResult, ShardCandidate, ShardRows};
+use sketch_obs::{promtext, Trace};
 
 use crate::api::{self, BatchRequest, QueryBody, QueryParams, QueryRequest, ShardState};
 use crate::cache::{self, ParseMemo, QueryCache};
 use crate::client::HttpClient;
 use crate::conn::{self, Body, ConnLimits};
 use crate::http::Request;
+use crate::metrics;
 use crate::server::ServerError;
 use crate::stats::ServerStats;
 
@@ -92,6 +94,12 @@ pub struct CoordinatorConfig {
     /// How long `start_coordinator` waits for every worker to answer
     /// its first health probe before giving up.
     pub startup_timeout: Duration,
+    /// When set, trace every `/query` and `/query_batch` internally and
+    /// log one structured line (with the full span tree, including
+    /// per-shard scatter round trips) for each request whose total
+    /// reaches the threshold. `None` disables both the logging and the
+    /// always-on tracing it requires.
+    pub slow_query: Option<Duration>,
     /// Default ranking parameters for requests that omit them.
     pub defaults: QueryParams,
 }
@@ -112,6 +120,7 @@ impl CoordinatorConfig {
             request_timeout: Duration::from_secs(10),
             worker_timeout: Duration::from_secs(2),
             startup_timeout: Duration::from_secs(10),
+            slow_query: None,
             defaults: QueryParams::default(),
         }
     }
@@ -238,10 +247,13 @@ struct Ctx {
     cache: QueryCache,
     /// Raw-body-hash → canonical fingerprint memos: a repeated
     /// byte-identical body skips the JSON parse in front of the cache
-    /// (see [`crate::cache::ParseMemo`]). The batch memo also carries
-    /// the query count the hit path must account.
-    memo_query: ParseMemo<u128>,
-    memo_batch: ParseMemo<(u128, u64)>,
+    /// (see [`crate::cache::ParseMemo`]). Both memos also carry the
+    /// request's trace flag (the hit path never parses, but must still
+    /// know whether to splice a span tree in); the batch memo
+    /// additionally carries the query count the hit path accounts.
+    memo_query: ParseMemo<(u128, bool)>,
+    memo_batch: ParseMemo<(u128, u64, bool)>,
+    slow_query: Option<Duration>,
     worker_timeout: Duration,
     stats: ServerStats,
     shutdown: AtomicBool,
@@ -374,6 +386,7 @@ pub fn start_coordinator(config: CoordinatorConfig) -> Result<CoordinatorHandle,
         cache: QueryCache::new(config.cache_capacity),
         memo_query: ParseMemo::new(cache::memo_capacity(config.cache_capacity)),
         memo_batch: ParseMemo::new(cache::memo_capacity(config.cache_capacity)),
+        slow_query: config.slow_query,
         worker_timeout: config.worker_timeout,
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
@@ -455,7 +468,7 @@ fn route(ctx: &Ctx, req: &Request) -> (u16, Body, Option<&'static str>) {
         .map_or(req.path.as_str(), |(path, _query)| path);
     let (status, body) = route_path(ctx, req, path);
     let allow = (status == 405).then_some(match path {
-        "/healthz" | "/stats" => "GET",
+        "/healthz" | "/stats" | "/metrics" => "GET",
         _ => "POST",
     });
     (status, body, allow)
@@ -471,6 +484,33 @@ fn route_path(ctx: &Ctx, req: &Request, path: &str) -> (u16, Body) {
             ServerStats::bump(&ctx.stats.stats);
             let hash = api::generation_hash(&ctx.known_generations());
             (200, Body::Owned(ctx.stats.to_json(hash, ctx.cache.len())))
+        }
+        ("GET", "/metrics") => {
+            ServerStats::bump(&ctx.stats.metrics);
+            let shards: Vec<metrics::ShardView> = ctx
+                .slots
+                .iter()
+                .map(|s| {
+                    let st = s.state();
+                    metrics::ShardView {
+                        generation: st.generation,
+                        sketches: st.sketches,
+                        healthy: st.healthy,
+                    }
+                })
+                .collect();
+            (
+                200,
+                Body::Text(
+                    metrics::render_coordinator(
+                        &ctx.stats,
+                        &shards,
+                        ctx.cache.len() as u64,
+                        ctx.cache.evictions(),
+                    ),
+                    promtext::CONTENT_TYPE,
+                ),
+            )
         }
         ("POST", "/query") => {
             ServerStats::bump(&ctx.stats.query);
@@ -494,7 +534,7 @@ fn route_path(ctx: &Ctx, req: &Request, path: &str) -> (u16, Body) {
             }
             response
         }
-        (_, "/healthz" | "/stats" | "/query" | "/query_batch") => {
+        (_, "/healthz" | "/stats" | "/metrics" | "/query" | "/query_batch") => {
             (405, Body::Owned(api::render_error("method not allowed")))
         }
         _ => (404, Body::Owned(api::render_error("no such endpoint"))),
@@ -541,6 +581,12 @@ struct ShardFetch {
     generation: u64,
     sketches: u64,
     degraded: bool,
+    /// When the scatter thread issued this shard's call, and how long
+    /// the call took (to the answer, or to the failure that degraded
+    /// it) — measured in the thread, recorded into the trace after the
+    /// join as `shard_rtt` spans.
+    started: Instant,
+    rtt: Duration,
     /// One row list per query (a single `/query` has exactly one).
     queries: Vec<Vec<ShardCandidate>>,
 }
@@ -551,6 +597,8 @@ impl ShardFetch {
             generation: state.generation,
             sketches: state.sketches,
             degraded: true,
+            started: Instant::now(),
+            rtt: Duration::ZERO,
             queries: vec![Vec::new(); query_count],
         }
     }
@@ -574,6 +622,7 @@ fn scatter(ctx: &Ctx, path: &str, wire: &str, query_count: usize) -> Vec<ShardFe
             .iter()
             .map(|slot| {
                 s.spawn(move || {
+                    let started = Instant::now();
                     let parsed = slot
                         .call(ctx.worker_timeout, "POST", path, wire)
                         .and_then(|body| {
@@ -588,6 +637,7 @@ fn scatter(ctx: &Ctx, path: &str, wire: &str, query_count: usize) -> Vec<ShardFe
                             }
                         })
                         .filter(|(_, _, queries)| queries.len() == query_count);
+                    let rtt = started.elapsed();
                     match parsed {
                         Some((generation, sketches, queries)) => {
                             slot.observe(generation, sketches as u64);
@@ -595,13 +645,18 @@ fn scatter(ctx: &Ctx, path: &str, wire: &str, query_count: usize) -> Vec<ShardFe
                                 generation,
                                 sketches: sketches as u64,
                                 degraded: false,
+                                started,
+                                rtt,
                                 queries,
                             }
                         }
                         None => {
                             let state = slot.state();
                             slot.mark_unhealthy();
-                            ShardFetch::degraded_from(state, query_count)
+                            let mut fetch = ShardFetch::degraded_from(state, query_count);
+                            fetch.started = started;
+                            fetch.rtt = rtt;
+                            fetch
                         }
                     }
                 })
@@ -747,50 +802,125 @@ fn gather(
         .collect())
 }
 
+/// Close out a public request: slow-query logging and the trace splice,
+/// both no-ops unless this request enabled tracing.
+fn close(ctx: &Ctx, trace: &Trace, want_trace: bool, status: u16, body: Body) -> (u16, Body) {
+    conn::finish_traced(
+        &ctx.stats,
+        ctx.slow_query,
+        "sketch-coord",
+        trace,
+        want_trace,
+        status,
+        body,
+    )
+}
+
+/// Replay the per-shard scatter round trips (measured inside the
+/// scatter threads) into the trace as indexed `shard_rtt` spans,
+/// nested under the still-open `scatter` span.
+fn record_shard_rtts(trace: &mut Trace, fetches: &[ShardFetch]) {
+    if !trace.is_enabled() {
+        return;
+    }
+    for (i, fetch) in fetches.iter().enumerate() {
+        trace.record("shard_rtt", i as u32, fetch.started, fetch.rtt);
+    }
+}
+
 fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
     let raw = api::raw_fingerprint(body);
     let generation = api::generation_hash(&ctx.known_generations());
+    let mut trace = Trace::new(ctx.slow_query.is_some());
     // A memo hit proves these exact bytes parsed to this canonical
-    // fingerprint before — skip the parse when the answer is cached.
-    if let Some(fp) = ctx.memo_query.get(raw) {
-        if let Some(cached) = ctx.cache.get(&(fp, generation)) {
-            ServerStats::bump(&ctx.stats.cache_hits);
-            return (200, Body::Shared(cached));
+    // fingerprint (and trace flag) before — skip the parse when the
+    // answer is cached.
+    if let Some((fp, want_trace)) = ctx.memo_query.get(raw) {
+        if want_trace && !trace.is_enabled() {
+            trace = Trace::enabled();
         }
+        let guard = trace.begin("cache_probe");
+        let cached = ctx.cache.get(&(fp, generation));
+        trace.end(guard);
+        if let Some(cached) = cached {
+            ServerStats::bump(&ctx.stats.cache_hits);
+            return close(ctx, &trace, want_trace, 200, Body::Shared(cached));
+        }
+    } else if !trace.is_enabled() && api::wants_trace_hint(body) {
+        trace = Trace::enabled();
     }
-    let req = match QueryRequest::parse(body, &ctx.defaults) {
+    let guard = trace.begin("parse");
+    let parsed = QueryRequest::parse(body, &ctx.defaults);
+    trace.end(guard);
+    let req = match parsed {
         Ok(req) => req,
-        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+        Err(msg) => {
+            return close(
+                ctx,
+                &trace,
+                false,
+                400,
+                Body::Owned(api::render_error(&msg)),
+            )
+        }
     };
+    if req.trace && !trace.is_enabled() {
+        trace = Trace::enabled();
+    }
+    let want_trace = req.trace;
     let fingerprint = req.fingerprint();
-    ctx.memo_query.put(raw, fingerprint);
-    if let Some(cached) = ctx.cache.get(&(fingerprint, generation)) {
+    ctx.memo_query.put(raw, (fingerprint, want_trace));
+    let guard = trace.begin("cache_probe");
+    let cached = ctx.cache.get(&(fingerprint, generation));
+    trace.end(guard);
+    if let Some(cached) = cached {
         ServerStats::bump(&ctx.stats.cache_hits);
-        return (200, Body::Shared(cached));
+        return close(ctx, &trace, want_trace, 200, Body::Shared(cached));
     }
     ServerStats::bump(&ctx.stats.cache_misses);
 
     let params = req.params;
     let wire = api::render_shard_query_request(&req.body, &params);
     let bodies = [req.body];
-    for _attempt in 0..MAX_ATTEMPTS {
+    for attempt in 0..MAX_ATTEMPTS {
+        let guard = trace.begin_indexed("scatter", attempt as u32);
         let fetches = scatter(ctx, "/shard_query", &wire, 1);
+        record_shard_rtts(&mut trace, &fetches);
+        trace.end(guard);
         if fetches.iter().all(|f| f.degraded) {
-            return (
+            return close(
+                ctx,
+                &trace,
+                want_trace,
                 503,
                 Body::Owned(api::render_error("every shard is unreachable")),
             );
         }
-        let Ok(mut gathers) = gather(ctx, &fetches, &bodies, &params) else {
+        let guard = trace.begin_indexed("gather", attempt as u32);
+        let gathered = gather(ctx, &fetches, &bodies, &params);
+        trace.end(guard);
+        let Ok(mut gathers) = gathered else {
             continue;
         };
         let g = gathers.remove(0);
+        trace.note("merged", g.merged as u64);
+        trace.note("shipped", g.shipped as u64);
+        trace.note(
+            "degraded_shards",
+            fetches.iter().filter(|f| f.degraded).count() as u64,
+        );
         let shards: Vec<ShardState> = fetches.iter().map(ShardFetch::shard_state).collect();
+        let guard = trace.begin("render");
         let rendered =
             api::render_coordinator_response(&shards, &params, g.merged, g.shipped, &g.results);
-        return finish(ctx, &fetches, fingerprint, rendered);
+        trace.end(guard);
+        let (status, answered) = finish(ctx, &fetches, fingerprint, rendered);
+        return close(ctx, &trace, want_trace, status, answered);
     }
-    (
+    close(
+        ctx,
+        &trace,
+        want_trace,
         503,
         Body::Owned(api::render_error(
             "shard generations kept changing mid-query; retry",
@@ -801,47 +931,90 @@ fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
 fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
     let raw = api::raw_fingerprint(body);
     let generation = api::generation_hash(&ctx.known_generations());
-    if let Some((fp, batched)) = ctx.memo_batch.get(raw) {
-        if let Some(cached) = ctx.cache.get(&(fp, generation)) {
+    let mut trace = Trace::new(ctx.slow_query.is_some());
+    if let Some((fp, batched, want_trace)) = ctx.memo_batch.get(raw) {
+        if want_trace && !trace.is_enabled() {
+            trace = Trace::enabled();
+        }
+        let guard = trace.begin("cache_probe");
+        let cached = ctx.cache.get(&(fp, generation));
+        trace.end(guard);
+        if let Some(cached) = cached {
             ServerStats::bump(&ctx.stats.cache_hits);
             ctx.stats
                 .batched_queries
                 .fetch_add(batched, Ordering::Relaxed);
-            return (200, Body::Shared(cached));
+            return close(ctx, &trace, want_trace, 200, Body::Shared(cached));
         }
+    } else if !trace.is_enabled() && api::wants_trace_hint(body) {
+        trace = Trace::enabled();
     }
-    let req = match BatchRequest::parse(body, &ctx.defaults) {
+    let guard = trace.begin("parse");
+    let parsed = BatchRequest::parse(body, &ctx.defaults);
+    trace.end(guard);
+    let req = match parsed {
         Ok(req) => req,
-        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+        Err(msg) => {
+            return close(
+                ctx,
+                &trace,
+                false,
+                400,
+                Body::Owned(api::render_error(&msg)),
+            )
+        }
     };
+    if req.trace && !trace.is_enabled() {
+        trace = Trace::enabled();
+    }
+    let want_trace = req.trace;
     ctx.stats
         .batched_queries
         .fetch_add(req.queries.len() as u64, Ordering::Relaxed);
     let fingerprint = req.fingerprint();
     ctx.memo_batch
-        .put(raw, (fingerprint, req.queries.len() as u64));
-    if let Some(cached) = ctx.cache.get(&(fingerprint, generation)) {
+        .put(raw, (fingerprint, req.queries.len() as u64, want_trace));
+    let guard = trace.begin("cache_probe");
+    let cached = ctx.cache.get(&(fingerprint, generation));
+    trace.end(guard);
+    if let Some(cached) = cached {
         ServerStats::bump(&ctx.stats.cache_hits);
-        return (200, Body::Shared(cached));
+        return close(ctx, &trace, want_trace, 200, Body::Shared(cached));
     }
     ServerStats::bump(&ctx.stats.cache_misses);
 
     let wire = api::render_shard_batch_request(&req.queries, &req.params);
-    for _attempt in 0..MAX_ATTEMPTS {
+    for attempt in 0..MAX_ATTEMPTS {
+        let guard = trace.begin_indexed("scatter", attempt as u32);
         let fetches = scatter(ctx, "/shard_query_batch", &wire, req.queries.len());
+        record_shard_rtts(&mut trace, &fetches);
+        trace.end(guard);
         if fetches.iter().all(|f| f.degraded) {
-            return (
+            return close(
+                ctx,
+                &trace,
+                want_trace,
                 503,
                 Body::Owned(api::render_error("every shard is unreachable")),
             );
         }
-        let Ok(gathers) = gather(ctx, &fetches, &req.queries, &req.params) else {
+        let guard = trace.begin_indexed("gather", attempt as u32);
+        let gathered = gather(ctx, &fetches, &req.queries, &req.params);
+        trace.end(guard);
+        let Ok(gathers) = gathered else {
             continue;
         };
+        trace.note("merged", gathers.iter().map(|g| g.merged as u64).sum());
+        trace.note("shipped", gathers.iter().map(|g| g.shipped as u64).sum());
+        trace.note(
+            "degraded_shards",
+            fetches.iter().filter(|f| f.degraded).count() as u64,
+        );
         let shards: Vec<ShardState> = fetches.iter().map(ShardFetch::shard_state).collect();
         let merged: Vec<usize> = gathers.iter().map(|g| g.merged).collect();
         let shipped: Vec<usize> = gathers.iter().map(|g| g.shipped).collect();
         let answers: Vec<Vec<ReportedResult>> = gathers.into_iter().map(|g| g.results).collect();
+        let guard = trace.begin("render");
         let rendered = api::render_coordinator_batch_response(
             &shards,
             &req.params,
@@ -849,9 +1022,14 @@ fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
             &shipped,
             &answers,
         );
-        return finish(ctx, &fetches, fingerprint, rendered);
+        trace.end(guard);
+        let (status, answered) = finish(ctx, &fetches, fingerprint, rendered);
+        return close(ctx, &trace, want_trace, status, answered);
     }
-    (
+    close(
+        ctx,
+        &trace,
+        want_trace,
         503,
         Body::Owned(api::render_error(
             "shard generations kept changing mid-query; retry",

@@ -279,7 +279,32 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn render_response(status: u16, body: &str, keep_alive: bool, allow: Option<&str>) -> Vec<u8> {
+/// The content type every response carries unless the route overrides
+/// it (only `/metrics` does, with the Prometheus text type).
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// Everything that shapes one rendered response: status line, body,
+/// connection handling, and headers.
+pub struct ResponsePayload<'a> {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: &'a str,
+    /// Keep the connection open after this response.
+    pub keep_alive: bool,
+    /// `Allow` header value (405 responses, RFC 9110 §15.5.6).
+    pub allow: Option<&'a str>,
+    /// `Content-Type` header value.
+    pub content_type: &'a str,
+}
+
+fn render_response(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    allow: Option<&str>,
+    content_type: &str,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -292,7 +317,7 @@ fn render_response(status: u16, body: &str, keep_alive: bool, allow: Option<&str
     };
     let mut out = Vec::with_capacity(128 + body.len());
     out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
-    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
     if let Some(methods) = allow {
         out.extend_from_slice(format!("Allow: {methods}\r\n").as_bytes());
     }
@@ -319,7 +344,13 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    stream.write_all(&render_response(status, body, keep_alive, None))?;
+    stream.write_all(&render_response(
+        status,
+        body,
+        keep_alive,
+        None,
+        CONTENT_TYPE_JSON,
+    ))?;
     stream.flush()
 }
 
@@ -338,14 +369,17 @@ pub fn write_response(
 /// write error.
 pub fn write_response_bounded(
     stream: &mut impl Write,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-    allow: Option<&str>,
+    payload: &ResponsePayload<'_>,
     shutdown: &AtomicBool,
     timeout: Option<Duration>,
 ) -> std::io::Result<()> {
-    let out = render_response(status, body, keep_alive, allow);
+    let out = render_response(
+        payload.status,
+        payload.body,
+        payload.keep_alive,
+        payload.allow,
+        payload.content_type,
+    );
     let mut deadline = timeout.map(|t| Instant::now() + t);
     let mut pos = 0;
     while pos < out.len() {
@@ -683,10 +717,13 @@ mod tests {
         };
         let err = write_response_bounded(
             &mut sink,
-            200,
-            "{\"big\":true}",
-            true,
-            None,
+            &ResponsePayload {
+                status: 200,
+                body: "{\"big\":true}",
+                keep_alive: true,
+                allow: None,
+                content_type: CONTENT_TYPE_JSON,
+            },
             &AtomicBool::new(false),
             Some(Duration::ZERO),
         )
@@ -700,10 +737,13 @@ mod tests {
         };
         write_response_bounded(
             &mut sink,
-            200,
-            "{\"big\":true}",
-            true,
-            None,
+            &ResponsePayload {
+                status: 200,
+                body: "{\"big\":true}",
+                keep_alive: true,
+                allow: None,
+                content_type: CONTENT_TYPE_JSON,
+            },
             &AtomicBool::new(false),
             Some(Duration::from_secs(3600)),
         )
@@ -716,10 +756,13 @@ mod tests {
         };
         let err = write_response_bounded(
             &mut sink,
-            200,
-            "{}",
-            true,
-            None,
+            &ResponsePayload {
+                status: 200,
+                body: "{}",
+                keep_alive: true,
+                allow: None,
+                content_type: CONTENT_TYPE_JSON,
+            },
             &AtomicBool::new(true),
             None,
         )
@@ -745,10 +788,13 @@ mod tests {
         let mut out = Vec::new();
         write_response_bounded(
             &mut out,
-            405,
-            "{}",
-            true,
-            Some("POST"),
+            &ResponsePayload {
+                status: 405,
+                body: "{}",
+                keep_alive: true,
+                allow: Some("POST"),
+                content_type: CONTENT_TYPE_JSON,
+            },
             &AtomicBool::new(false),
             None,
         )
@@ -756,5 +802,24 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
         assert!(text.contains("Allow: POST\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        // The content type is caller-controlled (the /metrics route
+        // sends the Prometheus text type).
+        let mut out = Vec::new();
+        write_response_bounded(
+            &mut out,
+            &ResponsePayload {
+                status: 200,
+                body: "m 1\n",
+                keep_alive: true,
+                allow: None,
+                content_type: "text/plain; version=0.0.4",
+            },
+            &AtomicBool::new(false),
+            None,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
     }
 }

@@ -46,6 +46,7 @@ pub mod client;
 mod conn;
 pub mod coordinator;
 pub mod http;
+mod metrics;
 pub mod server;
 pub mod signal;
 pub mod snapshot;

@@ -37,13 +37,15 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sketch_index::engine;
+use sketch_obs::{promtext, Trace};
 use sketch_store::StoreError;
 
 use crate::api::{self, BatchRequest, QueryParams, QueryRequest};
 use crate::cache::{self, ParseMemo, QueryCache};
 use crate::conn::{self, Body, ConnLimits};
 use crate::http::Request;
-use crate::snapshot::{refresh, IndexSnapshot, RefreshOutcome, SnapshotCell};
+use crate::metrics;
+use crate::snapshot::{refresh_with_generation, IndexSnapshot, RefreshOutcome, SnapshotCell};
 use crate::stats::ServerStats;
 
 /// Server configuration.
@@ -72,6 +74,11 @@ pub struct ServerConfig {
     /// that trickle a partial head or body forever and by clients that
     /// never drain their response; zero disables both deadlines.
     pub request_timeout: Duration,
+    /// When set, trace every `/query` and `/query_batch` internally and
+    /// log one structured line (with the full span tree) for each
+    /// request whose total reaches the threshold. `None` disables both
+    /// the logging and the always-on tracing it requires.
+    pub slow_query: Option<Duration>,
     /// Default ranking parameters for requests that omit them.
     pub defaults: QueryParams,
 }
@@ -91,6 +98,7 @@ impl ServerConfig {
             poll_interval: Duration::from_millis(200),
             keep_alive_idle: Duration::from_secs(10),
             request_timeout: Duration::from_secs(10),
+            slow_query: None,
             defaults: QueryParams::default(),
         }
     }
@@ -144,10 +152,13 @@ struct Ctx {
     cache: QueryCache,
     /// Raw-body-hash → canonical fingerprint memos, so a repeated
     /// byte-identical body skips the JSON parse in front of the cache
-    /// (the parse dominates the warm path on large queries). The batch
-    /// memo also carries the query count the hit path must account.
-    memo_query: ParseMemo<u128>,
-    memo_batch: ParseMemo<(u128, u64)>,
+    /// (the parse dominates the warm path on large queries). Both memos
+    /// also carry the request's trace flag (the hit path never parses,
+    /// but must still know whether to splice a span tree in); the batch
+    /// memo additionally carries the query count the hit path accounts.
+    memo_query: ParseMemo<(u128, bool)>,
+    memo_batch: ParseMemo<(u128, u64, bool)>,
+    slow_query: Option<Duration>,
     poll_interval: Duration,
     /// `/corpus` body cached per served generation, so polling
     /// dashboards don't re-stat the store (manifest + every delta
@@ -222,6 +233,7 @@ impl ServerHandle {
 /// cannot be bound.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     let snapshot = IndexSnapshot::from_store(&config.store, config.load_threads)?;
+    let initial_generation = snapshot.generation();
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -236,11 +248,17 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         // disable it too rather than pay its insert on every miss.
         memo_query: ParseMemo::new(cache::memo_capacity(config.cache_capacity)),
         memo_batch: ParseMemo::new(cache::memo_capacity(config.cache_capacity)),
+        slow_query: config.slow_query,
         poll_interval: config.poll_interval,
         corpus_info: Mutex::new(None),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
     });
+    // Until the refresher's first poll, the freshest on-disk generation
+    // the process has observed is the one it just loaded.
+    ctx.stats
+        .store_generation
+        .store(initial_generation, Ordering::Relaxed);
 
     let limits = ConnLimits {
         keep_alive_idle: config.keep_alive_idle,
@@ -295,12 +313,22 @@ fn refresher_loop(ctx: &Ctx, interval: Duration) {
             // silently kill generation tracking while the server keeps
             // answering 200 from an ever-staler snapshot.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                refresh(&ctx.cell, &ctx.store, ctx.load_threads)
+                refresh_with_generation(&ctx.cell, &ctx.store, ctx.load_threads)
             }));
             match outcome {
-                Ok(Ok(RefreshOutcome::Unchanged)) => {}
-                Ok(Ok(RefreshOutcome::Refreshed(_))) => ServerStats::bump(&ctx.stats.refreshes),
-                Ok(Ok(RefreshOutcome::Rebuilt)) => ServerStats::bump(&ctx.stats.rebuilds),
+                Ok(Ok((outcome, store_generation))) => {
+                    // Even an Unchanged poll refreshes the on-disk view,
+                    // keeping the /metrics generation-lag gauge honest
+                    // while a later refresh is failing.
+                    ctx.stats
+                        .store_generation
+                        .store(store_generation, Ordering::Relaxed);
+                    match outcome {
+                        RefreshOutcome::Unchanged => {}
+                        RefreshOutcome::Refreshed(_) => ServerStats::bump(&ctx.stats.refreshes),
+                        RefreshOutcome::Rebuilt => ServerStats::bump(&ctx.stats.rebuilds),
+                    }
+                }
                 Ok(Err(e)) => {
                     // Keep serving the old snapshot; a mutation that is
                     // mid-write will be complete by a later poll.
@@ -328,7 +356,7 @@ fn route(ctx: &Ctx, req: &Request) -> (u16, Body, Option<&'static str>) {
         .map_or(req.path.as_str(), |(path, _query)| path);
     let (status, body) = route_path(ctx, req, path);
     let allow = (status == 405).then_some(match path {
-        "/healthz" | "/stats" | "/corpus" => "GET",
+        "/healthz" | "/stats" | "/corpus" | "/metrics" => "GET",
         _ => "POST",
     });
     (status, body, allow)
@@ -354,6 +382,23 @@ fn route_path(ctx: &Ctx, req: &Request, path: &str) -> (u16, Body) {
             (
                 200,
                 Body::Owned(ctx.stats.to_json(snap.generation(), ctx.cache.len())),
+            )
+        }
+        ("GET", "/metrics") => {
+            ServerStats::bump(&ctx.stats.metrics);
+            let snap = ctx.cell.load();
+            (
+                200,
+                Body::Text(
+                    metrics::render_server(
+                        &ctx.stats,
+                        snap.generation(),
+                        snap.index().len() as u64,
+                        ctx.cache.len() as u64,
+                        ctx.cache.evictions(),
+                    ),
+                    promtext::CONTENT_TYPE,
+                ),
             )
         }
         ("GET", "/corpus") => {
@@ -441,92 +486,176 @@ fn route_path(ctx: &Ctx, req: &Request, path: &str) -> (u16, Body) {
         // OPTIONS, …) is 405, not "no such endpoint".
         (
             _,
-            "/healthz" | "/stats" | "/corpus" | "/query" | "/query_batch" | "/shard_query"
-            | "/shard_query_batch" | "/shard_reports",
+            "/healthz" | "/stats" | "/corpus" | "/metrics" | "/query" | "/query_batch"
+            | "/shard_query" | "/shard_query_batch" | "/shard_reports",
         ) => (405, Body::Owned(api::render_error("method not allowed"))),
         _ => (404, Body::Owned(api::render_error("no such endpoint"))),
     }
 }
 
+/// Close out `/query` / `/query_batch`: slow-query logging and the
+/// trace splice, both no-ops unless this request enabled tracing.
+fn finish(ctx: &Ctx, trace: &Trace, want_trace: bool, status: u16, body: Body) -> (u16, Body) {
+    conn::finish_traced(
+        &ctx.stats,
+        ctx.slow_query,
+        "sketch-serve",
+        trace,
+        want_trace,
+        status,
+        body,
+    )
+}
+
 fn handle_query(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
     let raw = api::raw_fingerprint(body);
     let snap = ctx.cell.load();
+    let mut trace = Trace::new(ctx.slow_query.is_some());
     // A memo hit proves these exact bytes parsed to this canonical
-    // fingerprint before — skip the parse when the answer is cached.
-    if let Some(fp) = ctx.memo_query.get(raw) {
-        if let Some(cached) = ctx.cache.get(&(fp, snap.generation())) {
-            ServerStats::bump(&ctx.stats.cache_hits);
-            return (200, Body::Shared(cached));
+    // fingerprint (and trace flag) before — skip the parse when the
+    // answer is cached.
+    if let Some((fp, want_trace)) = ctx.memo_query.get(raw) {
+        if want_trace && !trace.is_enabled() {
+            trace = Trace::enabled();
         }
+        let guard = trace.begin("cache_probe");
+        let cached = ctx.cache.get(&(fp, snap.generation()));
+        trace.end(guard);
+        if let Some(cached) = cached {
+            ServerStats::bump(&ctx.stats.cache_hits);
+            return finish(ctx, &trace, want_trace, 200, Body::Shared(cached));
+        }
+    } else if !trace.is_enabled() && api::wants_trace_hint(body) {
+        trace = Trace::enabled();
     }
-    let req = match QueryRequest::parse(body, &ctx.defaults) {
+    let guard = trace.begin("parse");
+    let parsed = QueryRequest::parse(body, &ctx.defaults);
+    trace.end(guard);
+    let req = match parsed {
         Ok(req) => req,
-        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+        Err(msg) => {
+            return finish(
+                ctx,
+                &trace,
+                false,
+                400,
+                Body::Owned(api::render_error(&msg)),
+            )
+        }
     };
+    if req.trace && !trace.is_enabled() {
+        trace = Trace::enabled();
+    }
     let fp = req.fingerprint();
-    ctx.memo_query.put(raw, fp);
+    ctx.memo_query.put(raw, (fp, req.trace));
     let key = (fp, snap.generation());
-    if let Some(cached) = ctx.cache.get(&key) {
+    let guard = trace.begin("cache_probe");
+    let cached = ctx.cache.get(&key);
+    trace.end(guard);
+    if let Some(cached) = cached {
         ServerStats::bump(&ctx.stats.cache_hits);
-        return (200, Body::Shared(cached));
+        return finish(ctx, &trace, req.trace, 200, Body::Shared(cached));
     }
     ServerStats::bump(&ctx.stats.cache_misses);
+    let guard = trace.begin("build_query");
     let sketch = snap.build_query(&req.body.id, req.body.keys, req.body.values);
-    let results = engine::top_k_with_reports(
+    trace.end(guard);
+    let guard = trace.begin("execute");
+    let (results, plan) = engine::top_k_with_reports_traced(
         snap.index(),
         &sketch,
         &req.params.to_options(),
         req.params.alpha,
+        &mut trace,
     );
+    trace.end(guard);
+    ctx.stats.absorb_plan(&plan);
+    let guard = trace.begin("render");
     let rendered = api::render_query_response(snap.generation(), &req.params, &results);
+    trace.end(guard);
+    // The cache stores only the untraced body: a traced request and its
+    // untraced twin must read back byte-identical result payloads.
     ctx.cache.put(key, Arc::from(rendered.as_str()));
-    (200, Body::Owned(rendered))
+    finish(ctx, &trace, req.trace, 200, Body::Owned(rendered))
 }
 
 fn handle_batch(ctx: &Ctx, body: &[u8]) -> (u16, Body) {
     let raw = api::raw_fingerprint(body);
     let snap = ctx.cell.load();
-    if let Some((fp, batched)) = ctx.memo_batch.get(raw) {
-        if let Some(cached) = ctx.cache.get(&(fp, snap.generation())) {
+    let mut trace = Trace::new(ctx.slow_query.is_some());
+    if let Some((fp, batched, want_trace)) = ctx.memo_batch.get(raw) {
+        if want_trace && !trace.is_enabled() {
+            trace = Trace::enabled();
+        }
+        let guard = trace.begin("cache_probe");
+        let cached = ctx.cache.get(&(fp, snap.generation()));
+        trace.end(guard);
+        if let Some(cached) = cached {
             ServerStats::bump(&ctx.stats.cache_hits);
             ctx.stats
                 .batched_queries
                 .fetch_add(batched, Ordering::Relaxed);
-            return (200, Body::Shared(cached));
+            return finish(ctx, &trace, want_trace, 200, Body::Shared(cached));
         }
+    } else if !trace.is_enabled() && api::wants_trace_hint(body) {
+        trace = Trace::enabled();
     }
-    let req = match BatchRequest::parse(body, &ctx.defaults) {
+    let guard = trace.begin("parse");
+    let parsed = BatchRequest::parse(body, &ctx.defaults);
+    trace.end(guard);
+    let req = match parsed {
         Ok(req) => req,
-        Err(msg) => return (400, Body::Owned(api::render_error(&msg))),
+        Err(msg) => {
+            return finish(
+                ctx,
+                &trace,
+                false,
+                400,
+                Body::Owned(api::render_error(&msg)),
+            )
+        }
     };
+    if req.trace && !trace.is_enabled() {
+        trace = Trace::enabled();
+    }
     let fp = req.fingerprint();
-    ctx.memo_batch.put(raw, (fp, req.queries.len() as u64));
+    ctx.memo_batch
+        .put(raw, (fp, req.queries.len() as u64, req.trace));
     let key = (fp, snap.generation());
-    if let Some(cached) = ctx.cache.get(&key) {
+    let guard = trace.begin("cache_probe");
+    let cached = ctx.cache.get(&key);
+    trace.end(guard);
+    if let Some(cached) = cached {
         ServerStats::bump(&ctx.stats.cache_hits);
         ctx.stats
             .batched_queries
             .fetch_add(req.queries.len() as u64, Ordering::Relaxed);
-        return (200, Body::Shared(cached));
+        return finish(ctx, &trace, req.trace, 200, Body::Shared(cached));
     }
     ServerStats::bump(&ctx.stats.cache_misses);
     ctx.stats
         .batched_queries
         .fetch_add(req.queries.len() as u64, Ordering::Relaxed);
+    let guard = trace.begin("build_query");
     let sketches: Vec<_> = req
         .queries
         .into_iter()
         .map(|q| snap.build_query(&q.id, q.keys, q.values))
         .collect();
-    let answers = engine::top_k_batch_with_reports(
+    trace.end(guard);
+    let (answers, plan) = engine::top_k_batch_with_reports_traced(
         snap.index(),
         &sketches,
         &req.params.to_options(),
         req.params.alpha,
+        &mut trace,
     );
+    ctx.stats.absorb_plan(&plan);
+    let guard = trace.begin("render");
     let rendered = api::render_batch_response(snap.generation(), &req.params, &answers);
+    trace.end(guard);
     ctx.cache.put(key, Arc::from(rendered.as_str()));
-    (200, Body::Owned(rendered))
+    finish(ctx, &trace, req.trace, 200, Body::Owned(rendered))
 }
 
 /// `POST /shard_query`: this worker's half of a scattered `/query` —

@@ -129,10 +129,27 @@ pub fn refresh(
     dir: &Path,
     threads: usize,
 ) -> Result<RefreshOutcome, StoreError> {
+    refresh_with_generation(cell, dir, threads).map(|(outcome, _)| outcome)
+}
+
+/// [`refresh`], additionally reporting the store's *on-disk* manifest
+/// generation — what `/metrics` exposes as the refresher's view of the
+/// store, so generation lag (disk ahead of served) is observable even
+/// while a refresh is failing.
+///
+/// # Errors
+///
+/// As [`refresh`].
+pub fn refresh_with_generation(
+    cell: &SnapshotCell,
+    dir: &Path,
+    threads: usize,
+) -> Result<(RefreshOutcome, u64), StoreError> {
     let current = cell.load();
     let manifest = Manifest::load(dir)?;
+    let store_generation = manifest.generation;
     if manifest.generation == current.generation() {
-        return Ok(RefreshOutcome::Unchanged);
+        return Ok((RefreshOutcome::Unchanged, store_generation));
     }
     // Clone-and-catch-up off the hot path; readers keep serving the old
     // snapshot until the swap below.
@@ -140,7 +157,7 @@ pub fn refresh(
     match index.refresh_from_store(dir, threads) {
         Ok(applied) => {
             cell.store(Arc::new(IndexSnapshot::new(index)));
-            Ok(RefreshOutcome::Refreshed(applied))
+            Ok((RefreshOutcome::Refreshed(applied), store_generation))
         }
         Err(e)
             if matches!(
@@ -150,7 +167,7 @@ pub fn refresh(
         {
             let rebuilt = IndexSnapshot::from_store(dir, threads)?;
             cell.store(Arc::new(rebuilt));
-            Ok(RefreshOutcome::Rebuilt)
+            Ok((RefreshOutcome::Rebuilt, store_generation))
         }
         Err(e) => Err(e),
     }

@@ -8,20 +8,30 @@
 //! across nine decades — plenty for p50/p95/p99 reporting.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Number of log2 histogram buckets: covers up to ~2^40 µs ≈ 12 days.
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
 
-/// A latency histogram with power-of-two microsecond buckets.
+/// A latency histogram with power-of-two microsecond buckets, plus
+/// exact sum/min/max — the log2 buckets alone are accurate to ~50% per
+/// sample, and the saturation clamp would silently hide the true
+/// worst-case latency from `/stats` and the load-harness reports.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
         }
     }
 }
@@ -31,6 +41,9 @@ impl LatencyHistogram {
     pub fn record_us(&self, us: u64) {
         let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
     /// Copy out the bucket counts.
@@ -41,6 +54,26 @@ impl LatencyHistogram {
             *o = b.load(Ordering::Relaxed);
         }
         out
+    }
+
+    /// Exact sum of every recorded latency, µs.
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest recorded latency, µs (`None` before any sample).
+    #[must_use]
+    pub fn min_us(&self) -> Option<u64> {
+        let v = self.min_us.load(Ordering::Relaxed);
+        (v != u64::MAX).then_some(v)
+    }
+
+    /// Exact largest recorded latency, µs (`None` before any sample —
+    /// distinguishable from a genuine 0 µs fastest-path sample).
+    #[must_use]
+    pub fn max_us(&self) -> Option<u64> {
+        self.min_us().map(|_| self.max_us.load(Ordering::Relaxed))
     }
 
     /// Estimate the `p`-th percentile (0–100, clamped) in milliseconds
@@ -84,8 +117,13 @@ impl LatencyHistogram {
 
 /// All server counters, shared by the workers, the refresher, and the
 /// `/stats` endpoint.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
+    /// Monotonic start instant, for `uptime_s`.
+    pub started: Instant,
+    /// Wall-clock start as a unix timestamp (seconds), so scrapers can
+    /// align counter resets across restarts.
+    pub started_unix: u64,
     /// Requests that reached routing (any endpoint, any status).
     pub requests: AtomicU64,
     /// `POST /query` requests.
@@ -103,6 +141,8 @@ pub struct ServerStats {
     pub healthz: AtomicU64,
     /// `GET /stats` requests.
     pub stats: AtomicU64,
+    /// `GET /metrics` scrapes.
+    pub metrics: AtomicU64,
     /// Responses with a non-2xx status.
     pub errors: AtomicU64,
     /// Coordinator responses served with at least one degraded shard
@@ -116,15 +156,92 @@ pub struct ServerStats {
     pub refreshes: AtomicU64,
     /// Full index rebuilds (post-compaction `StaleGeneration`).
     pub rebuilds: AtomicU64,
+    /// The store generation the refresher last observed on disk; with
+    /// [`Self::store_generation`] ≥ served generation always, the
+    /// difference is the refresher's generation lag.
+    pub store_generation: AtomicU64,
+    /// Requests that carried `"trace": true`.
+    pub traced: AtomicU64,
+    /// Requests at or over the slow-query threshold (0 when no
+    /// threshold is armed).
+    pub slow_queries: AtomicU64,
+    /// Planner totals across answered queries: candidates that survived
+    /// retrieval + join.
+    pub plan_candidates: AtomicU64,
+    /// Planner totals: cheap (pass-1 Pearson) estimator invocations.
+    pub plan_cheap_invocations: AtomicU64,
+    /// Planner totals: requested-estimator invocations (the contested
+    /// band on the two-pass plan, every admitted candidate otherwise).
+    pub plan_expensive_invocations: AtomicU64,
+    /// Planner totals: candidates pruned without the expensive
+    /// estimator.
+    pub plan_pruned: AtomicU64,
+    /// Planner totals: promotion fixed-point rounds.
+    pub plan_promotion_rounds: AtomicU64,
     /// Query latency histogram (`/query` and `/query_batch`, cache hits
     /// included).
     pub latency: LatencyHistogram,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            started_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            requests: AtomicU64::new(0),
+            query: AtomicU64::new(0),
+            query_batch: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            shard: AtomicU64::new(0),
+            corpus: AtomicU64::new(0),
+            healthz: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            store_generation: AtomicU64::new(0),
+            traced: AtomicU64::new(0),
+            slow_queries: AtomicU64::new(0),
+            plan_candidates: AtomicU64::new(0),
+            plan_cheap_invocations: AtomicU64::new(0),
+            plan_expensive_invocations: AtomicU64::new(0),
+            plan_pruned: AtomicU64::new(0),
+            plan_promotion_rounds: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+        }
+    }
 }
 
 impl ServerStats {
     /// Bump a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whole seconds since the server started.
+    #[must_use]
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Fold one answered query's planner statistics into the totals.
+    pub fn absorb_plan(&self, plan: &sketch_index::PlanStats) {
+        self.plan_candidates
+            .fetch_add(plan.candidates as u64, Ordering::Relaxed);
+        self.plan_cheap_invocations
+            .fetch_add(plan.cheap_invocations as u64, Ordering::Relaxed);
+        self.plan_expensive_invocations
+            .fetch_add(plan.expensive_invocations as u64, Ordering::Relaxed);
+        self.plan_pruned
+            .fetch_add(plan.pruned as u64, Ordering::Relaxed);
+        self.plan_promotion_rounds
+            .fetch_add(plan.promotion_rounds as u64, Ordering::Relaxed);
     }
 
     /// Render the `/stats` payload: counters plus histogram percentiles,
@@ -136,12 +253,16 @@ impl ServerStats {
         let counts = self.latency.snapshot();
         let served: u64 = counts.iter().sum();
         format!(
-            "{{\"generation\":{generation},\"requests\":{},\"query\":{},\
+            "{{\"generation\":{generation},\"uptime_s\":{},\"started_unix\":{},\
+             \"requests\":{},\"query\":{},\
              \"query_batch\":{},\"batched_queries\":{},\"shard\":{},\"corpus\":{},\
              \"healthz\":{},\"stats\":{},\"errors\":{},\"degraded\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{cached},\
              \"refreshes\":{},\"rebuilds\":{},\"latency\":{{\"count\":{served},\
-             \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4}}}}}",
+             \"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\
+             \"min_ms\":{:.4},\"max_ms\":{:.4}}}}}",
+            self.uptime_s(),
+            self.started_unix,
             load(&self.requests),
             load(&self.query),
             load(&self.query_batch),
@@ -159,6 +280,8 @@ impl ServerStats {
             LatencyHistogram::percentile_ms(&counts, 50.0),
             LatencyHistogram::percentile_ms(&counts, 95.0),
             LatencyHistogram::percentile_ms(&counts, 99.0),
+            self.latency.min_us().unwrap_or(0) as f64 / 1000.0,
+            self.latency.max_us().unwrap_or(0) as f64 / 1000.0,
         )
     }
 }
@@ -244,5 +367,28 @@ mod tests {
         let lat = obj.get("latency").unwrap().as_object("latency").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64("n").unwrap(), 1);
         assert!(lat.get("p99_ms").unwrap().as_f64("p99").unwrap() > 0.0);
+        assert_eq!(lat.get("min_ms").unwrap().as_f64("min").unwrap(), 0.25);
+        assert_eq!(lat.get("max_ms").unwrap().as_f64("max").unwrap(), 0.25);
+        assert!(obj.get("uptime_s").unwrap().as_u64("u").is_ok());
+        assert!(obj.get("started_unix").unwrap().as_u64("s").unwrap() > 1_600_000_000);
+    }
+
+    #[test]
+    fn exact_min_max_sum_track_alongside_the_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.min_us(), None);
+        assert_eq!(h.max_us(), None);
+        assert_eq!(h.sum_us(), 0);
+        h.record_us(700);
+        h.record_us(3);
+        h.record_us(90_000);
+        assert_eq!(h.min_us(), Some(3));
+        assert_eq!(h.max_us(), Some(90_000));
+        assert_eq!(h.sum_us(), 90_703);
+        // A genuine 0 µs sample is distinguishable from "no samples".
+        let z = LatencyHistogram::default();
+        z.record_us(0);
+        assert_eq!(z.min_us(), Some(0));
+        assert_eq!(z.max_us(), Some(0));
     }
 }

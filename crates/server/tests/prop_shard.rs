@@ -420,6 +420,7 @@ fn coordinator_batch_matches_single_process() {
         let single = api::QueryRequest {
             body: q.clone(),
             params: req.params,
+            trace: false,
         };
         let (outcome, s) = replay_merge(&cluster.worker_dirs, &single, &opts);
         assert_eq!(

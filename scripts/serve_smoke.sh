@@ -86,6 +86,31 @@ grep -q '"confidence":0.9' "$WORK/r_scored.json" || fail "scored query did not e
 grep -q '"ci_lo":' "$WORK/r_scored.json" || fail "scored query missing CI fields"
 cmp -s "$WORK/r1.json" "$WORK/r_scored.json" && fail "scored and default responses must differ"
 
+# --- 3b. Metrics smoke: traced query + a clean Prometheus scrape. -------
+TRACED="${QUERY%\}},\"trace\":true}"
+echo "$TRACED" > "$WORK/traced.json"
+curl -sf -X POST --data-binary @"$WORK/traced.json" "$BASE/query" > "$WORK/r_traced.json"
+grep -q '"trace":{' "$WORK/r_traced.json" || fail "traced query carried no trace object"
+grep -q '"spans":\[{' "$WORK/r_traced.json" || fail "trace carried no spans"
+# Stripping the spliced trace recovers the untraced answer byte-for-byte.
+sed 's/,"trace":.*$/}/' "$WORK/r_traced.json" > "$WORK/r_stripped.json"
+cmp -s "$WORK/r1.json" "$WORK/r_stripped.json" \
+  || fail "traced result payload differs from the untraced one"
+
+curl -sf "$BASE/metrics" > "$WORK/metrics.txt"
+grep -q '^# TYPE sketch_requests_total counter$' "$WORK/metrics.txt" \
+  || fail "/metrics missing the requests counter family"
+grep -q '^sketch_requests_total{endpoint="query"} ' "$WORK/metrics.txt" \
+  || fail "/metrics missing the per-endpoint request counter"
+grep -q '^# TYPE sketch_query_latency_seconds histogram$' "$WORK/metrics.txt" \
+  || fail "/metrics missing the latency histogram family"
+grep -q '^sketch_query_latency_seconds_bucket{le="+Inf"} ' "$WORK/metrics.txt" \
+  || fail "/metrics latency histogram has no +Inf bucket"
+grep -q '^sketch_generation 0$' "$WORK/metrics.txt" \
+  || fail "/metrics missing the served generation gauge"
+grep -q '^sketch_traced_requests_total 1$' "$WORK/metrics.txt" \
+  || fail "/metrics did not count the traced request"
+
 # --- 4. Mutate the corpus under the live server. ------------------------
 "$CORRSKETCH" corpus append --store "$WORK/store" --dir "$WORK/more"
 for _ in $(seq 1 100); do
@@ -199,6 +224,19 @@ curl -sf "$CBASE/healthz" | grep -q '"status":"degraded"' || fail "coordinator n
 curl -sf --max-time 10 -X POST --data-binary @"$WORK/scored.json" "$CBASE/query" > "$WORK/c4.json"
 grep -q '"degraded":\[{"shard":2' "$WORK/c4.json" || fail "degraded answer does not name the dead shard"
 grep -q '"results":' "$WORK/c4.json" || fail "degraded answer carries no results field"
+
+# --- 9b. Coordinator metrics reflect per-shard health under the kill. ---
+curl -sf "$CBASE/metrics" > "$WORK/coord_metrics.txt"
+grep -q '^sketch_shards 3$' "$WORK/coord_metrics.txt" \
+  || fail "coordinator /metrics missing the shard count"
+grep -q '^sketch_shard_healthy{shard="2"} 0$' "$WORK/coord_metrics.txt" \
+  || fail "killed worker not reflected in sketch_shard_healthy"
+grep -q '^sketch_shard_healthy{shard="0"} 1$' "$WORK/coord_metrics.txt" \
+  || fail "live worker not healthy in sketch_shard_healthy"
+grep -q '^sketch_shard_generation{shard="0"} 1$' "$WORK/coord_metrics.txt" \
+  || fail "per-shard generation gauge stale after the append"
+DEGRADED=$(grep '^sketch_degraded_responses_total ' "$WORK/coord_metrics.txt" | awk '{print $2}')
+[ "${DEGRADED:-0}" -ge 1 ] || fail "degraded response not counted in /metrics"
 
 # --- 10. Clean SIGTERM: coordinator first, then the live workers. -------
 kill -TERM "$COORD_PID"
