@@ -57,9 +57,17 @@ fn agg_code(agg: Aggregation) -> u8 {
 
 fn agg_from_code(code: u8) -> Result<Aggregation, SketchError> {
     Aggregation::ALL
-        .get(code as usize)
+        .get(usize::from(code))
         .copied()
         .ok_or_else(|| SketchError::Corrupt(format!("unknown aggregation code {code}")))
+}
+
+/// Widen a `u32` wire-format length/count into a `usize`, failing as
+/// [`SketchError::Corrupt`] on targets whose `usize` cannot hold it
+/// (instead of silently wrapping the way a bare `as` cast would).
+fn wire_len(field: u32, context: &str) -> Result<usize, SketchError> {
+    usize::try_from(field)
+        .map_err(|_| SketchError::Corrupt(format!("{context} {field} exceeds this target's usize")))
 }
 
 /// Byte-slice cursor with typed truncation errors.
@@ -146,7 +154,10 @@ impl CorrelationSketch {
         match self.strategy {
             SelectionStrategy::FixedSize(size) => {
                 out.push(0);
-                out.extend_from_slice(&(size as u64).to_le_bytes());
+                let size = u64::try_from(size).map_err(|_| {
+                    SketchError::Corrupt("fixed-size selection budget exceeds u64".into())
+                })?;
+                out.extend_from_slice(&size.to_le_bytes());
             }
             SelectionStrategy::Threshold(t) => {
                 out.push(1);
@@ -193,7 +204,7 @@ impl CorrelationSketch {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SketchError> {
         let mut r = Reader { bytes, pos: 0 };
 
-        let id_len = r.u32("id length")? as usize;
+        let id_len = wire_len(r.u32("id length")?, "id length")?;
         let id = std::str::from_utf8(r.take(id_len, "sketch id")?)
             .map_err(|e| SketchError::Corrupt(format!("sketch id is not UTF-8: {e}")))?
             .to_string();
@@ -263,7 +274,7 @@ impl CorrelationSketch {
             }
         };
 
-        let n = r.u32("entry count")? as usize;
+        let n = wire_len(r.u32("entry count")?, "entry count")?;
         // Bound the allocation by the bytes actually present: a corrupted
         // count must fail with Truncated, not attempt a 64 GiB reserve.
         let available = bytes.len() - r.pos;
@@ -379,7 +390,7 @@ pub fn decode_tombstone(payload: &[u8]) -> Result<String, SketchError> {
             "record tag {tag} where a tombstone ({DELTA_TAG_TOMBSTONE}) was expected"
         )));
     }
-    let id_len = r.u32("tombstone id length")? as usize;
+    let id_len = wire_len(r.u32("tombstone id length")?, "tombstone id length")?;
     let id = std::str::from_utf8(r.take(id_len, "tombstone id")?)
         .map_err(|e| SketchError::Corrupt(format!("tombstone id is not UTF-8: {e}")))?
         .to_string();

@@ -154,7 +154,7 @@ impl MultiColumnSketch {
         }
 
         let mut tagged: Vec<(HeapKey, Vec<f64>)> = members
-            .into_iter()
+            .into_iter() // lint: ordered (sorted by HeapKey before any output below)
             .map(|(kh, states)| {
                 let values = states
                     .into_iter()

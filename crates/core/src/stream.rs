@@ -123,7 +123,7 @@ impl StreamingSketchBuilder {
         // Units were captured at push time; no key is rehashed here.
         let mut tagged: Vec<(HeapKey, f64)> = self
             .members
-            .into_iter()
+            .into_iter() // lint: ordered (sorted by HeapKey before any output below)
             .map(|(kh, (unit, state))| (HeapKey { unit, key: kh }, state.value()))
             .collect();
         tagged.sort_by_key(|e| e.0);

@@ -1,0 +1,18 @@
+// R1 positive fixture: unordered-map iteration observable on a result
+// path, with no `// lint: ordered` justification.
+
+use std::collections::{HashMap, HashSet};
+
+fn scores(by_id: &HashMap<u64, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (_, v) in by_id { //~ R1
+        out.push(*v);
+    }
+    out
+}
+
+fn ids() -> Vec<u64> {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    seen.iter().copied().collect() //~ R1
+}

@@ -1,0 +1,17 @@
+// R1 negative fixture: justified iteration (sorted before any output)
+// and plain lookups, which are order-independent.
+
+use std::collections::HashMap;
+
+fn sorted_scores(by_id: &HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    let mut out: Vec<(u64, f64)> = by_id
+        .iter() // lint: ordered (sorted by key before returning)
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+fn lookup(by_id: &HashMap<u64, f64>, k: u64) -> Option<f64> {
+    by_id.get(&k).copied()
+}

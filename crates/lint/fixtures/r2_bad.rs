@@ -1,0 +1,17 @@
+// R2 positive fixture: every shape of the PR-5 NaN-ordering bug.
+
+fn rank(mut xs: Vec<f64>) {
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap()); //~ R2
+}
+
+fn worst(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); //~ R2
+}
+
+fn cmp_one(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap() //~ R2
+}
+
+fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("comparable")) //~ R2
+}

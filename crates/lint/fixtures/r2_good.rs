@@ -1,0 +1,15 @@
+// R2 negative fixture: total orderings and non-panicking partial_cmp
+// uses are all fine.
+
+fn rank(mut xs: Vec<f64>) {
+    xs.sort_by(f64::total_cmp);
+    xs.sort_by(|a, b| b.total_cmp(a));
+}
+
+fn comparable(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+fn by_len(xs: &mut Vec<String>) {
+    xs.sort_by(|a, b| a.len().cmp(&b.len()));
+}

@@ -1,0 +1,21 @@
+// R3 positive fixture: every panic shape the request path bans.
+
+fn handle(buf: &[u8]) -> u8 {
+    let first = buf[0]; //~ R3
+    let parsed: u32 = std::str::from_utf8(buf).unwrap().parse().unwrap(); //~ R3 R3
+    if parsed > 10 {
+        panic!("too big"); //~ R3
+    }
+    first
+}
+
+fn must(v: Option<u8>) -> u8 {
+    v.expect("present") //~ R3
+}
+
+fn never(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), //~ R3
+    }
+}

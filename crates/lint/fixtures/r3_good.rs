@@ -1,0 +1,27 @@
+// R3 negative fixture: checked access, non-indexing brackets, and
+// panics confined to test code.
+
+fn handle(buf: &[u8]) -> Option<u8> {
+    buf.get(0).copied()
+}
+
+fn arr() -> [u8; 2] {
+    [1, 2]
+}
+
+fn grow() -> Vec<u8> {
+    vec![1u8, 2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_and_unwraps_in_tests_are_fine() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], 1);
+        let _ = v.last().unwrap();
+        if v.len() > 2 {
+            panic!("impossible");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// R4 positive fixture: `unsafe` without a SAFETY argument.
+
+fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() } //~ R4
+}
+
+/// Documented, but the docs never argue soundness.
+unsafe fn raw_read(p: *const u8) -> u8 { //~ R4
+    *p
+}

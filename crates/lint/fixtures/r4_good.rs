@@ -1,0 +1,12 @@
+// R4 negative fixture: every `unsafe` states its invariant.
+
+fn peek(xs: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `xs` is non-empty, so `as_ptr` is valid
+    // for a one-byte read.
+    unsafe { *xs.as_ptr() }
+}
+
+// SAFETY: the caller must pass a pointer valid for reads of one byte.
+unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}

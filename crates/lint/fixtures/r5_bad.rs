@@ -1,0 +1,10 @@
+// R5 positive fixture: clock reads in an identity-defining module.
+
+use std::time::{Instant, SystemTime};
+
+fn cache_key(q: &str) -> usize {
+    let t = Instant::now(); //~ R5
+    let _ = SystemTime::now(); //~ R5
+    let _ = t;
+    q.len()
+}

@@ -1,0 +1,19 @@
+// R5 negative fixture: consuming an Instant handed in from outside is
+// fine (identity stays a pure function of the inputs), as are clock
+// reads confined to test code.
+
+use std::time::Instant;
+
+fn observe(started: Instant) -> u128 {
+    started.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_inside_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,7 @@
+// R6 positive fixture: bare integer casts in a codec/parse path.
+
+fn decode(len_field: u32, bytes: &[u8]) -> usize {
+    let len = len_field as usize; //~ R6
+    let _hi = bytes.len() as u32; //~ R6
+    len
+}

@@ -1,0 +1,15 @@
+// R6 negative fixture: typed conversions, justified casts, and float
+// casts (which cannot silently truncate an index or length).
+
+fn decode(len_field: u32, total: usize) -> Option<usize> {
+    let len = usize::try_from(len_field).ok()?;
+    let _ = u64::try_from(total).ok()?;
+    let lane = total as u64; // lint: cast-ok (usize -> u64 is lossless on supported targets)
+    let _ = lane;
+    Some(len)
+}
+
+fn to_float(n: u32) -> f64 {
+    let wide = n as f64;
+    wide
+}

@@ -1,0 +1,512 @@
+//! A hand-rolled Rust lexer: just enough of the real language to walk
+//! every `.rs` file in this workspace without mis-tokenizing it.
+//!
+//! The rule engine only needs a faithful *token stream* — identifiers,
+//! punctuation, and literals with line/column positions, with comments
+//! preserved as tokens (two rules read them) and string/comment
+//! *content* never leaking into the significant stream. That makes the
+//! hard parts exactly the classic lexer traps:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, arbitrarily many `#`s) and their
+//!   byte/C variants (`br#"…"#`, `cr"…"`), where `"` inside the body
+//!   must not terminate the literal;
+//! * nested block comments (`/* /* */ */` — Rust block comments nest,
+//!   unlike C);
+//! * `'a'` (char literal) vs `'a` (lifetime), including escapes
+//!   (`'\''`, `'\u{1F600}'`) and `'_'` vs `'_`;
+//! * byte chars/strings (`b'x'`, `b"…"`) and raw identifiers
+//!   (`r#match`).
+//!
+//! Coverage invariant (property-tested in `tests/lexer_battery.rs`):
+//! tokens are emitted in order, spans never overlap, and every byte of
+//! the input is either inside exactly one token span or is whitespace.
+//! Unterminated literals and comments extend to end of input rather
+//! than panicking — the lexer must be total over arbitrary bytes.
+
+/// What a [`Token`] is; the rule engine dispatches on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the engine does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'0'`.
+    CharLit,
+    /// Any string literal: plain, raw, byte, raw-byte, or C string.
+    StrLit,
+    /// A numeric literal (`.` is *not* consumed: `1.5` lexes as
+    /// `1` `.` `5`, which is harmless for pattern rules and keeps
+    /// `0..n` ranges unambiguous).
+    NumLit,
+    /// `// …` (including doc comments `///` and `//!`).
+    LineComment,
+    /// `/* … */`, nesting tracked.
+    BlockComment,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based character column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment (insignificant to most rules).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// The `n`-th char ahead of the cursor (0 = the next char).
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            return true;
+        }
+        false
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src` completely. Total over arbitrary input: malformed or
+/// unterminated constructs produce a best-effort token extending to end
+/// of input rather than an error.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = if c.is_whitespace() {
+            cur.bump();
+            continue;
+        } else if c == '/' && cur.peek_at(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if let Some(kind) = try_lex_prefixed(&mut cur) {
+            kind
+        } else if c == '"' {
+            lex_plain_string(&mut cur)
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // `/`
+    cur.bump(); // `*`
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: extend to EOF
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// Literal prefixes starting with `r`, `b`, or `c`: raw strings
+/// (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`), byte chars
+/// (`b'x'`), C strings (`c"…"`, `cr#"…"#`), and raw identifiers
+/// (`r#match`). Returns `None` when the cursor is not at any of these
+/// (plain identifiers fall through to `lex_ident`).
+fn try_lex_prefixed(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let rest = &cur.src[cur.pos..];
+    let mut chars = rest.chars();
+    let first = chars.next()?;
+    if !matches!(first, 'r' | 'b' | 'c') {
+        return None;
+    }
+    // The candidate prefix is 1–2 letters from {r, b, c} (`br`, `cr`),
+    // then optional `#`s, then a quote.
+    let second = chars.next();
+    let (prefix_len, raw) = match (first, second) {
+        ('b' | 'c', Some('r')) => (2, true),
+        ('r', _) => (1, true),
+        _ => (1, false),
+    };
+    // The prefix letters are ASCII, so byte slicing is safe here.
+    let after_prefix = &rest[prefix_len..];
+    let hashes = if raw {
+        after_prefix.bytes().take_while(|&b| b == b'#').count()
+    } else {
+        0
+    };
+    let quote = after_prefix[hashes..].chars().next();
+    match quote {
+        Some('"') => {
+            for _ in 0..prefix_len + hashes + 1 {
+                cur.bump();
+            }
+            lex_raw_or_plain_body(cur, raw, hashes);
+            Some(TokenKind::StrLit)
+        }
+        // `b'x'` — byte char literal.
+        Some('\'') if first == 'b' && !raw => {
+            cur.bump(); // `b`
+            cur.bump(); // `'`
+            lex_char_body(cur);
+            Some(TokenKind::CharLit)
+        }
+        // `r#ident` — raw identifier (exactly `r`, one `#`, ident start).
+        _ if first == 'r' && prefix_len == 1 && hashes == 1 => {
+            let c = after_prefix.chars().nth(1);
+            if c.is_some_and(is_ident_start) {
+                cur.bump(); // `r`
+                cur.bump(); // `#`
+                Some(lex_ident(cur))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Body of a string whose opening delimiter has been consumed. Raw
+/// strings end at `"` followed by `hashes` `#`s and process no escapes;
+/// plain strings honor `\` escapes.
+fn lex_raw_or_plain_body(cur: &mut Cursor<'_>, raw: bool, hashes: usize) {
+    while let Some(c) = cur.peek() {
+        if c == '"' {
+            if raw {
+                let closes = (0..hashes).all(|i| cur.peek_at(1 + i) == Some('#'));
+                if closes {
+                    for _ in 0..hashes + 1 {
+                        cur.bump();
+                    }
+                    return;
+                }
+                cur.bump();
+            } else {
+                cur.bump();
+                return;
+            }
+        } else if !raw && c == '\\' {
+            cur.bump();
+            cur.bump(); // the escaped char (any, incl. `"` and `\`)
+        } else {
+            cur.bump();
+        }
+    }
+    // Unterminated: extend to EOF.
+}
+
+fn lex_plain_string(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // opening `"`
+    lex_raw_or_plain_body(cur, false, 0);
+    TokenKind::StrLit
+}
+
+/// Body of a char literal whose opening `'` has been consumed: one
+/// (possibly escaped) character, then the closing `'`.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    match cur.peek() {
+        Some('\\') => {
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                // `\u{…}` consumes through the closing brace.
+                if esc == 'u' && cur.peek() == Some('{') {
+                    while let Some(c) = cur.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            cur.bump();
+        }
+        None => return,
+    }
+    cur.eat('\'');
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime). After the opening
+/// quote: a `\` always means a char literal; an identifier-ish char
+/// followed by `'` is a char literal (`'a'`, `'_'`); otherwise an
+/// identifier-start char begins a lifetime (`'a`, `'static`, `'_`);
+/// any other single char followed by `'` is a char literal (`'+'`).
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // `'`
+    match (cur.peek(), cur.peek_at(1)) {
+        (Some('\\'), _) => {
+            lex_char_body(cur);
+            TokenKind::CharLit
+        }
+        (Some(c), Some('\'')) if c != '\'' => {
+            cur.bump();
+            cur.bump();
+            TokenKind::CharLit
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Lifetime
+        }
+        (Some(_), _) => {
+            // `'+'`-style char of a non-ident char, or malformed input
+            // such as `''`; consume one char and an optional quote.
+            lex_char_body(cur);
+            TokenKind::CharLit
+        }
+        (None, _) => TokenKind::Punct, // trailing `'` at EOF
+    }
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> TokenKind {
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::Ident
+}
+
+/// Numbers consume `[0-9a-zA-Z_]` from a digit start — covering hex
+/// (`0xff`), suffixes (`10u64`), exponents without sign (`1e9`) — but
+/// never `.`, so `0..n` and `x.0` stay unambiguous. `1.5` lexing as
+/// three tokens is deliberate and harmless for pattern rules.
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    while cur
+        .peek()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        cur.bump();
+    }
+    TokenKind::NumLit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_ignore_interior_quotes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r###"let s = r#"a "quoted" b"#;"###),
+            vec![
+                (Ident, "let"),
+                (Ident, "s"),
+                (Punct, "="),
+                (StrLit, r###"r#"a "quoted" b"#"###),
+                (Punct, ";"),
+            ]
+        );
+        // More hashes than the body uses; `"#` inside must not close.
+        let src = r####"r##"has "# inside"##"####;
+        assert_eq!(kinds(src), vec![(TokenKind::StrLit, src)]);
+        assert_eq!(kinds(r#"r"""#), vec![(TokenKind::StrLit, "r\"\"")]);
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let src = "/* outer /* inner */ still outer */ after";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still outer */"
+                ),
+                (TokenKind::Ident, "after"),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a'"), vec![(CharLit, "'a'")]);
+        assert_eq!(kinds("'a"), vec![(Lifetime, "'a")]);
+        assert_eq!(kinds("'static"), vec![(Lifetime, "'static")]);
+        assert_eq!(kinds("'_'"), vec![(CharLit, "'_'")]);
+        assert_eq!(kinds("'\\''"), vec![(CharLit, "'\\''")]);
+        assert_eq!(kinds("'\\u{1F600}'"), vec![(CharLit, "'\\u{1F600}'")]);
+        assert_eq!(
+            kinds("<'a, 'b>"),
+            vec![
+                (Punct, "<"),
+                (Lifetime, "'a"),
+                (Punct, ","),
+                (Lifetime, "'b"),
+                (Punct, ">"),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_c_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("b\"bytes\""), vec![(StrLit, "b\"bytes\"")]);
+        assert_eq!(kinds("b'x'"), vec![(CharLit, "b'x'")]);
+        assert_eq!(
+            kinds("br#\"raw \" bytes\"#"),
+            vec![(StrLit, "br#\"raw \" bytes\"#")]
+        );
+        assert_eq!(kinds("c\"cstr\""), vec![(StrLit, "c\"cstr\"")]);
+        assert_eq!(kinds("cr#\"raw c\"#"), vec![(StrLit, "cr#\"raw c\"#")]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("let r#match = 1;"),
+            vec![
+                (Ident, "let"),
+                (Ident, "r#match"),
+                (Punct, "="),
+                (NumLit, "1"),
+                (Punct, ";"),
+            ]
+        );
+        // A bare `b` or `r` before something non-stringy is an ident.
+        assert_eq!(
+            kinds("b + r"),
+            vec![(Ident, "b"), (Punct, "+"), (Ident, "r")]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_eat_number_dots() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0..n"),
+            vec![(NumLit, "0"), (Punct, "."), (Punct, "."), (Ident, "n")]
+        );
+        assert_eq!(
+            kinds("1.5e3"),
+            vec![(NumLit, "1"), (Punct, "."), (NumLit, "5e3")]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "fn f() {\n    x.y\n}";
+        let toks = tokenize(src);
+        let x = toks.iter().find(|t| t.text(src) == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 5));
+        let close = toks.last().unwrap();
+        assert_eq!((close.line, close.col), (3, 1));
+    }
+
+    #[test]
+    fn unterminated_constructs_extend_to_eof() {
+        assert_eq!(kinds("\"open"), vec![(TokenKind::StrLit, "\"open")]);
+        assert_eq!(
+            kinds("/* open /* deeper"),
+            vec![(TokenKind::BlockComment, "/* open /* deeper")]
+        );
+        assert_eq!(kinds("r#\"open"), vec![(TokenKind::StrLit, "r#\"open")]);
+    }
+}

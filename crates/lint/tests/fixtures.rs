@@ -1,0 +1,126 @@
+//! Fixture self-test: every rule is exercised against positive and
+//! negative fixtures under `crates/lint/fixtures/`.
+//!
+//! Each `*_bad.rs` fixture marks the lines it expects to be flagged
+//! with `//~ RX` trailing comments (one rule id per expected
+//! diagnostic, repeated when one line should yield several); `*_good.rs`
+//! fixtures carry no markers and must come back clean. The harness runs
+//! each fixture's namesake rule (`r2_bad.rs` → R2), bypassing the path
+//! scoping that workspace runs apply, and compares the exact multiset
+//! of `(rule, line)` pairs — so a rule that stops firing, fires on the
+//! wrong line, or starts over-firing all fail here, not in production.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use sketch_lint::engine::SourceFile;
+use sketch_lint::rules::RULES;
+
+/// Parse `//~ R1 R3 ...` markers into a sorted `(rule, line)` multiset.
+fn expected_markers(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for id in line[pos + 3..].split_whitespace() {
+                let lineno = u32::try_from(idx + 1).expect("fixture fits in u32 lines");
+                out.push((id.to_string(), lineno));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The rule a fixture targets, from its `rN_(bad|good).rs` name.
+fn namesake_rule(name: &str) -> &'static sketch_lint::rules::Rule {
+    let id = name
+        .split('_')
+        .next()
+        .expect("fixture name has a rule prefix")
+        .to_uppercase();
+    sketch_lint::rules::rule_by_id(&id).unwrap_or_else(|| panic!("{name}: no rule named {id}"))
+}
+
+/// Run one rule's checker on the fixture, ignoring its path scope.
+fn diagnostics_for(rule: &sketch_lint::rules::Rule, path: &str, src: &str) -> Vec<(String, u32)> {
+    let file = SourceFile::new(path.to_string(), src.to_string());
+    let mut out: Vec<(String, u32)> = (rule.check)(&file)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    out.sort();
+    out
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable fixtures dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn fixtures_match_markers_exactly() {
+    let paths = fixture_paths();
+    assert!(
+        paths.len() >= 12,
+        "expected at least one bad+good fixture per rule, found {}",
+        paths.len()
+    );
+    for path in &paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 fixture name");
+        let src = std::fs::read_to_string(path).expect("readable fixture");
+        let expected = expected_markers(&src);
+        if name.contains("_good") {
+            assert!(
+                expected.is_empty(),
+                "{name}: good fixtures must not carry //~ markers"
+            );
+        } else {
+            assert!(
+                !expected.is_empty(),
+                "{name}: bad fixtures must mark at least one expected diagnostic"
+            );
+        }
+        let rule = namesake_rule(name);
+        let actual = diagnostics_for(rule, &format!("crates/lint/fixtures/{name}"), &src);
+        assert_eq!(
+            actual, expected,
+            "{name}: diagnostics (left) diverge from //~ markers (right)"
+        );
+    }
+}
+
+/// A rule that fires on no fixture at all is dead code wearing a badge:
+/// refactors to the engine or lexer could silently disarm it. Fail
+/// loudly instead.
+#[test]
+fn every_rule_fires_on_some_fixture() {
+    let mut fired: BTreeSet<String> = BTreeSet::new();
+    for path in fixture_paths() {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 fixture name");
+        let src = std::fs::read_to_string(&path).expect("readable fixture");
+        let rule = namesake_rule(name);
+        for (fired_rule, _) in diagnostics_for(rule, &format!("crates/lint/fixtures/{name}"), &src)
+        {
+            fired.insert(fired_rule);
+        }
+    }
+    for rule in RULES {
+        assert!(
+            fired.contains(rule.id),
+            "rule {} never fired on any fixture — dead rule",
+            rule.id
+        );
+    }
+}

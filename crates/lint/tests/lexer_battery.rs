@@ -1,0 +1,160 @@
+//! Lexer battery: the hand-rolled Rust lexer must be *total* and
+//! *faithful* over everything the rule engine will ever feed it.
+//!
+//! Three layers:
+//!
+//! 1. **Fragment composition (property)** — a pool of the classic lexer
+//!    traps (raw strings with interior quotes, nested block comments,
+//!    char-vs-lifetime, byte/C literals, raw identifiers, range dots),
+//!    each with its known token-kind spelling. Random sequences of
+//!    fragments joined by newlines must lex to exactly the
+//!    concatenation of their spellings — fragments may not bleed into
+//!    each other.
+//! 2. **Totality + coverage (property)** — over adversarial character
+//!    soup (quote/hash/backslash/slash-heavy, with multi-byte chars),
+//!    the lexer must not panic, must emit monotonically ordered
+//!    non-overlapping spans on char boundaries, and every byte outside
+//!    a token span must be whitespace.
+//! 3. **The real workspace** — every `.rs` file the workspace run
+//!    visits must satisfy the same coverage invariant.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sketch_lint::lexer::{tokenize, TokenKind};
+
+use TokenKind::{BlockComment, CharLit, Ident, Lifetime, LineComment, NumLit, Punct, StrLit};
+
+/// Tricky source fragments with their exact expected token kinds
+/// (comments included — they are tokens, just insignificant ones).
+const FRAGMENTS: &[(&str, &[TokenKind])] = &[
+    (r##"r#"interior " quote"#"##, &[StrLit]),
+    (r###"r##"deeper "# quote"##"###, &[StrLit]),
+    ("r\"plain raw\"", &[StrLit]),
+    ("\"plain \\\" escaped \\\\ end\"", &[StrLit]),
+    ("b\"bytes\"", &[StrLit]),
+    ("br#\"raw \" bytes\"#", &[StrLit]),
+    ("c\"cstr\"", &[StrLit]),
+    ("cr#\"raw c\"#", &[StrLit]),
+    ("b'x'", &[CharLit]),
+    ("'a'", &[CharLit]),
+    ("'_'", &[CharLit]),
+    ("'\\''", &[CharLit]),
+    ("'\\u{1F600}'", &[CharLit]),
+    ("'\\n'", &[CharLit]),
+    ("'static", &[Lifetime]),
+    ("'_", &[Lifetime]),
+    ("&'a mut", &[Punct, Lifetime, Ident]),
+    ("/* nested /* deep */ out */", &[BlockComment]),
+    ("// trailing line comment", &[LineComment]),
+    ("/// doc comment", &[LineComment]),
+    ("r#match", &[Ident]),
+    ("ident_07", &[Ident]),
+    ("_leading", &[Ident]),
+    ("0..len", &[NumLit, Punct, Punct, Ident]),
+    ("0xFF_u64", &[NumLit]),
+    ("1.5e3", &[NumLit, Punct, NumLit]),
+    ("x.0", &[Ident, Punct, NumLit]),
+    (
+        "::<>();",
+        &[Punct, Punct, Punct, Punct, Punct, Punct, Punct],
+    ),
+];
+
+/// Characters chosen to maximize collisions with literal/comment
+/// delimiters, plus multi-byte chars to stress char-boundary handling.
+const SOUP: &[char] = &[
+    '"', '\'', '#', '\\', '/', '*', 'r', 'b', 'c', 'u', 'x', 'n', '0', '9', '_', '{', '}', '.',
+    ' ', '\n', '\t', 'é', '😀',
+];
+
+/// Assert the coverage invariant: spans in order, non-overlapping,
+/// non-empty, on char boundaries, and all inter-token bytes whitespace.
+fn check_coverage(src: &str) -> Result<(), String> {
+    let toks = tokenize(src);
+    let mut pos = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.start < pos {
+            return Err(format!("token {i} starts at {} before {pos}", t.start));
+        }
+        if t.end <= t.start || t.end > src.len() {
+            return Err(format!("token {i} has bad span {}..{}", t.start, t.end));
+        }
+        if !src.is_char_boundary(t.start) || !src.is_char_boundary(t.end) {
+            return Err(format!("token {i} span not on char boundaries"));
+        }
+        if !src[pos..t.start].chars().all(char::is_whitespace) {
+            return Err(format!(
+                "non-whitespace bytes {:?} between tokens before {i}",
+                &src[pos..t.start]
+            ));
+        }
+        pos = t.end;
+    }
+    if !src[pos..].chars().all(char::is_whitespace) {
+        return Err(format!("trailing non-token bytes {:?}", &src[pos..]));
+    }
+    Ok(())
+}
+
+#[test]
+fn each_fragment_lexes_to_its_spelling() {
+    for (src, want) in FRAGMENTS {
+        let got: Vec<TokenKind> = tokenize(src).iter().map(|t| t.kind).collect();
+        assert_eq!(&got, want, "fragment {src:?}");
+        check_coverage(src).unwrap_or_else(|e| panic!("fragment {src:?}: {e}"));
+    }
+}
+
+proptest! {
+    /// Random fragment sequences: no fragment may swallow or split its
+    /// neighbors, regardless of what precedes or follows it.
+    #[test]
+    fn fragment_sequences_compose(picks in vec(0usize..FRAGMENTS.len(), 1..40)) {
+        let src: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i].0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let want: Vec<TokenKind> = picks
+            .iter()
+            .flat_map(|&i| FRAGMENTS[i].1.iter().copied())
+            .collect();
+        let got: Vec<TokenKind> = tokenize(&src).iter().map(|t| t.kind).collect();
+        prop_assert_eq!(got, want);
+        if let Err(e) = check_coverage(&src) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// Totality: arbitrary delimiter-heavy soup must lex without
+    /// panicking and still satisfy the coverage invariant.
+    #[test]
+    fn adversarial_soup_is_total(picks in vec(0usize..SOUP.len(), 0..80)) {
+        let src: String = picks.iter().map(|&i| SOUP[i]).collect();
+        if let Err(e) = check_coverage(&src) {
+            return Err(TestCaseError::fail(format!("{e} on {src:?}")));
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_satisfies_coverage() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let files = sketch_lint::engine::collect_files(&[root]).expect("workspace walk");
+    assert!(
+        files.len() > 100,
+        "workspace walk found only {} files — wrong root?",
+        files.len()
+    );
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable workspace file");
+        check_coverage(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            src.trim().is_empty() || !tokenize(&src).is_empty(),
+            "{}: non-empty file lexed to zero tokens",
+            path.display()
+        );
+    }
+}

@@ -80,7 +80,8 @@ const MIN_PROGRESS_BYTES_PER_SEC: u64 = 64 * 1024;
 
 fn credit_progress(deadline: &mut Option<Instant>, bytes: usize) {
     if let Some(d) = deadline {
-        let ns = (bytes as u64).saturating_mul(1_000_000_000 / MIN_PROGRESS_BYTES_PER_SEC);
+        let bytes = u64::try_from(bytes).unwrap_or(u64::MAX);
+        let ns = bytes.saturating_mul(1_000_000_000 / MIN_PROGRESS_BYTES_PER_SEC);
         *d += Duration::from_nanos(ns);
     }
 }

@@ -54,6 +54,14 @@ fn checksum(payload: &[u8]) -> u64 {
     murmur3_x64_128(payload, CHECKSUM_SEED).0
 }
 
+/// Widen a `u32` header/length field into a `usize`, failing as
+/// [`SketchError::Corrupt`] on targets whose `usize` cannot hold it
+/// (instead of silently wrapping the way a bare `as` cast would).
+fn wire_len(field: u32, context: &str) -> Result<usize, SketchError> {
+    usize::try_from(field)
+        .map_err(|_| SketchError::Corrupt(format!("{context} {field} exceeds this target's usize")))
+}
+
 fn kind_name(kind: u16) -> &'static str {
     match kind {
         KIND_BASE => "base",
@@ -113,11 +121,12 @@ fn decode_records(bytes: &[u8], expect_kind: u16) -> Result<Vec<&[u8]>, SketchEr
             kind_name(expect_kind)
         )));
     }
-    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let count_field = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let count = wire_len(count_field, "record count")?;
 
     let mut payloads = Vec::with_capacity(count.min(bytes.len() / 12));
     let mut pos = HEADER_LEN;
-    for record in 0..count as u64 {
+    for record in 0..u64::from(count_field) {
         let available = bytes.len() - pos;
         if available < 4 {
             return Err(SketchError::Truncated {
@@ -126,7 +135,10 @@ fn decode_records(bytes: &[u8], expect_kind: u16) -> Result<Vec<&[u8]>, SketchEr
                 available,
             });
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let len = wire_len(
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")),
+            "record length",
+        )?;
         pos += 4;
         let available = bytes.len() - pos;
         // Length is validated against the remaining bytes *before* any
